@@ -1,0 +1,59 @@
+"""Ablation (Section 5.2.1): indicator projections on vs off.
+
+Indicator projections are the twist that upgrades InsideOut from the
+treewidth bound to the fractional-hypertree-width bound: factors outside
+``∂(k)`` semijoin-reduce the intermediate result.  The ablation runs the
+same selective triangle-style query with and without projections.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.insideout import inside_out
+from repro.core.query import FAQQuery, Variable
+from repro.factors.factor import Factor
+from repro.semiring.aggregates import SemiringAggregate
+from repro.semiring.standard import COUNTING
+
+
+def _selective_triangle(size: int) -> FAQQuery:
+    dense = Factor(("A", "B"), {(i, j): 1 for i in range(size) for j in range(size)})
+    diag_bc = Factor(("B", "C"), {(i, i): 1 for i in range(size)})
+    diag_ac = Factor(("A", "C"), {(i, i): 1 for i in range(size)})
+    return FAQQuery(
+        variables=[Variable(v, tuple(range(size))) for v in "ABC"],
+        free=[],
+        aggregates={v: SemiringAggregate.sum() for v in "ABC"},
+        factors=[dense, diag_bc, diag_ac],
+        semiring=COUNTING,
+    )
+
+
+QUERY = _selective_triangle(45)
+ORDERING = ["C", "B", "A"]
+
+
+@pytest.mark.benchmark(group="ablation-indicator-projections")
+def test_with_indicator_projections(benchmark):
+    benchmark(lambda: inside_out(QUERY, ordering=ORDERING, use_indicator_projections=True))
+
+
+@pytest.mark.benchmark(group="ablation-indicator-projections")
+def test_without_indicator_projections(benchmark):
+    benchmark(lambda: inside_out(QUERY, ordering=ORDERING, use_indicator_projections=False))
+
+
+@pytest.mark.shape
+def test_shape_projections_prune_intermediates():
+    with_projections = inside_out(QUERY, ordering=ORDERING, use_indicator_projections=True)
+    without_projections = inside_out(QUERY, ordering=ORDERING, use_indicator_projections=False)
+    assert with_projections.scalar == without_projections.scalar
+    print(
+        f"\n[Ablation projections] max intermediate with={with_projections.stats.max_intermediate_size} "
+        f"without={without_projections.stats.max_intermediate_size}"
+    )
+    assert (
+        with_projections.stats.max_intermediate_size
+        < without_projections.stats.max_intermediate_size
+    )

@@ -1,0 +1,75 @@
+"""Figure 1: the FAQ-width pipeline (expression tree → poset → ordering).
+
+Figure 1 summarises the technical contribution: from the input expression,
+build the expression tree and precedence poset (poly-time), then either
+search the linear extensions for the optimal faqw or run the Section 7
+approximation.  The benchmark times the three stages on the paper's worked
+examples and on random multi-aggregate queries, and asserts that the
+approximation never does worse than ``opt + g(opt)`` on the small instances
+where the optimum can be computed exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.expression_tree import build_expression_tree
+from repro.core.faqw import (
+    approximate_faqw_ordering,
+    faq_width_of_ordering,
+    faq_width_of_query,
+)
+from repro.datasets.queries import (
+    example_5_6_query,
+    example_6_19_query,
+    example_6_2_query,
+    random_faq_query,
+)
+
+EXAMPLES = {
+    "example-5.6": example_5_6_query(),
+    "example-6.2": example_6_2_query(),
+    "example-6.19": example_6_19_query(),
+}
+RANDOM_QUERIES = [random_faq_query(seed=s, max_variables=7, zero_one=True) for s in range(20)]
+
+
+@pytest.mark.benchmark(group="fig1-expression-tree")
+def test_build_expression_trees(benchmark):
+    benchmark(lambda: [build_expression_tree(q) for q in EXAMPLES.values()])
+
+
+@pytest.mark.benchmark(group="fig1-approximation")
+def test_approximate_orderings(benchmark):
+    benchmark(lambda: [approximate_faqw_ordering(q) for q in EXAMPLES.values()])
+
+
+@pytest.mark.benchmark(group="fig1-exact-faqw")
+def test_exact_faqw_by_linear_extension_search(benchmark):
+    benchmark(lambda: [faq_width_of_query(q, extension_limit=2000) for q in EXAMPLES.values()])
+
+
+@pytest.mark.benchmark(group="fig1-random-queries")
+def test_pipeline_on_random_queries(benchmark):
+    def pipeline():
+        widths = []
+        for query in RANDOM_QUERIES:
+            ordering = approximate_faqw_ordering(query)
+            widths.append(faq_width_of_ordering(query, ordering))
+        return widths
+
+    widths = benchmark(pipeline)
+    assert len(widths) == len(RANDOM_QUERIES)
+
+
+@pytest.mark.shape
+def test_shape_approximation_guarantee():
+    rows = []
+    for name, query in EXAMPLES.items():
+        optimum = faq_width_of_query(query)
+        approx = faq_width_of_ordering(query, approximate_faqw_ordering(query))
+        rows.append((name, optimum, approx))
+        assert approx <= 2 * optimum + 1e-9  # Theorem 7.2 with an exact inner solver
+    print("\n[Fig1] query, faqw(optimal), faqw(approx ordering):")
+    for name, optimum, approx in rows:
+        print(f"  {name:14s} {optimum:.2f} {approx:.2f}")

@@ -1,0 +1,44 @@
+"""Figures 2-6: expression-tree construction on the paper's example queries.
+
+The figures are constructions, not measurements; the benchmark times the
+compartmentalisation + compression pipeline on Example 6.2 (Figures 2-3) and
+Example 6.19 (Figures 4-6) and re-asserts the exact node structure the
+figures depict (the full node-by-node checks live in
+``tests/test_expression_tree_paper_examples.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.expression_tree import build_expression_tree
+from repro.datasets.queries import example_6_19_query, example_6_2_query
+
+EXAMPLE_62 = example_6_2_query()
+EXAMPLE_619 = example_6_19_query()
+
+
+@pytest.mark.benchmark(group="fig2-3-expression-tree")
+def test_build_tree_example_6_2(benchmark):
+    tree = benchmark(lambda: build_expression_tree(EXAMPLE_62))
+    assert tree.root.children
+
+
+@pytest.mark.benchmark(group="fig4-6-expression-tree")
+def test_build_tree_example_6_19(benchmark):
+    tree = benchmark(lambda: build_expression_tree(EXAMPLE_619))
+    assert tree.root.children
+
+
+@pytest.mark.shape
+def test_shape_trees_match_the_figures():
+    tree_62 = build_expression_tree(EXAMPLE_62)
+    top = tree_62.root.children[0]
+    assert frozenset(top.variables) == frozenset({"x1", "x2", "x4"})
+    tree_619 = build_expression_tree(EXAMPLE_619)
+    top19 = tree_619.root.children[0]
+    assert frozenset(top19.variables) == frozenset({"x1", "x2", "x6"})
+    print("\n[Fig2-3] expression tree of Example 6.2:")
+    print(tree_62.pretty())
+    print("[Fig4-6] expression tree of Example 6.19:")
+    print(tree_619.pretty())

@@ -1,0 +1,59 @@
+"""Section 8.3: SAT and #SAT on β-acyclic CNF formulas.
+
+Theorems 8.3 / 8.4: along a nested elimination order, Davis–Putnam style
+variable elimination never grows the clause set, so β-acyclic SAT and #SAT
+are polynomial.  The benchmark runs the compact-representation SAT solver
+and the #SAT counter on β-acyclic families against brute-force enumeration,
+and asserts the no-clause-growth invariant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.cnf import beta_acyclic_cnf, random_k_cnf
+from repro.solvers.sat import count_models, davis_putnam_sat
+
+BETA_ACYCLIC = beta_acyclic_cnf(num_blocks=6, block_width=3, seed=9)
+SMALL_BETA_ACYCLIC = beta_acyclic_cnf(num_blocks=4, block_width=3, seed=9)
+RANDOM_CNF = random_k_cnf(num_variables=14, num_clauses=45, clause_width=3, seed=10)
+
+
+@pytest.mark.benchmark(group="sec8-sat")
+def test_sat_davis_putnam_beta_acyclic(benchmark):
+    satisfiable, _ = benchmark(lambda: davis_putnam_sat(BETA_ACYCLIC))
+    assert satisfiable in (True, False)
+
+
+@pytest.mark.benchmark(group="sec8-sat")
+def test_sat_brute_force_beta_acyclic(benchmark):
+    benchmark(SMALL_BETA_ACYCLIC.is_satisfiable_brute_force)
+
+
+@pytest.mark.benchmark(group="sec8-sharp-sat")
+def test_sharp_sat_insideout_beta_acyclic(benchmark):
+    benchmark(lambda: count_models(SMALL_BETA_ACYCLIC))
+
+
+@pytest.mark.benchmark(group="sec8-sharp-sat")
+def test_sharp_sat_brute_force_beta_acyclic(benchmark):
+    benchmark(SMALL_BETA_ACYCLIC.count_models_brute_force)
+
+
+@pytest.mark.benchmark(group="sec8-sat-random")
+def test_sat_davis_putnam_random_cnf(benchmark):
+    benchmark(lambda: davis_putnam_sat(RANDOM_CNF))
+
+
+@pytest.mark.shape
+def test_shape_beta_acyclic_elimination_never_grows():
+    """Theorem 8.3's invariant: along the NEO the clause count never grows."""
+    assert BETA_ACYCLIC.is_beta_acyclic()
+    satisfiable, stats = davis_putnam_sat(BETA_ACYCLIC)
+    print(
+        f"\n[Sec8 SAT] clauses={len(BETA_ACYCLIC.clauses)} max_clauses_during_elim="
+        f"{stats.max_clauses} satisfiable={satisfiable}"
+    )
+    assert stats.max_clauses <= len(BETA_ACYCLIC.clauses)
+    # And counting matches brute force on the smaller instance.
+    assert count_models(SMALL_BETA_ACYCLIC) == SMALL_BETA_ACYCLIC.count_models_brute_force()

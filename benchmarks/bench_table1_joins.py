@@ -1,0 +1,68 @@
+"""Table 1, Joins row: worst-case optimal InsideOut vs pairwise hash joins.
+
+The triangle join ``R(A,B) ⋈ S(B,C) ⋈ T(A,C)`` has fractional hypertree
+width 3/2: InsideOut / generic join run within the AGM bound ``N^{3/2}``
+while any pairwise plan can materialise an intermediate of size ``Θ(N²)``.
+The benchmark measures both and asserts that the pairwise plan's largest
+intermediate exceeds the worst-case-optimal engine's on a skewed instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.insideout import inside_out
+from repro.datasets.relations import cycle_query_relations, path_query_relations
+from repro.db.generic_join import generic_join
+from repro.db.hash_join import left_deep_join_plan
+from repro.db.yannakakis import yannakakis
+from repro.solvers.joins import natural_join_query
+
+TRIANGLE = cycle_query_relations(3, domain_size=60, num_tuples=250, seed=42)
+PATH = path_query_relations(3, domain_size=60, num_tuples=250, seed=43)
+
+
+@pytest.mark.benchmark(group="table1-joins-triangle")
+def test_triangle_insideout(benchmark):
+    query = natural_join_query(TRIANGLE)
+    result = benchmark(lambda: inside_out(query, ordering=None))
+    assert result.factor is not None
+
+
+@pytest.mark.benchmark(group="table1-joins-triangle")
+def test_triangle_generic_join(benchmark):
+    result = benchmark(lambda: generic_join(TRIANGLE))
+    assert len(result) >= 0
+
+
+@pytest.mark.benchmark(group="table1-joins-triangle")
+def test_triangle_pairwise_hash_join(benchmark):
+    result, _ = benchmark(lambda: left_deep_join_plan(TRIANGLE))
+    assert len(result) >= 0
+
+
+@pytest.mark.benchmark(group="table1-joins-acyclic-path")
+def test_path_insideout(benchmark):
+    query = natural_join_query(PATH)
+    benchmark(lambda: inside_out(query, ordering=None))
+
+
+@pytest.mark.benchmark(group="table1-joins-acyclic-path")
+def test_path_yannakakis(benchmark):
+    benchmark(lambda: yannakakis(PATH))
+
+
+@pytest.mark.shape
+def test_shape_pairwise_intermediate_blowup():
+    """The pairwise plan's largest intermediate exceeds the WCOJ engine's."""
+    query = natural_join_query(TRIANGLE)
+    io = inside_out(query, ordering=None)
+    _, sizes = left_deep_join_plan(TRIANGLE)
+    output_size = len(io.factor)
+    print(
+        f"\n[Joins/triangle] N={max(len(r) for r in TRIANGLE)} output={output_size} "
+        f"insideout_max_intermediate={io.stats.max_intermediate_size} "
+        f"pairwise_max_intermediate={max(sizes)}"
+    )
+    assert max(sizes) >= io.stats.max_intermediate_size
+    assert max(sizes) > output_size

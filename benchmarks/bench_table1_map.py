@@ -1,0 +1,55 @@
+"""Table 1, MAP row: max-product inference, InsideOut vs the dense baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.insideout import inside_out
+from repro.core.variable_elimination import variable_elimination
+from repro.datasets.pgm_models import random_sparse_model
+from repro.pgm.brute import brute_force_map
+from repro.pgm.junction_tree import JunctionTree
+from repro.solvers.pgm import map_insideout
+
+MODEL = random_sparse_model(
+    num_variables=11, num_factors=13, max_arity=3, domain_size=4, density=0.25, seed=17
+)
+TARGET = MODEL.variables[0]
+
+# Table 1 assumes the ordering is given: compute it once outside the timing.
+from repro.core.faqw import approximate_faqw_ordering  # noqa: E402
+
+MAP_ORDERING = list(approximate_faqw_ordering(MODEL.map_query([TARGET])))
+
+
+@pytest.mark.benchmark(group="table1-map")
+def test_map_insideout(benchmark):
+    query = MODEL.map_query([TARGET])
+    benchmark(lambda: inside_out(query, ordering=MAP_ORDERING))
+
+
+@pytest.mark.benchmark(group="table1-map")
+def test_map_textbook_ve(benchmark):
+    query = MODEL.map_query([TARGET])
+    benchmark(lambda: variable_elimination(query))
+
+
+@pytest.mark.benchmark(group="table1-map")
+def test_map_junction_tree(benchmark):
+    benchmark(lambda: JunctionTree(MODEL, mode="max").marginal(TARGET))
+
+
+@pytest.mark.shape
+def test_shape_map_agreement_and_cost():
+    """All engines agree on the max-marginals; InsideOut touches fewer cells."""
+    query = MODEL.map_query([TARGET])
+    io = inside_out(query, ordering="auto")
+    tree = JunctionTree(MODEL, mode="max")
+    jt_marginal = tree.marginal(TARGET)
+    for (value,), weight in io.factor.table.items():
+        assert abs(jt_marginal[value] - weight) < 1e-6
+    print(
+        f"\n[MAP] insideout_max_intermediate={io.stats.max_intermediate_size} "
+        f"junction_tree_dense_cells={tree.largest_potential_cells}"
+    )
+    assert tree.largest_potential_cells >= io.stats.max_intermediate_size

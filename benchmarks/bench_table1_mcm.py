@@ -1,0 +1,73 @@
+"""Table 1, MCM row: matrix chain multiplication.
+
+The FAQ view of MCM (Example 1.1 / Appendix E): variable orderings of the
+FAQ query correspond to parenthesisations, and the classic dynamic program
+is an ordering-selection algorithm.  The benchmark compares InsideOut along
+the DP-optimal ordering with InsideOut along the naive left-to-right
+ordering and with numpy's dense chain product, on a skewed dimension vector
+where the parenthesisation matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers.matrix import (
+    matrix_chain_insideout,
+    matrix_chain_query,
+    mcm_dp_cost,
+    mcm_dp_ordering,
+    mcm_naive_cost,
+)
+from repro.core.insideout import inside_out
+
+RNG = np.random.default_rng(5)
+DIMS = [40, 3, 45, 2, 30]
+MATRICES = [RNG.random((DIMS[i], DIMS[i + 1])) for i in range(len(DIMS) - 1)]
+NAIVE_ORDERING = ["x1", f"x{len(DIMS)}"] + [f"x{i}" for i in range(2, len(DIMS))]
+
+
+@pytest.mark.benchmark(group="table1-mcm")
+def test_mcm_insideout_dp_ordering(benchmark):
+    result = benchmark(lambda: matrix_chain_insideout(MATRICES))
+    assert result.shape == (DIMS[0], DIMS[-1])
+
+
+@pytest.mark.benchmark(group="table1-mcm")
+def test_mcm_insideout_naive_ordering(benchmark):
+    benchmark(lambda: matrix_chain_insideout(MATRICES, ordering=NAIVE_ORDERING))
+
+
+@pytest.mark.benchmark(group="table1-mcm")
+def test_mcm_numpy(benchmark):
+    def chain():
+        out = MATRICES[0]
+        for matrix in MATRICES[1:]:
+            out = out @ matrix
+        return out
+
+    benchmark(chain)
+
+
+@pytest.mark.shape
+def test_shape_dp_ordering_beats_naive():
+    """The DP bound is met: the optimal ordering does strictly less work than
+    the left-to-right one, and both reproduce the numpy product."""
+    optimal_cost, _ = mcm_dp_cost(DIMS)
+    naive_cost = mcm_naive_cost(DIMS)
+    expected = MATRICES[0]
+    for matrix in MATRICES[1:]:
+        expected = expected @ matrix
+    query = matrix_chain_query(MATRICES)
+    dp_run = inside_out(query, ordering=mcm_dp_ordering(DIMS))
+    naive_run = inside_out(query, ordering=NAIVE_ORDERING)
+    print(
+        f"\n[MCM] dims={DIMS} dp_cost={optimal_cost} naive_cost={naive_cost} "
+        f"dp_max_intermediate={dp_run.stats.max_intermediate_size} "
+        f"naive_max_intermediate={naive_run.stats.max_intermediate_size}"
+    )
+    assert optimal_cost < naive_cost
+    assert dp_run.stats.max_intermediate_size <= naive_run.stats.max_intermediate_size
+    got = matrix_chain_insideout(MATRICES)
+    assert np.allclose(got, expected)

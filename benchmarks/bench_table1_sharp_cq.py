@@ -1,0 +1,54 @@
+"""Table 1, #CQ row: counting the answers of a conjunctive query.
+
+The prior bound (Durand–Mengel) depends on the quantified star size of the
+query; InsideOut depends only on faqw.  The benchmark counts the answers of
+a star-shaped CQ with existential leaves — the case where the star size is
+large but faqw stays 1 — against full materialisation + distinct counting
+and against brute-force enumeration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.insideout import inside_out
+from repro.datasets.relations import random_relation, star_query_relations
+from repro.db.generic_join import generic_join
+from repro.solvers.logic import EXISTS, Atom, QuantifiedConjunctiveQuery
+
+RELATIONS = star_query_relations(arms=4, domain_size=25, num_tuples=180, seed=31)
+
+QUERY = QuantifiedConjunctiveQuery(
+    free=("Hub",),
+    quantifiers=tuple((f"A{i}", EXISTS) for i in range(1, 5)),
+    atoms=tuple(Atom(rel, ("Hub", f"A{i}")) for i, rel in enumerate(RELATIONS, start=1)),
+)
+
+
+@pytest.mark.benchmark(group="table1-sharp-cq")
+def test_sharp_cq_insideout(benchmark):
+    faq = QUERY.counting_query()
+    benchmark(lambda: inside_out(faq, ordering="auto"))
+
+
+@pytest.mark.benchmark(group="table1-sharp-cq")
+def test_sharp_cq_materialise_then_count(benchmark):
+    def baseline():
+        joined = generic_join(RELATIONS)
+        return len(joined.project(["Hub"]))
+
+    benchmark(baseline)
+
+
+@pytest.mark.benchmark(group="table1-sharp-cq")
+def test_sharp_cq_brute_force(benchmark):
+    benchmark(QUERY.count_brute_force)
+
+
+@pytest.mark.shape
+def test_shape_counts_agree():
+    count = QUERY.count()
+    joined = generic_join(RELATIONS)
+    materialised = len(joined.project(["Hub"]))
+    print(f"\n[#CQ] insideout_count={count} materialised_count={materialised}")
+    assert count == materialised

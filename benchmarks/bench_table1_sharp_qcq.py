@@ -1,0 +1,55 @@
+"""Table 1, #QCQ row: counting answers of quantified conjunctive queries.
+
+The paper's #QCQ result is new — no non-trivial prior algorithm exists — so
+the only baseline is direct quantifier-semantics enumeration, which is
+exponential in the number of free+quantified variables.  InsideOut runs in
+``O~(N^{faqw})``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.insideout import inside_out
+from repro.datasets.relations import random_relation
+from repro.solvers.logic import EXISTS, FORALL, Atom, QuantifiedConjunctiveQuery
+
+DOMAIN = 7
+R = random_relation("R", ("a", "b"), DOMAIN, 30, seed=21)
+S = random_relation("S", ("b", "c"), DOMAIN, 30, seed=22)
+T = random_relation("T", ("c", "d"), DOMAIN, 30, seed=23)
+
+QUERY = QuantifiedConjunctiveQuery(
+    free=("f1", "f2"),
+    quantifiers=(("v", EXISTS), ("w", FORALL), ("z", EXISTS)),
+    atoms=(
+        Atom(R, ("f1", "v")),
+        Atom(S, ("v", "w")),
+        Atom(T, ("w", "z")),
+        Atom(R, ("f2", "v")),
+    ),
+    domains={"w": tuple(range(DOMAIN)), "z": tuple(range(DOMAIN))},
+)
+
+
+@pytest.mark.benchmark(group="table1-sharp-qcq")
+def test_sharp_qcq_insideout(benchmark):
+    faq = QUERY.counting_query()
+    benchmark(lambda: inside_out(faq, ordering="auto"))
+
+
+@pytest.mark.benchmark(group="table1-sharp-qcq")
+def test_sharp_qcq_brute_force(benchmark):
+    benchmark(QUERY.count_brute_force)
+
+
+@pytest.mark.shape
+def test_shape_counts_agree_and_width_is_small():
+    from repro.core.faqw import faq_width_of_query
+
+    count = QUERY.count()
+    reference = QUERY.count_brute_force()
+    faqw = faq_width_of_query(QUERY.counting_query(), extension_limit=500)
+    print(f"\n[#QCQ] count={count} reference={reference} faqw={faqw}")
+    assert count == reference
+    assert faqw <= 2.0

@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table row / figure / example of the
+paper (see DESIGN.md for the experiment index).  Absolute timings depend on
+the host; what the harness is expected to reproduce is the *shape* of
+Table 1: which algorithm wins, and how costs scale with the input size N and
+with the width parameters.  Each module therefore both benchmarks the
+competing algorithms (via pytest-benchmark) and asserts the qualitative
+relationship the paper predicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "shape: qualitative shape assertions for EXPERIMENTS.md")

@@ -1,0 +1,64 @@
+"""Graph pattern counting and worst-case optimal joins (Table 1, Joins row).
+
+Counts triangles and 4-cycles in a random graph through the FAQ reduction of
+Example A.8, evaluates the triangle *join* with three engines (InsideOut,
+worst-case-optimal generic join, pairwise hash joins) and shows the pairwise
+plan's intermediate-result blow-up on cyclic queries.
+
+Run with:  python examples/graph_patterns.py
+"""
+
+import networkx as nx
+
+from repro.core.faqw import faq_width_of_query
+from repro.core.insideout import inside_out
+from repro.datasets.graphs import cycle_pattern, random_graph
+from repro.db.generic_join import generic_join
+from repro.db.hash_join import left_deep_join_plan
+from repro.solvers.joins import (
+    count_homomorphisms,
+    count_triangles,
+    homomorphism_count_query,
+    natural_join_query,
+    triangle_join_relations,
+)
+
+
+def main() -> None:
+    graph = random_graph(num_vertices=60, num_edges=220, seed=3)
+    print(f"Data graph: {graph.number_of_nodes()} vertices, {graph.number_of_edges()} edges")
+
+    # --- pattern counting ------------------------------------------------ #
+    triangles = count_triangles(graph)
+    print(f"\nTriangles (InsideOut)        : {triangles}")
+    print(f"Triangles (networkx check)   : {sum(nx.triangles(graph).values()) // 3}")
+
+    four_cycle_homs = count_homomorphisms(cycle_pattern(4), graph)
+    print(f"4-cycle homomorphisms        : {four_cycle_homs}")
+
+    triangle_query = homomorphism_count_query(nx.complete_graph(3), graph)
+    print(f"FAQ-width of the triangle query: {faq_width_of_query(triangle_query)}  (= fhtw = 3/2)")
+
+    # --- the triangle join, three ways ----------------------------------- #
+    relations = triangle_join_relations(graph)
+    join_query = natural_join_query(relations)
+    insideout_run = inside_out(join_query, ordering=None)
+    wcoj = generic_join(relations)
+    pairwise, intermediate_sizes = left_deep_join_plan(relations)
+
+    print("\nTriangle join R(A,B) ⋈ S(B,C) ⋈ T(A,C):")
+    print(f"  input size per relation          : {len(relations[0])}")
+    print(f"  output size                      : {len(wcoj)}")
+    print(f"  InsideOut backtracking steps     : {insideout_run.stats.join_stats.search_steps}")
+    print(f"  pairwise plan largest intermediate: {max(intermediate_sizes)}")
+    print(
+        "  -> the pairwise plan materialises "
+        f"{max(intermediate_sizes) / max(len(wcoj), 1):.1f}x the output size, "
+        "the worst-case optimal engines never exceed the AGM bound"
+    )
+    assert len(pairwise.project(wcoj.schema)) == len(wcoj)
+    assert insideout_run.stats.output_size == len(wcoj)
+
+
+if __name__ == "__main__":
+    main()

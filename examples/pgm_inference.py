@@ -1,0 +1,69 @@
+"""Probabilistic graphical model inference through the FAQ framework.
+
+Builds a random sparse Markov random field, then computes
+
+* the partition function,
+* a single-variable marginal,
+* the MAP (max-marginal) values,
+
+three ways each: with InsideOut (fractional-hypertree-width guarantees), with
+the dense junction-tree baseline (treewidth guarantees) and by brute force —
+and reports how large the intermediate objects of each engine were, which is
+exactly the gap Table 1 (Marginal / MAP rows) describes.
+
+Run with:  python examples/pgm_inference.py
+"""
+
+from repro.datasets.pgm_models import random_sparse_model
+from repro.pgm.brute import brute_force_marginal, brute_force_partition
+from repro.pgm.junction_tree import JunctionTree
+from repro.solvers.pgm import (
+    compare_marginal_inference,
+    map_insideout,
+    marginal_insideout,
+    partition_function_insideout,
+)
+
+
+def main() -> None:
+    model = random_sparse_model(
+        num_variables=10, num_factors=12, max_arity=3, domain_size=3, density=0.35, seed=23
+    )
+    target = model.variables[0]
+    print(f"Model: {len(model.variables)} variables, {len(model.factors)} sparse factors")
+
+    # Partition function.
+    z_insideout = partition_function_insideout(model)
+    z_brute = brute_force_partition(model)
+    print(f"\nPartition function  InsideOut = {z_insideout:.6f}   brute force = {z_brute:.6f}")
+
+    # Marginal of one variable.
+    marginal = marginal_insideout(model, [target])
+    reference = brute_force_marginal(model, [target])
+    tree = JunctionTree(model, mode="sum")
+    jt_marginal = tree.marginal(target)
+    print(f"\nUnnormalised marginal of {target}:")
+    print(f"  {'value':>6s} {'InsideOut':>12s} {'JunctionTree':>12s} {'BruteForce':>12s}")
+    for value in model.domain(target):
+        print(
+            f"  {value!r:>6} {marginal.get((value,), 0.0):12.6f} "
+            f"{jt_marginal.get(value, 0.0):12.6f} {reference.get((value,), 0.0):12.6f}"
+        )
+
+    # MAP (max-marginals).
+    map_values = map_insideout(model, [target])
+    print(f"\nMax-marginals of {target} (InsideOut, max-product semiring):")
+    for (value,), weight in sorted(map_values.items()):
+        print(f"  {value!r:>6} -> {weight:.6f}")
+
+    # The cost story of Table 1.
+    report = compare_marginal_inference(model, [target])
+    print("\nCost comparison (Table 1, Marginal row):")
+    print(f"  InsideOut largest intermediate factor : {report.insideout_max_intermediate} tuples")
+    print(f"  Junction-tree largest bag             : {report.junction_tree_max_bag} variables")
+    print(f"  Junction-tree dense potential cells   : {report.junction_tree_dense_cells}")
+    print(f"  dense-cells / sparse-intermediate     : {report.speedup_proxy:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""SAT and #SAT over compact clause representations (Section 8 of the paper).
+
+Generates a β-acyclic CNF family, decides satisfiability with the
+Davis–Putnam flavour of InsideOut (resolution on box factors along a nested
+elimination order — Theorem 8.3) and counts models exactly (Theorem 8.4),
+comparing against brute-force enumeration and showing that along the nested
+elimination order the clause set never grows.
+
+Run with:  python examples/sat_counting.py
+"""
+
+from repro.datasets.cnf import beta_acyclic_cnf, random_k_cnf
+from repro.hypergraph.acyclicity import nested_elimination_order
+from repro.solvers.csp import count_proper_colorings
+from repro.solvers.sat import count_models, davis_putnam_sat
+
+import networkx as nx
+
+
+def beta_acyclic_demo() -> None:
+    formula = beta_acyclic_cnf(num_blocks=5, block_width=3, seed=13)
+    print("β-acyclic CNF family (Section 8.3)")
+    print(f"  variables                   : {len(formula.variables)}")
+    print(f"  clauses                     : {len(formula.clauses)}")
+    print(f"  β-acyclic?                  : {formula.is_beta_acyclic()}")
+
+    neo = nested_elimination_order(formula.hypergraph())
+    print(f"  nested elimination order    : {neo}")
+
+    satisfiable, stats = davis_putnam_sat(formula)
+    print(f"  satisfiable (Davis–Putnam)  : {satisfiable}")
+    print(f"  max clauses during elim.    : {stats.max_clauses} (never above the input size)")
+
+    models = count_models(formula)
+    print(f"  exact model count (#SAT)    : {models}")
+    print(f"  brute-force check           : {formula.count_models_brute_force()}")
+
+
+def random_cnf_demo() -> None:
+    formula = random_k_cnf(num_variables=12, num_clauses=40, clause_width=3, seed=14)
+    satisfiable, stats = davis_putnam_sat(formula)
+    print("\nRandom 3-CNF (no acyclicity guarantees)")
+    print(f"  variables / clauses         : {len(formula.variables)} / {len(formula.clauses)}")
+    print(f"  satisfiable                 : {satisfiable}")
+    print(f"  max clauses during elim.    : {stats.max_clauses} (resolution can blow up here)")
+    print(f"  exact model count           : {count_models(formula)}")
+
+
+def coloring_demo() -> None:
+    graph = nx.petersen_graph()
+    print("\nGraph colouring as #CSP (Example A.2)")
+    print(f"  proper 3-colourings of the Petersen graph : {count_proper_colorings(graph, 3)}")
+    print("  (the known value is 120)")
+
+
+if __name__ == "__main__":
+    beta_acyclic_demo()
+    random_cnf_demo()
+    coloring_demo()

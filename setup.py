@@ -1,0 +1,18 @@
+"""Setuptools shim so that ``pip install -e .`` works without the ``wheel``
+package (the environment is offline; legacy ``setup.py develop`` editable
+installs do not need to build a PEP 660 wheel)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "faq-engine: a reproduction of 'FAQ: Questions Asked Frequently' "
+        "(PODS 2016) - InsideOut, FAQ-width, and applications"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+)

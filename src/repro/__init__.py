@@ -1,0 +1,66 @@
+"""faq-engine: a reproduction of "FAQ: Questions Asked Frequently" (PODS 2016).
+
+The package implements the Functional Aggregate Query (FAQ) framework of
+Abo Khamis, Ngo and Rudra: the InsideOut / OutsideIn algorithms, the
+FAQ-width theory (expression trees, equivalent variable orderings, the
+Section 7 approximation algorithm), and the application layers the paper
+derives as corollaries — joins, conjunctive queries with quantifiers and
+counting, probabilistic graphical model inference, CSP/SAT/#SAT, matrix
+chain multiplication and the DFT.
+
+Quick start::
+
+    from repro import FAQQuery, Variable, Factor, inside_out
+    from repro.semiring import COUNTING, SemiringAggregate
+
+    psi = Factor(("A", "B"), {(0, 1): 1, (1, 0): 1})
+    query = FAQQuery(
+        variables=[Variable("A", (0, 1)), Variable("B", (0, 1))],
+        free=["A"],
+        aggregates={"B": SemiringAggregate.sum()},
+        factors=[psi],
+        semiring=COUNTING,
+    )
+    print(inside_out(query).factor.table)
+"""
+
+from repro.core.insideout import InsideOutResult, InsideOutStats, inside_out
+from repro.core.query import FAQQuery, QueryError, Variable
+from repro.core.variable_elimination import variable_elimination
+from repro.core.expression_tree import ExpressionTree, build_expression_tree
+from repro.core.evo import is_equivalent_ordering, linear_extensions
+from repro.core.faqw import (
+    approximate_faqw_ordering,
+    faq_width_of_ordering,
+    faq_width_of_query,
+)
+from repro.factors.factor import Factor
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.semiring.aggregates import Aggregate, ProductAggregate, SemiringAggregate
+from repro.semiring.base import Semiring
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FAQQuery",
+    "QueryError",
+    "Variable",
+    "Factor",
+    "Hypergraph",
+    "Semiring",
+    "Aggregate",
+    "SemiringAggregate",
+    "ProductAggregate",
+    "inside_out",
+    "InsideOutResult",
+    "InsideOutStats",
+    "variable_elimination",
+    "ExpressionTree",
+    "build_expression_tree",
+    "is_equivalent_ordering",
+    "linear_extensions",
+    "approximate_faqw_ordering",
+    "faq_width_of_ordering",
+    "faq_width_of_query",
+    "__version__",
+]

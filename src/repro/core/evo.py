@@ -1,0 +1,243 @@
+"""Equivalent variable orderings (EVO), CW-equivalence and linear extensions.
+
+Section 6 of the paper characterises the orderings that are semantically
+interchangeable with the one the query was written in:
+
+* every linear extension of the precedence poset is equivalent
+  (Theorems 6.8 / 6.23 — *soundness*),
+* every equivalent ordering is component-wise equivalent to some linear
+  extension (Theorems 6.12 / 6.27 — *completeness*), and CW-equivalence
+  preserves the FAQ-width (Propositions 6.11 / 6.26).
+
+This module implements the precedence poset interface, a linear-extension
+generator, the CW-equivalence relation and the polynomial-time EVO
+membership test that follows from the completeness proof: the first bound
+variable of an equivalent ordering must lie in a child node of the
+expression-tree root (Lemmas 6.9 / 6.24); product-tagged first blocks must
+be eliminated together; and the remainder must recursively be equivalent on
+every (extended) connected component.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+
+from repro.core.expression_tree import (
+    ExpressionTree,
+    build_expression_tree,
+    extended_components,
+    query_tree_hypergraph,
+    _compartmentalize,
+    _compress,
+    _restrict_sequence,
+)
+from repro.core.query import FAQQuery
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.semiring.aggregates import FREE_TAG, PRODUCT_TAG
+
+
+# ---------------------------------------------------------------------- #
+# precedence poset and linear extensions
+# ---------------------------------------------------------------------- #
+def precedence_poset(query: FAQQuery) -> Set[Tuple[str, str]]:
+    """The strict precedence pairs of the query's expression tree."""
+    tree = build_expression_tree(query)
+    return tree.precedence_pairs()
+
+
+def linear_extensions(
+    query_or_tree,
+    limit: int | None = None,
+) -> Iterator[Tuple[str, ...]]:
+    """Generate linear extensions of the precedence poset.
+
+    Accepts either an :class:`~repro.core.query.FAQQuery` or an
+    :class:`~repro.core.expression_tree.ExpressionTree`.  Free variables (the
+    root node) always come first because they precede everything else in the
+    poset.  ``limit`` caps the number of generated extensions (the total
+    number can be factorial).
+    """
+    if isinstance(query_or_tree, ExpressionTree):
+        tree = query_or_tree
+    else:
+        tree = build_expression_tree(query_or_tree)
+    variables = list(tree.variables)
+    predecessors = tree.precedence_predecessors()
+
+    produced = 0
+
+    def backtrack(remaining: List[str], placed: List[str]) -> Iterator[Tuple[str, ...]]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if not remaining:
+            produced += 1
+            yield tuple(placed)
+            return
+        placed_set = set(placed)
+        for variable in remaining:
+            if predecessors[variable] <= placed_set:
+                rest = [v for v in remaining if v != variable]
+                yield from backtrack(rest, placed + [variable])
+                if limit is not None and produced >= limit:
+                    return
+
+    yield from backtrack(variables, [])
+
+
+def one_linear_extension(query: FAQQuery) -> Tuple[str, ...]:
+    """A single linear extension of the precedence poset (deterministic)."""
+    for extension in linear_extensions(query, limit=1):
+        return extension
+    raise ValueError("precedence poset has no linear extension")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------- #
+# component-wise equivalence (Definitions 6.10 / 6.25)
+# ---------------------------------------------------------------------- #
+def _tagged_sequence(query: FAQQuery, keep: Sequence[str]) -> List[Tuple[str, str]]:
+    """The query's tagged bound-variable sequence restricted to ``keep``."""
+    keep_set = set(keep)
+    return [(v, query.tag(v)) for v in query.order if v in keep_set]
+
+
+def _restrict_order(order: Sequence[str], keep: FrozenSet[str]) -> Tuple[str, ...]:
+    return tuple(v for v in order if v in keep)
+
+
+def cw_equivalent(query: FAQQuery, sigma: Sequence[str], pi: Sequence[str]) -> bool:
+    """Component-wise equivalence of two orderings (Definition 6.10 / 6.25).
+
+    ``sigma`` is assumed to be an equivalent ordering of the query (typically
+    a linear extension of the precedence poset); the function decides whether
+    ``pi`` is CW-equivalent to it.  Free variables must form the prefix of
+    both orderings.
+    """
+    sigma = tuple(sigma)
+    pi = tuple(pi)
+    if set(sigma) != set(query.order) or set(pi) != set(query.order):
+        return False
+    f = query.num_free
+    if set(sigma[:f]) != set(query.free) or set(pi[:f]) != set(query.free):
+        return False
+
+    hypergraph = query_tree_hypergraph(query).remove_vertices(query.free)
+    product_vars = frozenset(query.product_variables)
+    tags = {v: query.tag(v) for v in query.order}
+
+    def recurse(h: Hypergraph, sig: Tuple[str, ...], p: Tuple[str, ...]) -> bool:
+        # Dangling / untouched product variables may go anywhere: compare only
+        # the variables actually present in the hypergraph.
+        vertices = frozenset(h.vertices)
+        sig = _restrict_order(sig, vertices)
+        p = _restrict_order(p, vertices)
+        if len(sig) != len(p) or set(sig) != set(p):
+            return False
+        if len(sig) <= 1:
+            return True
+
+        components, dangling = extended_components(h, frozenset(), product_vars)
+        if len(components) > 1:
+            for vertex_set, sub in components:
+                if not recurse(sub, _restrict_order(sig, vertex_set), _restrict_order(p, vertex_set)):
+                    return False
+            return True
+
+        first = sig[0]
+        if tags.get(first) == PRODUCT_TAG:
+            # A product-tagged first block must match as a set.
+            block_len = 1
+            while block_len < len(sig) and tags.get(sig[block_len]) == PRODUCT_TAG:
+                block_len += 1
+            # Only require the maximal initial product run to coincide setwise.
+            block = set(sig[:block_len])
+            if set(p[:block_len]) != block:
+                return False
+            remainder = h.remove_vertices(block)
+            comps, _ = extended_components(remainder, frozenset(), product_vars)
+            for vertex_set, sub in comps:
+                if not recurse(sub, _restrict_order(sig, vertex_set), _restrict_order(p, vertex_set)):
+                    return False
+            return True
+
+        if first != p[0]:
+            return False
+        remainder = h.remove_vertices({first})
+        comps, _ = extended_components(remainder, frozenset(), product_vars)
+        for vertex_set, sub in comps:
+            if not recurse(sub, _restrict_order(sig, vertex_set), _restrict_order(p, vertex_set)):
+                return False
+        return True
+
+    return recurse(hypergraph, sigma[f:], pi[f:])
+
+
+# ---------------------------------------------------------------------- #
+# EVO membership (Lemmas 6.9 / 6.24 + Theorems 6.12 / 6.27)
+# ---------------------------------------------------------------------- #
+def is_equivalent_ordering(query: FAQQuery, ordering: Sequence[str]) -> bool:
+    """Decide whether ``ordering`` belongs to ``EVO(phi)``.
+
+    The test follows the completeness proof: after the free variables, the
+    next variable must belong to a child node of the expression-tree root of
+    the (sub-)query; if that node is product-tagged the entire node must be
+    eliminated as one consecutive block; conditioning on the chosen variables
+    splits the hypergraph into (extended) components that are checked
+    recursively, with dangling product variables unconstrained.
+    """
+    order = tuple(ordering)
+    if set(order) != set(query.order) or len(order) != len(query.order):
+        return False
+    f = query.num_free
+    if set(order[:f]) != set(query.free):
+        return False
+
+    product_vars = frozenset(query.product_variables)
+    tags = {v: query.tag(v) for v in query.order}
+    hypergraph = query_tree_hypergraph(query).remove_vertices(query.free)
+    bound_sequence = _tagged_sequence(query, query.bound)
+
+    def recurse(h: Hypergraph, candidate: Tuple[str, ...]) -> bool:
+        vertices = frozenset(h.vertices)
+        candidate = _restrict_order(candidate, vertices)
+        if len(candidate) <= 1:
+            return True
+
+        components, dangling = extended_components(h, frozenset(), product_vars)
+        if len(components) > 1 or (components and dangling):
+            ok = True
+            for vertex_set, sub in components:
+                ok = ok and recurse(sub, _restrict_order(candidate, vertex_set))
+            # Dangling product variables impose no ordering constraints.
+            return ok
+        if not components:
+            # Only dangling product variables remain: any order is fine.
+            return True
+
+        vertex_set, sub = components[0]
+        sub_sequence = _restrict_sequence(bound_sequence, vertex_set)
+        if not sub_sequence:
+            return True
+        node = _compartmentalize(sub_sequence, sub)
+        _compress(node)
+
+        allowed: Set[str] = set(node.variables)
+        candidate = _restrict_order(candidate, vertex_set)
+        if not candidate:
+            return True
+        first = candidate[0]
+        if first not in allowed:
+            return False
+
+        if tags.get(first) == PRODUCT_TAG:
+            block = [v for v in node.variables if tags.get(v) == PRODUCT_TAG]
+            block_set = set(block)
+            if set(candidate[: len(block)]) != block_set:
+                return False
+            remainder = sub.remove_vertices(block_set)
+            return recurse(remainder, candidate[len(block):])
+
+        remainder = sub.remove_vertices({first})
+        return recurse(remainder, candidate[1:])
+
+    return recurse(hypergraph, order[f:])

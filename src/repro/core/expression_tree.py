@@ -1,0 +1,394 @@
+"""Expression trees and precedence posets (Section 6 of the paper).
+
+The *expression tree* of an FAQ query is built in two phases:
+
+* **compartmentalisation** (Definitions 6.1 / 6.18): starting from the
+  tagged variable sequence as written in the query, the first tag block
+  becomes a node; the rest of the query splits into the connected components
+  of the hypergraph minus that block (minus the product variables, which are
+  added back to every component they touch — the *extended components*);
+  each component is processed recursively.  Product variables that only
+  appear in edges whose non-block part is entirely product variables form
+  the *dangling* node.
+* **compression**: a child node with the same tag as its parent is merged
+  into the parent, repeatedly.
+
+The tree defines the *precedence poset* (Definitions 6.3 / 6.22): ``u ≺ v``
+whenever ``u`` lies in a strict ancestor of (a copy of) ``v``.  Its linear
+extensions are exactly the variable orderings the engine needs to consider
+when optimising the FAQ-width (Corollaries 6.14 / 6.28).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.semiring.aggregates import FREE_TAG, PRODUCT_TAG
+
+
+TaggedSequence = List[Tuple[str, str]]  # list of (variable, tag) pairs
+
+
+class ExpressionTreeError(ValueError):
+    """Raised when an expression tree cannot be built consistently."""
+
+
+@dataclass
+class ExpressionNode:
+    """One node of the expression tree: a set of equally tagged variables."""
+
+    variables: List[str]
+    tag: str
+    children: List["ExpressionNode"] = field(default_factory=list)
+
+    def iter_nodes(self) -> Iterator["ExpressionNode"]:
+        """Pre-order iteration over the subtree rooted here."""
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    def variable_set(self) -> FrozenSet[str]:
+        """The variables of this node as a frozenset."""
+        return frozenset(self.variables)
+
+    def subtree_variables(self) -> FrozenSet[str]:
+        """All variables appearing anywhere in this subtree."""
+        result: Set[str] = set()
+        for node in self.iter_nodes():
+            result |= set(node.variables)
+        return frozenset(result)
+
+    def pretty(self, indent: int = 0) -> str:
+        """A human-readable rendering (used by the figure-reproduction tests)."""
+        label = "{" + ",".join(map(str, self.variables)) + "}" if self.variables else "{}"
+        lines = [" " * indent + f"{label} [{self.tag}]"]
+        for child in self.children:
+            lines.append(child.pretty(indent + 2))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExpressionNode({self.variables}, tag={self.tag}, children={len(self.children)})"
+
+
+# ---------------------------------------------------------------------- #
+# extended components (Definition 6.18)
+# ---------------------------------------------------------------------- #
+def extended_components(
+    hypergraph: Hypergraph,
+    block: Iterable[str],
+    product_variables: Iterable[str],
+) -> Tuple[List[Tuple[FrozenSet[str], Hypergraph]], FrozenSet[str]]:
+    """Split ``H - block`` into extended components plus the dangling set.
+
+    Returns ``(components, dangling)`` where each component is a pair
+    ``(vertex_set, sub_hypergraph)`` — the vertex set includes the product
+    variables added back — and ``dangling`` is the set of product variables
+    that appear only in edges whose part outside ``block`` consists solely of
+    product variables (plus product variables not reachable at all).
+    """
+    block_set = frozenset(block)
+    product_set = frozenset(product_variables)
+    remaining = frozenset(hypergraph.vertices) - block_set
+    w_set = (product_set & remaining)
+
+    core = hypergraph.remove_vertices(block_set | w_set)
+    components = core.connected_components()
+
+    result: List[Tuple[FrozenSet[str], Hypergraph]] = []
+    covered: Set[str] = set()
+    for component in components:
+        extended_vertices: Set[str] = set(component)
+        relevant_edges: List[FrozenSet[str]] = []
+        for edge in hypergraph.edges:
+            if edge & component:
+                relevant_edges.append(edge)
+                extended_vertices |= (edge & w_set)
+        edge_set = [e & frozenset(extended_vertices) for e in relevant_edges]
+        edge_set = [e for e in edge_set if e]
+        sub = Hypergraph(extended_vertices, edge_set)
+        result.append((frozenset(extended_vertices), sub))
+        covered |= extended_vertices
+
+    dangling: Set[str] = set()
+    for edge in hypergraph.edges:
+        outside = edge - block_set
+        if outside and outside <= w_set:
+            dangling |= (edge & w_set)
+    # Product variables touched by no edge at all are also dangling.
+    dangling |= (w_set - covered - dangling)
+
+    return result, frozenset(dangling)
+
+
+# ---------------------------------------------------------------------- #
+# compartmentalisation + compression
+# ---------------------------------------------------------------------- #
+def _first_tag_block(sequence: TaggedSequence) -> Tuple[List[str], str]:
+    """The longest prefix of ``sequence`` with a single tag."""
+    if not sequence:
+        raise ExpressionTreeError("cannot take the first tag block of an empty sequence")
+    tag = sequence[0][1]
+    block = []
+    for variable, var_tag in sequence:
+        if var_tag != tag:
+            break
+        block.append(variable)
+    return block, tag
+
+
+def _restrict_sequence(sequence: TaggedSequence, keep: Iterable[str]) -> TaggedSequence:
+    """Restrict a tagged sequence to ``keep`` preserving relative order."""
+    keep_set = set(keep)
+    return [(v, t) for v, t in sequence if v in keep_set]
+
+
+def _compartmentalize(sequence: TaggedSequence, hypergraph: Hypergraph) -> ExpressionNode:
+    """Recursive compartmentalisation step (Definition 6.18)."""
+    block, tag = _first_tag_block(sequence)
+    node = ExpressionNode(variables=list(block), tag=tag)
+    rest = sequence[len(block):]
+    if not rest:
+        return node
+
+    product_vars = [v for v, t in rest if t == PRODUCT_TAG]
+    components, dangling = extended_components(hypergraph, block, product_vars)
+
+    for vertex_set, sub_hypergraph in components:
+        sub_sequence = _restrict_sequence(rest, vertex_set)
+        if not sub_sequence:
+            continue
+        child = _compartmentalize(sub_sequence, sub_hypergraph)
+        node.children.append(child)
+
+    if dangling:
+        dangling_sequence = _restrict_sequence(rest, dangling)
+        if dangling_sequence:
+            node.children.append(
+                ExpressionNode(variables=[v for v, _ in dangling_sequence], tag=PRODUCT_TAG)
+            )
+    return node
+
+
+def _compress(node: ExpressionNode) -> None:
+    """Compression step: merge same-tag children into their parent."""
+    changed = True
+    while changed:
+        changed = False
+        new_children: List[ExpressionNode] = []
+        for child in node.children:
+            if child.tag == node.tag and node.tag != FREE_TAG or (
+                child.tag == node.tag == FREE_TAG
+            ):
+                for variable in child.variables:
+                    if variable not in node.variables:
+                        node.variables.append(variable)
+                new_children.extend(child.children)
+                changed = True
+            else:
+                new_children.append(child)
+        node.children = new_children
+    for child in node.children:
+        _compress(child)
+
+
+class ExpressionTree:
+    """The expression tree of an FAQ query plus its precedence poset."""
+
+    def __init__(self, root: ExpressionNode, variables: Sequence[str], free: Sequence[str]) -> None:
+        self.root = root
+        self.variables: Tuple[str, ...] = tuple(variables)
+        self.free: Tuple[str, ...] = tuple(free)
+
+    # ------------------------------------------------------------------ #
+    def iter_nodes(self) -> Iterator[ExpressionNode]:
+        """Pre-order iteration over all nodes."""
+        yield from self.root.iter_nodes()
+
+    def nodes_containing(self, variable: str) -> List[ExpressionNode]:
+        """All nodes holding (a copy of) ``variable``."""
+        return [node for node in self.iter_nodes() if variable in node.variables]
+
+    def depth_of(self, node: ExpressionNode) -> int:
+        """Depth of a node (root is 0)."""
+        def search(current: ExpressionNode, depth: int) -> Optional[int]:
+            if current is node:
+                return depth
+            for child in current.children:
+                found = search(child, depth + 1)
+                if found is not None:
+                    return found
+            return None
+
+        depth = search(self.root, 0)
+        if depth is None:
+            raise ExpressionTreeError("node does not belong to this tree")
+        return depth
+
+    def parent_of(self, node: ExpressionNode) -> Optional[ExpressionNode]:
+        """The parent of a node (``None`` for the root)."""
+        for candidate in self.iter_nodes():
+            if node in candidate.children:
+                return candidate
+        return None
+
+    def pretty(self) -> str:
+        """Readable multi-line rendering of the tree."""
+        return self.root.pretty()
+
+    # ------------------------------------------------------------------ #
+    # precedence poset
+    # ------------------------------------------------------------------ #
+    def precedence_pairs(self) -> Set[Tuple[str, str]]:
+        """The strict precedence relation ``{(u, v) : u ≺_P v}``.
+
+        ``u ≺ v`` iff some node containing ``u`` is a strict ancestor of some
+        node containing ``v``.  Corollary 6.21 guarantees antisymmetry; a
+        violation raises :class:`ExpressionTreeError`.
+        """
+        pairs: Set[Tuple[str, str]] = set()
+
+        def walk(node: ExpressionNode, ancestors: Tuple[str, ...]) -> None:
+            for variable in node.variables:
+                for ancestor_var in ancestors:
+                    if ancestor_var != variable:
+                        pairs.add((ancestor_var, variable))
+            new_ancestors = ancestors + tuple(node.variables)
+            for child in node.children:
+                walk(child, new_ancestors)
+
+        walk(self.root, ())
+        for u, v in pairs:
+            if (v, u) in pairs:
+                raise ExpressionTreeError(
+                    f"precedence relation is not antisymmetric ({u!r} <-> {v!r})"
+                )
+        return pairs
+
+    def precedence_predecessors(self) -> Dict[str, Set[str]]:
+        """Map each variable to the set of variables that must precede it."""
+        predecessors: Dict[str, Set[str]] = {v: set() for v in self.variables}
+        for u, v in self.precedence_pairs():
+            predecessors[v].add(u)
+        return predecessors
+
+
+# ---------------------------------------------------------------------- #
+# public constructor
+# ---------------------------------------------------------------------- #
+
+#: Semiring-aggregate tags that are closed under the idempotent elements
+#: ``{0, 1}`` of the standard product operators.  ``sum`` is deliberately
+#: absent (1 + 1 leaves {0, 1}).
+_IDEMPOTENT_CLOSED_TAGS = frozenset({"max", "min", "or", "and"})
+
+
+def uses_general_product_tree(query) -> bool:
+    """Decide whether the Section 6.3 (non-idempotent product) treatment is needed.
+
+    The Section 6.2 expression tree (extended components, unconstrained
+    dangling product variables) allows a sub-expression to be pulled out of a
+    product aggregate's scope.  That rewrite is only sound when the escaping
+    sub-expression is guaranteed to take ⊗-idempotent values, which holds
+    when the input factors are idempotent-valued (0/1) and the aggregates of
+    the escaping variables are closed under the idempotent elements
+    (``max``/``min``/``or``/``and`` — but not ``Σ``).
+
+    This predicate builds the Section 6.2 tree tentatively and reports
+    ``True`` (i.e. "fall back to the Definition 6.30 construction") when
+
+    * some factor takes non-idempotent values, or
+    * some variable written inside a product aggregate's scope escapes that
+      product in the tree (is not a descendant of any copy of it) while
+      carrying a non-closed aggregate such as ``Σ``.
+    """
+    product_vars = set(query.product_variables)
+    if not product_vars:
+        return False
+    semiring = query.semiring
+    if not all(factor.has_idempotent_range(semiring) for factor in query.factors):
+        return True
+
+    tentative = _build_tree(query, query.hypergraph())
+    position = {v: i for i, v in enumerate(query.order)}
+    for product_var in product_vars:
+        below: Set[str] = set()
+        for node in tentative.iter_nodes():
+            if product_var in node.variables:
+                below |= set(node.subtree_variables())
+        for variable in query.order:
+            if position[variable] <= position[product_var]:
+                continue
+            if variable in below or variable in product_vars:
+                continue
+            if query.tag(variable) not in _IDEMPOTENT_CLOSED_TAGS:
+                return True
+    return False
+
+
+def query_tree_hypergraph(query) -> Hypergraph:
+    """The hypergraph the expression tree is built on.
+
+    Normally this is just the query hypergraph; in the Section 6.3 regime
+    (see :func:`uses_general_product_tree`) every hyperedge — and every
+    otherwise isolated bound variable — is extended with the full set of
+    product variables so that the precedence poset forbids pulling semiring
+    aggregates out through a non-idempotent product (Definition 6.30).
+    """
+    hypergraph = query.hypergraph()
+    if not uses_general_product_tree(query):
+        return hypergraph
+    product_vars = frozenset(query.product_variables)
+    edges = [frozenset(edge) | product_vars for edge in hypergraph.edges]
+    covered = set()
+    for edge in edges:
+        covered |= edge
+    for variable in query.bound:
+        if variable not in covered:
+            edges.append(frozenset({variable}) | product_vars)
+    return Hypergraph(hypergraph.vertices, edges)
+
+
+def build_expression_tree(query) -> ExpressionTree:
+    """Build the (compressed) expression tree of an FAQ query.
+
+    The query's free variables form the root (possibly empty, mirroring the
+    dummy variable ``X_0`` trick of the paper); the bound variables are then
+    compartmentalised against the query hypergraph and the result is
+    compressed.  Queries with non-idempotent product aggregates use the
+    Definition 6.30 extended hypergraph (see :func:`query_tree_hypergraph`).
+    """
+    return _build_tree(query, query_tree_hypergraph(query))
+
+
+def _build_tree(query, hypergraph: Hypergraph) -> ExpressionTree:
+    """Compartmentalise + compress against an explicitly chosen hypergraph."""
+    root = ExpressionNode(variables=list(query.free), tag=FREE_TAG)
+
+    bound_sequence: TaggedSequence = [(v, query.tag(v)) for v in query.bound]
+    if bound_sequence:
+        product_vars = [v for v, t in bound_sequence if t == PRODUCT_TAG]
+        components, dangling = extended_components(hypergraph, query.free, product_vars)
+        for vertex_set, sub_hypergraph in components:
+            sub_sequence = _restrict_sequence(bound_sequence, vertex_set)
+            if not sub_sequence:
+                continue
+            root.children.append(_compartmentalize(sub_sequence, sub_hypergraph))
+        if dangling:
+            dangling_sequence = _restrict_sequence(bound_sequence, dangling)
+            if dangling_sequence:
+                root.children.append(
+                    ExpressionNode(
+                        variables=[v for v, _ in dangling_sequence], tag=PRODUCT_TAG
+                    )
+                )
+        # Bound variables not reachable through any hyperedge and not product
+        # (isolated semiring variables) become leaf children of the root.
+        covered = root.subtree_variables()
+        for variable, tag in bound_sequence:
+            if variable not in covered:
+                root.children.append(ExpressionNode(variables=[variable], tag=tag))
+
+    _compress(root)
+    return ExpressionTree(root=root, variables=query.order, free=query.free)

@@ -1,0 +1,209 @@
+"""FAQ-width of orderings and queries, and the Section 7 approximation.
+
+* :func:`faq_width_of_ordering` — ``faqw(σ) = max_{k ∈ K} ρ*_H(U_k^σ)``
+  (Definition 5.10), where ``K`` is the set of free and semiring-aggregate
+  variables and the ``U_k`` come from the FAQ elimination sequence
+  (Definition 5.4: product variables are dropped from edges rather than
+  replaced by their neighbourhood).
+* :func:`faq_width_of_query` — ``faqw(phi) = min_{σ ∈ LinEx(P)} faqw(σ)``
+  (Corollaries 6.14 / 6.28), computed by enumerating linear extensions of
+  the precedence poset (optionally capped) or via the approximation below.
+* :func:`approximate_faqw_ordering` — the Theorem 7.2 / 7.5 algorithm: build
+  the expression tree, construct the per-node hypergraphs ``H_L``, find a
+  good ordering for each (exact for small nodes, heuristic otherwise) and
+  concatenate them respecting the precedence poset.  The resulting ordering
+  satisfies ``faqw(σ) ≤ faqw(phi) + g(faqw(phi))`` where ``g`` is the
+  guarantee of the inner fhtw routine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.expression_tree import (
+    ExpressionNode,
+    ExpressionTree,
+    build_expression_tree,
+)
+from repro.core.query import FAQQuery
+from repro.hypergraph.covers import fractional_edge_cover_number
+from repro.hypergraph.elimination import elimination_sequence
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.orderings import best_ordering_exhaustive, min_fill_ordering
+from repro.semiring.aggregates import FREE_TAG, PRODUCT_TAG
+
+
+# ---------------------------------------------------------------------- #
+# FAQ-width of a concrete ordering
+# ---------------------------------------------------------------------- #
+def faq_width_of_ordering(query: FAQQuery, ordering: Sequence[str]) -> float:
+    """``faqw(σ)``: the maximum ``ρ*_H(U_k)`` over free/semiring steps.
+
+    The fractional edge cover is always taken with respect to the *original*
+    hypergraph ``H`` of the query (as in Definition 5.10), while the induced
+    sets ``U_k`` follow the FAQ elimination sequence in which product
+    variables simply disappear from every edge.
+    """
+    hypergraph = query.hypergraph()
+    steps = elimination_sequence(hypergraph, ordering, query.product_variables)
+    k_set = query.k_set
+    width = 0.0
+    for step in steps:
+        if step.vertex not in k_set:
+            continue
+        value = fractional_edge_cover_number(hypergraph, step.union, ignore_uncovered=True)
+        if value > width:
+            width = value
+    return width
+
+
+def faq_width_of_query(
+    query: FAQQuery,
+    extension_limit: int | None = 5000,
+    return_ordering: bool = False,
+):
+    """``faqw(phi)``: minimise ``faqw(σ)`` over linear extensions of the poset.
+
+    Enumeration is capped at ``extension_limit`` linear extensions; when the
+    cap is hit the result is an upper bound on the true FAQ-width (still a
+    valid, equivalent ordering).  Pass ``None`` to enumerate exhaustively.
+    """
+    from repro.core.evo import linear_extensions
+
+    tree = build_expression_tree(query)
+    best_width = float("inf")
+    best_order: Optional[Tuple[str, ...]] = None
+    for ordering in linear_extensions(tree, limit=extension_limit):
+        width = faq_width_of_ordering(query, ordering)
+        if width < best_width:
+            best_width = width
+            best_order = ordering
+    if best_order is None:  # pragma: no cover - poset always has an extension
+        best_order = tuple(query.order)
+        best_width = faq_width_of_ordering(query, best_order)
+    if return_ordering:
+        return best_width, best_order
+    return best_width
+
+
+# ---------------------------------------------------------------------- #
+# Section 7: per-node hypergraphs and the approximation algorithm
+# ---------------------------------------------------------------------- #
+def _subtree_semiring_sets(tree: ExpressionTree) -> Dict[int, FrozenSet[str]]:
+    """For each node (by id) the semiring/free variables in its subtree."""
+    result: Dict[int, FrozenSet[str]] = {}
+
+    def walk(node: ExpressionNode) -> FrozenSet[str]:
+        collected: Set[str] = set()
+        if node.tag != PRODUCT_TAG:
+            collected |= set(node.variables)
+        for child in node.children:
+            collected |= walk(child)
+        result[id(node)] = frozenset(collected)
+        return frozenset(collected)
+
+    walk(tree.root)
+    return result
+
+
+def node_hypergraph(
+    query: FAQQuery, tree: ExpressionTree, node: ExpressionNode
+) -> Hypergraph:
+    """The hypergraph ``H_L`` of Section 7.1 / 7.2 for an expression-tree node.
+
+    Edges are the projections onto ``L`` of the original hyperedges that do
+    not touch any semiring descendant of ``L``, plus — for every child
+    subtree ``C`` — the projection ``S_{L,C}`` of the union of all edges
+    touching a semiring node of that subtree.
+    """
+    semiring_sets = _subtree_semiring_sets(tree)
+    node_vars = frozenset(node.variables)
+    hypergraph = query.hypergraph()
+
+    if not node.children:
+        return hypergraph.induced(node_vars)
+
+    edges: List[FrozenSet[str]] = []
+    descendant_semiring: Set[str] = set()
+    for child in node.children:
+        descendant_semiring |= semiring_sets[id(child)]
+
+    for edge in hypergraph.edges:
+        if edge & node_vars and not (edge & descendant_semiring):
+            edges.append(edge & node_vars)
+
+    for child in node.children:
+        child_semiring = semiring_sets[id(child)]
+        union: Set[str] = set()
+        for edge in hypergraph.edges:
+            if edge & child_semiring:
+                union |= edge
+        contribution = frozenset(union) & node_vars
+        if contribution:
+            edges.append(contribution)
+
+    edges = [e for e in edges if e]
+    return Hypergraph(node_vars, edges)
+
+
+def _node_ordering(
+    query: FAQQuery, node_graph: Hypergraph, exact_limit: int
+) -> List[str]:
+    """A good vertex ordering of ``H_L`` minimising induced ``ρ*`` width."""
+    vertices = sorted(node_graph.vertices, key=repr)
+    if not vertices:
+        return []
+    if node_graph.num_edges == 0:
+        return vertices
+    if len(vertices) <= exact_limit:
+        return best_ordering_exhaustive(
+            node_graph,
+            lambda bag: fractional_edge_cover_number(node_graph, bag, ignore_uncovered=True),
+        )
+    return min_fill_ordering(node_graph)
+
+
+def approximate_faqw_ordering(
+    query: FAQQuery, exact_limit: int = 7
+) -> Tuple[str, ...]:
+    """Compute an equivalent ordering with near-optimal FAQ-width (Thm 7.2/7.5).
+
+    The expression tree is traversed top-down; for every free/semiring node a
+    width-minimising ordering of its hypergraph ``H_L`` is computed (exactly
+    when the node has at most ``exact_limit`` variables, with the min-fill
+    heuristic otherwise); product nodes keep their written order.  The
+    per-node orderings are concatenated pre-order, which is a linear
+    extension of the precedence poset and therefore semantically equivalent
+    to the query.
+    """
+    tree = build_expression_tree(query)
+    order: List[str] = []
+    seen: Set[str] = set()
+
+    def emit(variables: Sequence[str]) -> None:
+        for variable in variables:
+            if variable not in seen:
+                seen.add(variable)
+                order.append(variable)
+
+    def walk(node: ExpressionNode) -> None:
+        if node.tag == PRODUCT_TAG:
+            emit([v for v in query.order if v in set(node.variables)])
+        elif node.tag == FREE_TAG and not node.children and not node.variables:
+            pass
+        else:
+            graph = node_hypergraph(query, tree, node)
+            emit(_node_ordering(query, graph, exact_limit))
+            # Node variables never covered by H_L (isolated) keep query order.
+            emit([v for v in query.order if v in set(node.variables)])
+        for child in node.children:
+            walk(child)
+
+    walk(tree.root)
+    # Safety net: append anything missed (cannot normally happen).
+    emit(list(query.order))
+    # Free variables must remain a prefix.
+    free_set = set(query.free)
+    prefix = [v for v in order if v in free_set]
+    suffix = [v for v in order if v not in free_set]
+    return tuple(prefix + suffix)

@@ -1,0 +1,344 @@
+"""InsideOut — Algorithm 1 of the paper.
+
+InsideOut eliminates the bound variables of an FAQ query from the innermost
+aggregate outwards (i.e. from the back of the chosen variable ordering),
+with three twists over textbook variable elimination:
+
+1. every intermediate factor is computed by the OutsideIn worst-case-optimal
+   join (:mod:`repro.core.outsidein`), so each elimination step costs at most
+   the AGM bound of the induced set ``U_k``;
+2. *indicator projections* (Definition 4.2) of the factors outside ``∂(k)``
+   that intersect ``U_k`` participate in the join, pruning intermediate
+   tuples that later factors would annihilate anyway — this is what lifts
+   the guarantee from treewidth to fractional hypertree width;
+3. product aggregates are eliminated per-factor: factors containing the
+   variable are product-marginalised, the remaining factors are raised to
+   the ``|Dom(X_k)|``-th power unless their range is ⊗-idempotent
+   (Definition 5.2), in which case they are left untouched.
+
+The output over the free variables is produced either in the listing
+representation (a final OutsideIn join, equation (9)) or as a
+:class:`~repro.core.output.FactorizedOutput` (Section 8.4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.outsidein import OutsideInStats, join_factors
+from repro.core.output import FactorizedOutput
+from repro.core.query import FAQQuery, QueryError
+from repro.factors.factor import Factor
+from repro.semiring.base import Semiring
+
+
+@dataclass
+class EliminationRecord:
+    """Bookkeeping for one variable elimination step."""
+
+    variable: str
+    kind: str  # "semiring" or "product"
+    induced_set: frozenset
+    incident_count: int
+    projection_count: int
+    result_size: int
+    seconds: float
+
+
+@dataclass
+class InsideOutStats:
+    """Counters and per-step records for one InsideOut run."""
+
+    steps: List[EliminationRecord] = field(default_factory=list)
+    join_stats: OutsideInStats = field(default_factory=OutsideInStats)
+    max_intermediate_size: int = 0
+    output_size: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def largest_induced_set(self) -> int:
+        """The largest ``|U_k|`` encountered (proxy for the induced width)."""
+        return max((len(s.induced_set) for s in self.steps), default=0)
+
+
+@dataclass
+class InsideOutResult:
+    """The result of an InsideOut run.
+
+    ``factor`` holds the output in the listing representation (a factor over
+    the free variables; an empty-scope factor for scalar queries).
+    ``factorized`` is populated instead when ``output_mode='factorized'``.
+    """
+
+    factor: Optional[Factor]
+    factorized: Optional[FactorizedOutput]
+    ordering: Tuple[str, ...]
+    stats: InsideOutStats
+
+    @property
+    def scalar(self) -> Any:
+        """The scalar value for queries with no free variables."""
+        if self.factor is None:
+            raise QueryError("scalar access requires listing output mode")
+        if self.factor.scope:
+            raise QueryError("query has free variables; use .factor")
+        return self.factor.table.get((), None)
+
+    def scalar_or_zero(self, semiring: Semiring) -> Any:
+        """The scalar value, or the semiring zero if the output is empty."""
+        if self.factor is None:
+            raise QueryError("scalar access requires listing output mode")
+        return self.factor.table.get((), semiring.zero)
+
+
+def _validated_ordering(query: FAQQuery, ordering: Sequence[str] | None) -> List[str]:
+    """Resolve and validate the variable ordering used by InsideOut."""
+    if ordering is None:
+        return list(query.order)
+    if isinstance(ordering, str):
+        if ordering != "auto":
+            raise QueryError(f"unknown ordering specification {ordering!r}")
+        from repro.core.faqw import approximate_faqw_ordering
+
+        return list(approximate_faqw_ordering(query))
+    order = list(ordering)
+    if set(order) != set(query.order) or len(order) != len(query.order):
+        raise QueryError("ordering must be a permutation of the query variables")
+    if set(order[: query.num_free]) != set(query.free):
+        raise QueryError("ordering must list the free variables first")
+    return order
+
+
+def _eliminate_semiring(
+    query: FAQQuery,
+    factors: List[Factor],
+    variable: str,
+    use_indicator_projections: bool,
+    stats: InsideOutStats,
+) -> List[Factor]:
+    """One semiring-aggregate elimination step (lines 5-11 of Algorithm 1)."""
+    semiring = query.semiring
+    aggregate = query.aggregates[variable]
+    start = time.perf_counter()
+
+    incident = [f for f in factors if variable in f.scope]
+    others = [f for f in factors if variable not in f.scope]
+
+    if not incident:
+        # The variable occurs in no remaining factor: the inner product is the
+        # constant 1 and the aggregate folds |Dom| copies of it.
+        domain_size = query.domain_size(variable)
+        value = semiring.one
+        for _ in range(domain_size - 1):
+            value = aggregate.combine(value, semiring.one)
+        new_factors = list(others)
+        if not semiring.is_one(value):
+            new_factors.append(Factor((), {(): value}, name=f"const({variable})"))
+        stats.steps.append(
+            EliminationRecord(
+                variable=variable,
+                kind="semiring",
+                induced_set=frozenset({variable}),
+                incident_count=0,
+                projection_count=0,
+                result_size=1,
+                seconds=time.perf_counter() - start,
+            )
+        )
+        return new_factors
+
+    induced: set = set()
+    for factor in incident:
+        induced |= set(factor.scope)
+
+    participants: List[Factor] = list(incident)
+    projection_count = 0
+    if use_indicator_projections:
+        for factor in others:
+            overlap = set(factor.scope) & induced
+            if overlap:
+                participants.append(factor.indicator_projection(overlap, semiring))
+                projection_count += 1
+
+    output_scope = tuple(v for v in query.order if v in induced and v != variable)
+    new_factor = join_factors(
+        participants,
+        semiring,
+        output_scope=output_scope,
+        combine=aggregate.combine,
+        variable_order=list(query.order),
+        stats=stats.join_stats,
+        name=f"psi_elim({variable})",
+    )
+    stats.max_intermediate_size = max(stats.max_intermediate_size, len(new_factor))
+    stats.steps.append(
+        EliminationRecord(
+            variable=variable,
+            kind="semiring",
+            induced_set=frozenset(induced),
+            incident_count=len(incident),
+            projection_count=projection_count,
+            result_size=len(new_factor),
+            seconds=time.perf_counter() - start,
+        )
+    )
+    return others + [new_factor]
+
+
+def _eliminate_product(
+    query: FAQQuery,
+    factors: List[Factor],
+    variable: str,
+    stats: InsideOutStats,
+) -> List[Factor]:
+    """One product-aggregate elimination step (lines 13-18 of Algorithm 1)."""
+    semiring = query.semiring
+    domain_size = query.domain_size(variable)
+    start = time.perf_counter()
+
+    new_factors: List[Factor] = []
+    incident_count = 0
+    largest = 0
+    for factor in factors:
+        if variable in factor.scope:
+            incident_count += 1
+            marginalised = factor.product_marginalize(variable, domain_size, semiring)
+            largest = max(largest, len(marginalised))
+            new_factors.append(marginalised)
+        elif factor.has_idempotent_range(semiring):
+            new_factors.append(factor)
+        else:
+            powered = factor.power(domain_size, semiring)
+            largest = max(largest, len(powered))
+            new_factors.append(powered)
+
+    stats.max_intermediate_size = max(stats.max_intermediate_size, largest)
+    stats.steps.append(
+        EliminationRecord(
+            variable=variable,
+            kind="product",
+            induced_set=frozenset({variable}),
+            incident_count=incident_count,
+            projection_count=0,
+            result_size=largest,
+            seconds=time.perf_counter() - start,
+        )
+    )
+    return new_factors
+
+
+def _expand_isolated_free(
+    query: FAQQuery, factor: Factor, semiring: Semiring
+) -> Factor:
+    """Extend the output factor over free variables it does not mention.
+
+    A free variable that appears in no factor leaves the output constant
+    along its domain: every domain value must be paired with every listed
+    output tuple.
+    """
+    missing = [v for v in query.free if v not in factor.scope]
+    if not missing:
+        return factor
+    result = factor
+    for variable in missing:
+        domain = query.domain(variable)
+        table: Dict[Tuple[Any, ...], Any] = {}
+        for key, value in result.table.items():
+            for dom_value in domain:
+                table[key + (dom_value,)] = value
+        result = Factor(tuple(result.scope) + (variable,), table, name=result.name)
+    return result.normalize_scope(query.free)
+
+
+def inside_out(
+    query: FAQQuery,
+    ordering: Sequence[str] | str | None = None,
+    use_indicator_projections: bool = True,
+    output_mode: str = "listing",
+) -> InsideOutResult:
+    """Run InsideOut (Algorithm 1) on an FAQ query.
+
+    Parameters
+    ----------
+    query:
+        The FAQ query to evaluate.
+    ordering:
+        The variable ordering to eliminate along.  ``None`` uses the order
+        the query was written in; ``"auto"`` runs the FAQ-width approximation
+        of Section 7 to pick an equivalent ordering; otherwise a permutation
+        of the variables (free variables first) is expected.  The caller is
+        responsible for semantic equivalence when supplying an explicit
+        ordering — use :func:`repro.core.evo.is_equivalent_ordering` or
+        :func:`repro.core.faqw.approximate_faqw_ordering` to stay safe.
+    use_indicator_projections:
+        Disable to fall back to plain variable elimination intermediates
+        (used by the ablation benchmark).
+    output_mode:
+        ``"listing"`` (default) materialises the output factor;
+        ``"factorized"`` skips the final join and returns a
+        :class:`~repro.core.output.FactorizedOutput`.
+
+    Returns
+    -------
+    :class:`InsideOutResult`
+    """
+    if output_mode not in ("listing", "factorized"):
+        raise QueryError(f"unknown output mode {output_mode!r}")
+    order = _validated_ordering(query, ordering)
+    semiring = query.semiring
+    stats = InsideOutStats()
+    started = time.perf_counter()
+
+    factors: List[Factor] = list(query.factors)
+    if not factors:
+        # An empty product is the constant 1 over all free assignments.
+        factors = [Factor((), {(): semiring.one}, name="unit")]
+
+    # Eliminate bound variables from the innermost aggregate outwards.
+    for position in range(len(order) - 1, query.num_free - 1, -1):
+        variable = order[position]
+        aggregate = query.aggregates[variable]
+        if aggregate.is_product:
+            factors = _eliminate_product(query, factors, variable, stats)
+        else:
+            factors = _eliminate_semiring(
+                query, factors, variable, use_indicator_projections, stats
+            )
+
+    # Output phase over the free variables.
+    if output_mode == "factorized":
+        factorized = FactorizedOutput(
+            free=tuple(order[: query.num_free]),
+            factors=tuple(factors),
+            semiring=semiring,
+            domains={v: query.domain(v) for v in query.free},
+        )
+        stats.output_size = -1
+        stats.total_seconds = time.perf_counter() - started
+        return InsideOutResult(
+            factor=None, factorized=factorized, ordering=tuple(order), stats=stats
+        )
+
+    if query.num_free == 0:
+        value = semiring.one
+        for factor in factors:
+            value = semiring.mul(value, factor.value({}, semiring))
+        table = {} if semiring.is_zero(value) else {(): value}
+        output = Factor((), table, name=f"{query.name}(out)")
+    else:
+        output = join_factors(
+            factors,
+            semiring,
+            output_scope=tuple(v for v in query.free if any(v in f.scope for f in factors)),
+            combine=None,
+            variable_order=list(order),
+            stats=stats.join_stats,
+            name=f"{query.name}(out)",
+        )
+        output = _expand_isolated_free(query, output, semiring)
+
+    stats.output_size = len(output)
+    stats.total_seconds = time.perf_counter() - started
+    return InsideOutResult(factor=output, factorized=None, ordering=tuple(order), stats=stats)

@@ -1,0 +1,186 @@
+"""OutsideIn: the backtracking-search / worst-case-optimal multiway join.
+
+Section 5.1.1 of the paper evaluates an FAQ-SS expression by backtracking
+over the variables from the outermost aggregate inwards, at every level
+intersecting the candidate values offered by the factors.  With factors
+indexed as tries ordered by the global variable order this is exactly the
+Generic-Join / LeapFrog-TrieJoin family of worst-case optimal join
+algorithms, whose running time is bounded by the AGM bound of the joined
+relations (Theorem 5.1).
+
+The module exposes two entry points:
+
+* :func:`enumerate_join` — a generator of ``(assignment, value)`` pairs over
+  the union of the factor scopes, where ``value`` is the ``⊗``-product of
+  the factor values (only non-zero assignments are produced),
+* :func:`join_factors` — materialises the product as a single
+  :class:`~repro.factors.factor.Factor` over a chosen output scope,
+  optionally aggregating away the non-output variables with a semiring
+  aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.factors.factor import Factor
+from repro.factors.index import FactorTrie
+from repro.semiring.base import Semiring
+
+
+@dataclass
+class OutsideInStats:
+    """Counters describing one OutsideIn invocation (used by benchmarks)."""
+
+    search_steps: int = 0
+    emitted_tuples: int = 0
+    intersections: int = 0
+
+    def merge(self, other: "OutsideInStats") -> None:
+        """Accumulate another invocation's counters into this one."""
+        self.search_steps += other.search_steps
+        self.emitted_tuples += other.emitted_tuples
+        self.intersections += other.intersections
+
+
+def _join_order(
+    factors: Sequence[Factor], variable_order: Sequence[str] | None
+) -> List[str]:
+    """The global variable order used for the join.
+
+    Variables are the union of the factor scopes; ``variable_order`` (when
+    given) dictates their relative order, any variables it does not mention
+    are appended in sorted order.
+    """
+    present: set = set()
+    for factor in factors:
+        present |= set(factor.scope)
+    if variable_order is None:
+        return sorted(present, key=repr)
+    ordered = [v for v in variable_order if v in present]
+    missing = sorted(present - set(ordered), key=repr)
+    return ordered + missing
+
+
+def enumerate_join(
+    factors: Sequence[Factor],
+    semiring: Semiring,
+    variable_order: Sequence[str] | None = None,
+    stats: OutsideInStats | None = None,
+) -> Iterator[Tuple[Dict[str, Any], Any]]:
+    """Enumerate the non-zero tuples of ``⊗_S psi_S`` by backtracking search.
+
+    Yields ``(assignment, value)`` pairs where ``assignment`` maps every
+    variable occurring in some factor scope to a value and ``value`` is the
+    product of all factor values (never the semiring zero).
+    """
+    factors = [f for f in factors]
+    if not factors:
+        yield {}, semiring.one
+        return
+    if any(len(f) == 0 for f in factors):
+        # Some factor is identically zero: the product is empty.
+        return
+
+    order = _join_order(factors, variable_order)
+    tries = [FactorTrie(f, order, semiring) for f in factors]
+    # Group tries by the variable that constitutes their next level at each
+    # global depth: trie ``t`` participates at depth ``d`` iff
+    # ``order[d] == t.variables[len(prefix_t)]``.
+    by_variable: Dict[str, List[int]] = {v: [] for v in order}
+    for idx, trie in enumerate(tries):
+        for variable in trie.variables:
+            by_variable[variable].append(idx)
+
+    prefixes: List[Tuple[Any, ...]] = [() for _ in tries]
+    assignment: Dict[str, Any] = {}
+    counters = stats if stats is not None else OutsideInStats()
+
+    def recurse(depth: int) -> Iterator[Tuple[Dict[str, Any], Any]]:
+        if depth == len(order):
+            value = semiring.one
+            for idx, trie in enumerate(tries):
+                value = semiring.mul(value, trie.value(prefixes[idx], semiring.zero))
+                if semiring.is_zero(value):
+                    return
+            counters.emitted_tuples += 1
+            yield dict(assignment), value
+            return
+
+        variable = order[depth]
+        participating = by_variable[variable]
+        candidate_sets = []
+        for idx in participating:
+            candidate_sets.append(tries[idx].candidate_values(prefixes[idx]))
+            counters.intersections += 1
+        if not candidate_sets:  # pragma: no cover - defensive (cannot happen)
+            return
+        candidate_sets.sort(key=len)
+        candidates = candidate_sets[0]
+        for other in candidate_sets[1:]:
+            candidates = candidates & other
+            if not candidates:
+                return
+
+        for value in candidates:
+            counters.search_steps += 1
+            assignment[variable] = value
+            saved = [prefixes[idx] for idx in participating]
+            for idx in participating:
+                prefixes[idx] = prefixes[idx] + (value,)
+            yield from recurse(depth + 1)
+            for pos, idx in enumerate(participating):
+                prefixes[idx] = saved[pos]
+            del assignment[variable]
+
+    yield from recurse(0)
+
+
+def join_factors(
+    factors: Sequence[Factor],
+    semiring: Semiring,
+    output_scope: Sequence[str] | None = None,
+    combine: Callable[[Any, Any], Any] | None = None,
+    variable_order: Sequence[str] | None = None,
+    stats: OutsideInStats | None = None,
+    name: str | None = None,
+) -> Factor:
+    """Materialise the multiway product of ``factors`` as a single factor.
+
+    Parameters
+    ----------
+    output_scope:
+        The scope of the result.  Variables of the join that are *not* in the
+        output scope are aggregated away with ``combine``; when
+        ``output_scope`` is ``None`` the full union of scopes is kept.
+    combine:
+        The semiring aggregate ``⊕`` used to merge values that collide on the
+        output scope.  Required whenever some join variable is projected
+        away; ignored otherwise.
+    variable_order:
+        Global variable order for the backtracking search (defaults to a
+        deterministic sorted order).
+    """
+    all_vars: set = set()
+    for factor in factors:
+        all_vars |= set(factor.scope)
+    if output_scope is None:
+        scope = tuple(_join_order(factors, variable_order))
+    else:
+        scope = tuple(output_scope)
+    projecting = bool(all_vars - set(scope))
+    if projecting and combine is None:
+        raise ValueError("join_factors needs `combine` when projecting variables away")
+
+    table: Dict[Tuple[Any, ...], Any] = {}
+    for assignment, value in enumerate_join(factors, semiring, variable_order, stats):
+        key = tuple(assignment.get(v) for v in scope)
+        if key in table:
+            table[key] = combine(table[key], value) if combine is not None else semiring.add(
+                table[key], value
+            )
+        else:
+            table[key] = value
+    table = {k: v for k, v in table.items() if not semiring.is_zero(v)}
+    return Factor(scope, table, name=name or "join")

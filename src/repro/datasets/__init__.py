@@ -1,0 +1,58 @@
+"""Synthetic workload generators for the examples, tests and benchmarks.
+
+The paper's evaluation is analytic (Table 1 runtime bounds); to reproduce its
+*shape* we generate controlled synthetic workloads: random relations and
+graphs for the join/logic rows, random sparse graphical models for the
+marginal/MAP rows, skewed matrix chains and power-of-two vectors for the
+matrix rows, and structured CNF families for the Section 8 results.
+"""
+
+from repro.datasets.relations import (
+    random_relation,
+    path_query_relations,
+    star_query_relations,
+    cycle_query_relations,
+)
+from repro.datasets.graphs import (
+    random_graph,
+    graph_edge_relation,
+    clique_pattern,
+    cycle_pattern,
+)
+from repro.datasets.pgm_models import (
+    chain_model,
+    grid_model,
+    random_sparse_model,
+    star_model,
+)
+from repro.datasets.cnf import beta_acyclic_cnf, chain_cnf, random_k_cnf
+from repro.datasets.queries import (
+    example_5_6_query,
+    example_6_2_query,
+    example_6_13_query,
+    example_6_19_query,
+    random_faq_query,
+)
+
+__all__ = [
+    "random_relation",
+    "path_query_relations",
+    "star_query_relations",
+    "cycle_query_relations",
+    "random_graph",
+    "graph_edge_relation",
+    "clique_pattern",
+    "cycle_pattern",
+    "chain_model",
+    "grid_model",
+    "random_sparse_model",
+    "star_model",
+    "beta_acyclic_cnf",
+    "chain_cnf",
+    "random_k_cnf",
+    "example_5_6_query",
+    "example_6_2_query",
+    "example_6_13_query",
+    "example_6_19_query",
+    "random_faq_query",
+]

@@ -1,0 +1,64 @@
+"""CNF formula generators: random k-CNF and β-acyclic families (Section 8)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.factors.compact import Clause, Literal
+from repro.solvers.sat import CNFFormula
+
+
+def random_k_cnf(
+    num_variables: int, num_clauses: int, clause_width: int = 3, seed: int = 0
+) -> CNFFormula:
+    """A uniform random k-CNF formula (the classic SAT benchmark family)."""
+    rng = random.Random(seed)
+    names = [f"x{i}" for i in range(1, num_variables + 1)]
+    clauses: List[Clause] = []
+    for _ in range(num_clauses):
+        width = min(clause_width, num_variables)
+        chosen = rng.sample(names, width)
+        clauses.append(Clause([Literal(v, rng.random() < 0.5) for v in chosen]))
+    return CNFFormula(clauses)
+
+
+def chain_cnf(length: int, seed: int = 0) -> CNFFormula:
+    """A chain of binary clauses ``(x_i ∨ ±x_{i+1})`` — β-acyclic, width 2."""
+    rng = random.Random(seed)
+    clauses = []
+    for i in range(1, length):
+        clauses.append(
+            Clause(
+                [
+                    Literal(f"x{i}", rng.random() < 0.5),
+                    Literal(f"x{i + 1}", rng.random() < 0.5),
+                ]
+            )
+        )
+    return CNFFormula(clauses)
+
+
+def beta_acyclic_cnf(num_blocks: int, block_width: int = 3, seed: int = 0) -> CNFFormula:
+    """A β-acyclic CNF built from nested clause chains.
+
+    Block ``i`` introduces fresh variables ``x_{i,1}..x_{i,w}`` plus a link to
+    block ``i+1`` through a single shared variable; within each block the
+    clauses form an inclusion chain, so every variable has a nest point and
+    the whole formula is β-acyclic (the tractable class of Theorems 8.3/8.4).
+    """
+    rng = random.Random(seed)
+    clauses: List[Clause] = []
+    previous_link = None
+    for block in range(num_blocks):
+        block_vars = [f"b{block}_{j}" for j in range(block_width)]
+        if previous_link is not None:
+            block_vars = [previous_link] + block_vars
+        # Nested chain of clauses: {v1}, {v1,v2}, {v1,v2,v3}, ...
+        for width in range(1, len(block_vars) + 1):
+            literals = [
+                Literal(v, rng.random() < 0.5) for v in block_vars[:width]
+            ]
+            clauses.append(Clause(literals))
+        previous_link = block_vars[-1]
+    return CNFFormula(clauses)

@@ -1,0 +1,45 @@
+"""Random graphs and small pattern graphs for the join / counting workloads."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import networkx as nx
+
+from repro.db.relation import Relation
+
+
+def random_graph(num_vertices: int, num_edges: int, seed: int = 0) -> nx.Graph:
+    """A uniform random simple graph with the requested number of edges."""
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_vertices))
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    target = min(num_edges, max_edges)
+    while graph.number_of_edges() < target:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def graph_edge_relation(graph: nx.Graph, name: str = "E", symmetric: bool = True) -> Relation:
+    """The edge relation of a graph (both orientations when ``symmetric``)."""
+    rows: List[Tuple[int, int]] = []
+    for u, v in graph.edges:
+        rows.append((u, v))
+        if symmetric:
+            rows.append((v, u))
+    return Relation(name, ("src", "dst"), rows)
+
+
+def clique_pattern(size: int) -> nx.Graph:
+    """The complete pattern graph ``K_size`` (triangle for ``size=3``)."""
+    return nx.complete_graph(size)
+
+
+def cycle_pattern(size: int) -> nx.Graph:
+    """The cycle pattern graph ``C_size`` (used for 4-cycle counting)."""
+    return nx.cycle_graph(size)

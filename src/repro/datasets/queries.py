@@ -1,0 +1,232 @@
+"""FAQ query generators: the paper's worked examples plus random queries.
+
+The three named constructors rebuild, factor for factor, the queries the
+paper uses to illustrate its machinery:
+
+* :func:`example_5_6_query` — the 6-variable ``max/∏/Σ`` query of
+  Example 5.6 (the variable-ordering effect: ``O(N²)`` vs ``O(N)``),
+* :func:`example_6_2_query` — the 7-variable ``Σ/max`` query of Example 6.2
+  whose expression tree is depicted in Figures 2-3,
+* :func:`example_6_19_query` — the 8-variable query with product aggregates
+  of Example 6.19, Figures 4-6.
+
+:func:`random_faq_query` generates small random multi-semiring queries used
+by the property-based tests and the Figure 1 pipeline benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.query import FAQQuery, Variable
+from repro.factors.factor import Factor
+from repro.semiring.aggregates import Aggregate, ProductAggregate, SemiringAggregate
+from repro.semiring.base import Semiring
+from repro.semiring.standard import COUNTING, MAX_PRODUCT, SUM_PRODUCT
+
+
+def _random_binary_factor(
+    scope: Tuple[str, ...],
+    domains: Dict[str, Tuple[int, ...]],
+    rng: random.Random,
+    density: float,
+    zero_one: bool,
+) -> Factor:
+    """A random sparse factor over ``scope`` (0/1-valued when ``zero_one``)."""
+    table = {}
+    for values in itertools.product(*(domains[v] for v in scope)):
+        if rng.random() < density:
+            table[values] = 1 if zero_one else round(rng.uniform(0.1, 3.0), 3)
+    if not table:
+        table[tuple(domains[v][0] for v in scope)] = 1
+    return Factor(scope, table)
+
+
+def example_5_6_query(
+    domain_size: int = 3, seed: int = 0, zero_one: bool = True
+) -> FAQQuery:
+    """Example 5.6: ``max_x1 max_x2 ∏_x3 Σ_x4 max_x5 max_x6  ψ15 ψ25 ψ134 ψ236``.
+
+    With 0/1-valued factors the product aggregate on ``x3`` is idempotent and
+    the ordering ``(x5, x1, x2, x3, x4, x6)`` brings the runtime from
+    ``O(N²)`` down to ``O(N)``.
+    """
+    rng = random.Random(seed)
+    names = [f"x{i}" for i in range(1, 7)]
+    domains = {v: tuple(range(domain_size)) for v in names}
+    scopes = [("x1", "x5"), ("x2", "x5"), ("x1", "x3", "x4"), ("x2", "x3", "x6")]
+    factors = [
+        _random_binary_factor(scope, domains, rng, density=0.6, zero_one=zero_one)
+        for scope in scopes
+    ]
+    aggregates: Dict[str, Aggregate] = {
+        "x1": SemiringAggregate.max(),
+        "x2": SemiringAggregate.max(),
+        "x3": ProductAggregate.product(),
+        "x4": SemiringAggregate.sum(),
+        "x5": SemiringAggregate.max(),
+        "x6": SemiringAggregate.max(),
+    }
+    return FAQQuery(
+        variables=[Variable(v, domains[v]) for v in names],
+        free=[],
+        aggregates=aggregates,
+        factors=factors,
+        semiring=SUM_PRODUCT if not zero_one else COUNTING,
+        name="example-5.6",
+    )
+
+
+def example_6_2_query(domain_size: int = 2, seed: int = 0) -> FAQQuery:
+    """Example 6.2: ``Σ_x1 Σ_x2 max_x3 Σ_x4 Σ_x5 max_x6 max_x7`` over six factors.
+
+    The factor scopes are ``{1,2}, {1,3,5}, {1,4}, {2,4,6}, {2,7}, {3,7}``;
+    Figures 2-3 of the paper depict its expression tree.
+    """
+    rng = random.Random(seed)
+    names = [f"x{i}" for i in range(1, 8)]
+    domains = {v: tuple(range(domain_size)) for v in names}
+    scopes = [
+        ("x1", "x2"),
+        ("x1", "x3", "x5"),
+        ("x1", "x4"),
+        ("x2", "x4", "x6"),
+        ("x2", "x7"),
+        ("x3", "x7"),
+    ]
+    factors = [
+        _random_binary_factor(scope, domains, rng, density=0.7, zero_one=False)
+        for scope in scopes
+    ]
+    aggregates = {
+        "x1": SemiringAggregate.sum(),
+        "x2": SemiringAggregate.sum(),
+        "x3": SemiringAggregate.max(),
+        "x4": SemiringAggregate.sum(),
+        "x5": SemiringAggregate.sum(),
+        "x6": SemiringAggregate.max(),
+        "x7": SemiringAggregate.max(),
+    }
+    return FAQQuery(
+        variables=[Variable(v, domains[v]) for v in names],
+        free=[],
+        aggregates=aggregates,
+        factors=factors,
+        semiring=SUM_PRODUCT,
+        name="example-6.2",
+    )
+
+
+def example_6_13_query(domain_size: int = 3, seed: int = 0) -> FAQQuery:
+    """Example 6.13: ``Σ_x1 max_x2 Σ_x3  ψ12 ψ13`` (EVO has exactly 3 members)."""
+    rng = random.Random(seed)
+    names = ["x1", "x2", "x3"]
+    domains = {v: tuple(range(domain_size)) for v in names}
+    factors = [
+        _random_binary_factor(("x1", "x2"), domains, rng, density=0.8, zero_one=False),
+        _random_binary_factor(("x1", "x3"), domains, rng, density=0.8, zero_one=False),
+    ]
+    aggregates = {
+        "x1": SemiringAggregate.sum(),
+        "x2": SemiringAggregate.max(),
+        "x3": SemiringAggregate.sum(),
+    }
+    return FAQQuery(
+        variables=[Variable(v, domains[v]) for v in names],
+        free=[],
+        aggregates=aggregates,
+        factors=factors,
+        semiring=SUM_PRODUCT,
+        name="example-6.13",
+    )
+
+
+def example_6_19_query(domain_size: int = 2, seed: int = 0) -> FAQQuery:
+    """Example 6.19: eight variables, two product aggregates, 0/1 factors.
+
+    ``max_x1 max_x2 Σ_x3 Σ_x4 ∏_x5 max_x6 ∏_x7 max_x8`` over the scopes
+    ``{1,3},{2,4},{3,4},{1,5},{1,6},{2,6},{2,5,7},{1,6,7},{2,7,8}``; its
+    expression tree construction is depicted in Figures 4-6.
+    """
+    rng = random.Random(seed)
+    names = [f"x{i}" for i in range(1, 9)]
+    domains = {v: tuple(range(domain_size)) for v in names}
+    scopes = [
+        ("x1", "x3"),
+        ("x2", "x4"),
+        ("x3", "x4"),
+        ("x1", "x5"),
+        ("x1", "x6"),
+        ("x2", "x6"),
+        ("x2", "x5", "x7"),
+        ("x1", "x6", "x7"),
+        ("x2", "x7", "x8"),
+    ]
+    factors = [
+        _random_binary_factor(scope, domains, rng, density=0.7, zero_one=True)
+        for scope in scopes
+    ]
+    aggregates: Dict[str, Aggregate] = {
+        "x1": SemiringAggregate.max(),
+        "x2": SemiringAggregate.max(),
+        "x3": SemiringAggregate.sum(),
+        "x4": SemiringAggregate.sum(),
+        "x5": ProductAggregate.product(),
+        "x6": SemiringAggregate.max(),
+        "x7": ProductAggregate.product(),
+        "x8": SemiringAggregate.max(),
+    }
+    return FAQQuery(
+        variables=[Variable(v, domains[v]) for v in names],
+        free=[],
+        aggregates=aggregates,
+        factors=factors,
+        semiring=COUNTING,
+        name="example-6.19",
+    )
+
+
+def random_faq_query(
+    seed: int = 0,
+    max_variables: int = 6,
+    max_factors: int = 5,
+    max_domain: int = 3,
+    allow_products: bool = True,
+    allow_free: bool = True,
+    semiring: Semiring = COUNTING,
+    zero_one: bool = False,
+) -> FAQQuery:
+    """A small random FAQ query (used by property tests and benchmarks)."""
+    rng = random.Random(seed)
+    n = rng.randint(2, max_variables)
+    names = [f"x{i}" for i in range(n)]
+    domains = {v: tuple(range(rng.randint(2, max_domain))) for v in names}
+    num_free = rng.randint(0, 2) if allow_free else 0
+    num_free = min(num_free, n - 1)
+    free = names[:num_free]
+    aggregates: Dict[str, Aggregate] = {}
+    for name in names[num_free:]:
+        roll = rng.random()
+        if allow_products and roll < 0.25:
+            aggregates[name] = ProductAggregate.product()
+        elif roll < 0.65:
+            aggregates[name] = SemiringAggregate.sum()
+        else:
+            aggregates[name] = SemiringAggregate.max()
+    factors = []
+    for _ in range(rng.randint(1, max_factors)):
+        arity = rng.randint(1, min(3, n))
+        scope = tuple(rng.sample(names, arity))
+        factors.append(
+            _random_binary_factor(scope, domains, rng, density=0.65, zero_one=zero_one)
+        )
+    return FAQQuery(
+        variables=[Variable(v, domains[v]) for v in names],
+        free=free,
+        aggregates=aggregates,
+        factors=factors,
+        semiring=semiring,
+        name=f"random-{seed}",
+    )

@@ -1,0 +1,63 @@
+"""Random relations and the standard join-query shapes (path, star, cycle)."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.db.relation import Relation
+
+
+def random_relation(
+    name: str,
+    schema: Sequence[str],
+    domain_size: int,
+    num_tuples: int,
+    seed: int = 0,
+) -> Relation:
+    """A relation with ``num_tuples`` distinct uniform-random tuples."""
+    rng = random.Random(seed)
+    arity = len(schema)
+    capacity = domain_size ** arity
+    target = min(num_tuples, capacity)
+    rows = set()
+    while len(rows) < target:
+        rows.add(tuple(rng.randrange(domain_size) for _ in range(arity)))
+    return Relation(name, schema, rows)
+
+
+def path_query_relations(
+    length: int, domain_size: int, num_tuples: int, seed: int = 0
+) -> List[Relation]:
+    """The α-acyclic path join ``R_1(A_1,A_2) ⋈ R_2(A_2,A_3) ⋈ ...``."""
+    return [
+        random_relation(
+            f"R{i}", (f"A{i}", f"A{i + 1}"), domain_size, num_tuples, seed=seed + i
+        )
+        for i in range(1, length + 1)
+    ]
+
+
+def star_query_relations(
+    arms: int, domain_size: int, num_tuples: int, seed: int = 0
+) -> List[Relation]:
+    """The star join ``R_i(Hub, A_i)`` for ``i = 1..arms`` (acyclic, fhtw 1)."""
+    return [
+        random_relation(f"R{i}", ("Hub", f"A{i}"), domain_size, num_tuples, seed=seed + i)
+        for i in range(1, arms + 1)
+    ]
+
+
+def cycle_query_relations(
+    length: int, domain_size: int, num_tuples: int, seed: int = 0
+) -> List[Relation]:
+    """The cyclic join ``R_1(A_1,A_2) ⋈ ... ⋈ R_k(A_k,A_1)`` (fhtw = k / 2... > 1)."""
+    relations = []
+    for i in range(1, length + 1):
+        right = 1 if i == length else i + 1
+        relations.append(
+            random_relation(
+                f"R{i}", (f"A{i}", f"A{right}"), domain_size, num_tuples, seed=seed + i
+            )
+        )
+    return relations

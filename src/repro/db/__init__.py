@@ -1,0 +1,24 @@
+"""A miniature relational engine used as the database substrate.
+
+The FAQ paper's join-related rows of Table 1 compare InsideOut against the
+standard relational tool-chain: pairwise (binary) hash-join plans,
+Yannakakis' algorithm for acyclic queries, and worst-case optimal multiway
+joins.  This package implements all three from scratch over a simple
+set-of-tuples :class:`~repro.db.relation.Relation` so the benchmarks can
+measure baseline behaviour without any external database.
+"""
+
+from repro.db.relation import Relation, RelationError
+from repro.db.hash_join import binary_hash_join, left_deep_join_plan
+from repro.db.yannakakis import semijoin, yannakakis
+from repro.db.generic_join import generic_join
+
+__all__ = [
+    "Relation",
+    "RelationError",
+    "binary_hash_join",
+    "left_deep_join_plan",
+    "semijoin",
+    "yannakakis",
+    "generic_join",
+]

@@ -1,0 +1,53 @@
+"""A worst-case optimal multiway join over relations (Generic Join).
+
+This is the relational face of OutsideIn: relations are turned into ``0/1``
+factors and the backtracking trie join of :mod:`repro.core.outsidein`
+enumerates the natural join attribute by attribute, never materialising an
+intermediate larger than the AGM bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.outsidein import enumerate_join
+from repro.db.relation import Relation, RelationError
+from repro.semiring.standard import BOOLEAN
+
+
+def generic_join(
+    relations: Sequence[Relation],
+    attribute_order: Sequence[str] | None = None,
+    name: str = "join",
+) -> Relation:
+    """The natural join of ``relations`` via worst-case optimal generic join.
+
+    Parameters
+    ----------
+    attribute_order:
+        The global attribute order used by the backtracking search; defaults
+        to a deterministic sorted order.
+    """
+    if not relations:
+        raise RelationError("cannot join an empty list of relations")
+    factors = [r.to_factor(BOOLEAN) for r in relations]
+    attributes: List[str] = []
+    seen = set()
+    source = attribute_order if attribute_order is not None else sorted(
+        {a for r in relations for a in r.schema}
+    )
+    for attribute in source:
+        if attribute not in seen:
+            seen.add(attribute)
+            attributes.append(attribute)
+    for relation in relations:
+        for attribute in relation.schema:
+            if attribute not in seen:
+                seen.add(attribute)
+                attributes.append(attribute)
+
+    rows = []
+    for assignment, value in enumerate_join(factors, BOOLEAN, attributes):
+        if value:
+            rows.append(tuple(assignment[a] for a in attributes))
+    return Relation(name, tuple(attributes), rows)

@@ -1,0 +1,89 @@
+"""Pairwise (binary) hash joins and left-deep join plans.
+
+This is the traditional RDBMS execution strategy that worst-case optimal
+joins (and InsideOut) improve upon: joins are evaluated two relations at a
+time, so cyclic queries such as the triangle query can materialise
+intermediate results of size ``Θ(N²)`` even though the final output is only
+``O(N^{3/2})`` — exactly the gap the Joins row of Table 1 captures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.db.relation import Relation, RelationError
+
+
+def binary_hash_join(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """The natural join ``left ⋈ right`` via a classic build/probe hash join."""
+    shared = [a for a in left.schema if a in right.schema]
+    right_only = [a for a in right.schema if a not in left.schema]
+    out_schema = left.schema + tuple(right_only)
+
+    left_shared_idx = [left.schema.index(a) for a in shared]
+    right_shared_idx = [right.schema.index(a) for a in shared]
+    right_only_idx = [right.schema.index(a) for a in right_only]
+
+    buckets: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for row in right.tuples:
+        key = tuple(row[i] for i in right_shared_idx)
+        buckets.setdefault(key, []).append(tuple(row[i] for i in right_only_idx))
+
+    rows = []
+    for row in left.tuples:
+        key = tuple(row[i] for i in left_shared_idx)
+        for rest in buckets.get(key, ()):
+            rows.append(row + rest)
+    return Relation(name or f"({left.name}⋈{right.name})", out_schema, rows)
+
+
+def left_deep_join_plan(
+    relations: Sequence[Relation], order: Sequence[int] | None = None
+) -> Tuple[Relation, List[int]]:
+    """Evaluate a multiway natural join with a left-deep binary plan.
+
+    Parameters
+    ----------
+    relations:
+        The relations to join.
+    order:
+        Indices giving the join order.  ``None`` uses a greedy heuristic:
+        start from the smallest relation and repeatedly join the relation
+        sharing the most attributes with the accumulated schema (ties broken
+        by size).
+
+    Returns
+    -------
+    (result, intermediate_sizes)
+        The joined relation plus the size of every intermediate result —
+        the quantity the Table 1 Joins benchmark reports to show the
+        pairwise plan blowing up on cyclic queries.
+    """
+    if not relations:
+        raise RelationError("cannot join an empty list of relations")
+    if order is None:
+        remaining = list(range(len(relations)))
+        remaining.sort(key=lambda i: len(relations[i]))
+        chosen = [remaining.pop(0)]
+        acquired = set(relations[chosen[0]].schema)
+        while remaining:
+            def score(i: int) -> Tuple[int, int]:
+                shared = len(set(relations[i].schema) & acquired)
+                return (-shared, len(relations[i]))
+
+            nxt = min(remaining, key=score)
+            remaining.remove(nxt)
+            chosen.append(nxt)
+            acquired |= set(relations[nxt].schema)
+        order = chosen
+    else:
+        order = list(order)
+        if sorted(order) != list(range(len(relations))):
+            raise RelationError("order must be a permutation of the relation indices")
+
+    result = relations[order[0]]
+    sizes: List[int] = [len(result)]
+    for index in order[1:]:
+        result = binary_hash_join(result, relations[index])
+        sizes.append(len(result))
+    return result, sizes

@@ -1,0 +1,130 @@
+"""Convenience constructors for :class:`~repro.factors.factor.Factor`.
+
+These builders cover the encodings used in the paper's example reductions
+(Appendix A): relations (tuples mapped to ``1``), dense matrices and vectors
+(sparse entries become the listing representation), indicator/equality
+factors and arbitrary python functions over explicit domains.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.factors.factor import Factor, FactorError
+from repro.semiring.base import Semiring
+
+ValueTuple = Tuple[Any, ...]
+
+
+def factor_from_function(
+    scope: Sequence[str],
+    domains: Mapping[str, Sequence[Any]],
+    fn: Callable[..., Any],
+    semiring: Semiring,
+    name: str | None = None,
+) -> Factor:
+    """Materialise ``fn`` over the product of the scope variables' domains.
+
+    ``fn`` is called positionally with one value per scope variable; results
+    equal to the semiring zero are not stored.  This is how truth-table style
+    inputs (e.g. conditional probability tables) are converted to the listing
+    representation.
+    """
+    missing = [v for v in scope if v not in domains]
+    if missing:
+        raise FactorError(f"domains missing for {missing}")
+    table: Dict[ValueTuple, Any] = {}
+    for values in itertools.product(*(domains[v] for v in scope)):
+        result = fn(*values)
+        if not semiring.is_zero(result):
+            table[values] = result
+    return Factor(scope, table, name=name)
+
+
+def factor_from_relation(
+    scope: Sequence[str],
+    tuples: Iterable[ValueTuple],
+    semiring: Semiring,
+    name: str | None = None,
+) -> Factor:
+    """Encode a relation as a ``0/1`` factor (tuples present map to ``1``)."""
+    table = {tuple(t): semiring.one for t in tuples}
+    return Factor(scope, table, name=name)
+
+
+def factor_from_matrix(
+    row_var: str,
+    col_var: str,
+    matrix: np.ndarray,
+    semiring: Semiring,
+    name: str | None = None,
+) -> Factor:
+    """Encode a 2-D matrix as a factor ``ψ(i, j) = A[i, j]``.
+
+    Zero entries (w.r.t. the semiring) are skipped, so sparse matrices get a
+    genuinely sparse listing representation.
+    """
+    array = np.asarray(matrix)
+    if array.ndim != 2:
+        raise FactorError(f"expected a 2-D matrix, got shape {array.shape}")
+    table: Dict[ValueTuple, Any] = {}
+    rows, cols = array.shape
+    for i in range(rows):
+        for j in range(cols):
+            value = array[i, j]
+            item = value.item() if hasattr(value, "item") else value
+            if not semiring.is_zero(item):
+                table[(i, j)] = item
+    return Factor((row_var, col_var), table, name=name)
+
+
+def factor_from_vector(
+    var: str, vector: np.ndarray, semiring: Semiring, name: str | None = None
+) -> Factor:
+    """Encode a 1-D vector as a unary factor ``ψ(i) = b[i]``."""
+    array = np.asarray(vector)
+    if array.ndim != 1:
+        raise FactorError(f"expected a 1-D vector, got shape {array.shape}")
+    table: Dict[ValueTuple, Any] = {}
+    for i in range(array.shape[0]):
+        value = array[i]
+        item = value.item() if hasattr(value, "item") else value
+        if not semiring.is_zero(item):
+            table[(i,)] = item
+    return Factor((var,), table, name=name)
+
+
+def indicator_factor(
+    scope: Sequence[str],
+    domains: Mapping[str, Sequence[Any]],
+    predicate: Callable[..., bool],
+    semiring: Semiring,
+    name: str | None = None,
+) -> Factor:
+    """A ``{0, 1}``-valued factor from a boolean predicate over the domains.
+
+    Tuples satisfying the predicate map to ``semiring.one``, the rest are
+    implicitly zero.  Used for constraints such as inequality (graph
+    colouring) or equality predicates.
+    """
+    return factor_from_function(
+        scope,
+        domains,
+        lambda *values: semiring.one if predicate(*values) else semiring.zero,
+        semiring,
+        name=name,
+    )
+
+
+def uniform_factor(
+    scope: Sequence[str],
+    domains: Mapping[str, Sequence[Any]],
+    value: Any,
+    semiring: Semiring,
+    name: str | None = None,
+) -> Factor:
+    """A factor assigning the same ``value`` to every tuple of the domains."""
+    return factor_from_function(scope, domains, lambda *_: value, semiring, name=name)

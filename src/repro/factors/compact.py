@@ -1,0 +1,211 @@
+"""Compact (non-listing) factor representations from Section 8 of the paper.
+
+Two representations are implemented:
+
+* :class:`BoxFactor` (Definition 8.2) — a factor that equals a constant ``c``
+  inside a combinatorial box and ``1`` outside.  CNF clauses, the boxes of
+  the Box Cover Problem (Minesweeper / Tetris) and negated selections are all
+  box factors.
+* :class:`Clause` / :class:`Literal` — CNF clauses as used by the
+  Davis–Putnam style InsideOut of Sections 8.3.1 / 8.3.2.  A clause over
+  variables ``vars(C)`` corresponds to the box factor whose box is the single
+  falsifying assignment.
+
+These representations are deliberately *not* converted to the listing format
+(a clause of width ``w`` lists ``2^w - 1`` satisfying tuples); the SAT/#SAT
+solvers in :mod:`repro.solvers.sat` eliminate variables directly on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+from repro.factors.factor import Factor, FactorError
+from repro.semiring.base import Semiring
+
+
+@dataclass(frozen=True)
+class BoxFactor:
+    """A box factor ``ψ_S``: constant ``c`` inside the box, ``1`` outside.
+
+    Attributes
+    ----------
+    box:
+        Mapping from variable name to the set of values the box allows for
+        that variable.  The box is the Cartesian product of these sets.
+    inside_value:
+        The value ``c`` taken inside the box.
+    """
+
+    box: Mapping[str, FrozenSet[Any]]
+    inside_value: Any
+
+    @property
+    def scope(self) -> Tuple[str, ...]:
+        """The support ``S`` of the box factor."""
+        return tuple(self.box.keys())
+
+    def value(self, assignment: Mapping[str, Any]) -> Any:
+        """Evaluate the box factor on an assignment of (at least) its scope."""
+        inside = all(assignment[v] in allowed for v, allowed in self.box.items())
+        return self.inside_value if inside else 1
+
+    def to_listing(
+        self, domains: Mapping[str, Sequence[Any]], semiring: Semiring
+    ) -> Factor:
+        """Materialise the box factor into the listing representation.
+
+        The blow-up is exponential in the scope size — only use for small
+        scopes (tests and cross-checks).
+        """
+        import itertools
+
+        scope = self.scope
+        table: Dict[Tuple[Any, ...], Any] = {}
+        for values in itertools.product(*(domains[v] for v in scope)):
+            assignment = dict(zip(scope, values))
+            val = self.value(assignment)
+            if not semiring.is_zero(val):
+                table[values] = val
+        return Factor(scope, table, name="box")
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A propositional literal: a variable and a polarity."""
+
+    variable: str
+    positive: bool
+
+    def negate(self) -> "Literal":
+        """Return the complementary literal."""
+        return Literal(self.variable, not self.positive)
+
+    def satisfied_by(self, value: bool) -> bool:
+        """``True`` if assigning ``value`` to the variable satisfies this literal."""
+        return value if self.positive else (not value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.variable if self.positive else f"~{self.variable}"
+
+
+class Clause:
+    """A CNF clause: a disjunction of literals over distinct variables.
+
+    The clause is a compactly represented factor: as a Boolean factor it is
+    ``False`` on the single falsifying assignment (every literal false) and
+    ``True`` elsewhere; as a counting factor it is ``0`` / ``1`` respectively.
+    For the weighted-#SAT elimination of Section 8.3.2 a clause may carry a
+    ``weight`` giving the value taken on the falsifying assignment.
+    """
+
+    __slots__ = ("literals", "weight")
+
+    def __init__(self, literals: Iterable[Literal], weight: Any = 0) -> None:
+        lits = {}
+        for lit in literals:
+            if lit.variable in lits and lits[lit.variable].positive != lit.positive:
+                # Clause contains X and ~X: it is a tautology. Represent with
+                # an empty literal map and weight 1 so that it never constrains.
+                self.literals: Dict[str, Literal] = {}
+                self.weight = 1
+                return
+            lits[lit.variable] = lit
+        self.literals = lits
+        self.weight = weight
+
+    # ------------------------------------------------------------------ #
+    @property
+    def variables(self) -> FrozenSet[str]:
+        """The set ``vars(C)``."""
+        return frozenset(self.literals.keys())
+
+    @property
+    def is_tautology(self) -> bool:
+        """``True`` for the clause that is satisfied by every assignment."""
+        return not self.literals and self.weight == 1
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` for the empty (unsatisfiable) clause with weight 0."""
+        return not self.literals and self.weight == 0
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.literals:
+            return "Clause(TRUE)" if self.is_tautology else f"Clause(EMPTY, w={self.weight})"
+        body = " | ".join(str(l) for l in sorted(self.literals.values(), key=lambda x: x.variable))
+        return f"Clause({body}, w={self.weight})"
+
+    # ------------------------------------------------------------------ #
+    def literal_for(self, variable: str) -> Literal | None:
+        """The literal on ``variable`` if present."""
+        return self.literals.get(variable)
+
+    def contains(self, variable: str) -> bool:
+        """``True`` iff the clause mentions ``variable``."""
+        return variable in self.literals
+
+    def satisfied_by(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate the clause under a full assignment of its variables."""
+        if not self.literals:
+            return self.is_tautology
+        return any(lit.satisfied_by(assignment[v]) for v, lit in self.literals.items())
+
+    def value(self, assignment: Mapping[str, bool]) -> Any:
+        """The factor value: ``1`` if satisfied, ``weight`` otherwise."""
+        return 1 if self.satisfied_by(assignment) else self.weight
+
+    def drop(self, variable: str) -> "Clause":
+        """The clause ``[C]_{-X}`` with the literal on ``variable`` removed."""
+        return Clause(
+            [lit for v, lit in self.literals.items() if v != variable], weight=self.weight
+        )
+
+    def resolve(self, other: "Clause", variable: str) -> "Clause":
+        """Davis–Putnam resolution of two clauses on ``variable``.
+
+        One clause must contain the positive literal and the other the
+        negative literal; the resolvent is the disjunction of the remaining
+        literals (a tautology if complementary literals remain).
+        """
+        mine = self.literal_for(variable)
+        theirs = other.literal_for(variable)
+        if mine is None or theirs is None or mine.positive == theirs.positive:
+            raise FactorError(
+                f"cannot resolve on {variable}: literals {mine} / {theirs}"
+            )
+        lits = [lit for v, lit in self.literals.items() if v != variable]
+        lits += [lit for v, lit in other.literals.items() if v != variable]
+        return Clause(lits, weight=0)
+
+    def to_factor(self, semiring: Semiring) -> Factor:
+        """Materialise as a listing-representation factor over ``{False, True}``.
+
+        Exponential in the clause width; used only in tests and brute-force
+        cross-checks.
+        """
+        import itertools
+
+        scope = tuple(sorted(self.variables))
+        table: Dict[Tuple[Any, ...], Any] = {}
+        for values in itertools.product((False, True), repeat=len(scope)):
+            assignment = dict(zip(scope, values))
+            sat = self.satisfied_by(assignment) if self.literals else self.is_tautology
+            val = semiring.one if sat else self.weight
+            if not semiring.is_zero(val):
+                table[values] = val
+        return Factor(scope, table, name=f"clause{scope}")
+
+
+def clause_from_ints(ints: Iterable[int], prefix: str = "x") -> Clause:
+    """Build a clause from DIMACS-style signed integers (``3 -5`` etc.)."""
+    literals = []
+    for i in ints:
+        if i == 0:
+            raise FactorError("0 is not a valid DIMACS literal")
+        literals.append(Literal(f"{prefix}{abs(i)}", i > 0))
+    return Clause(literals)

@@ -1,0 +1,115 @@
+"""Hash-trie indexes over factors, used by the OutsideIn join.
+
+The OutsideIn algorithm (Section 5.1.1 of the paper) is a backtracking
+search that binds variables one at a time in a *global* variable order and,
+at each level, intersects the candidate values offered by every factor whose
+scope contains the current variable.  To make each intersection step cheap we
+index every factor as a trie whose levels follow the global order restricted
+to the factor's scope — the classic structure behind worst-case-optimal join
+algorithms such as LeapFrog TrieJoin and Generic Join.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Sequence, Tuple
+
+from repro.factors.factor import Factor
+from repro.semiring.base import Semiring
+
+ValueTuple = Tuple[Any, ...]
+
+_LEAF = "__leaf__"
+
+
+class FactorTrie:
+    """A trie over a factor's non-zero tuples, ordered by a global order.
+
+    Parameters
+    ----------
+    factor:
+        The factor to index.
+    order:
+        Global variable order.  The trie levels are the factor's scope
+        variables sorted by their position in ``order``; scope variables not
+        present in ``order`` are an error.
+    semiring:
+        Used to skip explicit zero entries.
+    """
+
+    __slots__ = ("factor", "variables", "root")
+
+    def __init__(self, factor: Factor, order: Sequence[str], semiring: Semiring) -> None:
+        position = {v: i for i, v in enumerate(order)}
+        missing = [v for v in factor.scope if v not in position]
+        if missing:
+            raise ValueError(f"order {list(order)} misses scope variables {missing}")
+        self.factor = factor
+        self.variables: Tuple[str, ...] = tuple(
+            sorted(factor.scope, key=lambda v: position[v])
+        )
+        perm = [factor.scope.index(v) for v in self.variables]
+        root: Dict[Any, Any] = {}
+        for key, value in factor.table.items():
+            if semiring.is_zero(value):
+                continue
+            node = root
+            for idx in perm[:-1] if perm else []:
+                node = node.setdefault(key[idx], {})
+            if perm:
+                last = key[perm[-1]]
+                leaf = node.setdefault(last, {})
+                leaf[_LEAF] = value
+            else:
+                root[_LEAF] = value
+        self.root = root
+
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        """Number of trie levels (the factor arity)."""
+        return len(self.variables)
+
+    def children(self, prefix: ValueTuple) -> Dict[Any, Any]:
+        """Return the child map at ``prefix`` (values of the next variable).
+
+        ``prefix`` is a tuple of values for ``self.variables[:len(prefix)]``.
+        Returns an empty dict if the prefix is not present.
+        """
+        node = self.root
+        for value in prefix:
+            node = node.get(value)
+            if node is None:
+                return {}
+        return {k: v for k, v in node.items() if k != _LEAF}
+
+    def candidate_values(self, prefix: ValueTuple) -> set:
+        """Set of values of the next variable compatible with ``prefix``."""
+        return set(self.children(prefix).keys())
+
+    def has_prefix(self, prefix: ValueTuple) -> bool:
+        """``True`` iff some listed tuple extends ``prefix``."""
+        node = self.root
+        for value in prefix:
+            node = node.get(value)
+            if node is None:
+                return False
+        return True
+
+    def value(self, full: ValueTuple, default: Any = None) -> Any:
+        """The stored value for a complete tuple over ``self.variables``."""
+        node = self.root
+        for value in full:
+            node = node.get(value)
+            if node is None:
+                return default
+        return node.get(_LEAF, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"FactorTrie({self.factor.name}, levels={self.variables})"
+
+
+def build_tries(
+    factors: Iterable[Factor], order: Sequence[str], semiring: Semiring
+) -> list:
+    """Index every factor against the same global ``order``."""
+    return [FactorTrie(f, order, semiring) for f in factors]

@@ -1,0 +1,148 @@
+"""α- and β-acyclicity, GYO reduction, join trees and nested elimination orders.
+
+* **α-acyclicity** (Definition 4.4): a hypergraph admitting a tree
+  decomposition whose bags are hyperedges.  Tested with the classic
+  GYO (Graham / Yu–Özsoyoğlu) reduction.
+* **Join tree**: for α-acyclic hypergraphs, constructed as a maximum-weight
+  spanning tree over edge-intersection sizes (a standard characterisation).
+* **β-acyclicity** (Definition 4.5): every sub-hypergraph is α-acyclic;
+  equivalently (Proposition 4.10) there is a *nested elimination order*, an
+  ordering in which every eliminated vertex's incident edges form an
+  inclusion chain.  β-acyclicity is what makes SAT and #SAT tractable in
+  Section 8.3 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def gyo_reduction(hypergraph: Hypergraph) -> Tuple[Hypergraph, List]:
+    """Run the GYO reduction; return the residual hypergraph and ear order.
+
+    The reduction repeatedly (a) removes *ear vertices* that appear in at
+    most one distinct edge, and (b) removes edges contained in other edges.
+    The input is α-acyclic iff the residual hypergraph has no edges with
+    more than zero vertices remaining in >1 edge — i.e. iff everything
+    reduces away.
+
+    Returns
+    -------
+    (residual, removed_vertices)
+        ``residual`` is the fully reduced hypergraph, ``removed_vertices``
+        the vertices in the order they were eliminated.
+    """
+    edges: List[Set] = [set(e) for e in hypergraph.edges if e]
+    vertices: Set = set(hypergraph.vertices)
+    removed: List = []
+
+    changed = True
+    while changed:
+        changed = False
+        # (b) drop edges contained in another edge (or duplicates).
+        kept: List[Set] = []
+        for i, edge in enumerate(edges):
+            contained = False
+            for j, other in enumerate(edges):
+                if i == j:
+                    continue
+                if edge < other or (edge == other and i > j):
+                    contained = True
+                    break
+            if not contained:
+                kept.append(edge)
+        if len(kept) != len(edges):
+            edges = kept
+            changed = True
+        # (a) remove vertices occurring in exactly one edge.
+        for vertex in sorted(vertices, key=repr):
+            count = sum(1 for e in edges if vertex in e)
+            if count <= 1:
+                for e in edges:
+                    e.discard(vertex)
+                vertices.discard(vertex)
+                removed.append(vertex)
+                changed = True
+        edges = [e for e in edges if e]
+
+    residual = Hypergraph(vertices, [frozenset(e) for e in edges])
+    return residual, removed
+
+
+def is_alpha_acyclic(hypergraph: Hypergraph) -> bool:
+    """``True`` iff the hypergraph is α-acyclic (GYO reduces to nothing)."""
+    residual, _ = gyo_reduction(hypergraph)
+    return residual.num_edges == 0 and residual.num_vertices == 0
+
+
+def join_tree(hypergraph: Hypergraph) -> Optional[nx.Graph]:
+    """A join tree of an α-acyclic hypergraph, or ``None`` if not acyclic.
+
+    Nodes of the returned tree are the distinct hyperedges (frozensets); the
+    tree satisfies the running-intersection property.  Built as a maximum
+    spanning forest over pairwise intersection sizes, then validated.
+    """
+    if not is_alpha_acyclic(hypergraph):
+        return None
+    edges = sorted(set(e for e in hypergraph.edges if e), key=lambda e: sorted(map(repr, e)))
+    tree = nx.Graph()
+    tree.add_nodes_from(edges)
+    weighted = nx.Graph()
+    weighted.add_nodes_from(edges)
+    for i, a in enumerate(edges):
+        for b in edges[i + 1:]:
+            weighted.add_edge(a, b, weight=len(a & b))
+    forest = nx.maximum_spanning_tree(weighted) if weighted.number_of_edges() else weighted
+    tree.add_edges_from(forest.edges)
+    return tree
+
+
+def _is_chain(sets: Sequence[FrozenSet]) -> bool:
+    """``True`` iff the given sets form an inclusion chain."""
+    ordered = sorted(set(sets), key=len)
+    for smaller, larger in zip(ordered, ordered[1:]):
+        if not smaller <= larger:
+            return False
+    return True
+
+
+def nested_elimination_order(hypergraph: Hypergraph) -> Optional[List]:
+    """A nested elimination order (NEO) of a β-acyclic hypergraph.
+
+    Returns a vertex ordering ``σ = (v_1, ..., v_n)`` such that, eliminating
+    from the back, each ``v_k``'s incident edges form an inclusion chain —
+    or ``None`` if the hypergraph is not β-acyclic.
+
+    The construction repeatedly removes a *nest point* (a vertex whose
+    distinct incident edges form a chain); β-acyclic hypergraphs always have
+    one (Brouwer & Kolen), and removing vertices preserves β-acyclicity.
+    """
+    edges: List[Set] = [set(e) for e in hypergraph.edges if e]
+    vertices: Set = set(hypergraph.vertices)
+    removal_order: List = []
+
+    while vertices:
+        nest_point = None
+        for vertex in sorted(vertices, key=repr):
+            incident = [frozenset(e) for e in edges if vertex in e]
+            if _is_chain(incident):
+                nest_point = vertex
+                break
+        if nest_point is None:
+            return None
+        removal_order.append(nest_point)
+        vertices.discard(nest_point)
+        for e in edges:
+            e.discard(nest_point)
+        edges = [e for e in edges if e]
+
+    return list(reversed(removal_order))
+
+
+def is_beta_acyclic(hypergraph: Hypergraph) -> bool:
+    """``True`` iff the hypergraph is β-acyclic (has a NEO)."""
+    return nested_elimination_order(hypergraph) is not None

@@ -1,0 +1,191 @@
+"""Edge covers and the AGM bound (Section 4.2 of the paper).
+
+* :func:`fractional_edge_cover` — solves the fractional edge cover linear
+  program for a vertex subset ``B``, optionally with per-edge weights
+  (``log |ψ_S|`` for the AGM bound).
+* :func:`fractional_edge_cover_number` — ``ρ*_H(B)``.
+* :func:`integral_edge_cover_number` — ``ρ_H(B)`` (exact for small edge
+  counts via branch-and-bound over distinct edges, otherwise greedy with a
+  logarithmic guarantee — the paper only needs ``ρ*`` for its main results).
+* :func:`agm_bound` — the data-dependent AGM bound ``∏ |ψ_S|^{λ*_S}``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.hypergraph.hypergraph import Hypergraph, HypergraphError
+
+
+def _distinct_covering_edges(
+    hypergraph: Hypergraph, target: FrozenSet
+) -> Tuple[Tuple[FrozenSet, ...], Dict[FrozenSet, float]]:
+    """Distinct edges intersecting ``target`` (duplicates collapsed)."""
+    seen: Dict[FrozenSet, float] = {}
+    for edge in hypergraph.edges:
+        if edge & target:
+            seen.setdefault(edge, 0.0)
+    return tuple(seen.keys()), seen
+
+
+def fractional_edge_cover(
+    hypergraph: Hypergraph,
+    subset: Iterable | None = None,
+    weights: Mapping[FrozenSet, float] | None = None,
+    ignore_uncovered: bool = False,
+) -> Tuple[float, Dict[FrozenSet, float]]:
+    """Solve the fractional edge cover LP for ``subset`` (default: all of V).
+
+    Minimise ``Σ_S w_S · λ_S`` subject to ``Σ_{S ∋ v} λ_S ≥ 1`` for every
+    ``v`` in the subset and ``λ ≥ 0``.  ``weights`` defaults to all ones
+    (giving ``ρ*``); pass ``log2 |ψ_S|`` to obtain the exponent of the AGM
+    bound.
+
+    Returns ``(objective, {edge: λ_S})``.  Raises if some subset vertex is
+    covered by no edge (the LP would be infeasible), unless
+    ``ignore_uncovered`` is set, in which case uncovered vertices are simply
+    dropped from the constraint set (useful for queries with variables that
+    occur in no factor).
+    """
+    target = frozenset(subset) if subset is not None else hypergraph.vertices
+    target = frozenset(v for v in target if v in hypergraph.vertices)
+    if not target:
+        return 0.0, {}
+
+    edges, _ = _distinct_covering_edges(hypergraph, target)
+    covered = set()
+    for edge in edges:
+        covered |= edge & target
+    missing = target - covered
+    if missing:
+        if ignore_uncovered:
+            target = target - missing
+            if not target:
+                return 0.0, {}
+            edges, _ = _distinct_covering_edges(hypergraph, target)
+        else:
+            raise HypergraphError(
+                f"vertices {sorted(map(repr, missing))} are not covered by any hyperedge"
+            )
+
+    vertex_list = sorted(target, key=repr)
+    num_edges = len(edges)
+    costs = np.ones(num_edges)
+    if weights is not None:
+        for j, edge in enumerate(edges):
+            costs[j] = weights.get(edge, 1.0)
+
+    # Constraints: for each vertex v in target, sum over edges containing v of
+    # lambda_e >= 1, expressed as -A lambda <= -1 for linprog.
+    a_ub = np.zeros((len(vertex_list), num_edges))
+    for i, vertex in enumerate(vertex_list):
+        for j, edge in enumerate(edges):
+            if vertex in edge:
+                a_ub[i, j] = -1.0
+    b_ub = -np.ones(len(vertex_list))
+
+    result = linprog(costs, A_ub=a_ub, b_ub=b_ub, bounds=[(0, None)] * num_edges, method="highs")
+    if not result.success:  # pragma: no cover - defensive
+        raise HypergraphError(f"fractional edge cover LP failed: {result.message}")
+    solution = {edge: float(result.x[j]) for j, edge in enumerate(edges)}
+    return float(result.fun), solution
+
+
+def fractional_edge_cover_number(
+    hypergraph: Hypergraph,
+    subset: Iterable | None = None,
+    ignore_uncovered: bool = False,
+) -> float:
+    """``ρ*_H(B)``: the optimal value of the fractional edge cover LP."""
+    objective, _ = fractional_edge_cover(hypergraph, subset, ignore_uncovered=ignore_uncovered)
+    return objective
+
+
+def integral_edge_cover_number(
+    hypergraph: Hypergraph, subset: Iterable | None = None, exact_limit: int = 20
+) -> int:
+    """``ρ_H(B)``: the minimum number of edges covering ``B``.
+
+    Exact (branch and bound on distinct edges) when the number of distinct
+    candidate edges is at most ``exact_limit``; greedy set-cover otherwise.
+    """
+    target = frozenset(subset) if subset is not None else hypergraph.vertices
+    target = frozenset(v for v in target if v in hypergraph.vertices)
+    if not target:
+        return 0
+    edges, _ = _distinct_covering_edges(hypergraph, target)
+    covered = set()
+    for edge in edges:
+        covered |= edge & target
+    if target - covered:
+        raise HypergraphError("subset not coverable by hyperedges")
+
+    restricted = sorted({e & target for e in edges}, key=lambda e: (-len(e), sorted(map(repr, e))))
+    # Drop dominated edges (subset of another restricted edge).
+    maximal = [e for e in restricted if not any(e < other for other in restricted)]
+
+    if len(maximal) <= exact_limit:
+        best = [len(maximal)]
+
+        def branch(remaining: FrozenSet, used: int, start: int) -> None:
+            if used >= best[0]:
+                return
+            if not remaining:
+                best[0] = used
+                return
+            # Choose an uncovered vertex and branch on the edges covering it.
+            pivot = next(iter(remaining))
+            for idx in range(len(maximal)):
+                edge = maximal[idx]
+                if pivot in edge:
+                    branch(remaining - edge, used + 1, idx + 1)
+
+        branch(target, 0, 0)
+        return best[0]
+
+    # Greedy fallback.
+    remaining = set(target)
+    count = 0
+    while remaining:
+        best_edge = max(maximal, key=lambda e: len(e & remaining))
+        gain = best_edge & remaining
+        if not gain:  # pragma: no cover - defensive
+            raise HypergraphError("greedy cover stalled")
+        remaining -= gain
+        count += 1
+    return count
+
+
+def agm_bound(
+    hypergraph: Hypergraph,
+    factor_sizes: Mapping[FrozenSet, int],
+    subset: Iterable | None = None,
+) -> float:
+    """The AGM bound ``AGM_H(B) = ∏_S |ψ_S|^{λ*_S}`` (equation (3)).
+
+    ``factor_sizes`` maps each distinct hyperedge to the size of (the largest)
+    factor on that edge.  Edges of size 0 force the bound to 0 whenever they
+    intersect the target; edges of size 1 contribute nothing.
+    """
+    target = frozenset(subset) if subset is not None else hypergraph.vertices
+    target = frozenset(v for v in target if v in hypergraph.vertices)
+    if not target:
+        return 1.0
+
+    weights: Dict[FrozenSet, float] = {}
+    for edge in set(hypergraph.edges):
+        size = factor_sizes.get(edge, None)
+        if size is None:
+            continue
+        if size <= 0:
+            if edge & target:
+                return 0.0
+            continue
+        weights[edge] = math.log2(size) if size > 1 else 0.0
+
+    objective, _ = fractional_edge_cover(hypergraph, target, weights=weights)
+    return float(2.0 ** objective)

@@ -1,0 +1,154 @@
+"""Elimination hypergraph sequences (Definitions 4.8 and 5.4 of the paper).
+
+Given a vertex ordering ``σ = (v_1, ..., v_n)`` the elimination sequence
+processes vertices from the back.  At step ``k`` (before eliminating
+``v_k``) the current hypergraph ``H_k`` determines
+
+* ``∂(v_k)`` — the edges of ``H_k`` incident to ``v_k``,
+* ``U_k`` — the union of those edges,
+
+and ``H_{k-1}`` is obtained by removing ``∂(v_k)`` and adding back the edge
+``U_k - {v_k}`` (for ordinary / semiring vertices), or by simply dropping
+``v_k`` from every edge (for product-aggregate vertices, Definition 5.4).
+The sets ``U_k`` are exactly what the induced width, the FAQ-width and
+InsideOut's intermediate factor scopes are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph, HypergraphError
+
+
+@dataclass(frozen=True)
+class EliminationStep:
+    """The state of the elimination sequence just before eliminating a vertex.
+
+    Attributes
+    ----------
+    vertex:
+        The vertex ``v_k`` being eliminated at this step.
+    position:
+        Its (1-based) position ``k`` in the vertex ordering.
+    incident:
+        The edges ``∂(v_k)`` of ``H_k`` containing the vertex.
+    union:
+        ``U_k = ∪ ∂(v_k)``.
+    hypergraph:
+        The hypergraph ``H_k`` itself.
+    is_product:
+        ``True`` if the vertex was treated as a product-aggregate vertex.
+    """
+
+    vertex: object
+    position: int
+    incident: Tuple[FrozenSet, ...]
+    union: FrozenSet
+    hypergraph: Hypergraph
+    is_product: bool = False
+
+
+def elimination_sequence(
+    hypergraph: Hypergraph,
+    ordering: Sequence,
+    product_vertices: Iterable | None = None,
+) -> List[EliminationStep]:
+    """Compute the elimination hypergraph sequence along ``ordering``.
+
+    Parameters
+    ----------
+    hypergraph:
+        The query hypergraph ``H``.
+    ordering:
+        A vertex ordering ``σ`` listing every vertex of ``H`` exactly once.
+    product_vertices:
+        The vertices whose aggregate is a product aggregate; these follow the
+        Definition 5.4 rule (drop the vertex from every edge) instead of the
+        Definition 4.8 rule (replace ``∂(v)`` by ``U - {v}``).
+
+    Returns
+    -------
+    list of :class:`EliminationStep`
+        One entry per vertex, listed in the *ordering* order
+        (``steps[k-1].vertex == ordering[k-1]``), even though they are
+        computed from the back.
+    """
+    order = list(ordering)
+    if set(order) != set(hypergraph.vertices):
+        missing = set(hypergraph.vertices) - set(order)
+        extra = set(order) - set(hypergraph.vertices)
+        raise HypergraphError(
+            f"ordering must list every vertex exactly once (missing={sorted(map(repr, missing))}, "
+            f"extra={sorted(map(repr, extra))})"
+        )
+    if len(set(order)) != len(order):
+        raise HypergraphError("ordering contains duplicates")
+
+    product_set = frozenset(product_vertices or ())
+    current = hypergraph
+    steps_rev: List[EliminationStep] = []
+    for k in range(len(order), 0, -1):
+        vertex = order[k - 1]
+        incident = tuple(e for e in current.edges if vertex in e)
+        union: FrozenSet = frozenset().union(*incident) if incident else frozenset({vertex})
+        is_product = vertex in product_set
+        steps_rev.append(
+            EliminationStep(
+                vertex=vertex,
+                position=k,
+                incident=incident,
+                union=union,
+                hypergraph=current,
+                is_product=is_product,
+            )
+        )
+        remaining_vertices = set(current.vertices) - {vertex}
+        if is_product:
+            new_edges = [e - {vertex} for e in current.edges]
+            new_edges = [e for e in new_edges if e]
+        else:
+            new_edges = [e for e in current.edges if vertex not in e]
+            residual = union - {vertex}
+            if residual:
+                new_edges.append(residual)
+        current = Hypergraph(remaining_vertices, new_edges)
+
+    return list(reversed(steps_rev))
+
+
+def induced_sets(
+    hypergraph: Hypergraph,
+    ordering: Sequence,
+    product_vertices: Iterable | None = None,
+) -> Dict[object, FrozenSet]:
+    """Map each vertex to its induced set ``U_k`` along ``ordering``."""
+    steps = elimination_sequence(hypergraph, ordering, product_vertices)
+    return {step.vertex: step.union for step in steps}
+
+
+def induced_width(
+    hypergraph: Hypergraph,
+    ordering: Sequence,
+    width_fn: Callable[[FrozenSet], float],
+    restrict_to: Iterable | None = None,
+    product_vertices: Iterable | None = None,
+) -> float:
+    """The induced ``g``-width of an ordering (Definition 4.11).
+
+    ``width_fn`` receives each ``U_k`` and the maximum is returned.  When
+    ``restrict_to`` is given, only steps whose vertex is in that set count
+    (this is how the FAQ-width restricts to the set ``K`` of free/semiring
+    vertices, Definition 5.10).
+    """
+    steps = elimination_sequence(hypergraph, ordering, product_vertices)
+    allowed = set(restrict_to) if restrict_to is not None else None
+    best = 0.0
+    for step in steps:
+        if allowed is not None and step.vertex not in allowed:
+            continue
+        value = width_fn(step.union)
+        if value > best:
+            best = value
+    return best

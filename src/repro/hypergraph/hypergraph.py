@@ -1,0 +1,171 @@
+"""The :class:`Hypergraph` class (multi-hypergraphs over named vertices)."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+
+class HypergraphError(ValueError):
+    """Raised on malformed hypergraph operations."""
+
+
+class Hypergraph:
+    """A multi-hypergraph ``H = (V, E)`` over hashable vertex names.
+
+    Edges are stored as a list of frozensets so that repeated hyperedges
+    (multi-edges, which arise naturally from repeated factors) are preserved.
+    Isolated vertices (vertices in ``V`` that belong to no edge) are allowed
+    and tracked explicitly.
+    """
+
+    __slots__ = ("_vertices", "_edges")
+
+    def __init__(
+        self,
+        vertices: Iterable | None = None,
+        edges: Iterable[Iterable] | None = None,
+    ) -> None:
+        self._edges: List[FrozenSet] = [frozenset(e) for e in (edges or [])]
+        vertex_set: Set = set(vertices) if vertices is not None else set()
+        for edge in self._edges:
+            vertex_set |= edge
+        self._vertices: Set = vertex_set
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def vertices(self) -> FrozenSet:
+        """The vertex set ``V``."""
+        return frozenset(self._vertices)
+
+    @property
+    def edges(self) -> Tuple[FrozenSet, ...]:
+        """The hyperedge multiset ``E`` (order preserved, duplicates kept)."""
+        return tuple(self._edges)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, vertex) -> bool:
+        return vertex in self._vertices
+
+    def __iter__(self) -> Iterator:
+        return iter(self._vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Hypergraph(n={self.num_vertices}, m={self.num_edges})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self._vertices == other._vertices and sorted(
+            map(sorted, map(list, self._edges))
+        ) == sorted(map(sorted, map(list, other._edges)))
+
+    def __hash__(self):  # pragma: no cover - rarely used
+        return hash((frozenset(self._vertices), frozenset(self._edges)))
+
+    # ------------------------------------------------------------------ #
+    # mutation-free derived hypergraphs
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, vertex) -> "Hypergraph":
+        """Return a copy with ``vertex`` added (as an isolated vertex)."""
+        return Hypergraph(self._vertices | {vertex}, self._edges)
+
+    def add_edge(self, edge: Iterable) -> "Hypergraph":
+        """Return a copy with ``edge`` appended."""
+        return Hypergraph(self._vertices, list(self._edges) + [frozenset(edge)])
+
+    def incident_edges(self, vertex) -> List[FrozenSet]:
+        """``∂(v)``: the edges containing ``vertex``."""
+        return [e for e in self._edges if vertex in e]
+
+    def neighborhood(self, vertex) -> FrozenSet:
+        """``U(v) = ∪ ∂(v)``: the union of edges incident to ``vertex``."""
+        result: Set = set()
+        for edge in self._edges:
+            if vertex in edge:
+                result |= edge
+        return frozenset(result)
+
+    def induced(self, keep: Iterable) -> "Hypergraph":
+        """The sub-hypergraph induced by the vertex set ``keep``.
+
+        Each edge is intersected with ``keep``; empty intersections are
+        dropped.  (This is ``H[L]`` in the notation of Section 7.)
+        """
+        keep_set = set(keep)
+        edges = [e & keep_set for e in self._edges]
+        edges = [e for e in edges if e]
+        return Hypergraph(keep_set & self._vertices, edges)
+
+    def remove_vertices(self, remove: Iterable) -> "Hypergraph":
+        """The hypergraph ``H - L``: delete vertices and shrink edges."""
+        remove_set = set(remove)
+        return self.induced(self._vertices - remove_set)
+
+    def restrict_edges(self, predicate) -> "Hypergraph":
+        """Keep only edges satisfying ``predicate`` (vertices unchanged)."""
+        return Hypergraph(self._vertices, [e for e in self._edges if predicate(e)])
+
+    def deduplicated(self) -> "Hypergraph":
+        """Drop duplicate edges and edges contained in other edges."""
+        unique = set(self._edges)
+        maximal = [
+            e for e in unique if not any(e < other for other in unique)
+        ]
+        return Hypergraph(self._vertices, maximal)
+
+    # ------------------------------------------------------------------ #
+    # graph views
+    # ------------------------------------------------------------------ #
+    def gaifman_graph(self) -> nx.Graph:
+        """The Gaifman (primal) graph: vertices adjacent iff co-occurring."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self._vertices)
+        for edge in self._edges:
+            members = sorted(edge, key=repr)
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    graph.add_edge(u, v)
+        return graph
+
+    def connected_components(self) -> List[FrozenSet]:
+        """Connected components of the Gaifman graph (isolated vertices are
+        singleton components).  Deterministic order: sorted by repr of the
+        smallest member."""
+        graph = self.gaifman_graph()
+        components = [frozenset(c) for c in nx.connected_components(graph)]
+        return sorted(components, key=lambda c: min(repr(v) for v in c))
+
+    def is_connected(self) -> bool:
+        """``True`` if the Gaifman graph is connected (or has ≤ 1 vertex)."""
+        return len(self.connected_components()) <= 1
+
+    # ------------------------------------------------------------------ #
+    # convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_scopes(cls, scopes: Iterable[Iterable]) -> "Hypergraph":
+        """Build a hypergraph whose edges are the given factor scopes."""
+        return cls(edges=scopes)
+
+    @classmethod
+    def from_graph(cls, graph: nx.Graph) -> "Hypergraph":
+        """Build the 2-uniform hypergraph of an (undirected) graph."""
+        return cls(graph.nodes, [frozenset(e) for e in graph.edges])
+
+    def edge_vertex_incidence(self) -> Dict[FrozenSet, List[int]]:
+        """Map each distinct edge to the list of its positions in ``edges``."""
+        positions: Dict[FrozenSet, List[int]] = {}
+        for i, edge in enumerate(self._edges):
+            positions.setdefault(edge, []).append(i)
+        return positions

@@ -1,0 +1,124 @@
+"""Vertex-ordering heuristics (min-fill, min-degree, greedy cover, exhaustive).
+
+Orderings are central to the paper: InsideOut's runtime is governed by the
+induced sets ``U_k`` of the chosen ordering, and the widths of Section 4.4
+are minima of induced widths over orderings.  For large hypergraphs finding
+optimal orderings is NP-hard (Section 7), so the usual PGM/CSP heuristics are
+provided alongside an exhaustive search for small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, FrozenSet, List, Sequence, Set
+
+import networkx as nx
+
+from repro.hypergraph.covers import fractional_edge_cover_number
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def _fill_in_count(graph: nx.Graph, vertex) -> int:
+    """Number of edges that eliminating ``vertex`` would add to ``graph``."""
+    neighbors = list(graph.neighbors(vertex))
+    missing = 0
+    for i, u in enumerate(neighbors):
+        for v in neighbors[i + 1:]:
+            if not graph.has_edge(u, v):
+                missing += 1
+    return missing
+
+
+def min_fill_ordering(hypergraph: Hypergraph) -> List:
+    """The min-fill elimination heuristic on the Gaifman graph.
+
+    Vertices are eliminated in the order that greedily minimises the number
+    of fill-in edges; the returned list is the *vertex ordering* ``σ``
+    (i.e. the reverse of the elimination order), matching the convention of
+    Definition 4.7 where elimination proceeds from the back of ``σ``.
+    """
+    graph = hypergraph.gaifman_graph()
+    eliminated: List = []
+    while graph.number_of_nodes():
+        vertex = min(
+            sorted(graph.nodes, key=repr), key=lambda v: (_fill_in_count(graph, v), repr(v))
+        )
+        neighbors = list(graph.neighbors(vertex))
+        for i, u in enumerate(neighbors):
+            for v in neighbors[i + 1:]:
+                graph.add_edge(u, v)
+        graph.remove_node(vertex)
+        eliminated.append(vertex)
+    return list(reversed(eliminated))
+
+
+def min_degree_ordering(hypergraph: Hypergraph) -> List:
+    """The min-degree elimination heuristic (same conventions as min-fill)."""
+    graph = hypergraph.gaifman_graph()
+    eliminated: List = []
+    while graph.number_of_nodes():
+        vertex = min(sorted(graph.nodes, key=repr), key=lambda v: (graph.degree(v), repr(v)))
+        neighbors = list(graph.neighbors(vertex))
+        for i, u in enumerate(neighbors):
+            for v in neighbors[i + 1:]:
+                graph.add_edge(u, v)
+        graph.remove_node(vertex)
+        eliminated.append(vertex)
+    return list(reversed(eliminated))
+
+
+def greedy_fractional_cover_ordering(hypergraph: Hypergraph) -> List:
+    """Greedy ordering minimising ``ρ*`` of each eliminated neighbourhood.
+
+    At every step the vertex whose current neighbourhood (the union of its
+    incident edges) has the smallest fractional edge cover number w.r.t. the
+    *original* hypergraph is eliminated next.  More expensive than min-fill
+    (one LP per candidate per step) but tracks the FAQ-width objective
+    directly.
+    """
+    original = hypergraph
+    current = hypergraph
+    eliminated: List = []
+    while current.num_vertices:
+        def cost(vertex) -> float:
+            union = current.neighborhood(vertex)
+            if not union:
+                return 0.0
+            return fractional_edge_cover_number(original, union)
+
+        vertex = min(sorted(current.vertices, key=repr), key=lambda v: (cost(v), repr(v)))
+        union = current.neighborhood(vertex)
+        rest = set(current.vertices) - {vertex}
+        new_edges = [e for e in current.edges if vertex not in e]
+        residual = union - {vertex}
+        if residual:
+            new_edges.append(residual)
+        current = Hypergraph(rest, new_edges)
+        eliminated.append(vertex)
+    return list(reversed(eliminated))
+
+
+def best_ordering_exhaustive(
+    hypergraph: Hypergraph,
+    width_fn: Callable[[FrozenSet], float],
+    candidates: Sequence[Sequence] | None = None,
+) -> List:
+    """Exhaustively minimise an induced width over orderings (or candidates).
+
+    When ``candidates`` is ``None`` all permutations of the vertex set are
+    tried — factorial cost, use only for small hypergraphs.
+    """
+    from repro.hypergraph.elimination import elimination_sequence
+
+    vertices = sorted(hypergraph.vertices, key=repr)
+    pool = candidates if candidates is not None else itertools.permutations(vertices)
+
+    best_order: List | None = None
+    best_width = float("inf")
+    for order in pool:
+        steps = elimination_sequence(hypergraph, order)
+        width = max(width_fn(step.union) for step in steps) if steps else 0.0
+        if width < best_width:
+            best_width = width
+            best_order = list(order)
+    return best_order if best_order is not None else list(vertices)

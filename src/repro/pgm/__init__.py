@@ -1,0 +1,27 @@
+"""Probabilistic graphical model substrate (discrete Markov random fields).
+
+The Marginal and MAP rows of Table 1 compare InsideOut against the classic
+PGM tool-chain.  This package provides that tool-chain from scratch:
+
+* :class:`~repro.pgm.model.DiscreteGraphicalModel` — a discrete MRF with
+  named variables and non-negative factors, convertible to FAQ queries,
+* :mod:`~repro.pgm.brute` — exhaustive-enumeration inference (ground truth),
+* :mod:`~repro.pgm.junction_tree` — the textbook junction-tree / message
+  passing algorithm with *dense* clique potentials, whose cost is governed by
+  the treewidth (the ``O~(N^tw)`` / ``O~(N^htw)`` baseline of the paper).
+"""
+
+from repro.pgm.model import DiscreteGraphicalModel, PGMError
+from repro.pgm.brute import brute_force_map, brute_force_marginal, brute_force_partition
+from repro.pgm.junction_tree import JunctionTree, junction_tree_map, junction_tree_marginal
+
+__all__ = [
+    "DiscreteGraphicalModel",
+    "PGMError",
+    "brute_force_map",
+    "brute_force_marginal",
+    "brute_force_partition",
+    "JunctionTree",
+    "junction_tree_map",
+    "junction_tree_marginal",
+]

@@ -1,0 +1,49 @@
+"""Brute-force inference for discrete graphical models (ground truth)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+from repro.pgm.model import DiscreteGraphicalModel
+
+
+def _full_assignments(model: DiscreteGraphicalModel):
+    """Iterate every full assignment of the model's variables."""
+    names = model.variables
+    for values in itertools.product(*(model.domain(v) for v in names)):
+        yield dict(zip(names, values))
+
+
+def brute_force_partition(model: DiscreteGraphicalModel) -> float:
+    """The partition function ``Z = Σ_x ∏_S ψ_S(x_S)`` by full enumeration."""
+    return sum(model.unnormalized_probability(a) for a in _full_assignments(model))
+
+
+def brute_force_marginal(
+    model: DiscreteGraphicalModel, variables: Sequence[str]
+) -> Dict[Tuple[Any, ...], float]:
+    """Unnormalised marginal table over ``variables`` by full enumeration."""
+    result: Dict[Tuple[Any, ...], float] = {}
+    for assignment in _full_assignments(model):
+        weight = model.unnormalized_probability(assignment)
+        if weight == 0.0:
+            continue
+        key = tuple(assignment[v] for v in variables)
+        result[key] = result.get(key, 0.0) + weight
+    return result
+
+
+def brute_force_map(
+    model: DiscreteGraphicalModel, variables: Sequence[str]
+) -> Dict[Tuple[Any, ...], float]:
+    """Unnormalised max-marginals over ``variables`` by full enumeration."""
+    result: Dict[Tuple[Any, ...], float] = {}
+    for assignment in _full_assignments(model):
+        weight = model.unnormalized_probability(assignment)
+        if weight == 0.0:
+            continue
+        key = tuple(assignment[v] for v in variables)
+        if key not in result or weight > result[key]:
+            result[key] = weight
+    return result

@@ -1,0 +1,134 @@
+"""Discrete Markov random fields and their FAQ encodings.
+
+A discrete graphical model over variables ``X_1, ..., X_n`` with factors
+``ψ_S : ∏ Dom(X_i) → R+`` defines the unnormalised distribution
+``p(x) ∝ ∏_S ψ_S(x_S)``.  The two canonical inference tasks of Example 1.2 /
+Appendix A map directly onto FAQ queries:
+
+* **marginal**: ``ϕ(x_F) = Σ_{x not in F} ∏_S ψ_S(x_S)`` — an FAQ-SS query
+  over the sum-product semiring,
+* **MAP** (max-marginal): replace ``Σ`` with ``max`` — the max-product
+  semiring.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.query import FAQQuery, Variable
+from repro.factors.factor import Factor
+from repro.semiring.aggregates import SemiringAggregate
+from repro.semiring.standard import MAX_PRODUCT, SUM_PRODUCT
+
+
+class PGMError(ValueError):
+    """Raised on malformed graphical models or inference requests."""
+
+
+class DiscreteGraphicalModel:
+    """A discrete Markov random field.
+
+    Parameters
+    ----------
+    domains:
+        Mapping from variable name to its finite domain.
+    factors:
+        Non-negative factors in the listing representation.  Factor scopes
+        must only mention declared variables.
+    """
+
+    def __init__(self, domains: Mapping[str, Sequence[Any]], factors: Sequence[Factor]) -> None:
+        self.domains: Dict[str, Tuple[Any, ...]] = {
+            name: tuple(domain) for name, domain in domains.items()
+        }
+        for name, domain in self.domains.items():
+            if not domain:
+                raise PGMError(f"variable {name} has an empty domain")
+        self.factors: List[Factor] = []
+        for factor in factors:
+            unknown = [v for v in factor.scope if v not in self.domains]
+            if unknown:
+                raise PGMError(f"factor {factor.name} mentions unknown variables {unknown}")
+            if any(value < 0 for value in factor.table.values()):
+                raise PGMError(f"factor {factor.name} has negative entries")
+            self.factors.append(factor)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """The variable names in a deterministic order."""
+        return tuple(sorted(self.domains))
+
+    def domain(self, variable: str) -> Tuple[Any, ...]:
+        """The domain of ``variable``."""
+        return self.domains[variable]
+
+    def unnormalized_probability(self, assignment: Mapping[str, Any]) -> float:
+        """``∏_S ψ_S(x_S)`` for a full assignment."""
+        value = 1.0
+        for factor in self.factors:
+            value *= factor.value(assignment, SUM_PRODUCT)
+            if value == 0.0:
+                return 0.0
+        return value
+
+    def condition(self, evidence: Mapping[str, Any]) -> "DiscreteGraphicalModel":
+        """Absorb evidence: restrict every factor and drop observed variables."""
+        for variable, value in evidence.items():
+            if variable not in self.domains:
+                raise PGMError(f"evidence on unknown variable {variable}")
+            if value not in self.domains[variable]:
+                raise PGMError(f"evidence value {value!r} not in Dom({variable})")
+        remaining = {v: d for v, d in self.domains.items() if v not in evidence}
+        factors = [f.restrict(evidence, SUM_PRODUCT) for f in self.factors]
+        return DiscreteGraphicalModel(remaining, factors)
+
+    # ------------------------------------------------------------------ #
+    # FAQ encodings
+    # ------------------------------------------------------------------ #
+    def _ordered_variables(self, free: Sequence[str]) -> List[Variable]:
+        free = list(free)
+        bound = [v for v in self.variables if v not in free]
+        return [Variable(v, self.domains[v]) for v in free + bound]
+
+    def marginal_query(self, free: Sequence[str]) -> FAQQuery:
+        """The FAQ-SS query computing the (unnormalised) marginal on ``free``."""
+        unknown = [v for v in free if v not in self.domains]
+        if unknown:
+            raise PGMError(f"unknown query variables {unknown}")
+        variables = self._ordered_variables(free)
+        bound = [v.name for v in variables[len(free):]]
+        aggregates = {v: SemiringAggregate.sum() for v in bound}
+        return FAQQuery(
+            variables=variables,
+            free=list(free),
+            aggregates=aggregates,
+            factors=self.factors,
+            semiring=SUM_PRODUCT,
+            name="marginal",
+        )
+
+    def map_query(self, free: Sequence[str]) -> FAQQuery:
+        """The FAQ-SS query computing max-marginals (marginal MAP) on ``free``."""
+        unknown = [v for v in free if v not in self.domains]
+        if unknown:
+            raise PGMError(f"unknown query variables {unknown}")
+        variables = self._ordered_variables(free)
+        bound = [v.name for v in variables[len(free):]]
+        aggregates = {v: SemiringAggregate.max() for v in bound}
+        return FAQQuery(
+            variables=variables,
+            free=list(free),
+            aggregates=aggregates,
+            factors=self.factors,
+            semiring=MAX_PRODUCT,
+            name="map",
+        )
+
+    def partition_function_query(self) -> FAQQuery:
+        """The FAQ-SS query computing the partition function ``Z``."""
+        return self.marginal_query([])
+
+    def hypergraph(self):
+        """The model hypergraph (vertices = variables, edges = scopes)."""
+        return self.marginal_query([]).hypergraph()

@@ -1,0 +1,57 @@
+"""Commutative semirings and aggregate operators for the FAQ framework.
+
+The FAQ problem (Abo Khamis, Ngo, Rudra, PODS 2016) is parameterised by a
+domain ``D``, a product operator ``⊗`` and, for every bound variable, an
+aggregate operator ``⊕^(i)`` that either equals ``⊗`` or forms a commutative
+semiring ``(D, ⊕^(i), ⊗)`` with the shared additive identity ``0`` and
+multiplicative identity ``1``.
+
+This package provides:
+
+* :class:`~repro.semiring.base.Semiring` — a value type describing a
+  commutative semiring together with its identities,
+* :mod:`~repro.semiring.standard` — the standard semirings used throughout
+  the paper (Boolean, sum-product / counting, max-product, min-plus, set),
+* :mod:`~repro.semiring.aggregates` — aggregate descriptors used by
+  :class:`~repro.core.query.FAQQuery` to tag each bound variable as either a
+  *semiring aggregate* or a *product aggregate*.
+"""
+
+from repro.semiring.base import Semiring, SemiringError
+from repro.semiring.standard import (
+    BOOLEAN,
+    COUNTING,
+    MAX_PRODUCT,
+    MAX_SUM,
+    MIN_PLUS,
+    MIN_PRODUCT,
+    SUM_PRODUCT,
+    STANDARD_SEMIRINGS,
+    set_semiring,
+)
+from repro.semiring.aggregates import (
+    Aggregate,
+    ProductAggregate,
+    SemiringAggregate,
+    product_aggregate,
+    semiring_aggregate,
+)
+
+__all__ = [
+    "Semiring",
+    "SemiringError",
+    "BOOLEAN",
+    "COUNTING",
+    "MAX_PRODUCT",
+    "MAX_SUM",
+    "MIN_PLUS",
+    "MIN_PRODUCT",
+    "SUM_PRODUCT",
+    "STANDARD_SEMIRINGS",
+    "set_semiring",
+    "Aggregate",
+    "ProductAggregate",
+    "SemiringAggregate",
+    "product_aggregate",
+    "semiring_aggregate",
+]

@@ -1,0 +1,142 @@
+"""Aggregate descriptors for bound variables of an FAQ query.
+
+Every bound variable ``X_i`` of an FAQ query carries an aggregate operator
+``⊕^(i)``.  The paper distinguishes two kinds (Section 1.2):
+
+* **semiring aggregates** — ``(D, ⊕^(i), ⊗)`` forms a commutative semiring
+  sharing the query's ``0`` and ``1``;
+* **product aggregates** — ``⊕^(i)`` *is* the product ``⊗`` itself.
+
+The tag of a variable (``free``, the semiring aggregate's name, or
+``product``) drives the construction of the expression tree and the
+precedence poset (Section 6).  Two semiring aggregates with the same tag are
+treated as identical operators; the engine never tries to detect "accidental"
+functional identity of differently-named aggregates (the paper explicitly
+assumes differently written aggregates are functionally different).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+
+FREE_TAG = "free"
+PRODUCT_TAG = "product"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate operator attached to one bound variable.
+
+    Attributes
+    ----------
+    kind:
+        Either ``"semiring"`` or ``"product"``.
+    name:
+        The tag of the aggregate.  For product aggregates this is always
+        ``"product"``; for semiring aggregates it identifies the ``⊕``
+        operator (e.g. ``"sum"``, ``"max"``, ``"or"``).
+    op:
+        The binary combine function for semiring aggregates.  ``None`` for
+        product aggregates (the query's ``⊗`` is used instead).
+    identity:
+        The identity element of ``op`` (the shared ``0`` for semiring
+        aggregates, the shared ``1`` for product aggregates).  May be ``None``
+        when the caller relies on the query-level semiring identities.
+    """
+
+    kind: str
+    name: str
+    op: Callable[[Any, Any], Any] | None = None
+    identity: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("semiring", "product"):
+            raise ValueError(f"unknown aggregate kind {self.kind!r}")
+        if self.kind == "product" and self.op is not None:
+            raise ValueError("product aggregates must not carry their own op")
+        if self.kind == "semiring" and self.op is None:
+            raise ValueError("semiring aggregates require an op")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_product(self) -> bool:
+        """``True`` iff this aggregate is the product ``⊗`` itself."""
+        return self.kind == "product"
+
+    @property
+    def is_semiring(self) -> bool:
+        """``True`` iff ``(D, ⊕, ⊗)`` forms a semiring (the usual case)."""
+        return self.kind == "semiring"
+
+    @property
+    def tag(self) -> str:
+        """Tag used by the expression tree: the aggregate name."""
+        return PRODUCT_TAG if self.is_product else self.name
+
+    def same_tag(self, other: "Aggregate") -> bool:
+        """Return ``True`` if both aggregates carry the same tag."""
+        return self.tag == other.tag
+
+    def combine(self, a: Any, b: Any) -> Any:
+        """Apply the ``⊕`` operator (only valid for semiring aggregates)."""
+        if self.op is None:
+            raise ValueError(
+                "product aggregates are combined with the query product, "
+                "not Aggregate.combine"
+            )
+        return self.op(a, b)
+
+    def reduce(self, values: Iterable[Any], start: Any) -> Any:
+        """Fold :meth:`combine` over ``values`` starting from ``start``."""
+        acc = start
+        for value in values:
+            acc = self.combine(acc, value)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Aggregate({self.tag})"
+
+
+def semiring_aggregate(name: str, op: Callable[[Any, Any], Any], identity: Any = None) -> Aggregate:
+    """Build a semiring aggregate with the given tag and ``⊕`` operator."""
+    return Aggregate(kind="semiring", name=name, op=op, identity=identity)
+
+
+def product_aggregate() -> Aggregate:
+    """Build the product aggregate (``⊕^(i) = ⊗``)."""
+    return Aggregate(kind="product", name=PRODUCT_TAG, op=None, identity=None)
+
+
+class SemiringAggregate:
+    """Namespace of convenience constructors for common semiring aggregates."""
+
+    @staticmethod
+    def sum() -> Aggregate:
+        """The ``Σ`` aggregate over a numeric domain."""
+        return semiring_aggregate("sum", lambda a, b: a + b, 0)
+
+    @staticmethod
+    def max() -> Aggregate:
+        """The ``max`` aggregate over a numeric domain."""
+        return semiring_aggregate("max", lambda a, b: a if a >= b else b)
+
+    @staticmethod
+    def min() -> Aggregate:
+        """The ``min`` aggregate (for (min,+)/(min,×) style queries)."""
+        return semiring_aggregate("min", lambda a, b: a if a <= b else b)
+
+    @staticmethod
+    def logical_or() -> Aggregate:
+        """The ``∃`` / ``∨`` aggregate over the Boolean domain."""
+        return semiring_aggregate("or", lambda a, b: bool(a or b), False)
+
+
+class ProductAggregate:
+    """Namespace mirror of :class:`SemiringAggregate` for product aggregates."""
+
+    @staticmethod
+    def product() -> Aggregate:
+        """The ``⊗`` aggregate (``∀`` in the logic encodings)."""
+        return product_aggregate()

@@ -1,0 +1,110 @@
+"""The standard semirings used throughout the FAQ paper (Appendix A).
+
+* ``BOOLEAN``      — ``({False, True}, ∨, ∧)``: SAT, BCQ, CSP feasibility.
+* ``COUNTING``     — ``(N, +, ×)``: #SAT, #CQ, permanent, triangle counting.
+* ``SUM_PRODUCT``  — ``(R, +, ×)``: PGM marginals, matrix products, DFT.
+* ``MAX_PRODUCT``  — ``(R+, max, ×)``: MAP inference.
+* ``MIN_PLUS``     — ``(R ∪ {∞}, min, +)``: shortest paths / tropical.
+* ``MAX_SUM``      — ``(R ∪ {-∞}, max, +)``: log-domain MAP.
+* ``MIN_PRODUCT``  — ``([0, ∞], min, ×)``: used in some decoding problems.
+* :func:`set_semiring` — ``(2^U, ∪, ∩)``: the set semiring over a finite
+  universe, used to explain Yannakakis' algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Iterable
+
+from repro.semiring.base import Semiring
+
+
+def _or(a: bool, b: bool) -> bool:
+    return bool(a or b)
+
+
+def _and(a: bool, b: bool) -> bool:
+    return bool(a and b)
+
+
+def _add(a, b):
+    return a + b
+
+
+def _mul(a, b):
+    return a * b
+
+
+def _max(a, b):
+    return a if a >= b else b
+
+
+def _min(a, b):
+    return a if a <= b else b
+
+
+BOOLEAN = Semiring(name="boolean", add=_or, mul=_and, zero=False, one=True)
+"""The Boolean semiring ``({False, True}, ∨, ∧)``."""
+
+COUNTING = Semiring(name="counting", add=_add, mul=_mul, zero=0, one=1)
+"""The counting semiring ``(N, +, ×)`` (integer sum-product)."""
+
+SUM_PRODUCT = Semiring(name="sum-product", add=_add, mul=_mul, zero=0.0, one=1.0)
+"""The real sum-product semiring ``(R, +, ×)``."""
+
+MAX_PRODUCT = Semiring(name="max-product", add=_max, mul=_mul, zero=0.0, one=1.0)
+"""The max-product semiring ``(R+, max, ×)`` used for MAP queries."""
+
+MIN_PLUS = Semiring(
+    name="min-plus", add=_min, mul=_add, zero=math.inf, one=0.0
+)
+"""The tropical (min, +) semiring with ``0 = +inf`` and ``1 = 0``."""
+
+MAX_SUM = Semiring(
+    name="max-sum", add=_max, mul=_add, zero=-math.inf, one=0.0
+)
+"""The (max, +) semiring, i.e. MAP inference in log-space."""
+
+MIN_PRODUCT = Semiring(
+    name="min-product", add=_min, mul=_mul, zero=math.inf, one=1.0
+)
+"""The (min, ×) semiring over ``[0, ∞]`` (note ``0 = +inf`` only when all
+factor values are in ``[0, ∞]`` — it is the annihilating absorbing element
+for ``min`` but *not* for ``×``; use with care and only with non-negative
+finite factor values, where the engine never multiplies by ``∞``)."""
+
+
+def set_semiring(universe: Iterable) -> Semiring:
+    """Build the set semiring ``(2^U, ∪, ∩)`` over a finite universe.
+
+    The additive identity is the empty set and the multiplicative identity is
+    the full universe.  Values must be ``frozenset`` instances that are
+    subsets of ``universe``.
+    """
+    full: FrozenSet = frozenset(universe)
+
+    def union(a: FrozenSet, b: FrozenSet) -> FrozenSet:
+        return a | b
+
+    def intersect(a: FrozenSet, b: FrozenSet) -> FrozenSet:
+        return a & b
+
+    return Semiring(
+        name=f"set({len(full)})",
+        add=union,
+        mul=intersect,
+        zero=frozenset(),
+        one=full,
+    )
+
+
+STANDARD_SEMIRINGS = {
+    "boolean": BOOLEAN,
+    "counting": COUNTING,
+    "sum-product": SUM_PRODUCT,
+    "max-product": MAX_PRODUCT,
+    "min-plus": MIN_PLUS,
+    "max-sum": MAX_SUM,
+    "min-product": MIN_PRODUCT,
+}
+"""Registry of the standard named semirings."""

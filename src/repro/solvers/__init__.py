@@ -1,0 +1,19 @@
+"""Application layers: the paper's example problems expressed as FAQ queries.
+
+Each module covers one family of Table 1 rows / Appendix A examples:
+
+* :mod:`~repro.solvers.joins` — natural joins and subgraph/homomorphism
+  counting (Joins row, triangle counting of Example A.8),
+* :mod:`~repro.solvers.logic` — BCQ, CQ, #CQ, QCQ and #QCQ (rows 1-3),
+* :mod:`~repro.solvers.csp` — constraint satisfaction and graph colouring,
+* :mod:`~repro.solvers.sat` — SAT / #SAT, Davis–Putnam-style InsideOut over
+  clause (box-factor) representations and β-acyclic tractability (Section 8),
+* :mod:`~repro.solvers.pgm` — marginal / MAP inference wrappers comparing
+  InsideOut with the junction-tree and brute-force baselines (rows 5-6),
+* :mod:`~repro.solvers.matrix` — matrix-chain multiplication and the DFT
+  (rows 7-8).
+"""
+
+from repro.solvers import csp, joins, logic, matrix, pgm, sat
+
+__all__ = ["csp", "joins", "logic", "matrix", "pgm", "sat"]

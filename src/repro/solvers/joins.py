@@ -1,0 +1,143 @@
+"""Natural joins and pattern counting as FAQ queries (Table 1, Joins row).
+
+A natural join is the quantifier-free conjunctive query
+``⋃_x ⋂_S ψ_S(x_S)`` — an FAQ over the Boolean semiring with every variable
+free (Example A.6).  Counting homomorphisms of a small pattern graph into a
+data graph (triangle counting, Example A.8) is the same query over the
+counting semiring with no free variables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.insideout import inside_out
+from repro.core.query import FAQQuery, Variable
+from repro.db.relation import Relation
+from repro.semiring.aggregates import SemiringAggregate
+from repro.semiring.standard import BOOLEAN, COUNTING
+
+
+def _domains_from_relations(relations: Sequence[Relation]) -> Dict[str, Tuple[Any, ...]]:
+    """Active domain of every attribute across the given relations."""
+    domains: Dict[str, set] = {}
+    for relation in relations:
+        for row in relation.tuples:
+            for attribute, value in zip(relation.schema, row):
+                domains.setdefault(attribute, set()).add(value)
+    return {a: tuple(sorted(values, key=repr)) for a, values in domains.items()}
+
+
+def natural_join_query(relations: Sequence[Relation]) -> FAQQuery:
+    """The FAQ query (Boolean semiring, all variables free) of a natural join."""
+    domains = _domains_from_relations(relations)
+    attributes = sorted(domains)
+    variables = [Variable(a, domains[a]) for a in attributes]
+    factors = [r.to_factor(BOOLEAN) for r in relations]
+    return FAQQuery(
+        variables=variables,
+        free=attributes,
+        aggregates={},
+        factors=factors,
+        semiring=BOOLEAN,
+        name="natural-join",
+    )
+
+
+def natural_join_insideout(
+    relations: Sequence[Relation], ordering: Sequence[str] | str | None = "auto"
+) -> Relation:
+    """Evaluate a natural join with InsideOut and return it as a relation."""
+    query = natural_join_query(relations)
+    result = inside_out(query, ordering=ordering)
+    return Relation("join", result.factor.scope, result.factor.table.keys())
+
+
+def join_size_query(relations: Sequence[Relation]) -> FAQQuery:
+    """The FAQ query counting the number of join results (no free variables)."""
+    domains = _domains_from_relations(relations)
+    attributes = sorted(domains)
+    variables = [Variable(a, domains[a]) for a in attributes]
+    factors = [r.to_factor(COUNTING) for r in relations]
+    aggregates = {a: SemiringAggregate.sum() for a in attributes}
+    return FAQQuery(
+        variables=variables,
+        free=[],
+        aggregates=aggregates,
+        factors=factors,
+        semiring=COUNTING,
+        name="join-size",
+    )
+
+
+def count_join_results(relations: Sequence[Relation]) -> int:
+    """``|R_1 ⋈ ... ⋈ R_m|`` computed by InsideOut (counting semiring)."""
+    query = join_size_query(relations)
+    result = inside_out(query, ordering="auto")
+    return int(result.scalar_or_zero(COUNTING))
+
+
+# ---------------------------------------------------------------------- #
+# pattern / homomorphism counting (Example A.8)
+# ---------------------------------------------------------------------- #
+def _edge_relation(graph: nx.Graph) -> List[Tuple[Any, Any]]:
+    """Both orientations of every edge (homomorphism counting convention)."""
+    pairs: List[Tuple[Any, Any]] = []
+    for u, v in graph.edges:
+        pairs.append((u, v))
+        pairs.append((v, u))
+    return pairs
+
+
+def homomorphism_count_query(pattern: nx.Graph, graph: nx.Graph) -> FAQQuery:
+    """The FAQ query counting homomorphisms from ``pattern`` into ``graph``.
+
+    One variable per pattern vertex (domain: the data-graph vertices), one
+    edge factor per pattern edge, counting semiring, no free variables.
+    """
+    data_vertices = tuple(sorted(graph.nodes, key=repr))
+    edge_pairs = _edge_relation(graph)
+    variables = [Variable(f"v{u}", data_vertices) for u in sorted(pattern.nodes, key=repr)]
+    factors = []
+    for u, v in pattern.edges:
+        relation = Relation(f"E_{u}{v}", (f"v{u}", f"v{v}"), edge_pairs)
+        factors.append(relation.to_factor(COUNTING))
+    aggregates = {f"v{u}": SemiringAggregate.sum() for u in pattern.nodes}
+    return FAQQuery(
+        variables=variables,
+        free=[],
+        aggregates=aggregates,
+        factors=factors,
+        semiring=COUNTING,
+        name="hom-count",
+    )
+
+
+def count_homomorphisms(pattern: nx.Graph, graph: nx.Graph) -> int:
+    """Number of homomorphisms from ``pattern`` to ``graph`` via InsideOut."""
+    query = homomorphism_count_query(pattern, graph)
+    return int(inside_out(query, ordering="auto").scalar_or_zero(COUNTING))
+
+
+def count_triangles(graph: nx.Graph) -> int:
+    """Number of triangles in ``graph`` (each counted once).
+
+    A triangle has 6 automorphic homomorphic images, so the homomorphism
+    count is divided by 6 — this matches ``networkx`` triangle counting and
+    is the quantity Example A.8 computes.
+    """
+    triangle = nx.complete_graph(3)
+    injective_like = count_homomorphisms(triangle, graph)
+    return injective_like // 6
+
+
+def triangle_join_relations(graph: nx.Graph) -> List[Relation]:
+    """The three binary relations of the triangle join query R(A,B) S(B,C) T(A,C)."""
+    pairs = _edge_relation(graph)
+    return [
+        Relation("R", ("A", "B"), pairs),
+        Relation("S", ("B", "C"), pairs),
+        Relation("T", ("A", "C"), pairs),
+    ]

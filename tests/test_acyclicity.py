@@ -1,0 +1,114 @@
+"""Unit tests for α/β-acyclicity and nested elimination orders."""
+
+import pytest
+
+from repro.hypergraph.acyclicity import (
+    gyo_reduction,
+    is_alpha_acyclic,
+    is_beta_acyclic,
+    join_tree,
+    nested_elimination_order,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+TRIANGLE = Hypergraph.from_scopes([("A", "B"), ("B", "C"), ("A", "C")])
+PATH = Hypergraph.from_scopes([("A", "B"), ("B", "C"), ("C", "D")])
+STAR = Hypergraph.from_scopes([("Hub", "L1"), ("Hub", "L2"), ("Hub", "L3")])
+# α-acyclic but not β-acyclic: the triangle plus a covering hyperedge.
+COVERED_TRIANGLE = Hypergraph.from_scopes(
+    [("A", "B"), ("B", "C"), ("A", "C"), ("A", "B", "C")]
+)
+
+
+class TestAlphaAcyclicity:
+    def test_path_and_star_are_acyclic(self):
+        assert is_alpha_acyclic(PATH)
+        assert is_alpha_acyclic(STAR)
+
+    def test_triangle_is_cyclic(self):
+        assert not is_alpha_acyclic(TRIANGLE)
+
+    def test_covering_edge_makes_triangle_acyclic(self):
+        assert is_alpha_acyclic(COVERED_TRIANGLE)
+
+    def test_single_edge_is_acyclic(self):
+        assert is_alpha_acyclic(Hypergraph.from_scopes([("A", "B", "C")]))
+
+    def test_empty_hypergraph_is_acyclic(self):
+        assert is_alpha_acyclic(Hypergraph())
+
+    def test_gyo_reduction_residual_of_triangle_is_nonempty(self):
+        residual, removed = gyo_reduction(TRIANGLE)
+        assert residual.num_edges > 0
+
+    def test_gyo_reduction_removes_all_of_path(self):
+        residual, removed = gyo_reduction(PATH)
+        assert residual.num_vertices == 0
+        assert set(removed) == {"A", "B", "C", "D"}
+
+
+class TestJoinTree:
+    def test_join_tree_of_cyclic_query_is_none(self):
+        assert join_tree(TRIANGLE) is None
+
+    def test_join_tree_of_path(self):
+        tree = join_tree(PATH)
+        assert tree is not None
+        assert tree.number_of_nodes() == 3
+        assert tree.number_of_edges() == 2
+
+    def test_join_tree_running_intersection(self):
+        tree = join_tree(STAR)
+        # Every pair of bags sharing the hub must be connected through bags
+        # containing the hub; with a star this is automatic, just sanity-check
+        # the node set.
+        assert set(tree.nodes) == set(STAR.edges)
+
+    def test_join_tree_of_covered_triangle_contains_big_edge(self):
+        tree = join_tree(COVERED_TRIANGLE)
+        assert frozenset({"A", "B", "C"}) in tree.nodes
+
+
+class TestBetaAcyclicity:
+    def test_path_is_beta_acyclic(self):
+        assert is_beta_acyclic(PATH)
+
+    def test_star_is_beta_acyclic(self):
+        assert is_beta_acyclic(STAR)
+
+    def test_covered_triangle_is_not_beta_acyclic(self):
+        # α-acyclic but removing the covering edge leaves a cycle.
+        assert is_alpha_acyclic(COVERED_TRIANGLE)
+        assert not is_beta_acyclic(COVERED_TRIANGLE)
+
+    def test_triangle_is_not_beta_acyclic(self):
+        assert not is_beta_acyclic(TRIANGLE)
+
+    def test_nested_chain_is_beta_acyclic(self):
+        nested = Hypergraph.from_scopes([("A",), ("A", "B"), ("A", "B", "C")])
+        assert is_beta_acyclic(nested)
+
+    def test_neo_of_cyclic_hypergraph_is_none(self):
+        assert nested_elimination_order(TRIANGLE) is None
+
+    def test_neo_property_holds(self):
+        """Eliminating along the NEO, every vertex's incident edges form a chain."""
+        nested = Hypergraph.from_scopes(
+            [("A", "B"), ("A", "B", "C"), ("C", "D"), ("C", "D", "E")]
+        )
+        order = nested_elimination_order(nested)
+        assert order is not None
+        edges = [set(e) for e in nested.edges]
+        for vertex in reversed(order):
+            incident = [frozenset(e) for e in edges if vertex in e]
+            ordered = sorted(set(incident), key=len)
+            for smaller, larger in zip(ordered, ordered[1:]):
+                assert smaller <= larger
+            for e in edges:
+                e.discard(vertex)
+            edges = [e for e in edges if e]
+
+    def test_neo_lists_every_vertex_once(self):
+        order = nested_elimination_order(PATH)
+        assert sorted(order) == ["A", "B", "C", "D"]

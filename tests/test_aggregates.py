@@ -1,0 +1,80 @@
+"""Unit tests for aggregate descriptors (:mod:`repro.semiring.aggregates`)."""
+
+import pytest
+
+from repro.semiring.aggregates import (
+    Aggregate,
+    FREE_TAG,
+    PRODUCT_TAG,
+    ProductAggregate,
+    SemiringAggregate,
+    product_aggregate,
+    semiring_aggregate,
+)
+
+
+class TestConstruction:
+    def test_semiring_aggregate_requires_op(self):
+        with pytest.raises(ValueError):
+            Aggregate(kind="semiring", name="sum", op=None)
+
+    def test_product_aggregate_rejects_op(self):
+        with pytest.raises(ValueError):
+            Aggregate(kind="product", name="product", op=lambda a, b: a * b)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Aggregate(kind="weird", name="weird")
+
+    def test_factory_functions(self):
+        agg = semiring_aggregate("sum", lambda a, b: a + b, 0)
+        assert agg.is_semiring and not agg.is_product
+        prod = product_aggregate()
+        assert prod.is_product and not prod.is_semiring
+
+
+class TestTags:
+    def test_semiring_tag_is_name(self):
+        assert SemiringAggregate.sum().tag == "sum"
+        assert SemiringAggregate.max().tag == "max"
+        assert SemiringAggregate.min().tag == "min"
+        assert SemiringAggregate.logical_or().tag == "or"
+
+    def test_product_tag(self):
+        assert ProductAggregate.product().tag == PRODUCT_TAG
+
+    def test_same_tag(self):
+        assert SemiringAggregate.sum().same_tag(SemiringAggregate.sum())
+        assert not SemiringAggregate.sum().same_tag(SemiringAggregate.max())
+        assert ProductAggregate.product().same_tag(ProductAggregate.product())
+
+    def test_free_tag_constant_distinct(self):
+        assert FREE_TAG not in (PRODUCT_TAG, "sum", "max")
+
+
+class TestCombine:
+    def test_sum_combine(self):
+        agg = SemiringAggregate.sum()
+        assert agg.combine(2, 5) == 7
+
+    def test_max_combine(self):
+        agg = SemiringAggregate.max()
+        assert agg.combine(2, 5) == 5
+        assert agg.combine(5, 2) == 5
+
+    def test_or_combine(self):
+        agg = SemiringAggregate.logical_or()
+        assert agg.combine(False, True) is True
+        assert agg.combine(False, False) is False
+
+    def test_reduce_folds_from_start(self):
+        agg = SemiringAggregate.sum()
+        assert agg.reduce([1, 2, 3], 0) == 6
+        assert agg.reduce([], 10) == 10
+
+    def test_product_combine_raises(self):
+        with pytest.raises(ValueError):
+            ProductAggregate.product().combine(1, 2)
+
+    def test_repr_mentions_tag(self):
+        assert "sum" in repr(SemiringAggregate.sum())

@@ -1,0 +1,126 @@
+"""Unit tests for edge covers and the AGM bound (:mod:`repro.hypergraph.covers`)."""
+
+import math
+
+import pytest
+
+from repro.hypergraph.covers import (
+    agm_bound,
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+    integral_edge_cover_number,
+)
+from repro.hypergraph.hypergraph import Hypergraph, HypergraphError
+
+
+TRIANGLE = Hypergraph.from_scopes([("A", "B"), ("B", "C"), ("A", "C")])
+PATH = Hypergraph.from_scopes([("A", "B"), ("B", "C"), ("C", "D")])
+BIG_EDGE = Hypergraph.from_scopes([("A", "B", "C", "D")])
+
+
+class TestFractionalCover:
+    def test_triangle_fractional_cover_is_three_halves(self):
+        assert fractional_edge_cover_number(TRIANGLE) == pytest.approx(1.5)
+
+    def test_triangle_solution_uses_half_each(self):
+        objective, solution = fractional_edge_cover(TRIANGLE)
+        assert objective == pytest.approx(1.5)
+        assert all(weight == pytest.approx(0.5) for weight in solution.values())
+
+    def test_path_cover(self):
+        # Two disjoint edges {A,B} and {C,D} cover the path.
+        assert fractional_edge_cover_number(PATH) == pytest.approx(2.0)
+
+    def test_single_big_edge(self):
+        assert fractional_edge_cover_number(BIG_EDGE) == pytest.approx(1.0)
+
+    def test_subset_cover(self):
+        assert fractional_edge_cover_number(TRIANGLE, {"A", "B"}) == pytest.approx(1.0)
+        assert fractional_edge_cover_number(PATH, {"B", "C"}) == pytest.approx(1.0)
+
+    def test_empty_subset_costs_nothing(self):
+        assert fractional_edge_cover_number(TRIANGLE, set()) == 0.0
+
+    def test_uncovered_vertex_raises(self):
+        h = Hypergraph(vertices=["A", "Z"], edges=[("A",)])
+        with pytest.raises(HypergraphError):
+            fractional_edge_cover_number(h, {"A", "Z"})
+
+    def test_uncovered_vertex_can_be_ignored(self):
+        h = Hypergraph(vertices=["A", "Z"], edges=[("A",)])
+        value = fractional_edge_cover_number(h, {"A", "Z"}, ignore_uncovered=True)
+        assert value == pytest.approx(1.0)
+
+    def test_weighted_cover_prefers_cheap_edges(self):
+        h = Hypergraph.from_scopes([("A", "B"), ("A",), ("B",)])
+        weights = {
+            frozenset({"A", "B"}): 10.0,
+            frozenset({"A"}): 1.0,
+            frozenset({"B"}): 1.0,
+        }
+        objective, solution = fractional_edge_cover(h, weights=weights)
+        assert objective == pytest.approx(2.0)
+        assert solution[frozenset({"A", "B"})] == pytest.approx(0.0)
+
+    def test_five_cycle_cover(self):
+        cycle = Hypergraph.from_scopes(
+            [("A", "B"), ("B", "C"), ("C", "D"), ("D", "E"), ("E", "A")]
+        )
+        assert fractional_edge_cover_number(cycle) == pytest.approx(2.5)
+
+
+class TestIntegralCover:
+    def test_triangle_needs_two_edges(self):
+        assert integral_edge_cover_number(TRIANGLE) == 2
+
+    def test_path_needs_two_edges(self):
+        assert integral_edge_cover_number(PATH) == 2
+
+    def test_single_edge(self):
+        assert integral_edge_cover_number(BIG_EDGE) == 1
+
+    def test_subset(self):
+        assert integral_edge_cover_number(TRIANGLE, {"A"}) == 1
+
+    def test_empty_subset(self):
+        assert integral_edge_cover_number(TRIANGLE, set()) == 0
+
+    def test_uncoverable_raises(self):
+        h = Hypergraph(vertices=["A", "Z"], edges=[("A",)])
+        with pytest.raises(HypergraphError):
+            integral_edge_cover_number(h, {"Z"})
+
+    def test_greedy_fallback_still_covers(self):
+        star = Hypergraph.from_scopes([("Hub", f"L{i}") for i in range(25)])
+        # Exact search limit exceeded → greedy; every leaf needs its own edge.
+        assert integral_edge_cover_number(star, exact_limit=5) == 25
+
+
+class TestAgmBound:
+    def test_triangle_agm_is_n_to_three_halves(self):
+        sizes = {edge: 100 for edge in TRIANGLE.edges}
+        assert agm_bound(TRIANGLE, sizes) == pytest.approx(100 ** 1.5, rel=1e-6)
+
+    def test_agm_uses_individual_sizes(self):
+        sizes = {
+            frozenset({"A", "B"}): 100,
+            frozenset({"B", "C"}): 1,
+            frozenset({"A", "C"}): 100,
+        }
+        # The tiny relation makes the bound collapse towards 100.
+        assert agm_bound(TRIANGLE, sizes) <= 100 * 1.0001
+
+    def test_agm_with_zero_size_edge_is_zero(self):
+        sizes = {edge: 100 for edge in TRIANGLE.edges}
+        sizes[frozenset({"A", "B"})] = 0
+        assert agm_bound(TRIANGLE, sizes) == 0.0
+
+    def test_agm_of_empty_subset_is_one(self):
+        sizes = {edge: 100 for edge in TRIANGLE.edges}
+        assert agm_bound(TRIANGLE, sizes, subset=set()) == 1.0
+
+    def test_agm_never_exceeds_n_to_rho_star(self):
+        sizes = {edge: 50 for edge in PATH.edges}
+        bound = agm_bound(PATH, sizes)
+        rho_star = fractional_edge_cover_number(PATH)
+        assert bound <= (50 ** rho_star) * 1.0001

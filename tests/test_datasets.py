@@ -1,0 +1,136 @@
+"""Tests for the synthetic workload generators."""
+
+import networkx as nx
+import pytest
+
+from repro.datasets.cnf import beta_acyclic_cnf, chain_cnf, random_k_cnf
+from repro.datasets.graphs import clique_pattern, cycle_pattern, graph_edge_relation, random_graph
+from repro.datasets.pgm_models import chain_model, grid_model, random_sparse_model, star_model
+from repro.datasets.queries import (
+    example_5_6_query,
+    example_6_13_query,
+    example_6_19_query,
+    example_6_2_query,
+    random_faq_query,
+)
+from repro.datasets.relations import (
+    cycle_query_relations,
+    path_query_relations,
+    random_relation,
+    star_query_relations,
+)
+from repro.hypergraph.treedecomp import treewidth
+
+
+class TestRelationGenerators:
+    def test_random_relation_size_and_schema(self):
+        rel = random_relation("R", ("a", "b"), domain_size=5, num_tuples=12, seed=1)
+        assert len(rel) == 12
+        assert rel.schema == ("a", "b")
+        assert all(0 <= v < 5 for row in rel.tuples for v in row)
+
+    def test_random_relation_caps_at_domain_capacity(self):
+        rel = random_relation("R", ("a",), domain_size=3, num_tuples=100, seed=2)
+        assert len(rel) == 3
+
+    def test_deterministic_given_seed(self):
+        a = random_relation("R", ("a", "b"), 6, 10, seed=7)
+        b = random_relation("R", ("a", "b"), 6, 10, seed=7)
+        assert a.tuples == b.tuples
+
+    def test_query_shapes(self):
+        assert [r.schema for r in path_query_relations(3, 4, 5)] == [
+            ("A1", "A2"), ("A2", "A3"), ("A3", "A4")
+        ]
+        star = star_query_relations(3, 4, 5)
+        assert all(r.schema[0] == "Hub" for r in star)
+        cycle = cycle_query_relations(4, 4, 5)
+        assert cycle[-1].schema == ("A4", "A1")
+
+
+class TestGraphGenerators:
+    def test_random_graph_edge_count(self):
+        graph = random_graph(20, 40, seed=3)
+        assert graph.number_of_nodes() == 20
+        assert graph.number_of_edges() == 40
+
+    def test_random_graph_caps_edges(self):
+        graph = random_graph(4, 100, seed=4)
+        assert graph.number_of_edges() == 6
+
+    def test_edge_relation_symmetric(self):
+        graph = random_graph(6, 8, seed=5)
+        rel = graph_edge_relation(graph)
+        assert len(rel) == 2 * graph.number_of_edges()
+
+    def test_patterns(self):
+        assert clique_pattern(3).number_of_edges() == 3
+        assert cycle_pattern(4).number_of_edges() == 4
+
+
+class TestPGMGenerators:
+    def test_chain_model_treewidth_one(self):
+        model = chain_model(6, domain_size=2, seed=1)
+        assert treewidth(model.hypergraph()) == 1
+
+    def test_star_model_structure(self):
+        model = star_model(5, seed=2)
+        assert len(model.factors) == 5
+        assert "Hub" in model.variables
+
+    def test_grid_model_factor_count(self):
+        model = grid_model(3, 3, seed=3)
+        assert len(model.factors) == 12  # 6 horizontal + 6 vertical
+
+    def test_random_sparse_model_is_well_formed(self):
+        model = random_sparse_model(8, 10, max_arity=3, domain_size=3, seed=4)
+        assert len(model.factors) == 10
+        for factor in model.factors:
+            assert len(factor) >= 1
+            assert all(v >= 0 for v in factor.table.values())
+
+
+class TestCNFGenerators:
+    def test_random_k_cnf_clause_width(self):
+        formula = random_k_cnf(10, 20, 3, seed=5)
+        assert len(formula) <= 20
+        assert all(len(clause) <= 3 for clause in formula.clauses)
+
+    def test_chain_cnf_is_beta_acyclic(self):
+        assert chain_cnf(8, seed=1).is_beta_acyclic()
+
+    def test_beta_acyclic_generator_really_is_beta_acyclic(self):
+        for seed in range(5):
+            assert beta_acyclic_cnf(4, 3, seed=seed).is_beta_acyclic()
+
+
+class TestQueryGenerators:
+    def test_paper_examples_have_expected_signatures(self):
+        q56 = example_5_6_query()
+        assert q56.product_variables == ("x3",)
+        q62 = example_6_2_query()
+        assert len(q62.factors) == 6
+        q613 = example_6_13_query()
+        assert q613.num_variables == 3
+        q619 = example_6_19_query()
+        assert set(q619.product_variables) == {"x5", "x7"}
+
+    def test_random_faq_query_is_reproducible(self):
+        a = random_faq_query(seed=11)
+        b = random_faq_query(seed=11)
+        assert a.order == b.order
+        assert [f.table for f in a.factors] == [f.table for f in b.factors]
+
+    def test_random_faq_query_respects_flags(self):
+        query = random_faq_query(seed=13, allow_products=False, allow_free=False)
+        assert not query.product_variables
+        assert not query.free
+
+    def test_example_queries_evaluate_consistently(self):
+        from repro.core.insideout import inside_out
+
+        for maker in (example_5_6_query, example_6_2_query, example_6_13_query, example_6_19_query):
+            query = maker()
+            expected = query.evaluate_scalar_brute_force()
+            got = inside_out(query).scalar_or_zero(query.semiring)
+            assert abs(complex(got) - complex(expected)) < 1e-9

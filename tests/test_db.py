@@ -1,0 +1,191 @@
+"""Tests for the relational substrate: relations, join algorithms, Yannakakis."""
+
+import itertools
+
+import pytest
+
+from repro.datasets.relations import (
+    cycle_query_relations,
+    path_query_relations,
+    random_relation,
+    star_query_relations,
+)
+from repro.db.generic_join import generic_join
+from repro.db.hash_join import binary_hash_join, left_deep_join_plan
+from repro.db.relation import Relation, RelationError
+from repro.db.yannakakis import semijoin, yannakakis
+from repro.semiring.standard import BOOLEAN
+
+
+def brute_force_join(relations):
+    """Reference natural join by nested loops over the active domains."""
+    attributes = sorted({a for r in relations for a in r.schema})
+    domains = {a: set() for a in attributes}
+    for relation in relations:
+        for row in relation.tuples:
+            for attribute, value in zip(relation.schema, row):
+                domains[attribute].add(value)
+    result = set()
+    for values in itertools.product(*(sorted(domains[a]) for a in attributes)):
+        assignment = dict(zip(attributes, values))
+        if all(
+            tuple(assignment[a] for a in r.schema) in r.tuples for r in relations
+        ):
+            result.add(values)
+    return attributes, result
+
+
+class TestRelation:
+    def test_construction_and_lookup(self):
+        rel = Relation("R", ("a", "b"), [(1, 2), (3, 4)])
+        assert len(rel) == 2
+        assert (1, 2) in rel
+        assert rel.attributes == frozenset({"a", "b"})
+
+    def test_duplicate_rows_are_deduplicated(self):
+        rel = Relation("R", ("a",), [(1,), (1,)])
+        assert len(rel) == 1
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(RelationError):
+            Relation("R", ("a", "b"), [(1,)])
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(RelationError):
+            Relation("R", ("a", "a"), [])
+
+    def test_project_select_rename(self):
+        rel = Relation("R", ("a", "b"), [(1, 2), (1, 3), (2, 3)])
+        assert len(rel.project(["a"])) == 2
+        assert len(rel.select(lambda row: row["b"] == 3)) == 2
+        renamed = rel.rename({"a": "x"})
+        assert renamed.schema == ("x", "b")
+
+    def test_project_unknown_attribute_rejected(self):
+        rel = Relation("R", ("a",), [(1,)])
+        with pytest.raises(RelationError):
+            rel.project(["z"])
+
+    def test_factor_roundtrip(self):
+        rel = Relation("R", ("a", "b"), [(1, 2)])
+        factor = rel.to_factor(BOOLEAN)
+        assert factor.table == {(1, 2): True}
+        back = Relation.from_factor(factor)
+        assert back.tuples == rel.tuples
+
+
+class TestBinaryHashJoin:
+    def test_shared_attribute_join(self):
+        r = Relation("R", ("a", "b"), [(1, 2), (2, 3)])
+        s = Relation("S", ("b", "c"), [(2, 9), (3, 8), (7, 0)])
+        joined = binary_hash_join(r, s)
+        assert set(joined.schema) == {"a", "b", "c"}
+        assert joined.tuples == frozenset({(1, 2, 9), (2, 3, 8)})
+
+    def test_cartesian_product_when_disjoint(self):
+        r = Relation("R", ("a",), [(1,), (2,)])
+        s = Relation("S", ("b",), [(9,)])
+        assert len(binary_hash_join(r, s)) == 2
+
+    def test_matches_brute_force(self):
+        rels = path_query_relations(2, 5, 12, seed=4)
+        attributes, expected = brute_force_join(rels)
+        joined = binary_hash_join(rels[0], rels[1]).project(attributes)
+        assert joined.tuples == frozenset(expected)
+
+
+class TestLeftDeepPlan:
+    def test_result_matches_brute_force(self):
+        rels = cycle_query_relations(3, 6, 14, seed=2)
+        attributes, expected = brute_force_join(rels)
+        result, sizes = left_deep_join_plan(rels)
+        assert result.project(attributes).tuples == frozenset(expected)
+        assert len(sizes) == len(rels)
+
+    def test_explicit_order(self):
+        rels = path_query_relations(3, 5, 10, seed=9)
+        result, _ = left_deep_join_plan(rels, order=[2, 1, 0])
+        attributes, expected = brute_force_join(rels)
+        assert result.project(attributes).tuples == frozenset(expected)
+
+    def test_invalid_order_rejected(self):
+        rels = path_query_relations(2, 4, 5, seed=1)
+        with pytest.raises(RelationError):
+            left_deep_join_plan(rels, order=[0, 0])
+
+    def test_empty_relation_list_rejected(self):
+        with pytest.raises(RelationError):
+            left_deep_join_plan([])
+
+    def test_triangle_intermediate_blowup_is_recorded(self):
+        # On the triangle query, a pairwise plan's first intermediate is a
+        # near-cartesian product: strictly larger than the final output.
+        rels = cycle_query_relations(3, 20, 60, seed=5)
+        result, sizes = left_deep_join_plan(rels)
+        assert max(sizes) >= len(result)
+
+
+class TestSemijoinAndYannakakis:
+    def test_semijoin_filters_left(self):
+        r = Relation("R", ("a", "b"), [(1, 2), (2, 3)])
+        s = Relation("S", ("b", "c"), [(2, 0)])
+        assert semijoin(r, s).tuples == frozenset({(1, 2)})
+
+    def test_semijoin_disjoint_schema(self):
+        r = Relation("R", ("a",), [(1,)])
+        s = Relation("S", ("b",), [])
+        assert len(semijoin(r, s)) == 0
+
+    @pytest.mark.parametrize(
+        "relations",
+        [
+            path_query_relations(3, 6, 20, seed=11),
+            star_query_relations(3, 6, 20, seed=12),
+        ],
+    )
+    def test_yannakakis_matches_brute_force(self, relations):
+        attributes, expected = brute_force_join(relations)
+        result = yannakakis(relations, output_attributes=attributes)
+        assert result.tuples == frozenset(expected)
+
+    def test_yannakakis_rejects_cyclic_queries(self):
+        rels = cycle_query_relations(3, 5, 10, seed=3)
+        with pytest.raises(RelationError):
+            yannakakis(rels)
+
+    def test_yannakakis_projection(self):
+        rels = path_query_relations(3, 5, 15, seed=8)
+        result = yannakakis(rels, output_attributes=["A1", "A4"])
+        assert set(result.schema) == {"A1", "A4"}
+
+
+class TestGenericJoin:
+    @pytest.mark.parametrize(
+        "relations",
+        [
+            path_query_relations(3, 6, 20, seed=21),
+            cycle_query_relations(3, 6, 20, seed=22),
+            cycle_query_relations(4, 5, 18, seed=23),
+            star_query_relations(3, 5, 15, seed=24),
+        ],
+    )
+    def test_matches_brute_force(self, relations):
+        attributes, expected = brute_force_join(relations)
+        result = generic_join(relations).project(attributes)
+        assert result.tuples == frozenset(expected)
+
+    def test_respects_attribute_order(self):
+        rels = path_query_relations(2, 5, 10, seed=30)
+        result = generic_join(rels, attribute_order=["A3", "A2", "A1"])
+        assert result.schema == ("A3", "A2", "A1")
+
+    def test_empty_relation_list_rejected(self):
+        with pytest.raises(RelationError):
+            generic_join([])
+
+    def test_agrees_with_yannakakis_on_acyclic(self):
+        rels = path_query_relations(4, 6, 25, seed=31)
+        attributes = sorted({a for r in rels for a in r.schema})
+        gj = generic_join(rels).project(attributes)
+        ya = yannakakis(rels, output_attributes=attributes)
+        assert gj.tuples == ya.tuples

@@ -1,0 +1,109 @@
+"""Unit tests for elimination hypergraph sequences (:mod:`repro.hypergraph.elimination`)."""
+
+import pytest
+
+from repro.hypergraph.covers import fractional_edge_cover_number
+from repro.hypergraph.elimination import elimination_sequence, induced_sets, induced_width
+from repro.hypergraph.hypergraph import Hypergraph, HypergraphError
+
+
+TRIANGLE = Hypergraph.from_scopes([("A", "B"), ("B", "C"), ("A", "C")])
+PATH = Hypergraph.from_scopes([("A", "B"), ("B", "C"), ("C", "D")])
+
+
+class TestEliminationSequence:
+    def test_steps_align_with_ordering(self):
+        steps = elimination_sequence(PATH, ["A", "B", "C", "D"])
+        assert [step.vertex for step in steps] == ["A", "B", "C", "D"]
+        assert [step.position for step in steps] == [1, 2, 3, 4]
+
+    def test_last_vertex_sees_original_hypergraph(self):
+        steps = elimination_sequence(PATH, ["A", "B", "C", "D"])
+        assert steps[-1].hypergraph == PATH
+        assert steps[-1].union == frozenset({"C", "D"})
+
+    def test_residual_edge_is_added(self):
+        # Eliminating D from the path adds nothing new; eliminating C next
+        # sees the residual edge {C} ∪ ... — its union is {B, C}.
+        steps = elimination_sequence(PATH, ["A", "B", "C", "D"])
+        by_vertex = {step.vertex: step for step in steps}
+        assert by_vertex["C"].union == frozenset({"B", "C"})
+        assert by_vertex["B"].union == frozenset({"A", "B"})
+
+    def test_triangle_union_grows(self):
+        steps = elimination_sequence(TRIANGLE, ["A", "B", "C"])
+        by_vertex = {step.vertex: step for step in steps}
+        assert by_vertex["C"].union == frozenset({"A", "B", "C"})
+        # After eliminating C, the residual edge {A, B} joins the two others.
+        assert by_vertex["B"].union == frozenset({"A", "B"})
+
+    def test_isolated_vertex_union_is_singleton(self):
+        h = Hypergraph(vertices=["A", "Z"], edges=[("A",)])
+        steps = elimination_sequence(h, ["A", "Z"])
+        assert steps[1].union == frozenset({"Z"})
+
+    def test_ordering_must_cover_all_vertices(self):
+        with pytest.raises(HypergraphError):
+            elimination_sequence(PATH, ["A", "B", "C"])
+
+    def test_ordering_must_not_repeat(self):
+        with pytest.raises(HypergraphError):
+            elimination_sequence(PATH, ["A", "B", "C", "C"])
+
+    def test_extra_vertices_rejected(self):
+        with pytest.raises(HypergraphError):
+            elimination_sequence(PATH, ["A", "B", "C", "D", "E"])
+
+
+class TestProductVertices:
+    def test_product_vertex_drops_from_edges(self):
+        # With C as a product vertex, eliminating it must NOT connect B and D.
+        steps = elimination_sequence(PATH, ["A", "B", "D", "C"], product_vertices={"C"})
+        by_vertex = {step.vertex: step for step in steps}
+        assert by_vertex["C"].is_product
+        assert by_vertex["D"].union == frozenset({"D"})
+        assert by_vertex["B"].union == frozenset({"A", "B"})
+
+    def test_semiring_vertex_connects_neighbours(self):
+        steps = elimination_sequence(PATH, ["A", "B", "D", "C"])
+        by_vertex = {step.vertex: step for step in steps}
+        # Without the product rule, eliminating C links B and D.
+        assert by_vertex["D"].union == frozenset({"B", "D"})
+
+
+class TestInducedWidths:
+    def test_induced_sets_maps_every_vertex(self):
+        sets = induced_sets(PATH, ["A", "B", "C", "D"])
+        assert set(sets) == {"A", "B", "C", "D"}
+
+    def test_induced_treewidth_of_path_is_one(self):
+        width = induced_width(PATH, ["A", "B", "C", "D"], lambda bag: len(bag) - 1)
+        assert width == 1
+
+    def test_induced_treewidth_of_triangle_is_two(self):
+        width = induced_width(TRIANGLE, ["A", "B", "C"], lambda bag: len(bag) - 1)
+        assert width == 2
+
+    def test_bad_ordering_gives_larger_width(self):
+        # Eliminating B first on the path connects A and C.
+        width = induced_width(PATH, ["A", "C", "D", "B"], lambda bag: len(bag) - 1)
+        assert width == 2
+
+    def test_restrict_to_skips_vertices(self):
+        # Only the step for B counts: U_B = {A, B}, so the width drops to 1
+        # even though eliminating C earlier had |U_C| - 1 = 2.
+        width = induced_width(
+            TRIANGLE,
+            ["A", "B", "C"],
+            lambda bag: len(bag) - 1,
+            restrict_to={"B"},
+        )
+        assert width == 1
+
+    def test_fractional_width_of_triangle(self):
+        width = induced_width(
+            TRIANGLE,
+            ["A", "B", "C"],
+            lambda bag: fractional_edge_cover_number(TRIANGLE, bag),
+        )
+        assert width == pytest.approx(1.5)

@@ -1,0 +1,167 @@
+"""Tests for equivalent variable orderings (Section 6): soundness, completeness
+on the paper's examples, CW-equivalence and linear extensions."""
+
+import itertools
+
+import pytest
+
+from repro.core.evo import (
+    cw_equivalent,
+    is_equivalent_ordering,
+    linear_extensions,
+    one_linear_extension,
+    precedence_poset,
+)
+from repro.core.insideout import inside_out
+from repro.core.query import FAQQuery, Variable
+from repro.datasets.queries import (
+    example_6_13_query,
+    example_6_19_query,
+    example_6_2_query,
+)
+from repro.factors.factor import Factor
+from repro.semiring.aggregates import SemiringAggregate
+from repro.semiring.standard import COUNTING, SUM_PRODUCT
+
+from conftest import small_random_query
+
+
+class TestLinearExtensions:
+    def test_example_6_13_extensions(self):
+        query = example_6_13_query()
+        extensions = set(linear_extensions(query))
+        assert extensions == {("x1", "x3", "x2"), ("x3", "x1", "x2")}
+
+    def test_limit_caps_generation(self):
+        query = example_6_2_query()
+        limited = list(linear_extensions(query, limit=5))
+        assert len(limited) == 5
+
+    def test_one_linear_extension_is_an_extension(self):
+        query = example_6_2_query()
+        extension = one_linear_extension(query)
+        assert set(extension) == set(query.order)
+
+    def test_extensions_respect_the_poset(self):
+        query = example_6_2_query()
+        pairs = precedence_poset(query)
+        for extension in itertools.islice(linear_extensions(query), 50):
+            position = {v: i for i, v in enumerate(extension)}
+            for before, after in pairs:
+                assert position[before] < position[after]
+
+    def test_free_variables_always_first(self):
+        query = small_random_query(7, allow_free=True)
+        for extension in itertools.islice(linear_extensions(query), 20):
+            assert set(extension[: query.num_free]) == set(query.free)
+
+
+class TestEVOMembershipPaperExamples:
+    def test_example_6_13_exact_evo_set(self):
+        """The paper states EVO = {(1,2,3), (1,3,2), (3,1,2)}."""
+        query = example_6_13_query()
+        expected = {("x1", "x2", "x3"), ("x1", "x3", "x2"), ("x3", "x1", "x2")}
+        actual = {
+            perm
+            for perm in itertools.permutations(query.order)
+            if is_equivalent_ordering(query, perm)
+        }
+        assert actual == expected
+
+    def test_section_6_1_interleaving_example(self):
+        """phi = Σ_1 Σ_2 max_3 max_4 Σ_5 ψ15 ψ25 ψ13 ψ24 (Section 6.1 text).
+
+        The orderings (5,1,3,2,4) and (5,2,4,1,3) are equivalent even though
+        they are not linear extensions of the precedence poset.
+        """
+        factors = [
+            Factor(("x1", "x5"), {(0, 0): 1.0, (1, 1): 2.0}),
+            Factor(("x2", "x5"), {(0, 0): 1.0, (1, 0): 3.0}),
+            Factor(("x1", "x3"), {(0, 1): 1.0, (1, 0): 2.0}),
+            Factor(("x2", "x4"), {(0, 0): 1.5, (1, 1): 2.0}),
+        ]
+        query = FAQQuery(
+            variables=[Variable(f"x{i}", (0, 1)) for i in range(1, 6)],
+            free=[],
+            aggregates={
+                "x1": SemiringAggregate.sum(),
+                "x2": SemiringAggregate.sum(),
+                "x3": SemiringAggregate.max(),
+                "x4": SemiringAggregate.max(),
+                "x5": SemiringAggregate.sum(),
+            },
+            factors=factors,
+            semiring=SUM_PRODUCT,
+        )
+        assert is_equivalent_ordering(query, ("x5", "x1", "x3", "x2", "x4"))
+        assert is_equivalent_ordering(query, ("x5", "x2", "x4", "x1", "x3"))
+        # Swapping a max ahead of the sums it depends on is not equivalent.
+        assert not is_equivalent_ordering(query, ("x3", "x1", "x2", "x4", "x5"))
+
+    def test_written_order_is_always_equivalent(self):
+        for maker in (example_6_13_query, example_6_2_query, example_6_19_query):
+            query = maker()
+            assert is_equivalent_ordering(query, query.order)
+
+    def test_non_permutations_rejected(self):
+        query = example_6_13_query()
+        assert not is_equivalent_ordering(query, ("x1", "x2"))
+        assert not is_equivalent_ordering(query, ("x1", "x2", "x2"))
+
+
+class TestEVOSoundness:
+    """Every linear extension must produce the same answer as the query."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_linear_extensions_are_sound_random_queries(self, seed):
+        query = small_random_query(seed + 3000, allow_products=False)
+        expected = query.evaluate_brute_force()
+        for extension in itertools.islice(linear_extensions(query), 4):
+            assert is_equivalent_ordering(query, extension)
+            result = inside_out(query, ordering=list(extension)).factor
+            assert expected.equals(result, query.semiring), (seed, extension)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_linear_extensions_are_sound_with_products(self, seed):
+        query = small_random_query(seed + 4000, allow_products=True, zero_one=True)
+        expected = query.evaluate_brute_force()
+        for extension in itertools.islice(linear_extensions(query), 4):
+            result = inside_out(query, ordering=list(extension)).factor
+            assert expected.equals(result, query.semiring), (seed, extension)
+
+    def test_memberships_are_sound_on_paper_example(self):
+        """Every ordering accepted by is_equivalent_ordering evaluates identically."""
+        query = example_6_13_query(domain_size=3, seed=5)
+        expected = query.evaluate_scalar_brute_force()
+        for perm in itertools.permutations(query.order):
+            if is_equivalent_ordering(query, perm):
+                got = inside_out(query, ordering=list(perm)).scalar
+                assert abs(got - expected) < 1e-9
+
+
+class TestCWEquivalence:
+    def test_original_order_cw_equivalent_to_extension(self):
+        query = example_6_13_query()
+        assert cw_equivalent(query, ("x1", "x3", "x2"), ("x1", "x2", "x3"))
+
+    def test_cw_equivalence_is_reflexive_on_extensions(self):
+        query = example_6_2_query()
+        extension = one_linear_extension(query)
+        assert cw_equivalent(query, extension, extension)
+
+    def test_cw_equivalence_rejects_wrong_first_variable(self):
+        query = example_6_13_query()
+        assert not cw_equivalent(query, ("x1", "x3", "x2"), ("x2", "x1", "x3"))
+
+    def test_cw_equivalence_rejects_non_permutations(self):
+        query = example_6_13_query()
+        assert not cw_equivalent(query, ("x1", "x3", "x2"), ("x1", "x3"))
+
+    def test_cw_equivalent_orderings_have_equal_results(self):
+        query = example_6_13_query(domain_size=3, seed=11)
+        sigma = ("x1", "x3", "x2")
+        pi = ("x1", "x2", "x3")
+        assert cw_equivalent(query, sigma, pi)
+        a = inside_out(query, ordering=list(sigma)).scalar
+        b = inside_out(query, ordering=list(pi)).scalar
+        assert abs(a - b) < 1e-9

@@ -1,0 +1,222 @@
+"""Generic unit tests for expression trees and precedence posets."""
+
+import pytest
+
+from repro.core.expression_tree import (
+    ExpressionNode,
+    build_expression_tree,
+    extended_components,
+)
+from repro.core.query import FAQQuery, Variable
+from repro.factors.factor import Factor
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.semiring.aggregates import FREE_TAG, PRODUCT_TAG, ProductAggregate, SemiringAggregate
+from repro.semiring.standard import COUNTING
+
+from conftest import make_factor, small_random_query
+
+
+def simple_query(aggregate_tags, scopes, free=()):
+    """Build a query from variable→tag and a list of scopes (all domains {0,1})."""
+    names = list(aggregate_tags)
+    factories = {
+        "sum": SemiringAggregate.sum,
+        "max": SemiringAggregate.max,
+        "product": ProductAggregate.product,
+    }
+    aggregates = {
+        v: factories[tag]() for v, tag in aggregate_tags.items() if v not in free
+    }
+    factors = [
+        Factor(scope, {tuple(0 for _ in scope): 1}) for scope in scopes
+    ]
+    return FAQQuery(
+        variables=[Variable(v, (0, 1)) for v in names],
+        free=list(free),
+        aggregates=aggregates,
+        factors=factors,
+        semiring=COUNTING,
+    )
+
+
+class TestExtendedComponents:
+    def test_plain_connected_components_without_products(self):
+        h = Hypergraph.from_scopes([("a", "b"), ("c", "d")])
+        components, dangling = extended_components(h, block=(), product_variables=())
+        assert len(components) == 2
+        assert dangling == frozenset()
+
+    def test_product_variables_are_added_back(self):
+        h = Hypergraph.from_scopes([("a", "p"), ("b", "p")])
+        components, dangling = extended_components(h, block=(), product_variables=("p",))
+        # Removing p disconnects a and b; each extended component gets p back.
+        assert len(components) == 2
+        for vertex_set, sub in components:
+            assert "p" in vertex_set
+
+    def test_dangling_product_variables(self):
+        # p appears only in an edge fully inside the block ∪ products.
+        h = Hypergraph.from_scopes([("a", "b"), ("b", "p")])
+        components, dangling = extended_components(
+            h, block=("b",), product_variables=("p",)
+        )
+        assert dangling == frozenset({"p"})
+
+    def test_isolated_product_variable_is_dangling(self):
+        h = Hypergraph(vertices=["a", "p"], edges=[("a",)])
+        components, dangling = extended_components(h, block=(), product_variables=("p",))
+        assert dangling == frozenset({"p"})
+
+    def test_block_removal(self):
+        h = Hypergraph.from_scopes([("a", "b"), ("b", "c")])
+        components, _ = extended_components(h, block=("b",), product_variables=())
+        assert len(components) == 2
+
+
+class TestTreeShape:
+    def test_faq_ss_tree_has_depth_at_most_one_below_root_child(self):
+        # Single semiring aggregate: paper says depth ≤ 1 (root + one node per
+        # connected component).
+        query = simple_query(
+            {"a": "sum", "b": "sum", "c": "sum"},
+            scopes=[("a", "b"), ("b", "c")],
+        )
+        tree = build_expression_tree(query)
+        assert tree.root.tag == FREE_TAG
+        assert len(tree.root.children) == 1
+        assert frozenset(tree.root.children[0].variables) == frozenset({"a", "b", "c"})
+        assert tree.root.children[0].children == []
+
+    def test_free_variables_form_the_root(self):
+        query = simple_query(
+            {"a": "sum", "b": "sum", "c": "sum"},
+            scopes=[("a", "b"), ("b", "c")],
+            free=("a",),
+        )
+        tree = build_expression_tree(query)
+        assert tree.root.variables == ["a"]
+        assert tree.root.tag == FREE_TAG
+
+    def test_disconnected_components_become_sibling_subtrees(self):
+        query = simple_query(
+            {"a": "sum", "b": "max", "c": "sum", "d": "max"},
+            scopes=[("a", "b"), ("c", "d")],
+        )
+        tree = build_expression_tree(query)
+        assert len(tree.root.children) == 2
+
+    def test_alternating_tags_build_a_chain(self):
+        query = simple_query(
+            {"a": "sum", "b": "max", "c": "sum"},
+            scopes=[("a", "b"), ("b", "c")],
+        )
+        tree = build_expression_tree(query)
+        top = tree.root.children[0]
+        assert top.variables == ["a"]
+        assert top.children[0].variables == ["b"]
+        assert top.children[0].children[0].variables == ["c"]
+
+    def test_compression_merges_same_tag_parent_child(self):
+        # sum_a max_b sum_c with edges {a,c},{b,c}: removing {a} leaves {b,c}
+        # connected, but c has the same tag as a... compression applies only
+        # when tags match along parent-child edges.
+        query = simple_query(
+            {"a": "sum", "b": "sum", "c": "max"},
+            scopes=[("a", "b"), ("b", "c")],
+        )
+        tree = build_expression_tree(query)
+        top = tree.root.children[0]
+        assert frozenset(top.variables) == frozenset({"a", "b"})
+        assert top.children[0].variables == ["c"]
+
+    def test_isolated_bound_semiring_variable_becomes_leaf(self):
+        query = simple_query(
+            {"a": "sum", "z": "max"},
+            scopes=[("a",)],
+        )
+        tree = build_expression_tree(query)
+        all_vars = [v for node in tree.iter_nodes() for v in node.variables]
+        assert sorted(all_vars) == ["a", "z"]
+
+    def test_pretty_renders_every_node(self):
+        query = simple_query(
+            {"a": "sum", "b": "max"}, scopes=[("a", "b")]
+        )
+        rendering = build_expression_tree(query).pretty()
+        assert "a" in rendering and "b" in rendering and "[max]" in rendering
+
+
+class TestTreeNavigation:
+    @pytest.fixture
+    def tree(self):
+        query = simple_query(
+            {"a": "sum", "b": "max", "c": "sum"},
+            scopes=[("a", "b"), ("b", "c")],
+        )
+        return build_expression_tree(query)
+
+    def test_iter_nodes_preorder(self, tree):
+        nodes = list(tree.iter_nodes())
+        assert nodes[0] is tree.root
+
+    def test_nodes_containing(self, tree):
+        nodes = tree.nodes_containing("b")
+        assert len(nodes) == 1
+        assert nodes[0].variables == ["b"]
+
+    def test_depth_of(self, tree):
+        assert tree.depth_of(tree.root) == 0
+        child = tree.root.children[0]
+        assert tree.depth_of(child) == 1
+
+    def test_depth_of_foreign_node_raises(self, tree):
+        foreign = ExpressionNode(variables=["zz"], tag="sum")
+        with pytest.raises(Exception):
+            tree.depth_of(foreign)
+
+    def test_parent_of(self, tree):
+        child = tree.root.children[0]
+        assert tree.parent_of(child) is tree.root
+        assert tree.parent_of(tree.root) is None
+
+    def test_subtree_variables(self, tree):
+        assert tree.root.subtree_variables() == frozenset({"a", "b", "c"})
+
+
+class TestPrecedencePoset:
+    def test_chain_precedence(self):
+        query = simple_query(
+            {"a": "sum", "b": "max", "c": "sum"},
+            scopes=[("a", "b"), ("b", "c")],
+        )
+        pairs = build_expression_tree(query).precedence_pairs()
+        assert ("a", "b") in pairs
+        assert ("b", "c") in pairs
+        assert ("a", "c") in pairs
+        assert ("c", "a") not in pairs
+
+    def test_free_variables_precede_everything(self):
+        query = simple_query(
+            {"f": "sum", "a": "sum", "b": "max"},
+            scopes=[("f", "a"), ("a", "b")],
+            free=("f",),
+        )
+        pairs = build_expression_tree(query).precedence_pairs()
+        assert ("f", "a") in pairs and ("f", "b") in pairs
+
+    def test_predecessor_map(self):
+        query = simple_query(
+            {"a": "sum", "b": "max"},
+            scopes=[("a", "b")],
+        )
+        tree = build_expression_tree(query)
+        predecessors = tree.precedence_predecessors()
+        assert predecessors["b"] == {"a"}
+        assert predecessors["a"] == set()
+
+    def test_random_queries_have_antisymmetric_posets(self):
+        for seed in range(30):
+            query = small_random_query(seed + 2000, allow_products=True)
+            pairs = build_expression_tree(query).precedence_pairs()
+            for u, v in pairs:
+                assert (v, u) not in pairs

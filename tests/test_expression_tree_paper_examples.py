@@ -1,0 +1,153 @@
+"""Reproduction of the paper's expression-tree figures (Figures 2-6).
+
+These tests check, node by node, that the compartmentalisation + compression
+construction of Section 6 produces exactly the trees drawn in the paper for
+Example 6.2 (Figures 2-3), Example 6.13, and Example 6.19 (Figures 4-6).
+"""
+
+import pytest
+
+from repro.core.expression_tree import build_expression_tree
+from repro.datasets.queries import (
+    example_6_13_query,
+    example_6_19_query,
+    example_6_2_query,
+)
+from repro.semiring.aggregates import FREE_TAG, PRODUCT_TAG
+
+
+def nodes_by_variables(tree):
+    """Map frozenset(variables) -> node for easy lookup."""
+    return {frozenset(node.variables): node for node in tree.iter_nodes()}
+
+
+class TestExample62Figures2And3:
+    """Figures 2-3: the final tree is {} → {1,2,4}Σ → [{3,7}max → {5}Σ, {6}max]."""
+
+    @pytest.fixture
+    def tree(self):
+        return build_expression_tree(example_6_2_query())
+
+    def test_root_is_empty_free_node(self, tree):
+        assert tree.root.variables == []
+        assert tree.root.tag == FREE_TAG
+        assert len(tree.root.children) == 1
+
+    def test_top_sum_node_is_1_2_4(self, tree):
+        top = tree.root.children[0]
+        assert frozenset(top.variables) == frozenset({"x1", "x2", "x4"})
+        assert top.tag == "sum"
+
+    def test_top_node_children_are_37_and_6(self, tree):
+        top = tree.root.children[0]
+        children = {frozenset(c.variables): c for c in top.children}
+        assert frozenset({"x3", "x7"}) in children
+        assert frozenset({"x6"}) in children
+        assert children[frozenset({"x3", "x7"})].tag == "max"
+        assert children[frozenset({"x6"})].tag == "max"
+
+    def test_node_37_has_single_child_5(self, tree):
+        top = tree.root.children[0]
+        node37 = next(
+            c for c in top.children if frozenset(c.variables) == frozenset({"x3", "x7"})
+        )
+        assert len(node37.children) == 1
+        assert node37.children[0].variables == ["x5"]
+        assert node37.children[0].tag == "sum"
+
+    def test_node_6_is_a_leaf(self, tree):
+        top = tree.root.children[0]
+        node6 = next(c for c in top.children if frozenset(c.variables) == frozenset({"x6"}))
+        assert node6.children == []
+
+    def test_every_variable_appears_exactly_once(self, tree):
+        seen = []
+        for node in tree.iter_nodes():
+            seen.extend(node.variables)
+        assert sorted(seen) == sorted(f"x{i}" for i in range(1, 8))
+
+
+class TestExample613:
+    """Example 6.13: root {} → {1,3}Σ → {2}max and EVO has exactly 3 members."""
+
+    @pytest.fixture
+    def tree(self):
+        return build_expression_tree(example_6_13_query())
+
+    def test_shape(self, tree):
+        assert tree.root.variables == []
+        top = tree.root.children[0]
+        assert frozenset(top.variables) == frozenset({"x1", "x3"})
+        assert top.tag == "sum"
+        assert len(top.children) == 1
+        assert top.children[0].variables == ["x2"]
+        assert top.children[0].tag == "max"
+
+    def test_precedence_pairs(self, tree):
+        pairs = tree.precedence_pairs()
+        assert ("x1", "x2") in pairs
+        assert ("x3", "x2") in pairs
+        assert ("x1", "x3") not in pairs and ("x3", "x1") not in pairs
+
+
+class TestExample619Figures4To6:
+    """Figures 4-6: root {} → {1,2,6}max with children {5,7}∏, {3,4}Σ, {7}∏ → {8}max, {7}∏."""
+
+    @pytest.fixture
+    def tree(self):
+        return build_expression_tree(example_6_19_query())
+
+    def test_root_and_top_node(self, tree):
+        assert tree.root.tag == FREE_TAG
+        assert len(tree.root.children) == 1
+        top = tree.root.children[0]
+        assert frozenset(top.variables) == frozenset({"x1", "x2", "x6"})
+        assert top.tag == "max"
+
+    def test_top_node_children_variable_sets(self, tree):
+        from collections import Counter
+
+        top = tree.root.children[0]
+        child_sets = Counter(
+            (tuple(sorted(c.variables)), c.tag) for c in top.children
+        )
+        expected = Counter(
+            [
+                (("x5", "x7"), PRODUCT_TAG),
+                (("x3", "x4"), "sum"),
+                (("x7",), PRODUCT_TAG),
+                (("x7",), PRODUCT_TAG),
+            ]
+        )
+        assert child_sets == expected
+
+    def test_one_x7_copy_has_the_x8_child(self, tree):
+        top = tree.root.children[0]
+        x7_nodes = [c for c in top.children if frozenset(c.variables) == frozenset({"x7"})]
+        children_counts = sorted(len(c.children) for c in x7_nodes)
+        assert children_counts == [0, 1]
+        with_child = next(c for c in x7_nodes if c.children)
+        assert with_child.children[0].variables == ["x8"]
+        assert with_child.children[0].tag == "max"
+
+    def test_product_variable_copies(self, tree):
+        # x7 occurs in three nodes (the dangling node {5,7} plus two copies).
+        occurrences = sum(1 for node in tree.iter_nodes() if "x7" in node.variables)
+        assert occurrences == 3
+        # x5 occurs only in the dangling node.
+        assert sum(1 for node in tree.iter_nodes() if "x5" in node.variables) == 1
+
+    def test_semiring_variables_appear_once(self, tree):
+        for variable in ("x1", "x2", "x3", "x4", "x6", "x8"):
+            assert sum(1 for n in tree.iter_nodes() if variable in n.variables) == 1
+
+    def test_precedence_poset_is_antisymmetric(self, tree):
+        pairs = tree.precedence_pairs()
+        for u, v in pairs:
+            assert (v, u) not in pairs
+
+    def test_x8_is_below_x7_and_the_root_block(self, tree):
+        pairs = tree.precedence_pairs()
+        assert ("x7", "x8") in pairs
+        assert ("x1", "x8") in pairs
+        assert ("x1", "x3") in pairs

@@ -1,0 +1,216 @@
+"""Unit tests for :class:`repro.factors.factor.Factor`."""
+
+import pytest
+
+from repro.factors.factor import Factor, FactorError
+from repro.semiring.standard import BOOLEAN, COUNTING, MAX_PRODUCT, SUM_PRODUCT
+
+
+@pytest.fixture
+def psi_ab():
+    return Factor(("A", "B"), {(0, 0): 2, (0, 1): 3, (1, 1): 5})
+
+
+class TestConstruction:
+    def test_basic_properties(self, psi_ab):
+        assert psi_ab.scope == ("A", "B")
+        assert len(psi_ab) == 3
+        assert psi_ab.variables == frozenset({"A", "B"})
+
+    def test_duplicate_scope_variable_rejected(self):
+        with pytest.raises(FactorError):
+            Factor(("A", "A"), {})
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(FactorError):
+            Factor(("A", "B"), {(1,): 1})
+
+    def test_table_from_iterable_of_pairs(self):
+        factor = Factor(("A",), [((0,), 1), ((1,), 2)])
+        assert len(factor) == 2
+
+    def test_default_name(self):
+        factor = Factor(("A", "B"), {})
+        assert "A" in factor.name and "B" in factor.name
+
+    def test_copy_is_independent(self, psi_ab):
+        clone = psi_ab.copy()
+        clone.table[(9, 9)] = 1
+        assert (9, 9) not in psi_ab.table
+
+    def test_contains_and_iter(self, psi_ab):
+        assert (0, 1) in psi_ab
+        assert (7, 7) not in psi_ab
+        assert dict(iter(psi_ab)) == psi_ab.table
+
+
+class TestLookups:
+    def test_value_reads_assignment_dict(self, psi_ab):
+        assert psi_ab.value({"A": 0, "B": 1}, COUNTING) == 3
+        assert psi_ab.value({"A": 1, "B": 0}, COUNTING) == 0
+
+    def test_value_ignores_extra_variables(self, psi_ab):
+        assert psi_ab.value({"A": 0, "B": 0, "C": 42}, COUNTING) == 2
+
+    def test_value_missing_variable_raises(self, psi_ab):
+        with pytest.raises(FactorError):
+            psi_ab.value({"A": 0}, COUNTING)
+
+    def test_value_of_tuple(self, psi_ab):
+        assert psi_ab.value_of_tuple((1, 1), COUNTING) == 5
+        assert psi_ab.value_of_tuple((1, 0), COUNTING) == 0
+
+    def test_assignments_iterates_dicts(self, psi_ab):
+        rows = list(psi_ab.assignments())
+        assert {"A": 0, "B": 1} in rows
+        assert len(rows) == 3
+
+
+class TestZeroHandling:
+    def test_pruned_drops_explicit_zeros(self):
+        factor = Factor(("A",), {(0,): 0, (1,): 2})
+        assert len(factor.pruned(COUNTING)) == 1
+
+    def test_is_identically_zero(self):
+        assert Factor(("A",), {}).is_identically_zero(COUNTING)
+        assert Factor(("A",), {(0,): 0}).is_identically_zero(COUNTING)
+        assert not Factor(("A",), {(0,): 1}).is_identically_zero(COUNTING)
+
+
+class TestConditioning:
+    def test_condition_keeps_scope(self, psi_ab):
+        conditioned = psi_ab.condition({"A": 0}, COUNTING)
+        assert conditioned.scope == ("A", "B")
+        assert set(conditioned.table) == {(0, 0), (0, 1)}
+
+    def test_condition_on_unrelated_variable_is_noop(self, psi_ab):
+        conditioned = psi_ab.condition({"Z": 1}, COUNTING)
+        assert conditioned.table == psi_ab.table
+
+    def test_restrict_drops_variables(self, psi_ab):
+        restricted = psi_ab.restrict({"A": 0}, COUNTING)
+        assert restricted.scope == ("B",)
+        assert restricted.table == {(0,): 2, (1,): 3}
+
+    def test_restrict_everything_gives_constant(self, psi_ab):
+        restricted = psi_ab.restrict({"A": 1, "B": 1}, COUNTING)
+        assert restricted.scope == ()
+        assert restricted.table == {(): 5}
+
+
+class TestProjections:
+    def test_indicator_projection_values_are_one(self, psi_ab):
+        projection = psi_ab.indicator_projection(["B"], COUNTING)
+        assert projection.scope == ("B",)
+        assert projection.table == {(0,): 1, (1,): 1}
+
+    def test_indicator_projection_disjoint_raises(self, psi_ab):
+        with pytest.raises(FactorError):
+            psi_ab.indicator_projection(["Z"], COUNTING)
+
+    def test_support_projection(self, psi_ab):
+        assert psi_ab.support_projection(["A"]) == {(0,), (1,)}
+
+
+class TestMarginalisation:
+    def test_aggregate_marginalize_sum(self, psi_ab):
+        reduced = psi_ab.aggregate_marginalize("B", lambda a, b: a + b, COUNTING)
+        assert reduced.scope == ("A",)
+        assert reduced.table == {(0,): 5, (1,): 5}
+
+    def test_aggregate_marginalize_max(self, psi_ab):
+        reduced = psi_ab.aggregate_marginalize("B", max, COUNTING)
+        assert reduced.table == {(0,): 3, (1,): 5}
+
+    def test_aggregate_marginalize_missing_variable_raises(self, psi_ab):
+        with pytest.raises(FactorError):
+            psi_ab.aggregate_marginalize("Z", max, COUNTING)
+
+    def test_product_marginalize_requires_full_domain(self):
+        # psi(A, B) with Dom(B) of size 2: group A=0 lists both B values,
+        # group A=1 lists only one and must be annihilated by the implicit 0.
+        factor = Factor(("A", "B"), {(0, 0): 2, (0, 1): 3, (1, 1): 5})
+        reduced = factor.product_marginalize("B", 2, COUNTING)
+        assert reduced.table == {(0,): 6}
+
+    def test_product_marginalize_domain_size_one(self):
+        factor = Factor(("A", "B"), {(0, 0): 2, (1, 0): 5})
+        reduced = factor.product_marginalize("B", 1, COUNTING)
+        assert reduced.table == {(0,): 2, (1,): 5}
+
+    def test_product_marginalize_invalid_domain_raises(self, psi_ab):
+        with pytest.raises(FactorError):
+            psi_ab.product_marginalize("B", 0, COUNTING)
+
+
+class TestPointwise:
+    def test_power(self):
+        factor = Factor(("A",), {(0,): 2, (1,): 3})
+        powered = factor.power(3, COUNTING)
+        assert powered.table == {(0,): 8, (1,): 27}
+
+    def test_power_zero_gives_ones(self):
+        factor = Factor(("A",), {(0,): 2})
+        assert factor.power(0, COUNTING).table == {(0,): 1}
+
+    def test_map_values(self):
+        factor = Factor(("A",), {(0,): 2, (1,): 3})
+        doubled = factor.map_values(lambda v: 2 * v)
+        assert doubled.table == {(0,): 4, (1,): 6}
+
+    def test_has_idempotent_range(self):
+        zero_one = Factor(("A",), {(0,): 1, (1,): 0})
+        assert zero_one.has_idempotent_range(COUNTING)
+        assert not Factor(("A",), {(0,): 2}).has_idempotent_range(COUNTING)
+
+
+class TestMultiply:
+    def test_multiply_on_shared_variable(self):
+        left = Factor(("A", "B"), {(0, 0): 2, (1, 1): 3})
+        right = Factor(("B", "C"), {(0, 5): 7, (1, 6): 1})
+        product = left.multiply(right, COUNTING)
+        assert set(product.scope) == {"A", "B", "C"}
+        assert product.value({"A": 0, "B": 0, "C": 5}, COUNTING) == 14
+        assert product.value({"A": 1, "B": 1, "C": 6}, COUNTING) == 3
+        assert len(product) == 2
+
+    def test_multiply_disjoint_scopes_is_cross_product(self):
+        left = Factor(("A",), {(0,): 2, (1,): 3})
+        right = Factor(("B",), {(5,): 10})
+        product = left.multiply(right, COUNTING)
+        assert len(product) == 2
+        assert product.value({"A": 1, "B": 5}, COUNTING) == 30
+
+    def test_multiply_annihilates_on_zero(self):
+        left = Factor(("A",), {(0,): 0, (1,): 3})
+        right = Factor(("A",), {(0,): 5, (1,): 2})
+        product = left.multiply(right, COUNTING)
+        assert product.table == {(1,): 6}
+
+
+class TestScopeAndEquality:
+    def test_normalize_scope_reorders_tuples(self):
+        factor = Factor(("B", "A"), {(1, 0): 7})
+        reordered = factor.normalize_scope(("A", "B"))
+        assert reordered.scope == ("A", "B")
+        assert reordered.table == {(0, 1): 7}
+
+    def test_equals_is_scope_order_insensitive(self):
+        left = Factor(("A", "B"), {(0, 1): 7})
+        right = Factor(("B", "A"), {(1, 0): 7})
+        assert left.equals(right, COUNTING)
+
+    def test_equals_treats_missing_as_zero(self):
+        left = Factor(("A",), {(0,): 0})
+        right = Factor(("A",), {})
+        assert left.equals(right, COUNTING)
+
+    def test_equals_detects_differences(self):
+        left = Factor(("A",), {(0,): 1})
+        right = Factor(("A",), {(0,): 2})
+        assert not left.equals(right, COUNTING)
+
+    def test_equals_requires_same_variable_set(self):
+        left = Factor(("A",), {(0,): 1})
+        right = Factor(("B",), {(0,): 1})
+        assert not left.equals(right, COUNTING)

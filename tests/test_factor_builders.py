@@ -1,0 +1,82 @@
+"""Unit tests for the factor builders (:mod:`repro.factors.builders`)."""
+
+import numpy as np
+import pytest
+
+from repro.factors.builders import (
+    factor_from_function,
+    factor_from_matrix,
+    factor_from_relation,
+    factor_from_vector,
+    indicator_factor,
+    uniform_factor,
+)
+from repro.factors.factor import FactorError
+from repro.semiring.standard import BOOLEAN, COUNTING, SUM_PRODUCT
+
+
+DOMAINS = {"A": (0, 1, 2), "B": (0, 1)}
+
+
+class TestFromFunction:
+    def test_materialises_non_zero_entries_only(self):
+        factor = factor_from_function(
+            ("A", "B"), DOMAINS, lambda a, b: a * b, COUNTING
+        )
+        assert factor.table == {(1, 1): 1, (2, 1): 2}
+
+    def test_missing_domain_raises(self):
+        with pytest.raises(FactorError):
+            factor_from_function(("A", "Z"), DOMAINS, lambda a, z: 1, COUNTING)
+
+    def test_respects_semiring_zero(self):
+        factor = factor_from_function(
+            ("A",), DOMAINS, lambda a: a > 0, BOOLEAN
+        )
+        assert set(factor.table) == {(1,), (2,)}
+        assert all(v is True for v in factor.table.values())
+
+
+class TestFromRelation:
+    def test_tuples_map_to_one(self):
+        factor = factor_from_relation(("A", "B"), [(0, 1), (2, 0)], COUNTING)
+        assert factor.table == {(0, 1): 1, (2, 0): 1}
+
+    def test_boolean_relation(self):
+        factor = factor_from_relation(("A",), [(0,)], BOOLEAN)
+        assert factor.table == {(0,): True}
+
+
+class TestFromMatrixAndVector:
+    def test_matrix_entries(self):
+        matrix = np.array([[0.0, 2.0], [3.0, 0.0]])
+        factor = factor_from_matrix("i", "j", matrix, SUM_PRODUCT)
+        assert factor.table == {(0, 1): 2.0, (1, 0): 3.0}
+
+    def test_matrix_wrong_dimension_raises(self):
+        with pytest.raises(FactorError):
+            factor_from_matrix("i", "j", np.zeros(3), SUM_PRODUCT)
+
+    def test_vector_entries(self):
+        factor = factor_from_vector("i", np.array([0.0, 5.0, 1.5]), SUM_PRODUCT)
+        assert factor.table == {(1,): 5.0, (2,): 1.5}
+
+    def test_vector_wrong_dimension_raises(self):
+        with pytest.raises(FactorError):
+            factor_from_vector("i", np.zeros((2, 2)), SUM_PRODUCT)
+
+    def test_matrix_values_are_python_scalars(self):
+        factor = factor_from_matrix("i", "j", np.array([[1.5]]), SUM_PRODUCT)
+        assert isinstance(factor.table[(0, 0)], float)
+
+
+class TestIndicatorAndUniform:
+    def test_indicator_factor_encodes_predicate(self):
+        neq = indicator_factor(("A", "B"), DOMAINS, lambda a, b: a != b, COUNTING)
+        assert (0, 0) not in neq.table
+        assert neq.table[(2, 1)] == 1
+
+    def test_uniform_factor_lists_full_product(self):
+        factor = uniform_factor(("A", "B"), DOMAINS, 3, COUNTING)
+        assert len(factor) == len(DOMAINS["A"]) * len(DOMAINS["B"])
+        assert set(factor.table.values()) == {3}

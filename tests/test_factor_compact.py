@@ -1,0 +1,116 @@
+"""Unit tests for compact factor representations (:mod:`repro.factors.compact`)."""
+
+import pytest
+
+from repro.factors.compact import BoxFactor, Clause, Literal, clause_from_ints
+from repro.factors.factor import FactorError
+from repro.semiring.standard import BOOLEAN, COUNTING
+
+
+class TestLiteral:
+    def test_negate(self):
+        literal = Literal("x", True)
+        assert literal.negate() == Literal("x", False)
+        assert literal.negate().negate() == literal
+
+    def test_satisfied_by(self):
+        assert Literal("x", True).satisfied_by(True)
+        assert not Literal("x", True).satisfied_by(False)
+        assert Literal("x", False).satisfied_by(False)
+
+    def test_str(self):
+        assert str(Literal("x", True)) == "x"
+        assert str(Literal("x", False)) == "~x"
+
+
+class TestClause:
+    def test_variables_and_len(self):
+        clause = Clause([Literal("a", True), Literal("b", False)])
+        assert clause.variables == frozenset({"a", "b"})
+        assert len(clause) == 2
+
+    def test_tautology_detection(self):
+        clause = Clause([Literal("a", True), Literal("a", False)])
+        assert clause.is_tautology
+        assert clause.satisfied_by({"a": False})
+
+    def test_empty_clause(self):
+        clause = Clause([])
+        assert clause.is_empty
+        assert not clause.is_tautology
+
+    def test_satisfied_by(self):
+        clause = Clause([Literal("a", True), Literal("b", False)])
+        assert clause.satisfied_by({"a": True, "b": True})
+        assert clause.satisfied_by({"a": False, "b": False})
+        assert not clause.satisfied_by({"a": False, "b": True})
+
+    def test_value_uses_weight_when_falsified(self):
+        clause = Clause([Literal("a", True)], weight=7)
+        assert clause.value({"a": True}) == 1
+        assert clause.value({"a": False}) == 7
+
+    def test_drop_removes_literal(self):
+        clause = Clause([Literal("a", True), Literal("b", False)])
+        assert clause.drop("a").variables == frozenset({"b"})
+
+    def test_resolution(self):
+        left = Clause([Literal("x", True), Literal("a", True)])
+        right = Clause([Literal("x", False), Literal("b", False)])
+        resolvent = left.resolve(right, "x")
+        assert resolvent.variables == frozenset({"a", "b"})
+
+    def test_resolution_producing_tautology(self):
+        left = Clause([Literal("x", True), Literal("a", True)])
+        right = Clause([Literal("x", False), Literal("a", False)])
+        assert left.resolve(right, "x").is_tautology
+
+    def test_resolution_same_polarity_raises(self):
+        left = Clause([Literal("x", True)])
+        right = Clause([Literal("x", True)])
+        with pytest.raises(FactorError):
+            left.resolve(right, "x")
+
+    def test_to_factor_counts_satisfying_assignments(self):
+        clause = Clause([Literal("a", True), Literal("b", True)])
+        factor = clause.to_factor(COUNTING)
+        # A width-2 clause has 3 satisfying assignments.
+        assert len(factor) == 3
+        assert factor.value({"a": False, "b": False}, COUNTING) == 0
+
+    def test_clause_from_ints(self):
+        clause = clause_from_ints([1, -3])
+        assert clause.variables == frozenset({"x1", "x3"})
+        assert clause.literal_for("x3") == Literal("x3", False)
+
+    def test_clause_from_ints_rejects_zero(self):
+        with pytest.raises(FactorError):
+            clause_from_ints([0])
+
+
+class TestBoxFactor:
+    def test_value_inside_and_outside(self):
+        box = BoxFactor(box={"a": frozenset({1, 2}), "b": frozenset({0})}, inside_value=0)
+        assert box.value({"a": 1, "b": 0}) == 0
+        assert box.value({"a": 3, "b": 0}) == 1
+        assert box.value({"a": 1, "b": 5}) == 1
+
+    def test_scope(self):
+        box = BoxFactor(box={"a": frozenset({1})}, inside_value=0)
+        assert box.scope == ("a",)
+
+    def test_to_listing_matches_pointwise_values(self):
+        box = BoxFactor(box={"a": frozenset({0}), "b": frozenset({1})}, inside_value=0)
+        domains = {"a": (0, 1), "b": (0, 1)}
+        listing = box.to_listing(domains, COUNTING)
+        for a in (0, 1):
+            for b in (0, 1):
+                assert listing.value({"a": a, "b": b}, COUNTING) == box.value({"a": a, "b": b})
+
+    def test_clause_is_a_box_factor(self):
+        # (a ∨ ~b) is falsified only inside the box a=False, b=True.
+        clause = Clause([Literal("a", True), Literal("b", False)])
+        box = BoxFactor(box={"a": frozenset({False}), "b": frozenset({True})}, inside_value=0)
+        for a in (False, True):
+            for b in (False, True):
+                assert clause.value({"a": a, "b": b}) == box.value({"a": a, "b": b})

@@ -1,0 +1,80 @@
+"""Unit tests for the factor trie index (:mod:`repro.factors.index`)."""
+
+import pytest
+
+from repro.factors.factor import Factor
+from repro.factors.index import FactorTrie, build_tries
+from repro.semiring.standard import COUNTING
+
+
+@pytest.fixture
+def psi():
+    return Factor(
+        ("A", "B", "C"),
+        {(0, 0, 0): 1, (0, 1, 0): 2, (1, 0, 1): 3, (1, 1, 1): 4},
+    )
+
+
+class TestTrieConstruction:
+    def test_levels_follow_global_order(self, psi):
+        trie = FactorTrie(psi, ["C", "A", "B"], COUNTING)
+        assert trie.variables == ("C", "A", "B")
+        assert trie.depth == 3
+
+    def test_missing_order_variable_raises(self, psi):
+        with pytest.raises(ValueError):
+            FactorTrie(psi, ["A", "B"], COUNTING)
+
+    def test_zero_entries_are_skipped(self):
+        factor = Factor(("A",), {(0,): 0, (1,): 2})
+        trie = FactorTrie(factor, ["A"], COUNTING)
+        assert trie.candidate_values(()) == {1}
+
+    def test_empty_scope_factor(self):
+        constant = Factor((), {(): 5})
+        trie = FactorTrie(constant, ["A"], COUNTING)
+        assert trie.depth == 0
+        assert trie.value(()) == 5
+
+
+class TestTrieNavigation:
+    def test_candidate_values_at_root(self, psi):
+        trie = FactorTrie(psi, ["A", "B", "C"], COUNTING)
+        assert trie.candidate_values(()) == {0, 1}
+
+    def test_candidate_values_after_prefix(self, psi):
+        trie = FactorTrie(psi, ["A", "B", "C"], COUNTING)
+        assert trie.candidate_values((0,)) == {0, 1}
+        assert trie.candidate_values((0, 1)) == {0}
+
+    def test_candidate_values_for_absent_prefix(self, psi):
+        trie = FactorTrie(psi, ["A", "B", "C"], COUNTING)
+        assert trie.candidate_values((7,)) == set()
+
+    def test_has_prefix(self, psi):
+        trie = FactorTrie(psi, ["A", "B", "C"], COUNTING)
+        assert trie.has_prefix((1, 1))
+        assert not trie.has_prefix((1, 2))
+
+    def test_full_tuple_value(self, psi):
+        trie = FactorTrie(psi, ["A", "B", "C"], COUNTING)
+        assert trie.value((1, 1, 1)) == 4
+        assert trie.value((1, 1, 0), default=0) == 0
+
+    def test_value_respects_reordered_levels(self, psi):
+        trie = FactorTrie(psi, ["C", "B", "A"], COUNTING)
+        # levels are (C, B, A): tuple (1, 0, 1) corresponds to A=1,B=0,C=1.
+        assert trie.value((1, 0, 1)) == 3
+
+    def test_children_returns_subtrie_nodes(self, psi):
+        trie = FactorTrie(psi, ["A", "B", "C"], COUNTING)
+        children = trie.children((0,))
+        assert set(children) == {0, 1}
+
+
+class TestBuildTries:
+    def test_build_tries_indexes_every_factor(self, psi):
+        other = Factor(("B",), {(0,): 1})
+        tries = build_tries([psi, other], ["A", "B", "C"], COUNTING)
+        assert len(tries) == 2
+        assert tries[1].variables == ("B",)

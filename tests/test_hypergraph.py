@@ -1,0 +1,117 @@
+"""Unit tests for :class:`repro.hypergraph.hypergraph.Hypergraph`."""
+
+import networkx as nx
+import pytest
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@pytest.fixture
+def triangle():
+    return Hypergraph.from_scopes([("A", "B"), ("B", "C"), ("A", "C")])
+
+
+@pytest.fixture
+def path():
+    return Hypergraph.from_scopes([("A", "B"), ("B", "C"), ("C", "D")])
+
+
+class TestBasics:
+    def test_vertices_and_edges(self, triangle):
+        assert triangle.vertices == frozenset({"A", "B", "C"})
+        assert triangle.num_edges == 3
+        assert frozenset({"A", "B"}) in triangle.edges
+
+    def test_isolated_vertices_are_kept(self):
+        h = Hypergraph(vertices=["A", "B", "Z"], edges=[("A", "B")])
+        assert "Z" in h
+        assert h.num_vertices == 3
+
+    def test_multi_edges_preserved(self):
+        h = Hypergraph.from_scopes([("A", "B"), ("A", "B")])
+        assert h.num_edges == 2
+
+    def test_equality_ignores_edge_order(self):
+        h1 = Hypergraph.from_scopes([("A", "B"), ("B", "C")])
+        h2 = Hypergraph.from_scopes([("B", "C"), ("A", "B")])
+        assert h1 == h2
+
+    def test_contains_and_iteration(self, triangle):
+        assert "A" in triangle
+        assert set(iter(triangle)) == {"A", "B", "C"}
+
+    def test_add_vertex_and_edge_are_pure(self, triangle):
+        bigger = triangle.add_vertex("Z").add_edge(("Z", "A"))
+        assert "Z" not in triangle
+        assert bigger.num_edges == 4
+
+
+class TestNeighbourhoods:
+    def test_incident_edges(self, triangle):
+        incident = triangle.incident_edges("A")
+        assert len(incident) == 2
+        assert all("A" in edge for edge in incident)
+
+    def test_neighborhood_is_union_of_incident_edges(self, path):
+        assert path.neighborhood("B") == frozenset({"A", "B", "C"})
+        assert path.neighborhood("A") == frozenset({"A", "B"})
+
+    def test_neighborhood_of_isolated_vertex_is_empty(self):
+        h = Hypergraph(vertices=["A"], edges=[])
+        assert h.neighborhood("A") == frozenset()
+
+
+class TestDerivedHypergraphs:
+    def test_induced_restricts_edges(self, triangle):
+        induced = triangle.induced({"A", "B"})
+        assert induced.vertices == frozenset({"A", "B"})
+        assert all(edge <= frozenset({"A", "B"}) for edge in induced.edges)
+
+    def test_remove_vertices(self, path):
+        reduced = path.remove_vertices({"B"})
+        assert reduced.vertices == frozenset({"A", "C", "D"})
+        assert frozenset({"C", "D"}) in reduced.edges
+        assert frozenset({"A"}) in reduced.edges  # shrunken edge survives
+
+    def test_restrict_edges(self, triangle):
+        only_ab = triangle.restrict_edges(lambda e: "A" in e)
+        assert only_ab.num_edges == 2
+
+    def test_deduplicated_drops_contained_edges(self):
+        h = Hypergraph.from_scopes([("A", "B", "C"), ("A", "B"), ("A", "B", "C")])
+        dedup = h.deduplicated()
+        assert dedup.num_edges == 1
+        assert dedup.edges[0] == frozenset({"A", "B", "C"})
+
+
+class TestGraphViews:
+    def test_gaifman_graph_of_triangle(self, triangle):
+        graph = triangle.gaifman_graph()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 3
+
+    def test_gaifman_graph_of_big_hyperedge_is_clique(self):
+        h = Hypergraph.from_scopes([("A", "B", "C", "D")])
+        graph = h.gaifman_graph()
+        assert graph.number_of_edges() == 6
+
+    def test_connected_components(self):
+        h = Hypergraph(vertices=["E"], edges=[("A", "B"), ("C", "D")])
+        components = h.connected_components()
+        assert len(components) == 3
+        assert frozenset({"E"}) in components
+
+    def test_is_connected(self, path, triangle):
+        assert path.is_connected()
+        assert triangle.is_connected()
+        assert not Hypergraph.from_scopes([("A", "B"), ("C", "D")]).is_connected()
+
+    def test_from_graph(self):
+        h = Hypergraph.from_graph(nx.path_graph(4))
+        assert h.num_edges == 3
+        assert all(len(edge) == 2 for edge in h.edges)
+
+    def test_edge_vertex_incidence_tracks_duplicates(self):
+        h = Hypergraph.from_scopes([("A", "B"), ("A", "B"), ("B", "C")])
+        incidence = h.edge_vertex_incidence()
+        assert incidence[frozenset({"A", "B"})] == [0, 1]

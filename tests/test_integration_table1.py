@@ -1,0 +1,108 @@
+"""Integration tests: one end-to-end check per Table 1 row of the paper.
+
+These are correctness counterparts of the benchmark harness in
+``benchmarks/``: each Table 1 problem is solved both through the FAQ/InsideOut
+pipeline and through an independent reference, on inputs small enough for the
+reference to be exact.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datasets.graphs import random_graph
+from repro.datasets.pgm_models import random_sparse_model
+from repro.datasets.relations import cycle_query_relations, random_relation
+from repro.db.generic_join import generic_join
+from repro.db.hash_join import left_deep_join_plan
+from repro.pgm.brute import brute_force_map, brute_force_marginal
+from repro.solvers.joins import count_triangles, natural_join_insideout
+from repro.solvers.logic import EXISTS, FORALL, Atom, QuantifiedConjunctiveQuery
+from repro.solvers.matrix import dft_insideout, dft_naive, matrix_chain_insideout
+from repro.solvers.pgm import map_insideout, marginal_insideout
+
+
+def _random_qcq(seed, with_free=True):
+    r = random_relation("R", ("a", "b"), 3, 7, seed=seed)
+    s = random_relation("S", ("b", "c"), 3, 7, seed=seed + 1)
+    t = random_relation("T", ("c", "d"), 3, 7, seed=seed + 2)
+    free = ("u",) if with_free else ()
+    quantifiers = (("v", EXISTS), ("w", FORALL), ("z", EXISTS))
+    return QuantifiedConjunctiveQuery(
+        free=free,
+        quantifiers=quantifiers,
+        atoms=(Atom(r, free + ("v",)) if free else Atom(r, ("v", "v")),
+               Atom(s, ("v", "w")),
+               Atom(t, ("w", "z"))),
+        domains={"w": (0, 1, 2), "z": (0, 1, 2)},
+    )
+
+
+class TestTable1Rows:
+    def test_row1_sharp_qcq(self):
+        """#QCQ: InsideOut count equals direct quantifier-semantics count."""
+        for seed in (1, 5, 9):
+            query = _random_qcq(seed)
+            assert query.count() == query.count_brute_force()
+
+    def test_row2_qcq(self):
+        """QCQ: the answer relation matches brute force."""
+        for seed in (2, 6):
+            query = _random_qcq(seed)
+            assert query.solve().tuples == query.solve_brute_force().tuples
+
+    def test_row3_sharp_cq(self):
+        """#CQ: counting answers of a CQ with existential variables."""
+        r = random_relation("R", ("a", "b"), 4, 10, seed=3)
+        s = random_relation("S", ("b", "c"), 4, 10, seed=4)
+        query = QuantifiedConjunctiveQuery(
+            free=("x",),
+            quantifiers=(("y", EXISTS), ("z", EXISTS)),
+            atoms=(Atom(r, ("x", "y")), Atom(s, ("y", "z"))),
+        )
+        assert query.count() == query.count_brute_force()
+
+    def test_row4_joins(self):
+        """Joins: InsideOut equals worst-case-optimal generic join and the
+        pairwise plan on the triangle query."""
+        rels = cycle_query_relations(3, 8, 30, seed=5)
+        expected = generic_join(rels)
+        insideout_result = natural_join_insideout(rels)
+        pairwise, _ = left_deep_join_plan(rels)
+        assert insideout_result.project(expected.schema).tuples == expected.tuples
+        assert pairwise.project(expected.schema).tuples == expected.tuples
+
+    def test_row4_triangle_counting(self):
+        graph = random_graph(20, 50, seed=6)
+        assert count_triangles(graph) == sum(nx.triangles(graph).values()) // 3
+
+    def test_row5_marginal(self):
+        model = random_sparse_model(6, 6, max_arity=3, domain_size=2, density=0.8, seed=7)
+        target = model.variables[0]
+        expected = brute_force_marginal(model, [target])
+        got = marginal_insideout(model, [target])
+        keys = set(expected) | set(got)
+        for key in keys:
+            assert got.get(key, 0.0) == pytest.approx(expected.get(key, 0.0))
+
+    def test_row6_map(self):
+        model = random_sparse_model(6, 6, max_arity=3, domain_size=2, density=0.8, seed=8)
+        target = model.variables[1]
+        expected = brute_force_map(model, [target])
+        got = map_insideout(model, [target])
+        keys = set(expected) | set(got)
+        for key in keys:
+            assert got.get(key, 0.0) == pytest.approx(expected.get(key, 0.0))
+
+    def test_row7_mcm(self):
+        rng = np.random.default_rng(9)
+        dims = [6, 2, 7, 3, 5]
+        mats = [rng.random((dims[i], dims[i + 1])) for i in range(len(dims) - 1)]
+        expected = mats[0] @ mats[1] @ mats[2] @ mats[3]
+        assert np.allclose(matrix_chain_insideout(mats), expected)
+
+    def test_row8_dft(self):
+        rng = np.random.default_rng(10)
+        vector = rng.random(16) + 1j * rng.random(16)
+        assert np.allclose(dft_insideout(vector, 2), dft_naive(vector))
+        assert np.allclose(dft_insideout(vector, 2), np.fft.ifft(vector) * 16)

@@ -1,0 +1,91 @@
+"""Unit tests for vertex-ordering heuristics (:mod:`repro.hypergraph.orderings`)."""
+
+import pytest
+
+from repro.hypergraph.covers import fractional_edge_cover_number
+from repro.hypergraph.elimination import induced_width
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.orderings import (
+    best_ordering_exhaustive,
+    greedy_fractional_cover_ordering,
+    min_degree_ordering,
+    min_fill_ordering,
+)
+
+
+PATH = Hypergraph.from_scopes([("A", "B"), ("B", "C"), ("C", "D"), ("D", "E")])
+TRIANGLE = Hypergraph.from_scopes([("A", "B"), ("B", "C"), ("A", "C")])
+STAR = Hypergraph.from_scopes([("H", "L1"), ("H", "L2"), ("H", "L3"), ("H", "L4")])
+
+
+def _treewidth_of(hypergraph, ordering):
+    return induced_width(hypergraph, ordering, lambda bag: len(bag) - 1)
+
+
+class TestMinFill:
+    def test_covers_all_vertices(self):
+        ordering = min_fill_ordering(PATH)
+        assert sorted(ordering) == sorted(PATH.vertices)
+
+    def test_path_width_is_one(self):
+        assert _treewidth_of(PATH, min_fill_ordering(PATH)) == 1
+
+    def test_star_width_is_one(self):
+        assert _treewidth_of(STAR, min_fill_ordering(STAR)) == 1
+
+    def test_triangle_width_is_two(self):
+        assert _treewidth_of(TRIANGLE, min_fill_ordering(TRIANGLE)) == 2
+
+    def test_deterministic(self):
+        assert min_fill_ordering(PATH) == min_fill_ordering(PATH)
+
+
+class TestMinDegree:
+    def test_covers_all_vertices(self):
+        ordering = min_degree_ordering(STAR)
+        assert sorted(ordering) == sorted(STAR.vertices)
+
+    def test_path_width_is_one(self):
+        assert _treewidth_of(PATH, min_degree_ordering(PATH)) == 1
+
+    def test_grid_width_is_two(self):
+        grid = Hypergraph.from_scopes(
+            [("00", "01"), ("10", "11"), ("00", "10"), ("01", "11"),
+             ("01", "02"), ("11", "12"), ("02", "12")]
+        )
+        assert _treewidth_of(grid, min_degree_ordering(grid)) == 2
+
+
+class TestGreedyFractionalCover:
+    def test_covers_all_vertices(self):
+        ordering = greedy_fractional_cover_ordering(TRIANGLE)
+        assert sorted(ordering) == sorted(TRIANGLE.vertices)
+
+    def test_acyclic_width_is_one(self):
+        ordering = greedy_fractional_cover_ordering(PATH)
+        width = induced_width(
+            PATH, ordering, lambda bag: fractional_edge_cover_number(PATH, bag)
+        )
+        assert width == pytest.approx(1.0)
+
+
+class TestExhaustive:
+    def test_matches_known_optimum_for_triangle(self):
+        ordering = best_ordering_exhaustive(
+            TRIANGLE, lambda bag: fractional_edge_cover_number(TRIANGLE, bag)
+        )
+        width = induced_width(
+            TRIANGLE, ordering, lambda bag: fractional_edge_cover_number(TRIANGLE, bag)
+        )
+        assert width == pytest.approx(1.5)
+
+    def test_candidate_restriction(self):
+        candidates = [["A", "B", "C", "D", "E"], ["E", "D", "C", "B", "A"]]
+        ordering = best_ordering_exhaustive(
+            PATH, lambda bag: len(bag) - 1, candidates=candidates
+        )
+        assert ordering in [list(c) for c in candidates]
+
+    def test_empty_hypergraph(self):
+        empty = Hypergraph()
+        assert best_ordering_exhaustive(empty, lambda bag: len(bag)) == []

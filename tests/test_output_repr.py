@@ -1,0 +1,106 @@
+"""Tests for output representations (Section 8.4): listing vs factorized."""
+
+import pytest
+
+from repro.core.insideout import inside_out
+from repro.core.output import FactorizedOutput
+from repro.core.query import FAQQuery, Variable
+from repro.factors.factor import Factor
+from repro.semiring.aggregates import SemiringAggregate
+from repro.semiring.standard import COUNTING
+
+from conftest import make_factor, small_random_query
+
+
+def free_variable_query():
+    psi_ab = make_factor(("A", "B"), {(0, 0): 1, (0, 1): 2, (1, 1): 3})
+    psi_bc = make_factor(("B", "C"), {(0, 0): 1, (1, 0): 4, (1, 1): 5})
+    return FAQQuery(
+        variables=[Variable(v, (0, 1)) for v in "ABC"],
+        free=["A", "B"],
+        aggregates={"C": SemiringAggregate.sum()},
+        factors=[psi_ab, psi_bc],
+        semiring=COUNTING,
+    )
+
+
+class TestFactorizedOutput:
+    def test_factorized_mode_returns_no_listing_factor(self):
+        result = inside_out(free_variable_query(), output_mode="factorized")
+        assert result.factor is None
+        assert isinstance(result.factorized, FactorizedOutput)
+
+    def test_value_queries_match_listing_output(self):
+        query = free_variable_query()
+        listing = inside_out(query).factor
+        factorized = inside_out(query, output_mode="factorized").factorized
+        for a in (0, 1):
+            for b in (0, 1):
+                assert factorized.value({"A": a, "B": b}) == listing.value(
+                    {"A": a, "B": b}, COUNTING
+                )
+
+    def test_enumeration_matches_listing_output(self):
+        query = free_variable_query()
+        listing = inside_out(query).factor
+        factorized = inside_out(query, output_mode="factorized").factorized
+        enumerated = {
+            (assignment["A"], assignment["B"]): value
+            for assignment, value in factorized.enumerate()
+        }
+        assert enumerated == dict(listing.table)
+
+    def test_to_factor_roundtrip(self):
+        query = free_variable_query()
+        listing = inside_out(query).factor
+        factorized = inside_out(query, output_mode="factorized").factorized
+        assert factorized.to_factor().equals(listing, COUNTING)
+
+    def test_len_counts_residual_factors(self):
+        factorized = inside_out(free_variable_query(), output_mode="factorized").factorized
+        assert len(factorized) >= 1
+
+    def test_isolated_free_variables_enumerated_from_domains(self):
+        psi = make_factor(("A",), {(0,): 3})
+        query = FAQQuery(
+            variables=[Variable("A", (0, 1)), Variable("B", (0, 1))],
+            free=["A", "B"],
+            aggregates={},
+            factors=[psi],
+            semiring=COUNTING,
+        )
+        factorized = inside_out(query, output_mode="factorized").factorized
+        values = {(a["A"], a["B"]): v for a, v in factorized.enumerate()}
+        assert values == {(0, 0): 3, (0, 1): 3}
+
+    def test_empty_residual_factor_list(self):
+        query = FAQQuery(
+            variables=[Variable("A", (0, 1))],
+            free=["A"],
+            aggregates={},
+            factors=[],
+            semiring=COUNTING,
+        )
+        factorized = inside_out(query, output_mode="factorized").factorized
+        values = {a["A"]: v for a, v in factorized.enumerate()}
+        assert values == {0: 1, 1: 1}
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_queries_roundtrip(self, seed):
+        query = small_random_query(seed + 1300, allow_products=True)
+        listing = inside_out(query).factor
+        factorized = inside_out(query, output_mode="factorized").factorized
+        assert factorized.to_factor().equals(listing, query.semiring)
+
+    def test_zero_value_short_circuit(self):
+        psi = Factor(("A",), {})
+        query = FAQQuery(
+            variables=[Variable("A", (0, 1))],
+            free=["A"],
+            aggregates={},
+            factors=[psi],
+            semiring=COUNTING,
+        )
+        factorized = inside_out(query, output_mode="factorized").factorized
+        assert factorized.value({"A": 0}) == 0
+        assert list(factorized.enumerate()) == []

@@ -1,0 +1,130 @@
+"""Unit tests for the OutsideIn worst-case-optimal join (:mod:`repro.core.outsidein`)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.outsidein import OutsideInStats, enumerate_join, join_factors
+from repro.factors.factor import Factor
+from repro.semiring.standard import BOOLEAN, COUNTING
+
+from conftest import make_factor, random_factor
+
+
+class TestEnumerateJoin:
+    def test_single_factor_enumerates_its_tuples(self):
+        psi = make_factor(("A", "B"), {(0, 1): 2, (1, 0): 3})
+        results = dict(
+            (tuple(sorted(a.items())), v) for a, v in enumerate_join([psi], COUNTING)
+        )
+        assert results[(("A", 0), ("B", 1))] == 2
+        assert len(results) == 2
+
+    def test_empty_factor_list_yields_unit(self):
+        results = list(enumerate_join([], COUNTING))
+        assert results == [({}, 1)]
+
+    def test_identically_zero_factor_yields_nothing(self):
+        zero = Factor(("A",), {})
+        other = make_factor(("A",), {(0,): 1})
+        assert list(enumerate_join([zero, other], COUNTING)) == []
+
+    def test_two_factor_join_values_multiply(self):
+        left = make_factor(("A", "B"), {(0, 0): 2, (1, 1): 3})
+        right = make_factor(("B", "C"), {(0, 7): 5, (1, 8): 11})
+        results = {
+            (a["A"], a["B"], a["C"]): v for a, v in enumerate_join([left, right], COUNTING)
+        }
+        assert results == {(0, 0, 7): 10, (1, 1, 8): 33}
+
+    def test_join_respects_variable_order(self):
+        left = make_factor(("A", "B"), {(0, 0): 1})
+        right = make_factor(("B", "C"), {(0, 1): 1})
+        for order in (["A", "B", "C"], ["C", "B", "A"], ["B", "A", "C"]):
+            results = list(enumerate_join([left, right], COUNTING, order))
+            assert len(results) == 1
+
+    def test_stats_are_populated(self):
+        left = make_factor(("A", "B"), {(0, 0): 1, (1, 1): 1})
+        right = make_factor(("B", "C"), {(0, 0): 1, (1, 1): 1})
+        stats = OutsideInStats()
+        list(enumerate_join([left, right], COUNTING, stats=stats))
+        assert stats.emitted_tuples == 2
+        assert stats.search_steps > 0
+        assert stats.intersections > 0
+
+    def test_stats_merge(self):
+        a = OutsideInStats(search_steps=1, emitted_tuples=2, intersections=3)
+        b = OutsideInStats(search_steps=10, emitted_tuples=20, intersections=30)
+        a.merge(b)
+        assert (a.search_steps, a.emitted_tuples, a.intersections) == (11, 22, 33)
+
+    def test_matches_nested_loop_join_on_random_inputs(self):
+        rng = random.Random(3)
+        domains = {v: tuple(range(3)) for v in "ABCD"}
+        for _ in range(20):
+            factors = [
+                random_factor(("A", "B"), domains, rng),
+                random_factor(("B", "C"), domains, rng),
+                random_factor(("C", "D"), domains, rng),
+            ]
+            expected = {}
+            for values in itertools.product(*(domains[v] for v in "ABCD")):
+                assignment = dict(zip("ABCD", values))
+                product = 1
+                for factor in factors:
+                    product *= factor.value(assignment, COUNTING)
+                if product:
+                    expected[values] = product
+            got = {
+                (a["A"], a["B"], a["C"], a["D"]): v
+                for a, v in enumerate_join(factors, COUNTING, list("ABCD"))
+            }
+            assert got == expected
+
+
+class TestJoinFactors:
+    def test_full_output_scope(self):
+        left = make_factor(("A", "B"), {(0, 0): 2})
+        right = make_factor(("B", "C"), {(0, 1): 3})
+        joined = join_factors([left, right], COUNTING)
+        assert set(joined.scope) == {"A", "B", "C"}
+        assert len(joined) == 1
+        assert joined.value({"A": 0, "B": 0, "C": 1}, COUNTING) == 6
+
+    def test_projection_requires_combine(self):
+        psi = make_factor(("A", "B"), {(0, 0): 1})
+        with pytest.raises(ValueError):
+            join_factors([psi], COUNTING, output_scope=("A",))
+
+    def test_projection_aggregates_collisions(self):
+        psi = make_factor(("A", "B"), {(0, 0): 1, (0, 1): 2, (1, 0): 4})
+        projected = join_factors(
+            [psi], COUNTING, output_scope=("A",), combine=lambda a, b: a + b
+        )
+        assert projected.table == {(0,): 3, (1,): 4}
+
+    def test_projection_with_max(self):
+        psi = make_factor(("A", "B"), {(0, 0): 1, (0, 1): 5})
+        projected = join_factors([psi], COUNTING, output_scope=("A",), combine=max)
+        assert projected.table == {(0,): 5}
+
+    def test_boolean_join_acts_as_intersection(self):
+        left = make_factor(("A",), {(0,): True, (1,): True})
+        right = make_factor(("A",), {(1,): True, (2,): True})
+        joined = join_factors([left, right], BOOLEAN)
+        assert set(joined.table) == {(1,)}
+
+    def test_empty_output_scope_collapses_to_scalar(self):
+        psi = make_factor(("A",), {(0,): 2, (1,): 3})
+        collapsed = join_factors(
+            [psi], COUNTING, output_scope=(), combine=lambda a, b: a + b
+        )
+        assert collapsed.table == {(): 5}
+
+    def test_constant_factor_scales_join(self):
+        constant = Factor((), {(): 10})
+        psi = make_factor(("A",), {(0,): 2})
+        joined = join_factors([constant, psi], COUNTING)
+        assert joined.value({"A": 0}, COUNTING) == 20

@@ -1,0 +1,176 @@
+"""Tests for the PGM substrate: models, brute force, junction tree, solvers."""
+
+import pytest
+
+from repro.datasets.pgm_models import chain_model, grid_model, random_sparse_model, star_model
+from repro.factors.factor import Factor
+from repro.pgm.brute import brute_force_map, brute_force_marginal, brute_force_partition
+from repro.pgm.junction_tree import JunctionTree, junction_tree_map, junction_tree_marginal
+from repro.pgm.model import DiscreteGraphicalModel, PGMError
+from repro.solvers.pgm import (
+    compare_marginal_inference,
+    map_insideout,
+    marginal_insideout,
+    marginal_junction_tree,
+    marginal_variable_elimination,
+    partition_function_insideout,
+)
+
+
+@pytest.fixture
+def small_model():
+    return random_sparse_model(5, 5, max_arity=2, domain_size=2, density=0.9, seed=3)
+
+
+class TestModel:
+    def test_unnormalized_probability(self):
+        model = DiscreteGraphicalModel(
+            {"X": (0, 1), "Y": (0, 1)},
+            [Factor(("X", "Y"), {(0, 0): 0.5, (1, 1): 2.0})],
+        )
+        assert model.unnormalized_probability({"X": 1, "Y": 1}) == 2.0
+        assert model.unnormalized_probability({"X": 0, "Y": 1}) == 0.0
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(PGMError):
+            DiscreteGraphicalModel({"X": (0, 1)}, [Factor(("X",), {(0,): -1.0})])
+
+    def test_unknown_scope_variable_rejected(self):
+        with pytest.raises(PGMError):
+            DiscreteGraphicalModel({"X": (0, 1)}, [Factor(("Z",), {(0,): 1.0})])
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(PGMError):
+            DiscreteGraphicalModel({"X": ()}, [])
+
+    def test_condition_absorbs_evidence(self, small_model):
+        variable = small_model.variables[0]
+        value = small_model.domain(variable)[0]
+        conditioned = small_model.condition({variable: value})
+        assert variable not in conditioned.variables
+
+    def test_condition_validates_evidence(self, small_model):
+        with pytest.raises(PGMError):
+            small_model.condition({"nope": 0})
+        with pytest.raises(PGMError):
+            small_model.condition({small_model.variables[0]: "bad-value"})
+
+    def test_query_constructions(self, small_model):
+        target = small_model.variables[0]
+        marginal = small_model.marginal_query([target])
+        assert marginal.free == (target,)
+        assert all(a.tag == "sum" for a in marginal.aggregates.values())
+        map_query = small_model.map_query([target])
+        assert all(a.tag == "max" for a in map_query.aggregates.values())
+        assert small_model.partition_function_query().free == ()
+
+
+class TestBruteForce:
+    def test_partition_function_of_independent_variables(self):
+        model = DiscreteGraphicalModel(
+            {"X": (0, 1), "Y": (0, 1)},
+            [Factor(("X",), {(0,): 1.0, (1,): 2.0}), Factor(("Y",), {(0,): 3.0, (1,): 4.0})],
+        )
+        assert brute_force_partition(model) == pytest.approx(3.0 * 7.0)
+
+    def test_marginal_sums_to_partition(self, small_model):
+        target = small_model.variables[0]
+        marginal = brute_force_marginal(small_model, [target])
+        assert sum(marginal.values()) == pytest.approx(brute_force_partition(small_model))
+
+    def test_map_is_max_of_joint(self):
+        model = chain_model(3, domain_size=2, seed=1)
+        target = model.variables[0]
+        max_marginals = brute_force_map(model, [target])
+        assert max(max_marginals.values()) <= brute_force_partition(model)
+
+
+class TestJunctionTree:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            chain_model(5, domain_size=3, seed=2),
+            star_model(4, domain_size=2, seed=3),
+            grid_model(2, 3, domain_size=2, seed=4),
+            random_sparse_model(6, 6, max_arity=3, domain_size=2, density=0.8, seed=5),
+        ],
+    )
+    def test_partition_function_matches_brute_force(self, model):
+        tree = JunctionTree(model, mode="sum")
+        assert tree.partition_function() == pytest.approx(brute_force_partition(model), rel=1e-9)
+
+    def test_marginals_match_brute_force(self):
+        model = grid_model(2, 2, domain_size=2, seed=7)
+        for variable in model.variables:
+            expected = brute_force_marginal(model, [variable])
+            got = junction_tree_marginal(model, variable)
+            for value, weight in got.items():
+                assert weight == pytest.approx(expected.get((value,), 0.0), abs=1e-9)
+
+    def test_max_marginals_match_brute_force(self):
+        model = chain_model(4, domain_size=2, seed=8)
+        variable = model.variables[1]
+        expected = brute_force_map(model, [variable])
+        got = junction_tree_map(model, variable)
+        for value, weight in got.items():
+            assert weight == pytest.approx(expected.get((value,), 0.0), abs=1e-9)
+
+    def test_joint_marginal_within_a_bag(self):
+        model = chain_model(4, domain_size=2, seed=9)
+        tree = JunctionTree(model, mode="sum")
+        pair = None
+        for bag in tree.bags.values():
+            if len(bag) >= 2:
+                pair = tuple(bag)[:2]
+                break
+        expected = brute_force_marginal(model, list(pair))
+        got = tree.joint_marginal(pair)
+        for key, weight in got.items():
+            assert weight == pytest.approx(expected.get(key, 0.0), abs=1e-9)
+
+    def test_out_of_clique_joint_marginal_rejected(self):
+        model = chain_model(6, domain_size=2, seed=10)
+        tree = JunctionTree(model, mode="sum")
+        ends = (model.variables[0], model.variables[-1])
+        with pytest.raises(PGMError):
+            tree.joint_marginal(ends)
+
+    def test_unknown_mode_rejected(self, small_model):
+        with pytest.raises(PGMError):
+            JunctionTree(small_model, mode="median")
+
+    def test_dense_cell_count_reflects_treewidth(self):
+        model = grid_model(2, 3, domain_size=3, seed=11)
+        tree = JunctionTree(model, mode="sum")
+        assert tree.largest_potential_cells >= 3 ** tree.max_bag_size / 27
+
+
+class TestSolverWrappers:
+    def test_partition_function_agreement(self, small_model):
+        expected = brute_force_partition(small_model)
+        assert partition_function_insideout(small_model) == pytest.approx(expected)
+
+    def test_marginal_agreement_across_engines(self, small_model):
+        target = small_model.variables[0]
+        expected = brute_force_marginal(small_model, [target])
+        io = marginal_insideout(small_model, [target])
+        ve = marginal_variable_elimination(small_model, [target])
+        jt = marginal_junction_tree(small_model, target)
+        for (value,), weight in expected.items():
+            assert io.get((value,), 0.0) == pytest.approx(weight)
+            assert ve.get((value,), 0.0) == pytest.approx(weight)
+            assert jt.get(value, 0.0) == pytest.approx(weight)
+
+    def test_map_agreement(self, small_model):
+        target = small_model.variables[0]
+        expected = brute_force_map(small_model, [target])
+        got = map_insideout(small_model, [target])
+        for (value,), weight in expected.items():
+            assert got.get((value,), 0.0) == pytest.approx(weight)
+
+    def test_comparison_report(self, small_model):
+        target = small_model.variables[0]
+        report = compare_marginal_inference(small_model, [target])
+        assert report.insideout_max_intermediate >= 0
+        assert report.junction_tree_dense_cells >= 1
+        assert report.speedup_proxy > 0

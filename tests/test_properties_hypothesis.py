@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.evo import is_equivalent_ordering, linear_extensions
+from repro.core.insideout import inside_out
+from repro.core.query import FAQQuery, Variable
+from repro.core.outsidein import enumerate_join
+from repro.factors.factor import Factor
+from repro.hypergraph.covers import fractional_edge_cover_number, integral_edge_cover_number
+from repro.hypergraph.elimination import elimination_sequence
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.semiring.aggregates import ProductAggregate, SemiringAggregate
+from repro.semiring.standard import COUNTING, MAX_PRODUCT, SUM_PRODUCT
+
+
+# --------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------- #
+VARIABLE_NAMES = ["a", "b", "c", "d"]
+
+
+@st.composite
+def factors(draw, names=VARIABLE_NAMES, max_arity=3, max_value=4):
+    arity = draw(st.integers(1, min(max_arity, len(names))))
+    scope = tuple(draw(st.permutations(names))[:arity])
+    domain = (0, 1)
+    entries = {}
+    for values in itertools.product(domain, repeat=arity):
+        value = draw(st.integers(0, max_value))
+        if value:
+            entries[values] = value
+    return Factor(scope, entries)
+
+
+@st.composite
+def faq_queries(draw, allow_products=True):
+    num_vars = draw(st.integers(2, 4))
+    names = VARIABLE_NAMES[:num_vars]
+    num_free = draw(st.integers(0, 1))
+    free = names[:num_free]
+    aggregates = {}
+    for name in names[num_free:]:
+        choice = draw(st.sampled_from(["sum", "max", "product"] if allow_products else ["sum", "max"]))
+        if choice == "sum":
+            aggregates[name] = SemiringAggregate.sum()
+        elif choice == "max":
+            aggregates[name] = SemiringAggregate.max()
+        else:
+            aggregates[name] = ProductAggregate.product()
+    num_factors = draw(st.integers(1, 3))
+    factor_list = [draw(factors(names=names)) for _ in range(num_factors)]
+    return FAQQuery(
+        variables=[Variable(v, (0, 1)) for v in names],
+        free=free,
+        aggregates=aggregates,
+        factors=factor_list,
+        semiring=COUNTING,
+    )
+
+
+@st.composite
+def hypergraphs(draw):
+    num_vars = draw(st.integers(2, 6))
+    names = [f"v{i}" for i in range(num_vars)]
+    num_edges = draw(st.integers(1, 6))
+    edges = []
+    for _ in range(num_edges):
+        size = draw(st.integers(1, min(3, num_vars)))
+        edges.append(tuple(draw(st.permutations(names))[:size]))
+    return Hypergraph(names, edges)
+
+
+# --------------------------------------------------------------------- #
+# semiring / factor properties
+# --------------------------------------------------------------------- #
+@given(factors(), factors())
+@settings(max_examples=60, deadline=None)
+def test_factor_multiplication_is_commutative(left, right):
+    product_lr = left.multiply(right, COUNTING)
+    product_rl = right.multiply(left, COUNTING)
+    assert product_lr.equals(product_rl, COUNTING)
+
+
+@given(factors())
+@settings(max_examples=60, deadline=None)
+def test_indicator_projection_is_idempotent_valued(factor):
+    projection = factor.indicator_projection(factor.scope, COUNTING)
+    assert all(COUNTING.is_one(v) for v in projection.table.values())
+    assert set(projection.table) == set(factor.table)
+
+
+@given(factors(), st.sampled_from(VARIABLE_NAMES))
+@settings(max_examples=60, deadline=None)
+def test_aggregate_then_restrict_consistency(factor, variable):
+    """Summing a variable out never increases the factor size."""
+    if variable not in factor.scope:
+        return
+    reduced = factor.aggregate_marginalize(variable, lambda a, b: a + b, COUNTING)
+    assert len(reduced) <= len(factor)
+    assert variable not in reduced.scope
+
+
+# --------------------------------------------------------------------- #
+# join properties
+# --------------------------------------------------------------------- #
+@given(st.lists(factors(), min_size=1, max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_outsidein_matches_nested_loops(factor_list):
+    names = sorted({v for f in factor_list for v in f.scope})
+    expected = {}
+    for values in itertools.product((0, 1), repeat=len(names)):
+        assignment = dict(zip(names, values))
+        product = 1
+        for factor in factor_list:
+            product *= factor.value(assignment, COUNTING)
+        if product:
+            expected[values] = product
+    got = {
+        tuple(assignment[v] for v in names): value
+        for assignment, value in enumerate_join(factor_list, COUNTING, names)
+    }
+    assert got == expected
+
+
+# --------------------------------------------------------------------- #
+# hypergraph properties
+# --------------------------------------------------------------------- #
+@given(hypergraphs())
+@settings(max_examples=50, deadline=None)
+def test_fractional_cover_lower_bounds_integral_cover(hypergraph):
+    covered = set()
+    for edge in hypergraph.edges:
+        covered |= edge
+    if not covered:
+        return
+    fractional = fractional_edge_cover_number(hypergraph, covered)
+    integral = integral_edge_cover_number(hypergraph, covered)
+    assert fractional <= integral + 1e-9
+
+
+@given(hypergraphs(), st.randoms())
+@settings(max_examples=50, deadline=None)
+def test_elimination_sequence_unions_cover_incident_edges(hypergraph, rng):
+    ordering = sorted(hypergraph.vertices, key=repr)
+    rng.shuffle(ordering)
+    steps = elimination_sequence(hypergraph, ordering)
+    assert [s.vertex for s in steps] == ordering
+    for step in steps:
+        for edge in step.incident:
+            assert edge <= step.union
+        assert step.vertex in step.union
+
+
+@given(hypergraphs())
+@settings(max_examples=30, deadline=None)
+def test_monotonicity_of_fractional_cover(hypergraph):
+    covered = set()
+    for edge in hypergraph.edges:
+        covered |= edge
+    covered = sorted(covered, key=repr)
+    if len(covered) < 2:
+        return
+    small = set(covered[: len(covered) // 2])
+    assert fractional_edge_cover_number(hypergraph, small) <= fractional_edge_cover_number(
+        hypergraph, covered
+    ) + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# engine invariants
+# --------------------------------------------------------------------- #
+@given(faq_queries())
+@settings(max_examples=40, deadline=None)
+def test_insideout_matches_brute_force(query):
+    expected = query.evaluate_brute_force()
+    got = inside_out(query).factor
+    assert expected.equals(got, query.semiring)
+
+
+@given(faq_queries(allow_products=False))
+@settings(max_examples=25, deadline=None)
+def test_linear_extensions_are_equivalent_orderings(query):
+    expected = query.evaluate_brute_force()
+    for extension in itertools.islice(linear_extensions(query), 3):
+        assert is_equivalent_ordering(query, extension)
+        result = inside_out(query, ordering=list(extension)).factor
+        assert expected.equals(result, query.semiring)
+
+
+@given(faq_queries())
+@settings(max_examples=25, deadline=None)
+def test_factorized_output_agrees_with_listing(query):
+    listing = inside_out(query).factor
+    factorized = inside_out(query, output_mode="factorized").factorized
+    assert factorized.to_factor().equals(listing, query.semiring)

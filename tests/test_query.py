@@ -1,0 +1,228 @@
+"""Unit tests for :class:`repro.core.query.FAQQuery` and its brute-force evaluator."""
+
+import pytest
+
+from repro.core.query import FAQQuery, QueryError, Variable
+from repro.factors.factor import Factor
+from repro.semiring.aggregates import ProductAggregate, SemiringAggregate
+from repro.semiring.standard import COUNTING, SUM_PRODUCT
+
+from conftest import make_factor
+
+
+def two_var_query(free=("A",)):
+    psi = make_factor(("A", "B"), {(0, 0): 1, (0, 1): 2, (1, 1): 3})
+    return FAQQuery(
+        variables=[Variable("A", (0, 1)), Variable("B", (0, 1))],
+        free=list(free),
+        aggregates={v: SemiringAggregate.sum() for v in ("A", "B") if v not in free},
+        factors=[psi],
+        semiring=COUNTING,
+    )
+
+
+class TestVariable:
+    def test_empty_domain_rejected(self):
+        with pytest.raises(QueryError):
+            Variable("X", ())
+
+    def test_duplicate_domain_values_rejected(self):
+        with pytest.raises(QueryError):
+            Variable("X", (1, 1))
+
+    def test_size(self):
+        assert Variable("X", (1, 2, 3)).size == 3
+
+
+class TestConstruction:
+    def test_basic_accessors(self):
+        query = two_var_query()
+        assert query.num_variables == 2
+        assert query.num_free == 1
+        assert query.bound == ("B",)
+        assert query.domain_size("B") == 2
+        assert query.input_size == 3
+
+    def test_free_must_be_prefix(self):
+        psi = make_factor(("A", "B"), {(0, 0): 1})
+        with pytest.raises(QueryError):
+            FAQQuery(
+                variables=[Variable("A", (0, 1)), Variable("B", (0, 1))],
+                free=["B"],
+                aggregates={"A": SemiringAggregate.sum()},
+                factors=[psi],
+                semiring=COUNTING,
+            )
+
+    def test_missing_aggregate_rejected(self):
+        psi = make_factor(("A", "B"), {(0, 0): 1})
+        with pytest.raises(QueryError):
+            FAQQuery(
+                variables=[Variable("A", (0, 1)), Variable("B", (0, 1))],
+                free=[],
+                aggregates={"A": SemiringAggregate.sum()},
+                factors=[psi],
+                semiring=COUNTING,
+            )
+
+    def test_extra_aggregate_rejected(self):
+        psi = make_factor(("A",), {(0,): 1})
+        with pytest.raises(QueryError):
+            FAQQuery(
+                variables=[Variable("A", (0, 1))],
+                free=["A"],
+                aggregates={"A": SemiringAggregate.sum()},
+                factors=[psi],
+                semiring=COUNTING,
+            )
+
+    def test_unknown_factor_variable_rejected(self):
+        psi = make_factor(("Z",), {(0,): 1})
+        with pytest.raises(QueryError):
+            FAQQuery(
+                variables=[Variable("A", (0, 1))],
+                free=["A"],
+                aggregates={},
+                factors=[psi],
+                semiring=COUNTING,
+            )
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(QueryError):
+            FAQQuery(
+                variables=[Variable("A", (0, 1)), Variable("A", (0, 1))],
+                free=[],
+                aggregates={"A": SemiringAggregate.sum()},
+                factors=[],
+                semiring=COUNTING,
+            )
+
+    def test_zero_entries_are_pruned(self):
+        psi = make_factor(("A",), {(0,): 0, (1,): 2})
+        query = FAQQuery(
+            variables=[Variable("A", (0, 1))],
+            free=["A"],
+            aggregates={},
+            factors=[psi],
+            semiring=COUNTING,
+        )
+        assert len(query.factors[0]) == 1
+
+
+class TestDerivedSets:
+    def test_k_set_contains_free_and_semiring_vars(self):
+        psi = make_factor(("A", "B", "C"), {(0, 0, 0): 1})
+        query = FAQQuery(
+            variables=[Variable(v, (0, 1)) for v in "ABC"],
+            free=["A"],
+            aggregates={"B": SemiringAggregate.sum(), "C": ProductAggregate.product()},
+            factors=[psi],
+            semiring=COUNTING,
+        )
+        assert query.k_set == frozenset({"A", "B"})
+        assert query.product_variables == ("C",)
+        assert query.semiring_variables == ("B",)
+
+    def test_tags(self):
+        query = two_var_query()
+        assert query.tag("A") == "free"
+        assert query.tag("B") == "sum"
+
+    def test_hypergraph_includes_isolated_variables(self):
+        psi = make_factor(("A",), {(0,): 1})
+        query = FAQQuery(
+            variables=[Variable("A", (0, 1)), Variable("B", (0, 1))],
+            free=[],
+            aggregates={"A": SemiringAggregate.sum(), "B": SemiringAggregate.sum()},
+            factors=[psi],
+            semiring=COUNTING,
+        )
+        assert "B" in query.hypergraph().vertices
+
+    def test_factor_sizes(self):
+        query = two_var_query()
+        assert query.factor_sizes() == {frozenset({"A", "B"}): 3}
+
+
+class TestWithOrdering:
+    def test_reordering_preserves_free_prefix(self):
+        psi = make_factor(("A", "B", "C"), {(0, 0, 0): 1})
+        query = FAQQuery(
+            variables=[Variable(v, (0, 1)) for v in "ABC"],
+            free=["A"],
+            aggregates={"B": SemiringAggregate.sum(), "C": SemiringAggregate.max()},
+            factors=[psi],
+            semiring=COUNTING,
+        )
+        reordered = query.with_ordering(["A", "C", "B"])
+        assert reordered.order == ("A", "C", "B")
+        assert reordered.aggregates["C"].tag == "max"
+
+    def test_reordering_must_keep_free_first(self):
+        query = two_var_query()
+        with pytest.raises(QueryError):
+            query.with_ordering(["B", "A"])
+
+    def test_reordering_must_be_permutation(self):
+        query = two_var_query()
+        with pytest.raises(QueryError):
+            query.with_ordering(["A"])
+
+
+class TestBruteForce:
+    def test_sum_over_bound_variable(self):
+        query = two_var_query(free=("A",))
+        result = query.evaluate_brute_force()
+        assert result.table == {(0,): 3, (1,): 3}
+
+    def test_scalar_query(self):
+        query = two_var_query(free=())
+        assert query.evaluate_scalar_brute_force() == 6
+
+    def test_scalar_accessor_requires_no_free_variables(self):
+        query = two_var_query(free=("A",))
+        with pytest.raises(QueryError):
+            query.evaluate_scalar_brute_force()
+
+    def test_max_aggregate(self):
+        psi = make_factor(("A", "B"), {(0, 0): 1, (0, 1): 5, (1, 0): 2})
+        query = FAQQuery(
+            variables=[Variable("A", (0, 1)), Variable("B", (0, 1))],
+            free=["A"],
+            aggregates={"B": SemiringAggregate.max()},
+            factors=[psi],
+            semiring=COUNTING,
+        )
+        assert query.evaluate_brute_force().table == {(0,): 5, (1,): 2}
+
+    def test_product_aggregate_requires_full_row(self):
+        psi = make_factor(("A", "B"), {(0, 0): 2, (0, 1): 3, (1, 0): 5})
+        query = FAQQuery(
+            variables=[Variable("A", (0, 1)), Variable("B", (0, 1))],
+            free=["A"],
+            aggregates={"B": ProductAggregate.product()},
+            factors=[psi],
+            semiring=COUNTING,
+        )
+        # A=0 lists both B values (product 6); A=1 misses B=1 (annihilated).
+        assert query.evaluate_brute_force().table == {(0,): 6}
+
+    def test_mixed_aggregates_match_manual_computation(self):
+        psi_ab = make_factor(("A", "B"), {(0, 0): 1, (0, 1): 2, (1, 0): 3, (1, 1): 4})
+        psi_bc = make_factor(("B", "C"), {(0, 0): 1, (0, 1): 1, (1, 0): 2, (1, 1): 2})
+        query = FAQQuery(
+            variables=[Variable(v, (0, 1)) for v in "ABC"],
+            free=[],
+            aggregates={
+                "A": SemiringAggregate.sum(),
+                "B": SemiringAggregate.max(),
+                "C": SemiringAggregate.sum(),
+            },
+            factors=[psi_ab, psi_bc],
+            semiring=COUNTING,
+        )
+        # phi = sum_A max_B sum_C psi_ab * psi_bc
+        #     = sum_A max_B psi_ab * (sum_C psi_bc)
+        # sum_C psi_bc: B=0 -> 2, B=1 -> 4
+        # A=0: max(1*2, 2*4) = 8 ; A=1: max(3*2, 4*4) = 16 ; total 24.
+        assert query.evaluate_scalar_brute_force() == 24

@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.semiring.base`."""
+
+import math
+
+import pytest
+
+from repro.semiring.base import Semiring, SemiringError
+from repro.semiring.standard import BOOLEAN, COUNTING, MAX_PRODUCT, MIN_PLUS, SUM_PRODUCT
+
+
+class TestSemiringBasics:
+    def test_is_zero_and_is_one(self):
+        assert COUNTING.is_zero(0)
+        assert not COUNTING.is_zero(1)
+        assert COUNTING.is_one(1)
+        assert not COUNTING.is_one(2)
+
+    def test_float_tolerance_in_equality(self):
+        assert SUM_PRODUCT.values_equal(0.1 + 0.2, 0.3)
+        assert not SUM_PRODUCT.values_equal(0.1, 0.2)
+
+    def test_custom_equality_predicate(self):
+        ring = Semiring(
+            name="mod5",
+            add=lambda a, b: (a + b) % 5,
+            mul=lambda a, b: (a * b) % 5,
+            zero=0,
+            one=1,
+            eq=lambda a, b: a % 5 == b % 5,
+        )
+        assert ring.values_equal(7, 2)
+        assert ring.is_zero(10)
+
+    def test_sum_folds_from_zero(self):
+        assert COUNTING.sum([1, 2, 3]) == 6
+        assert COUNTING.sum([]) == 0
+        assert BOOLEAN.sum([False, True, False]) is True
+
+    def test_product_folds_from_one(self):
+        assert COUNTING.product([2, 3, 4]) == 24
+        assert COUNTING.product([]) == 1
+        assert BOOLEAN.product([True, True]) is True
+        assert BOOLEAN.product([True, False]) is False
+
+    def test_repr_contains_name(self):
+        assert "counting" in repr(COUNTING)
+
+
+class TestPower:
+    def test_power_matches_builtin_for_counting(self):
+        for base in range(4):
+            for exponent in range(6):
+                assert COUNTING.power(base, exponent) == base ** exponent
+
+    def test_power_zero_exponent_is_one(self):
+        assert COUNTING.power(7, 0) == 1
+        assert MAX_PRODUCT.power(0.5, 0) == 1.0
+
+    def test_power_on_min_plus_is_scaling(self):
+        # In (min, +), "multiplication" is +, so powering scales the value.
+        assert MIN_PLUS.power(3.0, 4) == pytest.approx(12.0)
+
+    def test_power_negative_exponent_raises(self):
+        with pytest.raises(SemiringError):
+            COUNTING.power(2, -1)
+
+
+class TestIdempotence:
+    def test_boolean_values_are_idempotent(self):
+        assert BOOLEAN.is_mul_idempotent(True)
+        assert BOOLEAN.is_mul_idempotent(False)
+
+    def test_counting_idempotent_elements_are_zero_and_one(self):
+        assert COUNTING.is_mul_idempotent(0)
+        assert COUNTING.is_mul_idempotent(1)
+        assert not COUNTING.is_mul_idempotent(2)
+
+    def test_max_product_idempotents(self):
+        assert MAX_PRODUCT.is_mul_idempotent(1.0)
+        assert not MAX_PRODUCT.is_mul_idempotent(0.5)
+
+
+class TestAxiomChecker:
+    def test_standard_semirings_pass(self):
+        COUNTING.check_axioms(range(4))
+        BOOLEAN.check_axioms([False, True])
+        MAX_PRODUCT.check_axioms([0.0, 0.5, 1.0, 2.0])
+        MIN_PLUS.check_axioms([math.inf, 0.0, 1.0, 2.5])
+
+    def test_broken_distributivity_is_detected(self):
+        broken = Semiring(
+            name="broken",
+            add=lambda a, b: max(a, b),
+            mul=lambda a, b: a + b + 1,  # does not distribute, no annihilator
+            zero=0,
+            one=-1,
+        )
+        with pytest.raises(SemiringError):
+            broken.check_axioms([0, 1, 2])
+
+    def test_missing_annihilator_is_detected(self):
+        broken = Semiring(
+            name="no-annihilator",
+            add=lambda a, b: a + b,
+            mul=lambda a, b: a + b,
+            zero=0,
+            one=0,
+        )
+        # 1 ⊗ 0 = 1 != 0 → annihilation fails for value 1.
+        with pytest.raises(SemiringError):
+            broken.check_axioms([0, 1])

@@ -1,0 +1,106 @@
+"""Unit tests for the standard semirings (:mod:`repro.semiring.standard`)."""
+
+import math
+
+import pytest
+
+from repro.semiring.standard import (
+    BOOLEAN,
+    COUNTING,
+    MAX_PRODUCT,
+    MAX_SUM,
+    MIN_PLUS,
+    MIN_PRODUCT,
+    STANDARD_SEMIRINGS,
+    SUM_PRODUCT,
+    set_semiring,
+)
+
+
+class TestRegistry:
+    def test_registry_contains_all_named_semirings(self):
+        assert set(STANDARD_SEMIRINGS) == {
+            "boolean",
+            "counting",
+            "sum-product",
+            "max-product",
+            "min-plus",
+            "max-sum",
+            "min-product",
+        }
+
+    def test_registry_values_match_module_constants(self):
+        assert STANDARD_SEMIRINGS["boolean"] is BOOLEAN
+        assert STANDARD_SEMIRINGS["counting"] is COUNTING
+        assert STANDARD_SEMIRINGS["sum-product"] is SUM_PRODUCT
+
+
+class TestBoolean:
+    def test_or_and_semantics(self):
+        assert BOOLEAN.add(False, True) is True
+        assert BOOLEAN.add(False, False) is False
+        assert BOOLEAN.mul(True, True) is True
+        assert BOOLEAN.mul(True, False) is False
+
+    def test_identities(self):
+        assert BOOLEAN.zero is False
+        assert BOOLEAN.one is True
+
+
+class TestNumericSemirings:
+    def test_counting(self):
+        assert COUNTING.add(2, 3) == 5
+        assert COUNTING.mul(2, 3) == 6
+
+    def test_max_product(self):
+        assert MAX_PRODUCT.add(0.2, 0.7) == 0.7
+        assert MAX_PRODUCT.mul(0.5, 0.5) == 0.25
+        assert MAX_PRODUCT.zero == 0.0
+
+    def test_min_plus_identities(self):
+        assert MIN_PLUS.zero == math.inf
+        assert MIN_PLUS.one == 0.0
+        assert MIN_PLUS.add(3.0, 5.0) == 3.0
+        assert MIN_PLUS.mul(3.0, 5.0) == 8.0
+
+    def test_max_sum_identities(self):
+        assert MAX_SUM.zero == -math.inf
+        assert MAX_SUM.one == 0.0
+        assert MAX_SUM.add(-1.0, 2.0) == 2.0
+        assert MAX_SUM.mul(-1.0, 2.0) == 1.0
+
+    def test_min_product(self):
+        assert MIN_PRODUCT.add(2.0, 3.0) == 2.0
+        assert MIN_PRODUCT.mul(2.0, 3.0) == 6.0
+
+    @pytest.mark.parametrize(
+        "semiring,sample",
+        [
+            (COUNTING, [0, 1, 2, 3]),
+            (SUM_PRODUCT, [0.0, 0.5, 1.0, 2.0]),
+            (MAX_PRODUCT, [0.0, 0.25, 1.0, 3.0]),
+            (MIN_PLUS, [math.inf, 0.0, 1.5, 4.0]),
+            (MAX_SUM, [-math.inf, 0.0, 1.0, -2.0]),
+        ],
+    )
+    def test_axioms_hold_on_samples(self, semiring, sample):
+        semiring.check_axioms(sample)
+
+
+class TestSetSemiring:
+    def test_union_intersection(self):
+        ring = set_semiring({1, 2, 3})
+        a = frozenset({1})
+        b = frozenset({2, 3})
+        assert ring.add(a, b) == frozenset({1, 2, 3})
+        assert ring.mul(a, b) == frozenset()
+
+    def test_identities(self):
+        ring = set_semiring({1, 2})
+        assert ring.zero == frozenset()
+        assert ring.one == frozenset({1, 2})
+
+    def test_axioms(self):
+        ring = set_semiring({1, 2})
+        sample = [frozenset(), frozenset({1}), frozenset({2}), frozenset({1, 2})]
+        ring.check_axioms(sample)

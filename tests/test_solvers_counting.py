@@ -1,0 +1,100 @@
+"""Tests for the extra counting problems (permanent, weighted homomorphisms)."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datasets.graphs import random_graph
+from repro.solvers.counting import (
+    count_weighted_homomorphisms,
+    permanent,
+    permanent_query,
+    ryser_permanent,
+)
+from repro.solvers.joins import count_homomorphisms
+
+
+def brute_force_permanent(matrix):
+    size = matrix.shape[0]
+    total = 0.0
+    for perm in itertools.permutations(range(size)):
+        product = 1.0
+        for i, j in enumerate(perm):
+            product *= matrix[i, j]
+        total += product
+    return total
+
+
+class TestPermanent:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4])
+    def test_matches_brute_force(self, size):
+        rng = np.random.default_rng(size)
+        matrix = rng.integers(0, 4, size=(size, size)).astype(float)
+        assert permanent(matrix) == pytest.approx(brute_force_permanent(matrix))
+
+    def test_matches_ryser(self):
+        rng = np.random.default_rng(9)
+        matrix = rng.random((4, 4))
+        assert permanent(matrix) == pytest.approx(ryser_permanent(matrix))
+
+    def test_identity_matrix(self):
+        assert permanent(np.eye(4)) == pytest.approx(1.0)
+
+    def test_all_ones_matrix_is_factorial(self):
+        assert permanent(np.ones((4, 4))) == pytest.approx(24.0)
+
+    def test_zero_row_gives_zero(self):
+        matrix = np.ones((3, 3))
+        matrix[1, :] = 0.0
+        assert permanent(matrix) == pytest.approx(0.0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(Exception):
+            permanent_query(np.ones((2, 3)))
+
+    def test_query_structure(self):
+        query = permanent_query(np.ones((3, 3)))
+        assert query.num_variables == 3
+        # 3 row factors + 3 pairwise all-different factors.
+        assert len(query.factors) == 6
+
+
+class TestWeightedHomomorphisms:
+    def test_unit_weights_reduce_to_counting(self):
+        graph = random_graph(10, 18, seed=2)
+        pattern = nx.path_graph(3)
+        weighted = count_weighted_homomorphisms(pattern, graph)
+        assert weighted == pytest.approx(count_homomorphisms(pattern, graph))
+
+    def test_single_edge_pattern_sums_weights(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        weights = {(0, 1): 2.0, (1, 2): 5.0}
+        pattern = nx.path_graph(2)
+        # Each data edge is counted in both orientations.
+        expected = 2 * (2.0 + 5.0)
+        assert count_weighted_homomorphisms(pattern, graph, weights) == pytest.approx(expected)
+
+    def test_zero_weight_edges_do_not_contribute(self):
+        graph = nx.cycle_graph(3)
+        weights = {edge: 0.0 for edge in graph.edges}
+        assert count_weighted_homomorphisms(nx.path_graph(2), graph, weights) == pytest.approx(0.0)
+
+    def test_triangle_pattern_weighted(self):
+        graph = nx.complete_graph(4)
+        rng = np.random.default_rng(5)
+        weights = {edge: float(rng.integers(1, 4)) for edge in graph.edges}
+        # Reference: explicit sum over ordered vertex triples.
+        def weight(u, v):
+            return weights.get((u, v), weights.get((v, u), 0.0)) if graph.has_edge(u, v) else 0.0
+
+        expected = 0.0
+        for a in graph.nodes:
+            for b in graph.nodes:
+                for c in graph.nodes:
+                    expected += weight(a, b) * weight(b, c) * weight(a, c)
+        got = count_weighted_homomorphisms(nx.complete_graph(3), graph, weights)
+        assert got == pytest.approx(expected)

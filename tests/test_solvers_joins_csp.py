@@ -1,0 +1,129 @@
+"""Tests for the join/counting and CSP application layers."""
+
+import networkx as nx
+import pytest
+
+from repro.datasets.graphs import clique_pattern, cycle_pattern, random_graph
+from repro.datasets.relations import cycle_query_relations, path_query_relations
+from repro.db.generic_join import generic_join
+from repro.solvers.csp import CSP, Constraint, count_proper_colorings, graph_coloring_csp, is_k_colorable
+from repro.solvers.joins import (
+    count_homomorphisms,
+    count_join_results,
+    count_triangles,
+    homomorphism_count_query,
+    natural_join_insideout,
+    natural_join_query,
+    triangle_join_relations,
+)
+
+
+class TestNaturalJoin:
+    def test_join_query_structure(self):
+        rels = path_query_relations(2, 4, 8, seed=1)
+        query = natural_join_query(rels)
+        assert query.num_free == query.num_variables
+        assert len(query.factors) == 2
+
+    @pytest.mark.parametrize("maker,args", [
+        (path_query_relations, (3, 5, 15)),
+        (cycle_query_relations, (3, 5, 15)),
+        (cycle_query_relations, (4, 4, 12)),
+    ])
+    def test_insideout_join_matches_generic_join(self, maker, args):
+        rels = maker(*args, seed=7)
+        expected = generic_join(rels)
+        got = natural_join_insideout(rels)
+        assert got.project(expected.schema).tuples == expected.tuples
+
+    def test_count_join_results(self):
+        rels = path_query_relations(2, 4, 10, seed=3)
+        assert count_join_results(rels) == len(generic_join(rels))
+
+
+class TestPatternCounting:
+    def test_triangle_count_matches_networkx(self):
+        graph = random_graph(25, 70, seed=5)
+        assert count_triangles(graph) == sum(nx.triangles(graph).values()) // 3
+
+    def test_triangle_count_on_triangle_free_graph(self):
+        graph = nx.cycle_graph(8)
+        assert count_triangles(graph) == 0
+
+    def test_homomorphism_count_of_single_edge_is_twice_edges(self):
+        graph = random_graph(10, 20, seed=6)
+        pattern = nx.path_graph(2)
+        assert count_homomorphisms(pattern, graph) == 2 * graph.number_of_edges()
+
+    def test_four_cycle_homomorphisms_match_trace_formula(self):
+        import numpy as np
+
+        graph = random_graph(12, 30, seed=8)
+        adjacency = nx.to_numpy_array(graph)
+        expected = int(np.trace(np.linalg.matrix_power(adjacency, 4)))
+        assert count_homomorphisms(cycle_pattern(4), graph) == expected
+
+    def test_clique_query_width(self):
+        query = homomorphism_count_query(clique_pattern(3), random_graph(6, 10, seed=9))
+        from repro.core.faqw import faq_width_of_query
+
+        assert faq_width_of_query(query) == pytest.approx(1.5)
+
+    def test_triangle_join_relations_shape(self):
+        rels = triangle_join_relations(random_graph(8, 15, seed=10))
+        assert [r.schema for r in rels] == [("A", "B"), ("B", "C"), ("A", "C")]
+
+
+class TestCSP:
+    def test_count_solutions_matches_brute_force(self):
+        domains = {"a": (0, 1, 2), "b": (0, 1, 2), "c": (0, 1)}
+        constraints = [
+            Constraint.from_predicate(("a", "b"), domains, lambda a, b: a != b),
+            Constraint.from_predicate(("b", "c"), domains, lambda b, c: b >= c),
+        ]
+        csp = CSP(domains, constraints)
+        assert csp.count_solutions() == csp.count_solutions_brute_force()
+
+    def test_satisfiability_and_enumeration_agree(self):
+        domains = {"a": (0, 1), "b": (0, 1)}
+        constraints = [Constraint(("a", "b"), ((0, 1),))]
+        csp = CSP(domains, constraints)
+        assert csp.is_satisfiable()
+        assert csp.solutions() == [{"a": 0, "b": 1}]
+
+    def test_unsatisfiable_instance(self):
+        domains = {"a": (0, 1)}
+        constraints = [Constraint(("a",), ())]
+        csp = CSP(domains, constraints)
+        assert not csp.is_satisfiable()
+        assert csp.count_solutions() == 0
+
+    def test_unknown_constraint_variable_rejected(self):
+        with pytest.raises(Exception):
+            CSP({"a": (0, 1)}, [Constraint(("z",), ((0,),))])
+
+
+class TestGraphColoring:
+    def test_chromatic_polynomial_of_cycle(self):
+        # Proper k-colourings of C_n: (k-1)^n + (-1)^n (k-1).
+        for n, k in [(4, 3), (5, 3), (5, 2)]:
+            expected = (k - 1) ** n + (-1) ** n * (k - 1)
+            assert count_proper_colorings(nx.cycle_graph(n), k) == expected
+
+    def test_complete_graph_colorability(self):
+        assert is_k_colorable(nx.complete_graph(4), 4)
+        assert not is_k_colorable(nx.complete_graph(4), 3)
+
+    def test_bipartite_graph_is_two_colorable(self):
+        assert is_k_colorable(nx.cycle_graph(6), 2)
+        assert not is_k_colorable(nx.cycle_graph(5), 2)
+
+    def test_edgeless_graph(self):
+        graph = nx.empty_graph(4)
+        assert is_k_colorable(graph, 1)
+        assert count_proper_colorings(graph, 3) == 81
+
+    def test_coloring_csp_structure(self):
+        csp = graph_coloring_csp(nx.path_graph(3), 2)
+        assert len(csp.constraints) == 2
+        assert csp.count_solutions() == 2

@@ -1,0 +1,176 @@
+"""Tests for the logic (CQ/#CQ/QCQ/#QCQ) and SAT/#SAT application layers."""
+
+import itertools
+
+import pytest
+
+from repro.datasets.cnf import beta_acyclic_cnf, chain_cnf, random_k_cnf
+from repro.datasets.relations import random_relation
+from repro.factors.compact import Clause, Literal
+from repro.solvers.logic import (
+    EXISTS,
+    FORALL,
+    Atom,
+    QuantifiedConjunctiveQuery,
+    boolean_cq,
+    conjunctive_query,
+    count_conjunctive_query_answers,
+)
+from repro.solvers.sat import (
+    CNFFormula,
+    count_models,
+    davis_putnam_sat,
+    is_satisfiable,
+    sharp_sat_query,
+)
+
+
+def small_qcq(seed=0, quantifiers=(EXISTS, FORALL)):
+    r = random_relation("R", ("a", "b"), 3, 6, seed=seed)
+    s = random_relation("S", ("b", "c"), 3, 6, seed=seed + 1)
+    return QuantifiedConjunctiveQuery(
+        free=("u",),
+        quantifiers=(("v", quantifiers[0]), ("w", quantifiers[1])),
+        atoms=(Atom(r, ("u", "v")), Atom(s, ("v", "w"))),
+        domains={"w": (0, 1, 2)},
+    )
+
+
+class TestQCQ:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("quantifiers", [
+        (EXISTS, EXISTS), (EXISTS, FORALL), (FORALL, EXISTS), (FORALL, FORALL),
+    ])
+    def test_qcq_matches_brute_force(self, seed, quantifiers):
+        query = small_qcq(seed=seed * 3, quantifiers=quantifiers)
+        assert query.solve().tuples == query.solve_brute_force().tuples
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sharp_qcq_matches_brute_force(self, seed):
+        query = small_qcq(seed=seed * 5, quantifiers=(FORALL, EXISTS))
+        assert query.count() == query.count_brute_force()
+
+    def test_atom_arity_checked(self):
+        r = random_relation("R", ("a", "b"), 2, 3, seed=1)
+        with pytest.raises(Exception):
+            Atom(r, ("x",))
+
+    def test_variable_without_domain_rejected(self):
+        r = random_relation("R", ("a",), 2, 2, seed=1)
+        with pytest.raises(Exception):
+            QuantifiedConjunctiveQuery(
+                free=(), quantifiers=(("z", FORALL),), atoms=(Atom(r, ("x",)),)
+            )
+
+    def test_prefix_width_at_least_faqw_proxy(self):
+        query = small_qcq(seed=2)
+        assert query.prefix_width() >= 1
+
+    def test_chen_dalmau_separation_example(self):
+        """Section 7.2.1: ∀x1..xn ∃y  S(x1..xn) ∧ ⋀ R(xi, y) has prefix width
+        n+1 but faqw 2."""
+        n = 3
+        domain = tuple(range(2))
+        s_rel = random_relation("S", tuple(f"x{i}" for i in range(1, n + 1)), 2, 6, seed=3)
+        r_rel = random_relation("R", ("u", "y"), 2, 3, seed=4)
+        atoms = [Atom(s_rel, tuple(f"x{i}" for i in range(1, n + 1)))]
+        for i in range(1, n + 1):
+            atoms.append(Atom(r_rel, (f"x{i}", "y")))
+        query = QuantifiedConjunctiveQuery(
+            free=(),
+            quantifiers=tuple((f"x{i}", FORALL) for i in range(1, n + 1)) + (("y", EXISTS),),
+            atoms=tuple(atoms),
+        )
+        assert query.prefix_width() == n + 1
+        from repro.core.faqw import faq_width_of_query
+
+        assert faq_width_of_query(query.decision_query()) <= 2.0
+        # And the reduction is still correct.
+        assert query.solve().tuples == query.solve_brute_force().tuples
+
+    def test_boolean_cq_and_counting_helpers(self):
+        r = random_relation("R", ("a", "b"), 3, 5, seed=6)
+        s = random_relation("S", ("b", "c"), 3, 5, seed=7)
+        atoms = [Atom(r, ("x", "y")), Atom(s, ("y", "z"))]
+        bcq = boolean_cq(atoms)
+        assert bcq.count_brute_force() in (0, 1)
+        cq = conjunctive_query(atoms, free=("x",))
+        assert cq.count() == cq.count_brute_force()
+        assert count_conjunctive_query_answers(atoms, ("x",)) == cq.count_brute_force()
+
+    def test_repeated_variable_atom(self):
+        r = random_relation("R", ("a", "b"), 3, 7, seed=8)
+        query = QuantifiedConjunctiveQuery(
+            free=(), quantifiers=(("x", EXISTS),), atoms=(Atom(r, ("x", "x")),)
+        )
+        expected = any(row[0] == row[1] for row in r.tuples)
+        assert (query.count_brute_force() > 0) == expected
+        assert (len(query.solve().tuples) > 0) == expected
+
+
+class TestSAT:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_davis_putnam_matches_brute_force_on_random_cnf(self, seed):
+        formula = random_k_cnf(6, 14, 3, seed=seed)
+        satisfiable, _ = davis_putnam_sat(formula)
+        assert satisfiable == formula.is_satisfiable_brute_force()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_davis_putnam_on_beta_acyclic(self, seed):
+        formula = beta_acyclic_cnf(3, 3, seed=seed)
+        assert formula.is_beta_acyclic()
+        satisfiable, stats = davis_putnam_sat(formula)
+        assert satisfiable == formula.is_satisfiable_brute_force()
+        assert stats.eliminations >= 1
+
+    def test_beta_acyclic_clause_count_stays_bounded(self):
+        formula = beta_acyclic_cnf(6, 3, seed=1)
+        _, stats = davis_putnam_sat(formula)
+        # Theorem 8.3: along a NEO the clause set never grows.
+        assert stats.max_clauses <= len(formula.clauses)
+
+    def test_unsatisfiable_formula(self):
+        formula = CNFFormula(
+            [Clause([Literal("x", True)]), Clause([Literal("x", False)])]
+        )
+        assert not is_satisfiable(formula)
+        assert count_models(formula) == 0
+
+    def test_empty_formula_is_satisfiable(self):
+        formula = CNFFormula([])
+        assert is_satisfiable(formula)
+
+    def test_tautologies_are_dropped(self):
+        formula = CNFFormula([Clause([Literal("x", True), Literal("x", False)])])
+        assert len(formula) == 0
+
+
+class TestSharpSAT:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_count_models_matches_brute_force_random(self, seed):
+        formula = random_k_cnf(7, 16, 3, seed=seed + 50)
+        assert count_models(formula) == formula.count_models_brute_force()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_count_models_beta_acyclic(self, seed):
+        formula = beta_acyclic_cnf(3, 3, seed=seed + 10)
+        assert count_models(formula) == formula.count_models_brute_force()
+
+    def test_chain_cnf_counts(self):
+        formula = chain_cnf(6, seed=2)
+        assert count_models(formula) == formula.count_models_brute_force()
+
+    def test_count_models_on_formula_without_clauses(self):
+        formula = CNFFormula([])
+        assert count_models(formula) == 1
+
+    def test_sharp_sat_query_structure(self):
+        formula = random_k_cnf(5, 8, 3, seed=4)
+        query = sharp_sat_query(formula)
+        assert query.num_free == 0
+        assert len(query.factors) == len(formula.clauses)
+
+    def test_explicit_ordering_accepted(self):
+        formula = chain_cnf(5, seed=3)
+        ordering = list(formula.variables)
+        assert count_models(formula, ordering=ordering) == formula.count_models_brute_force()

@@ -1,0 +1,149 @@
+"""Tests for the matrix application layer: MCM and the DFT."""
+
+import numpy as np
+import pytest
+
+from repro.core.faqw import faq_width_of_query
+from repro.core.query import QueryError
+from repro.solvers.matrix import (
+    COMPLEX_SUM_PRODUCT,
+    dft_insideout,
+    dft_naive,
+    dft_query,
+    matrix_chain_insideout,
+    matrix_chain_query,
+    mcm_dp_cost,
+    mcm_dp_ordering,
+    mcm_naive_cost,
+)
+
+
+class TestMatrixChainQuery:
+    def test_query_structure(self):
+        rng = np.random.default_rng(0)
+        mats = [rng.random((2, 3)), rng.random((3, 4))]
+        query = matrix_chain_query(mats)
+        assert query.free == ("x1", "x3")
+        assert len(query.factors) == 2
+        assert query.domain_size("x2") == 3
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            matrix_chain_query([np.zeros((2, 3)), np.zeros((4, 2))])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(QueryError):
+            matrix_chain_query([])
+
+    def test_mcm_faqw_is_two(self):
+        # Both endpoints of the chain are free, so every elimination of an
+        # inner index keeps the two free ends around: the induced sets need
+        # two of the chain edges to be covered, i.e. faqw = 2.  (The MCM row
+        # of Table 1 is governed by the DP cost, not by N^faqw.)
+        rng = np.random.default_rng(1)
+        mats = [rng.random((2, 3)), rng.random((3, 2)), rng.random((2, 4))]
+        assert faq_width_of_query(matrix_chain_query(mats)) == pytest.approx(2.0)
+
+
+class TestMatrixChainEvaluation:
+    @pytest.mark.parametrize("dims", [
+        (3, 4, 2), (2, 5, 3, 4), (4, 1, 6, 2, 3), (3, 3),
+    ])
+    def test_matches_numpy(self, dims):
+        rng = np.random.default_rng(sum(dims))
+        mats = [rng.random((dims[i], dims[i + 1])) for i in range(len(dims) - 1)]
+        expected = mats[0]
+        for m in mats[1:]:
+            expected = expected @ m
+        got = matrix_chain_insideout(mats)
+        assert np.allclose(got, expected)
+
+    def test_single_matrix(self):
+        mat = np.arange(6.0).reshape(2, 3)
+        assert np.allclose(matrix_chain_insideout([mat]), mat)
+
+    def test_sparse_matrices(self):
+        left = np.zeros((4, 4))
+        right = np.zeros((4, 4))
+        left[0, 1] = 2.0
+        right[1, 2] = 3.0
+        assert np.allclose(matrix_chain_insideout([left, right]), left @ right)
+
+    def test_explicit_ordering(self):
+        rng = np.random.default_rng(9)
+        mats = [rng.random((2, 3)), rng.random((3, 2))]
+        got = matrix_chain_insideout(mats, ordering=["x1", "x3", "x2"])
+        assert np.allclose(got, mats[0] @ mats[1])
+
+
+class TestMCMDynamicProgram:
+    def test_textbook_example(self):
+        # CLRS example: dims (30, 35, 15, 5, 10, 20, 25) has optimal cost 15125.
+        cost, _ = mcm_dp_cost([30, 35, 15, 5, 10, 20, 25])
+        assert cost == 15125
+
+    def test_two_matrices(self):
+        cost, _ = mcm_dp_cost([2, 3, 4])
+        assert cost == 24
+
+    def test_optimal_no_worse_than_naive(self):
+        for dims in [(5, 2, 9, 3, 7), (10, 1, 10, 1, 10)]:
+            optimal, _ = mcm_dp_cost(list(dims))
+            assert optimal <= mcm_naive_cost(list(dims))
+
+    def test_dp_ordering_is_valid_permutation(self):
+        dims = [5, 2, 9, 3, 7]
+        ordering = mcm_dp_ordering(dims)
+        assert sorted(ordering) == [f"x{i}" for i in range(1, 6)]
+        assert ordering[:2] == ["x1", "x5"]
+
+    def test_dp_ordering_reproduces_product(self):
+        rng = np.random.default_rng(4)
+        dims = [4, 2, 6, 3]
+        mats = [rng.random((dims[i], dims[i + 1])) for i in range(len(dims) - 1)]
+        got = matrix_chain_insideout(mats, ordering=mcm_dp_ordering(dims))
+        assert np.allclose(got, mats[0] @ mats[1] @ mats[2])
+
+
+class TestDFT:
+    @pytest.mark.parametrize("size,base", [(4, 2), (8, 2), (16, 2), (9, 3), (27, 3)])
+    def test_matches_naive_dft(self, size, base):
+        rng = np.random.default_rng(size + base)
+        vector = rng.random(size) + 1j * rng.random(size)
+        assert np.allclose(dft_insideout(vector, base), dft_naive(vector))
+
+    def test_matches_numpy_ifft_convention(self):
+        rng = np.random.default_rng(3)
+        vector = rng.random(8)
+        # The paper (and our encoding) uses the positive-exponent convention,
+        # which equals numpy's unnormalised inverse FFT.
+        assert np.allclose(dft_insideout(vector, 2), np.fft.ifft(vector) * 8)
+
+    def test_impulse_has_flat_spectrum(self):
+        vector = np.zeros(8)
+        vector[0] = 1.0
+        assert np.allclose(dft_insideout(vector, 2), np.ones(8))
+
+    def test_non_power_length_rejected(self):
+        with pytest.raises(QueryError):
+            dft_query(np.ones(6), 2)
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(QueryError):
+            dft_query([], 2)
+
+    def test_query_structure(self):
+        query = dft_query(np.ones(8), 2)
+        assert query.num_free == 3
+        # One input factor plus one twiddle per (j, k) with j + k < m.
+        assert len(query.factors) == 1 + 6
+        assert query.semiring is COMPLEX_SUM_PRODUCT
+
+    def test_dft_faqw_is_bounded_by_digit_count(self):
+        # The DFT query's efficiency comes from the per-step intermediate
+        # sizes staying at N (the FFT), not from a constant faqw: the width
+        # grows like the number of digits m because the input-vector factor
+        # spans all m bound digits while the free digits accumulate.
+        query = dft_query(np.ones(8), 2)
+        width = faq_width_of_query(query, extension_limit=200)
+        assert 1.0 <= width <= 3.0 + 1e-9

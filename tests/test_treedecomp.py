@@ -1,0 +1,135 @@
+"""Unit tests for tree decompositions and width parameters."""
+
+import pytest
+
+from repro.hypergraph.covers import fractional_edge_cover_number
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.treedecomp import (
+    TreeDecomposition,
+    decomposition_from_ordering,
+    fractional_hypertree_width,
+    hypertree_width,
+    ordering_from_decomposition,
+    treewidth,
+)
+
+
+TRIANGLE = Hypergraph.from_scopes([("A", "B"), ("B", "C"), ("A", "C")])
+PATH = Hypergraph.from_scopes([("A", "B"), ("B", "C"), ("C", "D")])
+FOUR_CYCLE = Hypergraph.from_scopes([("A", "B"), ("B", "C"), ("C", "D"), ("D", "A")])
+GRID_2x3 = Hypergraph.from_scopes(
+    [
+        ("00", "01"), ("01", "02"),
+        ("10", "11"), ("11", "12"),
+        ("00", "10"), ("01", "11"), ("02", "12"),
+    ]
+)
+
+
+class TestDecompositionFromOrdering:
+    @pytest.mark.parametrize("hypergraph", [TRIANGLE, PATH, FOUR_CYCLE, GRID_2x3])
+    def test_is_valid_for_any_ordering(self, hypergraph):
+        ordering = sorted(hypergraph.vertices, key=repr)
+        decomposition = decomposition_from_ordering(hypergraph, ordering)
+        assert decomposition.is_valid()
+
+    def test_bags_are_induced_sets(self):
+        decomposition = decomposition_from_ordering(PATH, ["A", "B", "C", "D"])
+        bags = set(decomposition.bags.values())
+        assert frozenset({"C", "D"}) in bags
+        assert frozenset({"A", "B"}) in bags
+
+    def test_path_decomposition_has_small_bags(self):
+        decomposition = decomposition_from_ordering(PATH, ["A", "B", "C", "D"])
+        assert decomposition.tree_width() == 1
+
+    def test_triangle_decomposition_width(self):
+        decomposition = decomposition_from_ordering(TRIANGLE, ["A", "B", "C"])
+        assert decomposition.tree_width() == 2
+        assert decomposition.fractional_width() == pytest.approx(1.5)
+
+    def test_disconnected_hypergraph_yields_connected_tree(self):
+        h = Hypergraph.from_scopes([("A", "B"), ("C", "D")])
+        decomposition = decomposition_from_ordering(h, ["A", "B", "C", "D"])
+        assert decomposition.is_valid()
+        import networkx as nx
+
+        assert nx.is_connected(decomposition.tree)
+
+
+class TestWidthEvaluation:
+    def test_integral_width_of_triangle_decomposition(self):
+        decomposition = decomposition_from_ordering(TRIANGLE, ["A", "B", "C"])
+        assert decomposition.integral_width() == 2
+
+    def test_width_requires_hypergraph(self):
+        decomposition = decomposition_from_ordering(PATH, ["A", "B", "C", "D"])
+        decomposition.hypergraph = None
+        with pytest.raises(Exception):
+            decomposition.fractional_width()
+
+    def test_invalid_decomposition_detected(self):
+        import networkx as nx
+
+        tree = nx.Graph()
+        tree.add_node("only")
+        bad = TreeDecomposition(tree=tree, bags={"only": frozenset({"A"})}, hypergraph=PATH)
+        assert not bad.is_valid()
+
+
+class TestOrderingFromDecomposition:
+    @pytest.mark.parametrize("hypergraph", [PATH, TRIANGLE, FOUR_CYCLE])
+    def test_roundtrip_preserves_vertices(self, hypergraph):
+        ordering = sorted(hypergraph.vertices, key=repr)
+        decomposition = decomposition_from_ordering(hypergraph, ordering)
+        recovered = ordering_from_decomposition(decomposition)
+        assert sorted(recovered) == sorted(hypergraph.vertices)
+
+    def test_roundtrip_does_not_increase_width(self):
+        ordering = ["A", "B", "C", "D"]
+        decomposition = decomposition_from_ordering(PATH, ordering)
+        recovered = ordering_from_decomposition(decomposition)
+        from repro.hypergraph.elimination import induced_width
+
+        width = induced_width(PATH, recovered, lambda bag: len(bag) - 1)
+        assert width <= 1
+
+
+class TestHypergraphWidths:
+    def test_treewidth_of_path_is_one(self):
+        assert treewidth(PATH) == 1
+
+    def test_treewidth_of_triangle_is_two(self):
+        assert treewidth(TRIANGLE) == 2
+
+    def test_treewidth_of_four_cycle_is_two(self):
+        assert treewidth(FOUR_CYCLE) == 2
+
+    def test_fhtw_of_triangle_is_three_halves(self):
+        assert fractional_hypertree_width(TRIANGLE) == pytest.approx(1.5)
+
+    def test_fhtw_of_acyclic_queries_is_one(self):
+        assert fractional_hypertree_width(PATH) == pytest.approx(1.0)
+        star = Hypergraph.from_scopes([("H", "L1"), ("H", "L2"), ("H", "L3")])
+        assert fractional_hypertree_width(star) == pytest.approx(1.0)
+
+    def test_fhtw_never_exceeds_htw(self):
+        for hypergraph in (TRIANGLE, PATH, FOUR_CYCLE, GRID_2x3):
+            assert fractional_hypertree_width(hypergraph) <= hypertree_width(hypergraph) + 1e-9
+
+    def test_fhtw_returns_witnessing_ordering(self):
+        width, ordering = fractional_hypertree_width(TRIANGLE, return_ordering=True)
+        assert width == pytest.approx(1.5)
+        assert sorted(ordering) == ["A", "B", "C"]
+
+    def test_heuristic_path_for_large_hypergraphs(self):
+        big_path = Hypergraph.from_scopes(
+            [(f"v{i}", f"v{i + 1}") for i in range(15)]
+        )
+        # 16 vertices exceeds the exact limit → heuristic; still optimal here.
+        assert fractional_hypertree_width(big_path, exact_limit=6) == pytest.approx(1.0)
+
+    def test_empty_hypergraph_widths(self):
+        empty = Hypergraph()
+        assert treewidth(empty) == 0
+        assert fractional_hypertree_width(empty) == 0.0
