@@ -1,0 +1,25 @@
+"""Problem-size selection for the benchmark harness.
+
+Every benchmark module sizes its inputs through :func:`pick` so that the CI
+smoke job can run the whole harness at minimal sizes.  Quick mode is enabled
+either by the ``--quick`` pytest option (see ``benchmarks/conftest.py``) or
+by setting the environment variable ``FAQ_BENCH_QUICK=1`` — the option is
+translated into the environment variable before collection so module-level
+constants see it at import time.
+"""
+
+from __future__ import annotations
+
+import os
+
+QUICK_ENV = "FAQ_BENCH_QUICK"
+
+
+def quick_mode() -> bool:
+    """Whether the harness runs in quick (smoke) mode."""
+    return os.environ.get(QUICK_ENV, "") not in ("", "0")
+
+
+def pick(default, quick):
+    """``quick`` in smoke mode, ``default`` otherwise."""
+    return quick if quick_mode() else default

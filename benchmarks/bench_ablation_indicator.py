@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import pytest
 
+from _sizes import pick
+
 from repro.core.insideout import inside_out
 from repro.core.query import FAQQuery, Variable
 from repro.factors.factor import Factor
@@ -30,7 +32,7 @@ def _selective_triangle(size: int) -> FAQQuery:
     )
 
 
-QUERY = _selective_triangle(45)
+QUERY = _selective_triangle(pick(45, 8))
 ORDERING = ["C", "B", "A"]
 
 

@@ -9,11 +9,13 @@ from __future__ import annotations
 
 import pytest
 
+from _sizes import pick
+
 from repro.core.insideout import inside_out
 from repro.datasets.relations import path_query_relations
 from repro.solvers.joins import natural_join_query
 
-RELATIONS = path_query_relations(4, domain_size=20, num_tuples=140, seed=13)
+RELATIONS = path_query_relations(4, domain_size=pick(20, 6), num_tuples=pick(140, 24), seed=13)
 QUERY = natural_join_query(RELATIONS)
 
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import pytest
 
+from _sizes import pick
+
 from repro.core.expression_tree import build_expression_tree
 from repro.core.faqw import (
     approximate_faqw_ordering,
@@ -31,7 +33,10 @@ EXAMPLES = {
     "example-6.2": example_6_2_query(),
     "example-6.19": example_6_19_query(),
 }
-RANDOM_QUERIES = [random_faq_query(seed=s, max_variables=7, zero_one=True) for s in range(20)]
+RANDOM_QUERIES = [
+    random_faq_query(seed=s, max_variables=pick(7, 5), zero_one=True)
+    for s in range(pick(20, 5))
+]
 
 
 @pytest.mark.benchmark(group="fig1-expression-tree")

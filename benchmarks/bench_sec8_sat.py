@@ -11,12 +11,14 @@ from __future__ import annotations
 
 import pytest
 
+from _sizes import pick
+
 from repro.datasets.cnf import beta_acyclic_cnf, random_k_cnf
 from repro.solvers.sat import count_models, davis_putnam_sat
 
-BETA_ACYCLIC = beta_acyclic_cnf(num_blocks=6, block_width=3, seed=9)
-SMALL_BETA_ACYCLIC = beta_acyclic_cnf(num_blocks=4, block_width=3, seed=9)
-RANDOM_CNF = random_k_cnf(num_variables=14, num_clauses=45, clause_width=3, seed=10)
+BETA_ACYCLIC = beta_acyclic_cnf(num_blocks=pick(6, 3), block_width=3, seed=9)
+SMALL_BETA_ACYCLIC = beta_acyclic_cnf(num_blocks=pick(4, 2), block_width=3, seed=9)
+RANDOM_CNF = random_k_cnf(num_variables=pick(14, 8), num_clauses=pick(45, 16), clause_width=3, seed=10)
 
 
 @pytest.mark.benchmark(group="sec8-sat")

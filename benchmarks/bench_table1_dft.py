@@ -1,23 +1,43 @@
 """Table 1, DFT row: the FAQ factorisation of the DFT vs the naive O(N²) sum.
 
 InsideOut over the Aji–McEliece factorisation performs ``O(N log N)`` work
-(the FFT); the naive summation is ``Θ(N²)``.  Both use pure-python complex
-arithmetic so the comparison isolates the algorithmic effect.
+(the FFT); the naive summation is ``Θ(N²)``.  The sparse rows use pure-python
+complex arithmetic so the comparison isolates the algorithmic effect; the
+dense rows run the same elimination steps through the ndarray factor backend
+and measure the representation effect on top.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.solvers.matrix import dft_insideout, dft_naive
+from _sizes import pick
+
+from repro.core.insideout import inside_out
+from repro.solvers.matrix import dft_insideout, dft_naive, dft_query
 
 RNG = np.random.default_rng(11)
-VECTOR = RNG.random(64) + 1j * RNG.random(64)
+SIZE = pick(64, 8)
+VECTOR = RNG.random(SIZE) + 1j * RNG.random(SIZE)
 
 
 @pytest.mark.benchmark(group="table1-dft")
-def test_dft_insideout_fft(benchmark):
+def test_dft_insideout_fft_sparse(benchmark):
+    result = benchmark(lambda: dft_insideout(VECTOR, 2, backend="sparse"))
+    assert len(result) == len(VECTOR)
+
+
+@pytest.mark.benchmark(group="table1-dft")
+def test_dft_insideout_fft_dense(benchmark):
+    result = benchmark(lambda: dft_insideout(VECTOR, 2, backend="dense"))
+    assert len(result) == len(VECTOR)
+
+
+@pytest.mark.benchmark(group="table1-dft")
+def test_dft_insideout_fft_auto(benchmark):
     result = benchmark(lambda: dft_insideout(VECTOR, 2))
     assert len(result) == len(VECTOR)
 
@@ -32,9 +52,7 @@ def test_dft_naive_quadratic(benchmark):
 def test_shape_dft_correctness_and_scaling():
     """The FAQ evaluation matches the naive DFT and numpy, and its advantage
     grows with N (measured through elementary-operation proxies)."""
-    import time
-
-    sizes = [64, 256, 1024]
+    sizes = pick([64, 256, 1024], [8, 16, 32])
     ratios = []
     for size in sizes:
         vector = RNG.random(size)
@@ -48,7 +66,39 @@ def test_shape_dft_correctness_and_scaling():
         ratios.append(slow_time / max(fast_time, 1e-9))
     print(f"\n[DFT] sizes={sizes} naive/faq time ratios={[round(r, 2) for r in ratios]}")
     # The quadratic baseline falls behind as N grows: the ratio increases with
-    # N and the FAQ evaluation wins outright at N = 1024 despite the generic
-    # engine's per-tuple constant factor.
-    assert ratios[-1] > ratios[0]
-    assert ratios[-1] > 1.0
+    # N and the FAQ evaluation wins outright at the largest size despite the
+    # generic engine's per-tuple constant factor.  At smoke sizes fixed
+    # overheads dominate, so quick mode only checks correctness above.
+    if pick(True, False):
+        assert ratios[-1] > ratios[0]
+        assert ratios[-1] > 1.0
+
+
+@pytest.mark.shape
+def test_shape_dense_backend_speedup():
+    """At the default problem size the dense (ndarray) factor backend beats
+    the sparse listing path by >= 5x on the same InsideOut elimination steps
+    (backends differ only in representation — results are identical)."""
+    query = dft_query(VECTOR, 2)
+
+    def best_of(runs, fn):
+        best = float("inf")
+        for _ in range(runs):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    sparse_result = inside_out(query, backend="sparse")
+    dense_result = inside_out(query, backend="dense")
+    assert sparse_result.factor.equals(dense_result.factor, query.semiring)
+    assert all(step.backend == "dense" for step in dense_result.stats.steps)
+
+    sparse_time = best_of(3, lambda: inside_out(query, backend="sparse"))
+    dense_time = best_of(3, lambda: inside_out(query, backend="dense"))
+    speedup = sparse_time / max(dense_time, 1e-9)
+    print(f"\n[DFT dense] N={SIZE} sparse={sparse_time:.4f}s dense={dense_time:.4f}s speedup={speedup:.1f}x")
+    if pick(True, False):
+        # Only assert the hard ratio at the full problem size; at smoke sizes
+        # the per-call overhead dominates both paths.
+        assert speedup >= 5.0

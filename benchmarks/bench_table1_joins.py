@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import pytest
 
+from _sizes import pick
+
 from repro.core.insideout import inside_out
 from repro.datasets.relations import cycle_query_relations, path_query_relations
 from repro.db.generic_join import generic_join
@@ -18,8 +20,8 @@ from repro.db.hash_join import left_deep_join_plan
 from repro.db.yannakakis import yannakakis
 from repro.solvers.joins import natural_join_query
 
-TRIANGLE = cycle_query_relations(3, domain_size=60, num_tuples=250, seed=42)
-PATH = path_query_relations(3, domain_size=60, num_tuples=250, seed=43)
+TRIANGLE = cycle_query_relations(3, domain_size=pick(60, 10), num_tuples=pick(250, 30), seed=42)
+PATH = path_query_relations(3, domain_size=pick(60, 10), num_tuples=pick(250, 30), seed=43)
 
 
 @pytest.mark.benchmark(group="table1-joins-triangle")

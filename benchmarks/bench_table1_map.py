@@ -4,15 +4,20 @@ from __future__ import annotations
 
 import pytest
 
+from _sizes import pick
+
 from repro.core.insideout import inside_out
 from repro.core.variable_elimination import variable_elimination
 from repro.datasets.pgm_models import random_sparse_model
-from repro.pgm.brute import brute_force_map
 from repro.pgm.junction_tree import JunctionTree
-from repro.solvers.pgm import map_insideout
 
 MODEL = random_sparse_model(
-    num_variables=11, num_factors=13, max_arity=3, domain_size=4, density=0.25, seed=17
+    num_variables=pick(11, 5),
+    num_factors=pick(13, 5),
+    max_arity=3,
+    domain_size=pick(4, 2),
+    density=0.25,
+    seed=17,
 )
 TARGET = MODEL.variables[0]
 

@@ -3,12 +3,16 @@
 The prior PGM algorithms are bounded by the (integral) treewidth-style width:
 the junction tree materialises *dense* clique potentials of size
 ``domain^bag``.  InsideOut's intermediates are bounded by the AGM bound of
-the sparse factors, which is much smaller on sparse models.
+the sparse factors, which is much smaller on sparse models.  The grid rows
+also compare the sparse listing backend with the dense ndarray backend —
+grid potentials are fully dense, the natural territory of the latter.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from _sizes import pick
 
 from repro.core.insideout import inside_out
 from repro.core.variable_elimination import variable_elimination
@@ -17,9 +21,14 @@ from repro.pgm.junction_tree import JunctionTree
 from repro.solvers.pgm import compare_marginal_inference
 
 SPARSE_MODEL = random_sparse_model(
-    num_variables=12, num_factors=14, max_arity=3, domain_size=4, density=0.25, seed=7
+    num_variables=pick(12, 5),
+    num_factors=pick(14, 5),
+    max_arity=3,
+    domain_size=pick(4, 2),
+    density=0.25,
+    seed=7,
 )
-GRID = grid_model(3, 4, domain_size=3, seed=8)
+GRID = grid_model(pick(3, 2), pick(4, 2), domain_size=pick(3, 2), seed=8)
 TARGET = SPARSE_MODEL.variables[0]
 GRID_TARGET = GRID.variables[0]
 
@@ -49,9 +58,21 @@ def test_marginal_junction_tree(benchmark):
 
 
 @pytest.mark.benchmark(group="table1-marginal-grid")
-def test_marginal_grid_insideout(benchmark):
+def test_marginal_grid_insideout_sparse_backend(benchmark):
     query = GRID.marginal_query([GRID_TARGET])
-    benchmark(lambda: inside_out(query, ordering=GRID_ORDERING))
+    benchmark(lambda: inside_out(query, ordering=GRID_ORDERING, backend="sparse"))
+
+
+@pytest.mark.benchmark(group="table1-marginal-grid")
+def test_marginal_grid_insideout_dense_backend(benchmark):
+    query = GRID.marginal_query([GRID_TARGET])
+    benchmark(lambda: inside_out(query, ordering=GRID_ORDERING, backend="dense"))
+
+
+@pytest.mark.benchmark(group="table1-marginal-grid")
+def test_marginal_grid_insideout_auto_backend(benchmark):
+    query = GRID.marginal_query([GRID_TARGET])
+    benchmark(lambda: inside_out(query, ordering=GRID_ORDERING, backend="auto"))
 
 
 @pytest.mark.benchmark(group="table1-marginal-grid")
@@ -70,3 +91,12 @@ def test_shape_sparse_intermediates_beat_dense_cliques():
         f"{report.junction_tree_dense_cells} speedup_proxy={report.speedup_proxy:.1f}x"
     )
     assert report.junction_tree_dense_cells > report.insideout_max_intermediate
+
+
+@pytest.mark.shape
+def test_shape_grid_backends_agree():
+    """Sparse and dense backends return the same marginal on the dense grid."""
+    query = GRID.marginal_query([GRID_TARGET])
+    sparse = inside_out(query, ordering=GRID_ORDERING, backend="sparse")
+    dense = inside_out(query, ordering=GRID_ORDERING, backend="dense")
+    assert sparse.factor.equals(dense.factor, query.semiring)

@@ -13,6 +13,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from _sizes import pick
+
 from repro.solvers.matrix import (
     matrix_chain_insideout,
     matrix_chain_query,
@@ -23,13 +25,25 @@ from repro.solvers.matrix import (
 from repro.core.insideout import inside_out
 
 RNG = np.random.default_rng(5)
-DIMS = [40, 3, 45, 2, 30]
+DIMS = pick([40, 3, 45, 2, 30], [6, 2, 7, 2, 5])
 MATRICES = [RNG.random((DIMS[i], DIMS[i + 1])) for i in range(len(DIMS) - 1)]
 NAIVE_ORDERING = ["x1", f"x{len(DIMS)}"] + [f"x{i}" for i in range(2, len(DIMS))]
 
 
 @pytest.mark.benchmark(group="table1-mcm")
-def test_mcm_insideout_dp_ordering(benchmark):
+def test_mcm_insideout_dp_ordering_sparse_backend(benchmark):
+    result = benchmark(lambda: matrix_chain_insideout(MATRICES, backend="sparse"))
+    assert result.shape == (DIMS[0], DIMS[-1])
+
+
+@pytest.mark.benchmark(group="table1-mcm")
+def test_mcm_insideout_dp_ordering_dense_backend(benchmark):
+    result = benchmark(lambda: matrix_chain_insideout(MATRICES, backend="dense"))
+    assert result.shape == (DIMS[0], DIMS[-1])
+
+
+@pytest.mark.benchmark(group="table1-mcm")
+def test_mcm_insideout_dp_ordering_auto_backend(benchmark):
     result = benchmark(lambda: matrix_chain_insideout(MATRICES))
     assert result.shape == (DIMS[0], DIMS[-1])
 

@@ -12,14 +12,16 @@ from __future__ import annotations
 
 import pytest
 
+from _sizes import pick
+
 from repro.core.insideout import inside_out
 from repro.datasets.relations import random_relation
 from repro.solvers.logic import EXISTS, FORALL, Atom, QuantifiedConjunctiveQuery
 
 ARMS = 4
-DOMAIN = 6
-S_REL = random_relation("S", tuple(f"x{i}" for i in range(1, ARMS + 1)), DOMAIN, 250, seed=3)
-R_REL = random_relation("R", ("u", "y"), DOMAIN, 24, seed=4)
+DOMAIN = pick(6, 3)
+S_REL = random_relation("S", tuple(f"x{i}" for i in range(1, ARMS + 1)), DOMAIN, pick(250, 30), seed=3)
+R_REL = random_relation("R", ("u", "y"), DOMAIN, pick(24, 8), seed=4)
 
 
 def _build_query():

@@ -11,12 +11,14 @@ from __future__ import annotations
 
 import pytest
 
+from _sizes import pick
+
 from repro.core.insideout import inside_out
-from repro.datasets.relations import random_relation, star_query_relations
+from repro.datasets.relations import star_query_relations
 from repro.db.generic_join import generic_join
 from repro.solvers.logic import EXISTS, Atom, QuantifiedConjunctiveQuery
 
-RELATIONS = star_query_relations(arms=4, domain_size=25, num_tuples=180, seed=31)
+RELATIONS = star_query_relations(arms=4, domain_size=pick(25, 6), num_tuples=pick(180, 24), seed=31)
 
 QUERY = QuantifiedConjunctiveQuery(
     free=("Hub",),

@@ -10,14 +10,16 @@ from __future__ import annotations
 
 import pytest
 
+from _sizes import pick
+
 from repro.core.insideout import inside_out
 from repro.datasets.relations import random_relation
 from repro.solvers.logic import EXISTS, FORALL, Atom, QuantifiedConjunctiveQuery
 
-DOMAIN = 7
-R = random_relation("R", ("a", "b"), DOMAIN, 30, seed=21)
-S = random_relation("S", ("b", "c"), DOMAIN, 30, seed=22)
-T = random_relation("T", ("c", "d"), DOMAIN, 30, seed=23)
+DOMAIN = pick(7, 3)
+R = random_relation("R", ("a", "b"), DOMAIN, pick(30, 9), seed=21)
+S = random_relation("S", ("b", "c"), DOMAIN, pick(30, 9), seed=22)
+T = random_relation("T", ("c", "d"), DOMAIN, pick(30, 9), seed=23)
 
 QUERY = QuantifiedConjunctiveQuery(
     free=("f1", "f2"),

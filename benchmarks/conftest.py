@@ -1,4 +1,4 @@
-"""Shared helpers for the benchmark harness.
+"""Shared configuration for the benchmark harness.
 
 Every benchmark module reproduces one table row / figure / example of the
 paper (see DESIGN.md for the experiment index).  Absolute timings depend on
@@ -7,12 +7,38 @@ Table 1: which algorithm wins, and how costs scale with the input size N and
 with the width parameters.  Each module therefore both benchmarks the
 competing algorithms (via pytest-benchmark) and asserts the qualitative
 relationship the paper predicts.
+
+``--quick`` (or ``FAQ_BENCH_QUICK=1``) shrinks every benchmark to a minimal
+problem size — the CI smoke job uses it to check that the harness still
+*runs* without paying full benchmark timings.
+
+Note: no test module may import from this file.  When ``tests/`` and
+``benchmarks/`` are collected in one pytest run, both ``conftest.py`` files
+compete for the ``conftest`` module name; importable helpers belong in
+uniquely-named modules (``benchmarks/_sizes.py``, ``tests/_helpers.py``).
 """
 
 from __future__ import annotations
 
-import pytest
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run every benchmark at minimal problem size (CI smoke mode)",
+    )
 
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "shape: qualitative shape assertions for EXPERIMENTS.md")
+    try:
+        quick = config.getoption("--quick")
+    except ValueError:  # option not registered (conftest loaded late)
+        quick = False
+    if quick:
+        # Module-level size constants read the environment at import time,
+        # which happens after configure.
+        os.environ["FAQ_BENCH_QUICK"] = "1"

@@ -20,7 +20,7 @@ every (extended) connected component.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterator, List, Sequence, Set, Tuple
 
 from repro.core.expression_tree import (
     ExpressionTree,
@@ -33,7 +33,7 @@ from repro.core.expression_tree import (
 )
 from repro.core.query import FAQQuery
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.semiring.aggregates import FREE_TAG, PRODUCT_TAG
+from repro.semiring.aggregates import PRODUCT_TAG
 
 
 # ---------------------------------------------------------------------- #

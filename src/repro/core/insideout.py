@@ -30,6 +30,16 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core.outsidein import OutsideInStats, join_factors
 from repro.core.output import FactorizedOutput
 from repro.core.query import FAQQuery, QueryError
+from repro.factors.backend import (
+    BACKEND_DENSE,
+    BACKEND_SPARSE,
+    BackendPolicy,
+    DEFAULT_POLICY,
+    as_sparse,
+    choose_dense,
+    dense_join_reduce,
+    validate_backend,
+)
 from repro.factors.factor import Factor
 from repro.semiring.base import Semiring
 
@@ -45,6 +55,7 @@ class EliminationRecord:
     projection_count: int
     result_size: int
     seconds: float
+    backend: str = BACKEND_SPARSE  # representation used for this step
 
 
 @dataclass
@@ -117,6 +128,8 @@ def _eliminate_semiring(
     variable: str,
     use_indicator_projections: bool,
     stats: InsideOutStats,
+    backend: str = BACKEND_SPARSE,
+    policy: BackendPolicy = DEFAULT_POLICY,
 ) -> List[Factor]:
     """One semiring-aggregate elimination step (lines 5-11 of Algorithm 1)."""
     semiring = query.semiring
@@ -163,16 +176,31 @@ def _eliminate_semiring(
                 projection_count += 1
 
     output_scope = tuple(v for v in query.order if v in induced and v != variable)
-    new_factor = join_factors(
-        participants,
-        semiring,
-        output_scope=output_scope,
-        combine=aggregate.combine,
-        variable_order=list(query.order),
-        stats=stats.join_stats,
-        name=f"psi_elim({variable})",
+    use_dense = choose_dense(
+        backend, participants, induced, query.domains(), semiring, (aggregate.tag,), policy
     )
-    stats.max_intermediate_size = max(stats.max_intermediate_size, len(new_factor))
+    if use_dense:
+        new_factor = dense_join_reduce(
+            participants,
+            semiring,
+            query.domains(),
+            output_scope,
+            (variable,),
+            aggregate.tag,
+            name=f"psi_elim({variable})",
+        )
+    else:
+        new_factor = join_factors(
+            participants,
+            semiring,
+            output_scope=output_scope,
+            combine=aggregate.combine,
+            variable_order=list(query.order),
+            stats=stats.join_stats,
+            name=f"psi_elim({variable})",
+        )
+    result_size = len(new_factor)
+    stats.max_intermediate_size = max(stats.max_intermediate_size, result_size)
     stats.steps.append(
         EliminationRecord(
             variable=variable,
@@ -180,8 +208,9 @@ def _eliminate_semiring(
             induced_set=frozenset(induced),
             incident_count=len(incident),
             projection_count=projection_count,
-            result_size=len(new_factor),
+            result_size=result_size,
             seconds=time.perf_counter() - start,
+            backend=BACKEND_DENSE if use_dense else BACKEND_SPARSE,
         )
     )
     return others + [new_factor]
@@ -257,6 +286,8 @@ def inside_out(
     ordering: Sequence[str] | str | None = None,
     use_indicator_projections: bool = True,
     output_mode: str = "listing",
+    backend: str = BACKEND_SPARSE,
+    backend_policy: BackendPolicy | None = None,
 ) -> InsideOutResult:
     """Run InsideOut (Algorithm 1) on an FAQ query.
 
@@ -279,6 +310,19 @@ def inside_out(
         ``"listing"`` (default) materialises the output factor;
         ``"factorized"`` skips the final join and returns a
         :class:`~repro.core.output.FactorizedOutput`.
+    backend:
+        Factor representation for the elimination steps.  ``"sparse"``
+        (default) keeps everything in the listing representation;
+        ``"dense"`` vectorizes every step whose semiring and aggregates map
+        to NumPy ufuncs (falling back to sparse otherwise); ``"auto"`` picks
+        per elimination step via the cost heuristic
+        (:func:`repro.factors.backend.prefer_dense`): dense when the induced
+        domain box is small and the participating factors are dense enough,
+        sparse otherwise.  The output factor is always returned in the
+        listing representation regardless of the backend.
+    backend_policy:
+        Thresholds for the heuristic (defaults to
+        :data:`repro.factors.backend.DEFAULT_POLICY`).
 
     Returns
     -------
@@ -286,6 +330,8 @@ def inside_out(
     """
     if output_mode not in ("listing", "factorized"):
         raise QueryError(f"unknown output mode {output_mode!r}")
+    backend = validate_backend(backend)
+    policy = backend_policy if backend_policy is not None else DEFAULT_POLICY
     order = _validated_ordering(query, ordering)
     semiring = query.semiring
     stats = InsideOutStats()
@@ -304,14 +350,15 @@ def inside_out(
             factors = _eliminate_product(query, factors, variable, stats)
         else:
             factors = _eliminate_semiring(
-                query, factors, variable, use_indicator_projections, stats
+                query, factors, variable, use_indicator_projections, stats,
+                backend=backend, policy=policy,
             )
 
     # Output phase over the free variables.
     if output_mode == "factorized":
         factorized = FactorizedOutput(
             free=tuple(order[: query.num_free]),
-            factors=tuple(factors),
+            factors=tuple(as_sparse(f, semiring) for f in factors),
             semiring=semiring,
             domains={v: query.domain(v) for v in query.free},
         )
@@ -328,15 +375,27 @@ def inside_out(
         table = {} if semiring.is_zero(value) else {(): value}
         output = Factor((), table, name=f"{query.name}(out)")
     else:
-        output = join_factors(
-            factors,
-            semiring,
-            output_scope=tuple(v for v in query.free if any(v in f.scope for f in factors)),
-            combine=None,
-            variable_order=list(order),
-            stats=stats.join_stats,
-            name=f"{query.name}(out)",
-        )
+        output_scope = tuple(v for v in query.free if any(v in f.scope for f in factors))
+        if factors and choose_dense(
+            backend, factors, output_scope, query.domains(), semiring, (), policy
+        ):
+            output = dense_join_reduce(
+                factors,
+                semiring,
+                query.domains(),
+                output_scope,
+                name=f"{query.name}(out)",
+            ).to_factor(semiring, name=f"{query.name}(out)")
+        else:
+            output = join_factors(
+                factors,
+                semiring,
+                output_scope=output_scope,
+                combine=None,
+                variable_order=list(order),
+                stats=stats.join_stats,
+                name=f"{query.name}(out)",
+            )
         output = _expand_isolated_free(query, output, semiring)
 
     stats.output_size = len(output)

@@ -21,9 +21,10 @@ The module exposes two entry points:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
 
+from repro.factors.backend import as_sparse
 from repro.factors.factor import Factor
 from repro.factors.index import FactorTrie
 from repro.semiring.base import Semiring
@@ -74,8 +75,11 @@ def enumerate_join(
     Yields ``(assignment, value)`` pairs where ``assignment`` maps every
     variable occurring in some factor scope to a value and ``value`` is the
     product of all factor values (never the semiring zero).
+
+    Dense factors are accepted and converted to the listing representation
+    (the backtracking search is inherently tuple-at-a-time).
     """
-    factors = [f for f in factors]
+    factors = [as_sparse(f, semiring) for f in factors]
     if not factors:
         yield {}, semiring.one
         return

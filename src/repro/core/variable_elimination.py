@@ -17,9 +17,19 @@ InsideOut itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.core.query import FAQQuery, QueryError
+from repro.factors.backend import (
+    BACKEND_SPARSE,
+    BackendPolicy,
+    DEFAULT_POLICY,
+    as_sparse,
+    choose_dense,
+    dense_join_reduce,
+    multiply_factors,
+    validate_backend,
+)
 from repro.factors.factor import Factor
 
 
@@ -49,7 +59,10 @@ class VariableEliminationResult:
 
 
 def variable_elimination(
-    query: FAQQuery, ordering: Sequence[str] | None = None
+    query: FAQQuery,
+    ordering: Sequence[str] | None = None,
+    backend: str = BACKEND_SPARSE,
+    backend_policy: BackendPolicy | None = None,
 ) -> VariableEliminationResult:
     """Evaluate an FAQ query by textbook variable elimination.
 
@@ -59,6 +72,10 @@ def variable_elimination(
       factors containing the eliminated variable (no indicator projections),
     * the final output is the pairwise product of the residual factors.
 
+    ``backend`` selects the factor representation per elimination step just
+    as in :func:`~repro.core.insideout.inside_out`: ``"sparse"`` (default),
+    ``"dense"``, or the cost-heuristic ``"auto"``.
+
     Raises
     ------
     QueryError
@@ -66,6 +83,8 @@ def variable_elimination(
         (this baseline is an FAQ-SS algorithm; use InsideOut for general FAQ).
     """
     semiring = query.semiring
+    backend = validate_backend(backend)
+    policy = backend_policy if backend_policy is not None else DEFAULT_POLICY
     tags = {query.aggregates[v].tag for v in query.semiring_variables}
     if len(tags) > 1:
         raise QueryError(
@@ -115,9 +134,37 @@ def variable_elimination(
             factors = rest
             continue
 
-        product = incident[0]
+        induced: set = set()
+        for factor in incident:
+            induced |= set(factor.scope)
+        use_dense = choose_dense(
+            backend, incident, induced, query.domains(), semiring, (aggregate.tag,), policy
+        )
+        if use_dense:
+            output_scope = tuple(v for v in query.order if v in induced and v != variable)
+            reduced = dense_join_reduce(
+                incident,
+                semiring,
+                query.domains(),
+                output_scope,
+                (variable,),
+                aggregate.tag,
+                name=f"psi_elim({variable})",
+            )
+            # Account the *materialized* induced box, not the post-reduction
+            # non-zero count, so intermediate sizes stay comparable with the
+            # sparse path (which records the pre-marginalisation product).
+            box_cells = 1
+            for v in induced:
+                box_cells *= query.domain_size(v)
+            stats.multiplications += box_cells * max(len(incident) - 1, 0)
+            stats.max_intermediate_size = max(stats.max_intermediate_size, box_cells)
+            stats.intermediate_sizes.append(box_cells)
+            factors = rest + [reduced]
+            continue
+        product = as_sparse(incident[0], semiring)
         for factor in incident[1:]:
-            product = product.multiply(factor, semiring)
+            product = product.multiply(as_sparse(factor, semiring), semiring)
             stats.multiplications += len(product)
         stats.max_intermediate_size = max(stats.max_intermediate_size, len(product))
         stats.intermediate_sizes.append(len(product))
@@ -127,8 +174,9 @@ def variable_elimination(
     # Output phase: pairwise product of the residual factors.
     output = factors[0]
     for factor in factors[1:]:
-        output = output.multiply(factor, semiring)
+        output = multiply_factors(output, factor, semiring)
         stats.multiplications += len(output)
+    output = as_sparse(output, semiring)
 
     # Expand free variables that no factor mentions (constant directions).
     missing = [v for v in query.free if v not in output.scope]

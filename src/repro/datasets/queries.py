@@ -18,13 +18,13 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Tuple
 
 from repro.core.query import FAQQuery, Variable
 from repro.factors.factor import Factor
 from repro.semiring.aggregates import Aggregate, ProductAggregate, SemiringAggregate
 from repro.semiring.base import Semiring
-from repro.semiring.standard import COUNTING, MAX_PRODUCT, SUM_PRODUCT
+from repro.semiring.standard import COUNTING, SUM_PRODUCT
 
 
 def _random_binary_factor(

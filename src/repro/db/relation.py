@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Sequence, Set, Tuple
 
 from repro.factors.factor import Factor
 from repro.semiring.base import Semiring

@@ -8,7 +8,7 @@ back up the tree runs in ``O~(N + output)``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 import networkx as nx
 

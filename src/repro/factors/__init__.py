@@ -9,6 +9,11 @@ The package contains:
 
 * :class:`~repro.factors.factor.Factor` — the core sparse table with
   conditioning, marginalisation, indicator projections and products,
+* :class:`~repro.factors.dense.DenseFactor` — the dense ndarray-backed
+  representation with vectorized (ufunc) products and aggregations,
+* :mod:`~repro.factors.backend` — the pluggable backend layer: the
+  :class:`~repro.factors.backend.FactorBackend` protocol, sparse/dense
+  conversions and the per-step cost heuristic used by the core algorithms,
 * :class:`~repro.factors.index.FactorTrie` — a hash-trie index used by the
   OutsideIn worst-case-optimal join,
 * :mod:`~repro.factors.builders` — constructors from python functions,
@@ -18,6 +23,24 @@ The package contains:
 """
 
 from repro.factors.factor import Factor, FactorError
+from repro.factors.dense import (
+    AGGREGATE_UFUNCS,
+    DENSE_SEMIRING_OPS,
+    DenseFactor,
+    DenseOps,
+    register_dense_ops,
+)
+from repro.factors.backend import (
+    BackendPolicy,
+    FactorBackend,
+    as_dense,
+    as_sparse,
+    choose_dense,
+    dense_join_reduce,
+    multiply_factors,
+    prefer_dense,
+    supports_dense,
+)
 from repro.factors.index import FactorTrie
 from repro.factors.builders import (
     factor_from_function,
@@ -32,6 +55,20 @@ from repro.factors.compact import BoxFactor, Clause, Literal
 __all__ = [
     "Factor",
     "FactorError",
+    "DenseFactor",
+    "DenseOps",
+    "DENSE_SEMIRING_OPS",
+    "AGGREGATE_UFUNCS",
+    "register_dense_ops",
+    "FactorBackend",
+    "BackendPolicy",
+    "as_dense",
+    "as_sparse",
+    "choose_dense",
+    "dense_join_reduce",
+    "multiply_factors",
+    "prefer_dense",
+    "supports_dense",
     "FactorTrie",
     "factor_from_function",
     "factor_from_matrix",

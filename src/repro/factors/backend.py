@@ -1,0 +1,296 @@
+"""The pluggable factor-backend layer: sparse listing vs dense ndarray.
+
+The core algorithms (InsideOut, OutsideIn, textbook variable elimination)
+operate on *factors* through a small shared surface — scope inspection,
+indicator projections, product marginalisation, powers — captured here as
+the :class:`FactorBackend` protocol.  Two implementations exist:
+
+* :class:`~repro.factors.factor.Factor` — the sparse listing representation
+  (hash tables keyed by value tuples), optimal when ``‖ψ‖ ≪ ∏|Dom|``;
+* :class:`~repro.factors.dense.DenseFactor` — an ndarray over the full
+  domain box, optimal for dense workloads (DFT, MCM, PGM potentials) where
+  vectorized ufunc reductions beat per-tuple Python dict iteration.
+
+This module provides the glue:
+
+* :func:`as_sparse` / :func:`as_dense` — conversions both ways,
+* :func:`multiply_factors` — representation-dispatching pairwise product,
+* :class:`BackendPolicy` + :func:`prefer_dense` — the cost heuristic that
+  picks a representation per elimination step (dense cell count of the
+  induced variable set vs the listed-tuple count of the participants),
+* :func:`dense_join_reduce` — the vectorized elimination kernel: broadcast
+  ``⊗``-product of the participants over the induced box followed by a ufunc
+  ``⊕``-reduction of the eliminated variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Protocol, Sequence, Tuple, Union, runtime_checkable
+
+import numpy as np
+
+from repro.factors.dense import (
+    AGGREGATE_UFUNCS,
+    DenseFactor,
+    aggregate_ufunc,
+    aligned_array,
+    dense_ops_for,
+)
+from repro.factors.factor import Factor, FactorError
+from repro.semiring.base import Semiring
+
+AnyFactor = Union[Factor, DenseFactor]
+
+
+@runtime_checkable
+class FactorBackend(Protocol):
+    """The operation surface the core algorithms need from a factor.
+
+    Both :class:`~repro.factors.factor.Factor` and
+    :class:`~repro.factors.dense.DenseFactor` satisfy this protocol, so the
+    elimination loops can hold mixed lists and defer the representation
+    choice to the per-step heuristic.
+    """
+
+    scope: Tuple[str, ...]
+    name: str
+
+    def __len__(self) -> int: ...
+
+    @property
+    def variables(self) -> frozenset: ...
+
+    def value(self, assignment: Mapping[str, Any], semiring: Semiring) -> Any: ...
+
+    def pruned(self, semiring: Semiring) -> "FactorBackend": ...
+
+    def indicator_projection(self, target: Iterable[str], semiring: Semiring) -> "FactorBackend": ...
+
+    def product_marginalize(self, variable: str, domain_size: int, semiring: Semiring) -> "FactorBackend": ...
+
+    def power(self, exponent: int, semiring: Semiring) -> "FactorBackend": ...
+
+    def has_idempotent_range(self, semiring: Semiring) -> bool: ...
+
+    def equals(self, other: "FactorBackend", semiring: Semiring) -> bool: ...
+
+
+BACKEND_SPARSE = "sparse"
+BACKEND_DENSE = "dense"
+BACKEND_AUTO = "auto"
+BACKENDS = (BACKEND_SPARSE, BACKEND_DENSE, BACKEND_AUTO)
+
+
+def validate_backend(backend: str) -> str:
+    """Validate a backend selector string, returning it unchanged."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown factor backend {backend!r}; expected one of {BACKENDS}")
+    return backend
+
+
+# ---------------------------------------------------------------------- #
+# conversions
+# ---------------------------------------------------------------------- #
+def as_sparse(factor: AnyFactor, semiring: Semiring) -> Factor:
+    """The factor in the listing representation (no-op for sparse factors)."""
+    if isinstance(factor, DenseFactor):
+        return factor.to_factor(semiring)
+    return factor
+
+
+def as_dense(
+    factor: AnyFactor, domains: Mapping[str, Sequence[Any]], semiring: Semiring
+) -> DenseFactor:
+    """The factor in the dense representation (no-op for dense factors)."""
+    if isinstance(factor, DenseFactor):
+        return factor
+    return DenseFactor.from_factor(factor, domains, semiring)
+
+
+def multiply_factors(
+    left: AnyFactor,
+    right: AnyFactor,
+    semiring: Semiring,
+    domains: Mapping[str, Sequence[Any]] | None = None,
+) -> AnyFactor:
+    """Pointwise product dispatching on representation.
+
+    Two dense operands multiply by broadcasting; any sparse operand pulls
+    the product onto the sparse hash-join path (``domains`` is only needed
+    to *force* a dense product of mixed operands, which callers do via
+    :func:`as_dense` beforehand).
+    """
+    if isinstance(left, DenseFactor) and isinstance(right, DenseFactor):
+        return left.multiply(right, semiring)
+    return as_sparse(left, semiring).multiply(as_sparse(right, semiring), semiring)
+
+
+# ---------------------------------------------------------------------- #
+# the cost heuristic
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BackendPolicy:
+    """Thresholds for the per-step sparse/dense decision.
+
+    ``cell_cap`` bounds the dense box materialised in one elimination step
+    (cells, not bytes).  ``density_ratio`` is how much implicit-zero padding
+    the dense path may pay: a step goes dense when the participants list at
+    least ``1/density_ratio`` of their combined domain-box cells.
+    """
+
+    cell_cap: int = 1 << 21
+    density_ratio: float = 8.0
+
+
+DEFAULT_POLICY = BackendPolicy()
+
+
+def dense_cell_count(
+    variables: Iterable[str], domains: Mapping[str, Sequence[Any]], cap: int
+) -> int | None:
+    """``∏ |Dom(v)|`` over ``variables``, or ``None`` once it exceeds ``cap``."""
+    total = 1
+    for v in variables:
+        total *= len(domains[v])
+        if total > cap:
+            return None
+    return total
+
+
+def supports_dense(semiring: Semiring, tags: Iterable[str] = ()) -> bool:
+    """Whether the semiring (and the aggregate tags) map to NumPy ufuncs."""
+    if dense_ops_for(semiring) is None:
+        return False
+    return all(tag in AGGREGATE_UFUNCS for tag in tags)
+
+
+def prefer_dense(
+    participants: Sequence[AnyFactor],
+    induced: Iterable[str],
+    domains: Mapping[str, Sequence[Any]],
+    semiring: Semiring,
+    tags: Iterable[str] = (),
+    policy: BackendPolicy = DEFAULT_POLICY,
+) -> bool:
+    """The cost-based representation choice for one elimination step.
+
+    Dense wins when (a) the algebra is ufunc-mappable, (b) the induced
+    domain box fits under ``policy.cell_cap`` and (c) the participants are
+    dense enough: their total listed-tuple count is at least
+    ``1/policy.density_ratio`` of their combined per-factor cell count.
+    """
+    if not participants or not supports_dense(semiring, tags):
+        return False
+    if dense_cell_count(induced, domains, policy.cell_cap) is None:
+        return False
+    listed = 0.0
+    box_cells = 0.0
+    for factor in participants:
+        if isinstance(factor, DenseFactor):
+            # Already materialised: count it as fully dense so that chains of
+            # dense intermediates do not flap back to sparse.
+            listed += factor.array.size
+            box_cells += factor.array.size
+        else:
+            listed += len(factor)
+            cells = dense_cell_count(factor.scope, domains, policy.cell_cap)
+            box_cells += float(policy.cell_cap) * 2 if cells is None else cells
+    if listed == 0:
+        return False
+    return listed * policy.density_ratio >= box_cells
+
+
+def force_dense_ok(
+    induced: Iterable[str],
+    domains: Mapping[str, Sequence[Any]],
+    semiring: Semiring,
+    tags: Iterable[str] = (),
+    policy: BackendPolicy = DEFAULT_POLICY,
+) -> bool:
+    """Eligibility check for ``backend="dense"`` (ignores the density test)."""
+    if not supports_dense(semiring, tags):
+        return False
+    return dense_cell_count(induced, domains, policy.cell_cap) is not None
+
+
+def choose_dense(
+    backend: str,
+    participants: Sequence[AnyFactor],
+    induced: Iterable[str],
+    domains: Mapping[str, Sequence[Any]],
+    semiring: Semiring,
+    tags: Iterable[str] = (),
+    policy: BackendPolicy = DEFAULT_POLICY,
+) -> bool:
+    """Per-step representation choice under a requested backend mode.
+
+    ``"sparse"`` never goes dense, ``"dense"`` goes dense whenever the
+    algebra is mappable and the induced box fits under the cell cap, and
+    ``"auto"`` additionally applies the density test of
+    :func:`prefer_dense`.  Shared by InsideOut and variable elimination.
+    """
+    if backend == BACKEND_SPARSE:
+        return False
+    if backend == BACKEND_DENSE:
+        return force_dense_ok(induced, domains, semiring, tags, policy)
+    return prefer_dense(participants, induced, domains, semiring, tags, policy)
+
+
+# ---------------------------------------------------------------------- #
+# the vectorized elimination kernel
+# ---------------------------------------------------------------------- #
+def dense_join_reduce(
+    participants: Sequence[AnyFactor],
+    semiring: Semiring,
+    domains: Mapping[str, Sequence[Any]],
+    output_scope: Sequence[str],
+    reduce_variables: Sequence[str] = (),
+    reduce_tag: str | None = None,
+    name: str | None = None,
+) -> DenseFactor:
+    """Broadcast-multiply ``participants`` and ufunc-reduce variables away.
+
+    The target scope is ``output_scope + reduce_variables``; every
+    participant's scope must be a subset of it.  The ``⊗``-product is formed
+    by NumPy broadcasting over the full domain box, then the trailing
+    ``reduce_variables`` axes are folded with the aggregate ufunc for
+    ``reduce_tag`` — the vectorized counterpart of one InsideOut
+    elimination step (lines 5-11 of Algorithm 1).
+    """
+    ops = dense_ops_for(semiring)
+    if ops is None:
+        raise FactorError(f"semiring {semiring.name!r} has no dense operator table")
+    if not participants:
+        raise FactorError("dense_join_reduce requires at least one participant")
+    reduce_variables = tuple(reduce_variables)
+    target = tuple(output_scope) + reduce_variables
+    accumulator: np.ndarray | None = None
+    for factor in participants:
+        dense = as_dense(factor, domains, semiring)
+        aligned = aligned_array(dense, target)
+        accumulator = aligned if accumulator is None else ops.mul(accumulator, aligned)
+    # ufuncs over 0-d object arrays return bare Python scalars; re-wrap.
+    accumulator = np.asarray(accumulator)
+    full_shape = tuple(len(domains[v]) for v in target)
+    if accumulator.shape != full_shape:
+        # Some target variable appears in no participant (can only happen for
+        # output variables): broadcast the constant direction explicitly.
+        accumulator = np.broadcast_to(accumulator, full_shape)
+    if reduce_variables:
+        ufunc = aggregate_ufunc(reduce_tag) if reduce_tag is not None else None
+        if ufunc is None:
+            raise FactorError(f"aggregate tag {reduce_tag!r} has no ufunc mapping")
+        for _ in reduce_variables:
+            accumulator = ufunc.reduce(accumulator, axis=-1)
+    # Reductions of object arrays can return bare Python scalars; re-wrap so
+    # the result is always an ndarray of the semiring dtype.
+    result = np.array(accumulator, dtype=ops.dtype, copy=True)
+    result_domains = {v: tuple(domains[v]) for v in output_scope}
+    return DenseFactor(
+        tuple(output_scope),
+        result_domains,
+        result,
+        name=name or "dense_join",
+        zero=ops.zero,
+    )

@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
 
 import numpy as np
 from scipy.optimize import linprog

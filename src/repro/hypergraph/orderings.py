@@ -10,7 +10,7 @@ provided alongside an exhaustive search for small instances.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, FrozenSet, List, Sequence, Set
+from typing import Callable, FrozenSet, List, Sequence
 
 import networkx as nx
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Mapping, Sequence, Tuple
+from typing import Any, Dict, Sequence, Tuple
 
 from repro.pgm.model import DiscreteGraphicalModel
 

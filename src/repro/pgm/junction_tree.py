@@ -11,7 +11,7 @@ treewidth, which is exactly what the Marginal/MAP benchmarks demonstrate.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -19,7 +19,6 @@ import numpy as np
 from repro.hypergraph.orderings import min_fill_ordering
 from repro.hypergraph.treedecomp import decomposition_from_ordering
 from repro.pgm.model import DiscreteGraphicalModel, PGMError
-from repro.semiring.standard import SUM_PRODUCT
 
 
 class JunctionTree:

@@ -13,7 +13,7 @@ Appendix A map directly onto FAQ queries:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.core.query import FAQQuery, Variable
 from repro.factors.factor import Factor

@@ -25,6 +25,9 @@ class SemiringError(ValueError):
     """Raised when a semiring is used inconsistently (e.g. axiom violation)."""
 
 
+_INF = float("inf")
+
+
 @dataclass(frozen=True)
 class Semiring:
     """A commutative semiring ``(D, ⊕, ⊗)`` with identities ``0`` and ``1``.
@@ -65,7 +68,13 @@ class Semiring:
             return True
         if isinstance(a, float) or isinstance(b, float) or isinstance(a, complex) or isinstance(b, complex):
             try:
-                return abs(a - b) <= 1e-9 * max(1.0, abs(a), abs(b))
+                difference = abs(a - b)
+                if difference == _INF:
+                    # One side is infinite (tropical 0 = ±inf) and the other is
+                    # not: a relative tolerance of 1e-9 * inf would declare
+                    # *every* value equal to the infinite identity.
+                    return False
+                return difference <= 1e-9 * max(1.0, abs(a), abs(b))
             except (OverflowError, ValueError):  # pragma: no cover - inf/nan corner
                 return False
         return False

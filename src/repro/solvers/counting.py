@@ -14,8 +14,7 @@
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
 import networkx as nx
 import numpy as np

@@ -9,7 +9,7 @@ counting semiring with no free variables.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 import networkx as nx
 

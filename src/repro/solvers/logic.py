@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.core.insideout import inside_out
 from repro.core.query import FAQQuery, QueryError, Variable
@@ -24,7 +24,7 @@ from repro.db.relation import Relation
 from repro.hypergraph.elimination import elimination_sequence
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.semiring.aggregates import Aggregate, ProductAggregate, SemiringAggregate
-from repro.semiring.standard import BOOLEAN, COUNTING
+from repro.semiring.standard import COUNTING
 
 EXISTS = "exists"
 FORALL = "forall"

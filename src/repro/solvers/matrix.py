@@ -16,8 +16,7 @@
 from __future__ import annotations
 
 import cmath
-import itertools
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -74,12 +73,17 @@ def matrix_chain_query(matrices: Sequence[np.ndarray]) -> FAQQuery:
 
 
 def matrix_chain_insideout(
-    matrices: Sequence[np.ndarray], ordering: Sequence[str] | str | None = None
+    matrices: Sequence[np.ndarray],
+    ordering: Sequence[str] | str | None = None,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Multiply a matrix chain through the FAQ encoding and InsideOut.
 
     ``ordering`` defaults to the ordering derived from the classic dynamic
-    program (see :func:`mcm_dp_ordering`), which is optimal.
+    program (see :func:`mcm_dp_ordering`), which is optimal.  The workload
+    is naturally dense, so the factor ``backend`` defaults to ``"auto"``
+    (which the cost heuristic resolves to the ndarray representation for
+    dense input matrices); pass ``"sparse"`` for the pure listing path.
     """
     arrays = [np.asarray(m, dtype=float) for m in matrices]
     if len(arrays) == 1:
@@ -88,7 +92,7 @@ def matrix_chain_insideout(
     if ordering is None:
         dims = [arrays[0].shape[0]] + [a.shape[1] for a in arrays]
         ordering = mcm_dp_ordering(dims)
-    result = inside_out(query, ordering=ordering)
+    result = inside_out(query, ordering=ordering, backend=backend)
     rows, cols = arrays[0].shape[0], arrays[-1].shape[1]
     output = np.zeros((rows, cols), dtype=float)
     for (i, j), value in result.factor.table.items():
@@ -226,12 +230,19 @@ def dft_query(vector: Sequence[complex], base: int) -> FAQQuery:
     )
 
 
-def dft_insideout(vector: Sequence[complex], base: int = 2) -> np.ndarray:
-    """Compute the DFT through the FAQ encoding (an FFT in disguise)."""
+def dft_insideout(
+    vector: Sequence[complex], base: int = 2, backend: str = "auto"
+) -> np.ndarray:
+    """Compute the DFT through the FAQ encoding (an FFT in disguise).
+
+    The input vector and the twiddle factors are dense, so the factor
+    ``backend`` defaults to ``"auto"`` (resolved to the vectorized ndarray
+    representation); pass ``"sparse"`` for the pure listing path.
+    """
     values = list(vector)
     size = len(values)
     query = dft_query(values, base)
-    result = inside_out(query, ordering=None)
+    result = inside_out(query, ordering=None, backend=backend)
     output = np.zeros(size, dtype=complex)
     for key, value in result.factor.table.items():
         index = sum(digit * (base ** position) for position, digit in enumerate(key))

@@ -23,12 +23,12 @@ Brute-force evaluation is provided for cross-checking.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.core.insideout import inside_out
 from repro.core.query import FAQQuery, Variable
-from repro.factors.compact import Clause, Literal
+from repro.factors.compact import Clause
 from repro.hypergraph.acyclicity import is_beta_acyclic, nested_elimination_order
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.semiring.aggregates import SemiringAggregate

@@ -1,6 +1,5 @@
 """Unit tests for α/β-acyclicity and nested elimination orders."""
 
-import pytest
 
 from repro.hypergraph.acyclicity import (
     gyo_reduction,

@@ -1,6 +1,5 @@
 """Unit tests for edge covers and the AGM bound (:mod:`repro.hypergraph.covers`)."""
 
-import math
 
 import pytest
 

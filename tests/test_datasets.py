@@ -1,8 +1,5 @@
 """Tests for the synthetic workload generators."""
 
-import networkx as nx
-import pytest
-
 from repro.datasets.cnf import beta_acyclic_cnf, chain_cnf, random_k_cnf
 from repro.datasets.graphs import clique_pattern, cycle_pattern, graph_edge_relation, random_graph
 from repro.datasets.pgm_models import chain_model, grid_model, random_sparse_model, star_model

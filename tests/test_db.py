@@ -7,7 +7,6 @@ import pytest
 from repro.datasets.relations import (
     cycle_query_relations,
     path_query_relations,
-    random_relation,
     star_query_relations,
 )
 from repro.db.generic_join import generic_join

@@ -21,9 +21,9 @@ from repro.datasets.queries import (
 )
 from repro.factors.factor import Factor
 from repro.semiring.aggregates import SemiringAggregate
-from repro.semiring.standard import COUNTING, SUM_PRODUCT
+from repro.semiring.standard import SUM_PRODUCT
 
-from conftest import small_random_query
+from _helpers import small_random_query
 
 
 class TestLinearExtensions:

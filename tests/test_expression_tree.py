@@ -10,10 +10,10 @@ from repro.core.expression_tree import (
 from repro.core.query import FAQQuery, Variable
 from repro.factors.factor import Factor
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.semiring.aggregates import FREE_TAG, PRODUCT_TAG, ProductAggregate, SemiringAggregate
+from repro.semiring.aggregates import FREE_TAG, ProductAggregate, SemiringAggregate
 from repro.semiring.standard import COUNTING
 
-from conftest import make_factor, small_random_query
+from _helpers import small_random_query
 
 
 def simple_query(aggregate_tags, scopes, free=()):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.factors.factor import Factor, FactorError
-from repro.semiring.standard import BOOLEAN, COUNTING, MAX_PRODUCT, SUM_PRODUCT
+from repro.semiring.standard import COUNTING
 
 
 @pytest.fixture

@@ -4,7 +4,7 @@ import pytest
 
 from repro.factors.compact import BoxFactor, Clause, Literal, clause_from_ints
 from repro.factors.factor import FactorError
-from repro.semiring.standard import BOOLEAN, COUNTING
+from repro.semiring.standard import COUNTING
 
 
 class TestLiteral:

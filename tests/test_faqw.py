@@ -1,10 +1,9 @@
 """Tests for FAQ-width computation and the Section 7 approximation algorithm."""
 
-import itertools
 
 import pytest
 
-from repro.core.evo import is_equivalent_ordering, linear_extensions
+from repro.core.evo import is_equivalent_ordering
 from repro.core.expression_tree import build_expression_tree
 from repro.core.faqw import (
     approximate_faqw_ordering,
@@ -25,7 +24,7 @@ from repro.hypergraph.treedecomp import fractional_hypertree_width
 from repro.semiring.aggregates import SemiringAggregate
 from repro.semiring.standard import COUNTING
 
-from conftest import small_random_query
+from _helpers import small_random_query
 
 
 class TestFaqWidthOfOrdering:

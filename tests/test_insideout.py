@@ -6,9 +6,9 @@ from repro.core.insideout import inside_out
 from repro.core.query import FAQQuery, QueryError, Variable
 from repro.factors.factor import Factor
 from repro.semiring.aggregates import ProductAggregate, SemiringAggregate
-from repro.semiring.standard import BOOLEAN, COUNTING, MAX_PRODUCT, SUM_PRODUCT
+from repro.semiring.standard import BOOLEAN, COUNTING, MAX_PRODUCT
 
-from conftest import make_factor, small_random_query
+from _helpers import make_factor, small_random_query
 
 
 class TestScalarQueries:

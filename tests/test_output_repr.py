@@ -9,7 +9,7 @@ from repro.factors.factor import Factor
 from repro.semiring.aggregates import SemiringAggregate
 from repro.semiring.standard import COUNTING
 
-from conftest import make_factor, small_random_query
+from _helpers import make_factor, small_random_query
 
 
 def free_variable_query():

@@ -9,7 +9,7 @@ from repro.core.outsidein import OutsideInStats, enumerate_join, join_factors
 from repro.factors.factor import Factor
 from repro.semiring.standard import BOOLEAN, COUNTING
 
-from conftest import make_factor, random_factor
+from _helpers import make_factor, random_factor
 
 
 class TestEnumerateJoin:

@@ -13,7 +13,7 @@ from repro.hypergraph.covers import fractional_edge_cover_number, integral_edge_
 from repro.hypergraph.elimination import elimination_sequence
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.semiring.aggregates import ProductAggregate, SemiringAggregate
-from repro.semiring.standard import COUNTING, MAX_PRODUCT, SUM_PRODUCT
+from repro.semiring.standard import COUNTING
 
 
 # --------------------------------------------------------------------- #

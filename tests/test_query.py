@@ -3,11 +3,10 @@
 import pytest
 
 from repro.core.query import FAQQuery, QueryError, Variable
-from repro.factors.factor import Factor
 from repro.semiring.aggregates import ProductAggregate, SemiringAggregate
-from repro.semiring.standard import COUNTING, SUM_PRODUCT
+from repro.semiring.standard import COUNTING
 
-from conftest import make_factor
+from _helpers import make_factor
 
 
 def two_var_query(free=("A",)):

@@ -1,6 +1,5 @@
 """Tests for the logic (CQ/#CQ/QCQ/#QCQ) and SAT/#SAT application layers."""
 
-import itertools
 
 import pytest
 
@@ -146,6 +145,7 @@ class TestSAT:
 
 
 class TestSharpSAT:
+    @pytest.mark.slow
     @pytest.mark.parametrize("seed", range(8))
     def test_count_models_matches_brute_force_random(self, seed):
         formula = random_k_cnf(7, 16, 3, seed=seed + 50)

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.hypergraph.covers import fractional_edge_cover_number
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.treedecomp import (
     TreeDecomposition,

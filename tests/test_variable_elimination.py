@@ -8,7 +8,7 @@ from repro.core.variable_elimination import variable_elimination
 from repro.semiring.aggregates import ProductAggregate, SemiringAggregate
 from repro.semiring.standard import COUNTING
 
-from conftest import make_factor, small_random_query
+from _helpers import make_factor, small_random_query
 
 
 class TestCorrectness:
