@@ -36,6 +36,9 @@ from repro.core.faqw import (
 )
 from repro.factors.factor import Factor
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.planner import Plan, PlanCache, PlanResult
+from repro.planner import execute as execute_query
+from repro.planner import plan as plan_query
 from repro.semiring.aggregates import Aggregate, ProductAggregate, SemiringAggregate
 from repro.semiring.base import Semiring
 
@@ -55,6 +58,11 @@ __all__ = [
     "InsideOutResult",
     "InsideOutStats",
     "variable_elimination",
+    "plan_query",
+    "execute_query",
+    "Plan",
+    "PlanResult",
+    "PlanCache",
     "ExpressionTree",
     "build_expression_tree",
     "is_equivalent_ordering",

@@ -109,6 +109,12 @@ def _validated_ordering(query: FAQQuery, ordering: Sequence[str] | None) -> List
     if ordering is None:
         return list(query.order)
     if isinstance(ordering, str):
+        if ordering == "plan":
+            # Ask the cost-based planner for its best InsideOut ordering
+            # (cached by query signature; see :mod:`repro.planner`).
+            from repro.planner import STRATEGY_INSIDEOUT, plan
+
+            return list(plan(query, strategy=STRATEGY_INSIDEOUT).ordering)
         if ordering != "auto":
             raise QueryError(f"unknown ordering specification {ordering!r}")
         from repro.core.faqw import approximate_faqw_ordering
@@ -298,7 +304,9 @@ def inside_out(
     ordering:
         The variable ordering to eliminate along.  ``None`` uses the order
         the query was written in; ``"auto"`` runs the FAQ-width approximation
-        of Section 7 to pick an equivalent ordering; otherwise a permutation
+        of Section 7 to pick an equivalent ordering; ``"plan"`` asks the
+        cost-based planner (:mod:`repro.planner`) for its best InsideOut
+        ordering (with plan caching); otherwise a permutation
         of the variables (free variables first) is expected.  The caller is
         responsible for semantic equivalence when supplying an explicit
         ordering — use :func:`repro.core.evo.is_equivalent_ordering` or

@@ -113,6 +113,7 @@ class FAQQuery:
                     f"factor {factor.name} mentions unknown variables {unknown}"
                 )
             self.factors.append(factor.pruned(semiring))
+        self._hypergraph: Hypergraph | None = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -164,8 +165,15 @@ class FAQQuery:
         return self.aggregates[variable].tag
 
     def hypergraph(self) -> Hypergraph:
-        """The query hypergraph ``H`` (vertices = variables, edges = scopes)."""
-        return Hypergraph(self.order, [f.variables for f in self.factors])
+        """The query hypergraph ``H`` (vertices = variables, edges = scopes).
+
+        The hypergraph is built lazily and memoised (queries are treated as
+        immutable after construction), so repeated planner calls share one
+        instance — and with it the planner's per-hypergraph LP memos.
+        """
+        if self._hypergraph is None:
+            self._hypergraph = Hypergraph(self.order, [f.variables for f in self.factors])
+        return self._hypergraph
 
     def factor_sizes(self) -> Dict[frozenset, int]:
         """Map each distinct hyperedge to the largest factor size on it."""

@@ -60,7 +60,7 @@ class VariableEliminationResult:
 
 def variable_elimination(
     query: FAQQuery,
-    ordering: Sequence[str] | None = None,
+    ordering: Sequence[str] | str | None = None,
     backend: str = BACKEND_SPARSE,
     backend_policy: BackendPolicy | None = None,
 ) -> VariableEliminationResult:
@@ -74,7 +74,8 @@ def variable_elimination(
 
     ``backend`` selects the factor representation per elimination step just
     as in :func:`~repro.core.insideout.inside_out`: ``"sparse"`` (default),
-    ``"dense"``, or the cost-heuristic ``"auto"``.
+    ``"dense"``, or the cost-heuristic ``"auto"``.  ``ordering="plan"`` asks
+    the cost-based planner (:mod:`repro.planner`) for its best ordering.
 
     Raises
     ------
@@ -93,6 +94,13 @@ def variable_elimination(
 
     if ordering is None:
         order = list(query.order)
+    elif isinstance(ordering, str):
+        if ordering != "plan":
+            raise QueryError(f"unknown ordering specification {ordering!r}")
+        # Cost-based planner ordering (cached; see :mod:`repro.planner`).
+        from repro.planner import STRATEGY_VARIABLE_ELIMINATION, plan
+
+        order = list(plan(query, strategy=STRATEGY_VARIABLE_ELIMINATION).ordering)
     else:
         order = list(ordering)
         if set(order) != set(query.order):

@@ -13,6 +13,29 @@ from repro.db.hash_join import binary_hash_join, left_deep_join_plan
 from repro.db.yannakakis import semijoin, yannakakis
 from repro.db.generic_join import generic_join
 
+
+def join(relations, output_attributes=None):
+    """Natural join routed through the cost-based planner.
+
+    The planner (:mod:`repro.planner`) picks the algorithm from estimated
+    cost: Yannakakis for α-acyclic queries, worst-case optimal generic join
+    for cyclic ones, InsideOut otherwise.  ``output_attributes`` is pushed
+    into the query as existential aggregates rather than applied as a
+    post-projection, so the work is bounded by the *projected* output.
+    Use :func:`yannakakis` or :func:`generic_join` directly to pin an
+    algorithm.
+    """
+    from repro.planner import execute
+    from repro.solvers.joins import natural_join_insideout, projected_join_query
+
+    if output_attributes is None:
+        return natural_join_insideout(relations)
+    query = projected_join_query(relations, output_attributes)
+    result = execute(query)
+    rows = [key for key, value in result.factor.table.items() if value]
+    return Relation("join", result.factor.scope, rows)
+
+
 __all__ = [
     "Relation",
     "RelationError",
@@ -21,4 +44,5 @@ __all__ = [
     "semijoin",
     "yannakakis",
     "generic_join",
+    "join",
 ]

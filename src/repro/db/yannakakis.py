@@ -4,6 +4,11 @@ The paper repeatedly uses Yannakakis' algorithm as the reference point for
 α-acyclic queries (it is InsideOut over the Boolean / set semiring, see
 Appendix F.1): a full semijoin reduction along a join tree followed by joins
 back up the tree runs in ``O~(N + output)``.
+
+It is also one of the execution strategies of the cost-based planner
+(:mod:`repro.planner`): all-free indicator FAQ queries whose hypergraph is
+α-acyclic are routed here automatically — use :func:`repro.db.join` for the
+planner-routed entry point.
 """
 
 from __future__ import annotations

@@ -17,6 +17,18 @@ import networkx as nx
 from repro.hypergraph.covers import fractional_edge_cover_number
 from repro.hypergraph.hypergraph import Hypergraph
 
+# Fractional-cover costs come out of an LP solver, so two vertices whose
+# neighbourhoods have the *same* cover number can differ in the last float
+# bits and flip the greedy choice between runs or platforms.  All heuristics
+# therefore compare costs quantised to this many decimals and break the
+# remaining ties on the vertex repr — orderings are fully deterministic.
+_COST_DECIMALS = 9
+
+
+def _quantized(cost: float) -> float:
+    """Quantise an LP-derived cost so equal-by-maths costs compare equal."""
+    return round(cost, _COST_DECIMALS)
+
 
 def _fill_in_count(graph: nx.Graph, vertex) -> int:
     """Number of edges that eliminating ``vertex`` would add to ``graph``."""
@@ -36,13 +48,13 @@ def min_fill_ordering(hypergraph: Hypergraph) -> List:
     of fill-in edges; the returned list is the *vertex ordering* ``σ``
     (i.e. the reverse of the elimination order), matching the convention of
     Definition 4.7 where elimination proceeds from the back of ``σ``.
+    Cost ties break on the vertex repr, so the ordering is deterministic
+    regardless of vertex insertion order.
     """
     graph = hypergraph.gaifman_graph()
     eliminated: List = []
     while graph.number_of_nodes():
-        vertex = min(
-            sorted(graph.nodes, key=repr), key=lambda v: (_fill_in_count(graph, v), repr(v))
-        )
+        vertex = min(graph.nodes, key=lambda v: (_fill_in_count(graph, v), repr(v)))
         neighbors = list(graph.neighbors(vertex))
         for i, u in enumerate(neighbors):
             for v in neighbors[i + 1:]:
@@ -57,7 +69,7 @@ def min_degree_ordering(hypergraph: Hypergraph) -> List:
     graph = hypergraph.gaifman_graph()
     eliminated: List = []
     while graph.number_of_nodes():
-        vertex = min(sorted(graph.nodes, key=repr), key=lambda v: (graph.degree(v), repr(v)))
+        vertex = min(graph.nodes, key=lambda v: (graph.degree(v), repr(v)))
         neighbors = list(graph.neighbors(vertex))
         for i, u in enumerate(neighbors):
             for v in neighbors[i + 1:]:
@@ -84,9 +96,9 @@ def greedy_fractional_cover_ordering(hypergraph: Hypergraph) -> List:
             union = current.neighborhood(vertex)
             if not union:
                 return 0.0
-            return fractional_edge_cover_number(original, union)
+            return _quantized(fractional_edge_cover_number(original, union))
 
-        vertex = min(sorted(current.vertices, key=repr), key=lambda v: (cost(v), repr(v)))
+        vertex = min(current.vertices, key=lambda v: (cost(v), repr(v)))
         union = current.neighborhood(vertex)
         rest = set(current.vertices) - {vertex}
         new_edges = [e for e in current.edges if vertex not in e]
@@ -106,7 +118,10 @@ def best_ordering_exhaustive(
     """Exhaustively minimise an induced width over orderings (or candidates).
 
     When ``candidates`` is ``None`` all permutations of the vertex set are
-    tried — factorial cost, use only for small hypergraphs.
+    tried — factorial cost, use only for small hypergraphs.  Widths are
+    quantised before comparison and ties keep the earliest candidate in
+    enumeration order (permutations of the repr-sorted vertex set), so the
+    result is deterministic even when ``width_fn`` is LP-derived.
     """
     from repro.hypergraph.elimination import elimination_sequence
 
@@ -117,7 +132,7 @@ def best_ordering_exhaustive(
     best_width = float("inf")
     for order in pool:
         steps = elimination_sequence(hypergraph, order)
-        width = max(width_fn(step.union) for step in steps) if steps else 0.0
+        width = max((_quantized(width_fn(step.union)) for step in steps), default=0.0)
         if width < best_width:
             best_width = width
             best_order = list(order)

@@ -1,0 +1,61 @@
+"""The cost-based query planner (ordering × backend × strategy + caching).
+
+Public surface::
+
+    from repro.planner import plan, execute
+
+    result = plan(query).execute()          # or execute(query)
+    print(result.plan.explain())            # why this plan was chosen
+
+``plan()`` scores candidate variable orderings with a FAQ-width/AGM cost
+model, picks an execution strategy (InsideOut, textbook variable
+elimination, Yannakakis or generic join where the query shape allows) and a
+factor backend (sparse listing vs dense ndarray), and caches the winning
+plan under a structural query signature so repeated or isomorphic queries
+skip planning entirely.
+"""
+
+from repro.planner.cache import DEFAULT_PLAN_CACHE, CachedPlan, PlanCache
+from repro.planner.cost import (
+    CostModel,
+    OrderingEstimate,
+    QueryStatistics,
+    STRATEGIES,
+    STRATEGY_GENERIC_JOIN,
+    STRATEGY_INSIDEOUT,
+    STRATEGY_VARIABLE_ELIMINATION,
+    STRATEGY_YANNAKAKIS,
+    StepEstimate,
+)
+from repro.planner.plan import Plan, PlanResult
+from repro.planner.planner import (
+    DEFAULT_COST_MODEL,
+    applicable_strategies,
+    candidate_orderings,
+    execute,
+    plan,
+)
+from repro.planner.signature import query_signature
+
+__all__ = [
+    "plan",
+    "execute",
+    "Plan",
+    "PlanResult",
+    "PlanCache",
+    "CachedPlan",
+    "DEFAULT_PLAN_CACHE",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "QueryStatistics",
+    "OrderingEstimate",
+    "StepEstimate",
+    "STRATEGIES",
+    "STRATEGY_INSIDEOUT",
+    "STRATEGY_VARIABLE_ELIMINATION",
+    "STRATEGY_YANNAKAKIS",
+    "STRATEGY_GENERIC_JOIN",
+    "applicable_strategies",
+    "candidate_orderings",
+    "query_signature",
+]

@@ -1,0 +1,68 @@
+"""The plan cache: repeated (or isomorphic) queries skip planning.
+
+Plans are stored under the structural signature of
+:func:`repro.planner.signature.query_signature` with the chosen ordering
+translated into canonical variable indices, so a cached plan transfers to
+any query with the same signature — the same query re-issued, the same
+query over drifted data (factor sizes only enter the signature through log
+buckets), or an isomorphic rename.  The cache is a small LRU keyed also by
+the caller's forced strategy/backend so overridden plans do not shadow the
+planner's free choice.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """The transferable part of a plan (ordering stored by canonical index)."""
+
+    strategy: str
+    backend: str
+    ordering_indices: Tuple[int, ...]
+    estimated_cost: float
+    faq_width: float
+
+
+class PlanCache:
+    """A bounded LRU of :class:`CachedPlan` entries keyed by query signature."""
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, CachedPlan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple) -> Optional[CachedPlan]:
+        """The cached plan for ``key``, updating LRU order and hit counters."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: tuple, plan: CachedPlan) -> None:
+        """Insert (or refresh) a plan, evicting the least recently used."""
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+DEFAULT_PLAN_CACHE = PlanCache()
+"""The process-wide cache used when callers do not supply their own."""

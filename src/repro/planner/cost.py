@@ -1,0 +1,427 @@
+"""The planner's cost model: FAQ-width plus data-aware statistics.
+
+A candidate ``(ordering, strategy)`` pair is scored by simulating the
+elimination it would perform:
+
+* the induced sets ``U_k`` come from the FAQ elimination sequence
+  (product variables drop out of edges, Definition 5.4);
+* each InsideOut step is estimated by the *data-dependent AGM bound*
+  ``AGM_H(U_k)`` of the original hypergraph (the quantity Theorem 4.6 bounds
+  the intermediates by, thanks to the indicator projections), capped by the
+  dense domain box ``∏_{v ∈ U_k} |Dom(v)|``;
+* each textbook variable-elimination step is estimated by the *pairwise
+  product* of the estimated sizes of the incident factors (no projections —
+  exactly the gap Table 1 attributes to the prior PGM algorithms), capped by
+  the same box;
+* a step additionally gets a vectorised (dense) estimate — the box cell
+  count weighted by :data:`DENSE_CELL_WEIGHT` — whenever the semiring and
+  aggregate map to NumPy ufuncs and the box fits under the
+  :class:`~repro.factors.backend.BackendPolicy` cell cap, mirroring the
+  dense-vs-sparse heuristic of :mod:`repro.factors.backend`.
+
+``ρ*`` and AGM evaluations are memoised per cost-model instance: candidate
+orderings of the same query share most of their induced sets, and each
+evaluation solves a small LP.  :attr:`CostModel.invocations` counts
+top-level :meth:`CostModel.estimate` calls so tests can verify that a
+:class:`~repro.planner.cache.PlanCache` hit skips the ordering search.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.query import FAQQuery
+from repro.factors.backend import (
+    BACKEND_DENSE,
+    BACKEND_SPARSE,
+    BackendPolicy,
+    DEFAULT_POLICY,
+    supports_dense,
+)
+from repro.hypergraph.covers import agm_bound, fractional_edge_cover_number
+from repro.hypergraph.elimination import elimination_sequence
+from repro.hypergraph.hypergraph import Hypergraph
+
+# Strategy names understood by the planner.
+STRATEGY_INSIDEOUT = "insideout"
+STRATEGY_VARIABLE_ELIMINATION = "variable-elimination"
+STRATEGY_YANNAKAKIS = "yannakakis"
+STRATEGY_GENERIC_JOIN = "generic-join"
+STRATEGIES = (
+    STRATEGY_INSIDEOUT,
+    STRATEGY_VARIABLE_ELIMINATION,
+    STRATEGY_YANNAKAKIS,
+    STRATEGY_GENERIC_JOIN,
+)
+
+# Per-estimated-tuple work factors.  A dense (vectorised) cell is far cheaper
+# than a sparse per-tuple dict operation; Yannakakis and generic join avoid
+# the general elimination machinery on the query shapes they apply to.
+DENSE_CELL_WEIGHT = 0.05
+STRATEGY_WEIGHT = {
+    STRATEGY_INSIDEOUT: 1.0,
+    STRATEGY_VARIABLE_ELIMINATION: 0.95,
+    STRATEGY_GENERIC_JOIN: 0.8,
+    STRATEGY_YANNAKAKIS: 0.6,
+}
+
+
+@dataclass(frozen=True)
+class QueryStatistics:
+    """Data statistics the cost model scores candidate plans against."""
+
+    factor_sizes: Dict[FrozenSet[str], int]
+    domain_sizes: Dict[str, int]
+    num_factors: int
+    total_input: int
+    max_factor_size: int
+
+    @classmethod
+    def from_query(cls, query: FAQQuery) -> "QueryStatistics":
+        """Collect factor sizes, domain cardinalities and input totals."""
+        return cls(
+            factor_sizes=query.factor_sizes(),
+            domain_sizes={v: query.domain_size(v) for v in query.order},
+            num_factors=len(query.factors),
+            total_input=sum(len(f) for f in query.factors),
+            max_factor_size=query.input_size,
+        )
+
+
+@dataclass
+class StepEstimate:
+    """Estimated cost of one elimination step of a candidate plan."""
+
+    variable: str
+    kind: str  # "semiring", "product" or "output"
+    induced: FrozenSet[str]
+    rho_star: float
+    box_cells: float
+    sparse_cost: float
+    dense_cost: Optional[float]  # None when the step cannot vectorise
+    backend: str  # the cheaper representation for this step
+
+    @property
+    def cost(self) -> float:
+        if self.dense_cost is not None and self.dense_cost < self.sparse_cost:
+            return self.dense_cost
+        return self.sparse_cost
+
+
+@dataclass
+class OrderingEstimate:
+    """The scored result of one ``(ordering, strategy)`` candidate."""
+
+    ordering: Tuple[str, ...]
+    strategy: str
+    backend: str  # "sparse" | "dense" | "auto" suggestion for the whole run
+    total_cost: float
+    faq_width: float
+    steps: List[StepEstimate] = field(default_factory=list)
+
+
+class CostModel:
+    """Scores candidate orderings/strategies against query statistics."""
+
+    def __init__(self, policy: BackendPolicy = DEFAULT_POLICY) -> None:
+        self.policy = policy
+        self.invocations = 0
+        self._rho_cache: Dict[tuple, float] = {}
+        self._agm_cache: Dict[tuple, float] = {}
+        # Objects (hypergraphs, statistics) pinned while their id() keys
+        # entries in the caches — without the pin a recycled id could
+        # resolve to a stale quantity.
+        self._pinned: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # memoised hypergraph quantities
+    # ------------------------------------------------------------------ #
+    def _pin_key(self, obj: object) -> int:
+        """A stable id() key for an unhashable object, pinned against reuse."""
+        key = id(obj)
+        if key not in self._pinned:
+            if len(self._pinned) >= 256:
+                self._pinned.clear()
+                self._rho_cache.clear()
+                self._agm_cache.clear()
+            self._pinned[key] = obj
+        return key
+
+    def _hypergraph_key(self, hypergraph: Hypergraph) -> int:
+        return self._pin_key(hypergraph)
+
+    def rho_star(self, hypergraph: Hypergraph, subset: FrozenSet[str]) -> float:
+        """Memoised ``ρ*_H(subset)`` (one LP per distinct subset)."""
+        key = (self._hypergraph_key(hypergraph), subset)
+        if key not in self._rho_cache:
+            if len(subset) <= 1:
+                self._rho_cache[key] = float(bool(subset))
+            else:
+                self._rho_cache[key] = fractional_edge_cover_number(
+                    hypergraph, subset, ignore_uncovered=True
+                )
+        return self._rho_cache[key]
+
+    def agm(
+        self,
+        hypergraph: Hypergraph,
+        stats: QueryStatistics,
+        subset: FrozenSet[str],
+    ) -> float:
+        """Memoised data-dependent AGM bound ``∏ |ψ_S|^{λ*_S}`` on ``subset``.
+
+        Unlike ``ρ*`` the AGM bound depends on the factor sizes, so the
+        statistics object is part of the memo key — the same model instance
+        scoring the same hypergraph under different statistics must not see
+        stale bounds.
+        """
+        key = (self._hypergraph_key(hypergraph), self._pin_key(stats), subset)
+        if key not in self._agm_cache:
+            covered = frozenset(
+                v for v in subset if any(v in e for e in hypergraph.edges)
+            )
+            if not covered:
+                self._agm_cache[key] = 1.0
+            else:
+                self._agm_cache[key] = agm_bound(hypergraph, stats.factor_sizes, covered)
+        return self._agm_cache[key]
+
+    # ------------------------------------------------------------------ #
+    def _box_cells(self, variables: FrozenSet[str], stats: QueryStatistics) -> float:
+        cells = 1.0
+        for v in variables:
+            cells *= stats.domain_sizes.get(v, 1)
+            if cells > 1e18:
+                return math.inf
+        return cells
+
+    def _dense_cost(
+        self,
+        query: FAQQuery,
+        box: float,
+        tag: Optional[str],
+    ) -> Optional[float]:
+        tags = (tag,) if tag is not None else ()
+        if not supports_dense(query.semiring, tags):
+            return None
+        if box > self.policy.cell_cap:
+            return None
+        return box * DENSE_CELL_WEIGHT
+
+    # ------------------------------------------------------------------ #
+    # the main scoring entry point
+    # ------------------------------------------------------------------ #
+    def estimate(
+        self,
+        query: FAQQuery,
+        stats: QueryStatistics,
+        ordering: Sequence[str],
+        strategy: str = STRATEGY_INSIDEOUT,
+        hypergraph: Hypergraph | None = None,
+    ) -> OrderingEstimate:
+        """Score one candidate ``(ordering, strategy)`` pair.
+
+        Pass the query's ``hypergraph`` explicitly when scoring several
+        candidates so the LP memos are shared between them.  Increments
+        :attr:`invocations` — the counter plan-cache tests use to prove that
+        a cache hit skips the ordering search entirely.
+        """
+        self.invocations += 1
+        order = tuple(ordering)
+        if hypergraph is None:
+            hypergraph = query.hypergraph()
+
+        if strategy in (STRATEGY_YANNAKAKIS, STRATEGY_GENERIC_JOIN):
+            return self._estimate_join_strategy(query, stats, order, hypergraph, strategy)
+
+        steps = elimination_sequence(hypergraph, order, query.product_variables)
+        by_vertex = {step.vertex: step for step in steps}
+        k_set = query.k_set
+
+        # Simulated per-factor size estimates (scope, estimated tuples).
+        live: List[Tuple[FrozenSet[str], float]] = [
+            (frozenset(f.scope), float(len(f))) for f in query.factors
+        ]
+        estimates: List[StepEstimate] = []
+        faq_width = 0.0
+        total = 0.0
+
+        for position in range(len(order) - 1, query.num_free - 1, -1):
+            variable = order[position]
+            aggregate = query.aggregates[variable]
+            if aggregate.is_product:
+                product_cost = sum(size for _, size in live)
+                live = [
+                    (scope - {variable}, size) for scope, size in live
+                ]
+                estimates.append(
+                    StepEstimate(
+                        variable=variable,
+                        kind="product",
+                        induced=frozenset({variable}),
+                        rho_star=0.0,
+                        box_cells=float(stats.domain_sizes.get(variable, 1)),
+                        sparse_cost=product_cost,
+                        dense_cost=None,
+                        backend=BACKEND_SPARSE,
+                    )
+                )
+                total += product_cost
+                continue
+
+            union = by_vertex[variable].union
+            rho = self.rho_star(hypergraph, union)
+            faq_width = max(faq_width, rho) if variable in k_set else faq_width
+            box = self._box_cells(union, stats)
+
+            incident = [(scope, size) for scope, size in live if variable in scope]
+            rest = [(scope, size) for scope, size in live if variable not in scope]
+            if not incident:
+                # Constant fold, negligible work.
+                estimates.append(
+                    StepEstimate(
+                        variable=variable,
+                        kind="semiring",
+                        induced=frozenset({variable}),
+                        rho_star=rho,
+                        box_cells=float(stats.domain_sizes.get(variable, 1)),
+                        sparse_cost=1.0,
+                        dense_cost=None,
+                        backend=BACKEND_SPARSE,
+                    )
+                )
+                total += 1.0
+                live = rest
+                continue
+
+            if strategy == STRATEGY_VARIABLE_ELIMINATION:
+                # Pairwise products of exactly the incident factors.
+                sparse = incident[0][1]
+                for _, size in incident[1:]:
+                    sparse = min(box, sparse * max(size, 1.0))
+            else:
+                # InsideOut: a single worst-case-optimal join bounded by the
+                # data-dependent AGM bound of the induced set.
+                sparse = min(box, self.agm(hypergraph, stats, union))
+                sparse += sum(size for _, size in incident)
+
+            dense = self._dense_cost(query, box, aggregate.tag)
+            backend = (
+                BACKEND_DENSE if dense is not None and dense < sparse else BACKEND_SPARSE
+            )
+            step = StepEstimate(
+                variable=variable,
+                kind="semiring",
+                induced=union,
+                rho_star=rho,
+                box_cells=box,
+                sparse_cost=sparse,
+                dense_cost=dense,
+                backend=backend,
+            )
+            estimates.append(step)
+            total += step.cost
+
+            result_scope = union - {variable}
+            result_size = min(
+                self._box_cells(result_scope, stats),
+                sparse if strategy == STRATEGY_VARIABLE_ELIMINATION
+                else self.agm(hypergraph, stats, union),
+            )
+            live = rest + [(result_scope, result_size)]
+
+        # Output phase over the free variables.
+        if query.num_free:
+            free_set = frozenset(query.free)
+            for variable in query.free:
+                rho = self.rho_star(hypergraph, by_vertex[variable].union)
+                faq_width = max(faq_width, rho)
+            out_box = self._box_cells(free_set, stats)
+            if strategy == STRATEGY_VARIABLE_ELIMINATION:
+                out_sparse = live[0][1] if live else 1.0
+                for _, size in live[1:]:
+                    out_sparse = min(out_box, out_sparse * max(size, 1.0))
+            else:
+                out_sparse = min(out_box, self.agm(hypergraph, stats, free_set))
+                out_sparse += sum(size for _, size in live)
+            out_dense = self._dense_cost(query, out_box, None)
+            out_backend = (
+                BACKEND_DENSE
+                if out_dense is not None and out_dense < out_sparse
+                else BACKEND_SPARSE
+            )
+            out_step = StepEstimate(
+                variable="<output>",
+                kind="output",
+                induced=free_set,
+                rho_star=self.rho_star(hypergraph, free_set),
+                box_cells=out_box,
+                sparse_cost=out_sparse,
+                dense_cost=out_dense,
+                backend=out_backend,
+            )
+            estimates.append(out_step)
+            total += out_step.cost
+
+        backend = self._suggest_backend(estimates)
+        total *= STRATEGY_WEIGHT[strategy]
+        return OrderingEstimate(
+            ordering=order,
+            strategy=strategy,
+            backend=backend,
+            total_cost=total,
+            faq_width=faq_width,
+            steps=estimates,
+        )
+
+    def _estimate_join_strategy(
+        self,
+        query: FAQQuery,
+        stats: QueryStatistics,
+        order: Tuple[str, ...],
+        hypergraph: Hypergraph,
+        strategy: str,
+    ) -> OrderingEstimate:
+        """Score Yannakakis / generic join on an all-free indicator query."""
+        all_vars = frozenset(query.order)
+        out_est = min(
+            self._box_cells(all_vars, stats), self.agm(hypergraph, stats, all_vars)
+        )
+        if strategy == STRATEGY_YANNAKAKIS:
+            # Two semijoin passes plus the bottom-up join: O~(input + output).
+            sparse = 3.0 * stats.total_input + out_est
+        else:
+            sparse = stats.total_input + out_est
+        step = StepEstimate(
+            variable="<join>",
+            kind="output",
+            induced=all_vars,
+            rho_star=self.rho_star(hypergraph, all_vars),
+            box_cells=self._box_cells(all_vars, stats),
+            sparse_cost=sparse,
+            dense_cost=None,
+            backend=BACKEND_SPARSE,
+        )
+        return OrderingEstimate(
+            ordering=order,
+            strategy=strategy,
+            backend=BACKEND_SPARSE,
+            total_cost=sparse * STRATEGY_WEIGHT[strategy],
+            faq_width=step.rho_star,
+            steps=[step],
+        )
+
+    @staticmethod
+    def _suggest_backend(steps: Sequence[StepEstimate]) -> str:
+        """Collapse per-step representation choices into an engine mode."""
+        eliminations = [s for s in steps if s.kind in ("semiring", "output")]
+        if not eliminations:
+            return BACKEND_SPARSE
+        dense_steps = sum(1 for s in eliminations if s.backend == BACKEND_DENSE)
+        if dense_steps == 0:
+            return BACKEND_SPARSE
+        if dense_steps == len(eliminations):
+            return BACKEND_DENSE
+        return "auto"

@@ -1,0 +1,375 @@
+"""The cost-based query planner (the decision layer over the engines).
+
+``plan(query, stats)`` turns the repo's five ad-hoc per-call-site choices
+(which ordering heuristic, which factor backend, which algorithm) into one
+tested decision:
+
+1. **candidate orderings** — the written order, the Section 7
+   FAQ-width approximation, the min-fill / min-degree / greedy-cover
+   heuristics re-arranged to a free-prefix and filtered through the EVO
+   membership test of Section 6, plus a few linear extensions of the
+   precedence poset for small queries;
+2. **scoring** — every ``(ordering, strategy)`` pair is scored by the
+   :class:`~repro.planner.cost.CostModel` (FAQ-width LPs + data-aware AGM
+   estimates + the dense-box heuristic);
+3. **strategy choice** — InsideOut always applies; textbook variable
+   elimination for FAQ-SS queries; Yannakakis / generic join for all-free
+   indicator queries (natural joins), acyclic or not;
+4. **caching** — the winning plan is stored in a
+   :class:`~repro.planner.cache.PlanCache` under the structural signature
+   of :mod:`repro.planner.signature`, so repeated or isomorphic queries
+   skip the search entirely.
+
+Explicit ``ordering=``/``backend=``/``strategy=`` arguments are honoured as
+overrides, preserving every pre-planner call signature in the repo.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.evo import is_equivalent_ordering, linear_extensions
+from repro.core.faqw import approximate_faqw_ordering
+from repro.core.query import FAQQuery, QueryError
+from repro.factors.backend import validate_backend
+from repro.hypergraph.acyclicity import join_tree
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.orderings import min_degree_ordering, min_fill_ordering
+from repro.planner.cache import DEFAULT_PLAN_CACHE, CachedPlan, PlanCache
+from repro.planner.cost import (
+    CostModel,
+    OrderingEstimate,
+    QueryStatistics,
+    STRATEGIES,
+    STRATEGY_GENERIC_JOIN,
+    STRATEGY_INSIDEOUT,
+    STRATEGY_VARIABLE_ELIMINATION,
+    STRATEGY_YANNAKAKIS,
+)
+from repro.planner.plan import Plan, PlanResult
+from repro.planner.signature import (
+    is_indicator_join,
+    ordering_from_indices,
+    ordering_to_indices,
+    query_signature,
+)
+
+DEFAULT_COST_MODEL = CostModel()
+"""The process-wide cost model (its ``invocations`` counter is observable)."""
+
+# Deterministic preference order used to break exact cost ties.
+_STRATEGY_RANK = {name: rank for rank, name in enumerate(STRATEGIES)}
+
+_MAX_LINEAR_EXTENSIONS = 4
+_LINEAR_EXTENSION_VARS = 8
+_GREEDY_COVER_VARS = 10
+
+
+# ---------------------------------------------------------------------- #
+# strategy applicability
+# ---------------------------------------------------------------------- #
+def applicable_strategies(query: FAQQuery, hypergraph: Hypergraph | None = None) -> List[str]:
+    """The strategies the plan space allows for this query."""
+    strategies = [STRATEGY_INSIDEOUT]
+    tags = {query.aggregates[v].tag for v in query.semiring_variables}
+    if len(tags) <= 1:
+        strategies.append(STRATEGY_VARIABLE_ELIMINATION)
+    if is_indicator_join(query):
+        if hypergraph is None:
+            hypergraph = query.hypergraph()
+        if join_tree(hypergraph) is not None:
+            strategies.append(STRATEGY_YANNAKAKIS)
+        strategies.append(STRATEGY_GENERIC_JOIN)
+    return strategies
+
+
+# ---------------------------------------------------------------------- #
+# candidate orderings
+# ---------------------------------------------------------------------- #
+def _free_prefix_arrangement(query: FAQQuery, vertex_order: Sequence[str]) -> Tuple[str, ...]:
+    """Re-arrange a plain vertex ordering into free-prefix query form."""
+    free = set(query.free)
+    order = [v for v in vertex_order if v in free] + [v for v in vertex_order if v not in free]
+    missing = [v for v in query.order if v not in set(order)]
+    return tuple(order + missing)
+
+
+def candidate_orderings(
+    query: FAQQuery, hypergraph: Hypergraph | None = None
+) -> List[Tuple[str, ...]]:
+    """Valid (EVO-member) candidate orderings for the planner to score."""
+    if hypergraph is None:
+        hypergraph = query.hypergraph()
+    raw: List[Tuple[str, ...]] = [tuple(query.order)]
+
+    try:
+        raw.append(tuple(approximate_faqw_ordering(query)))
+    except Exception:  # pragma: no cover - defensive: never lose plannability
+        pass
+
+    heuristics = [min_fill_ordering, min_degree_ordering]
+    if query.num_variables <= _GREEDY_COVER_VARS:
+        from repro.hypergraph.orderings import greedy_fractional_cover_ordering
+
+        heuristics.append(greedy_fractional_cover_ordering)
+    for heuristic in heuristics:
+        try:
+            raw.append(_free_prefix_arrangement(query, heuristic(hypergraph)))
+        except Exception:  # pragma: no cover - defensive
+            continue
+
+    if query.num_variables <= _LINEAR_EXTENSION_VARS:
+        try:
+            raw.extend(
+                tuple(ext)
+                for ext in itertools.islice(
+                    linear_extensions(query, limit=_MAX_LINEAR_EXTENSIONS),
+                    _MAX_LINEAR_EXTENSIONS,
+                )
+            )
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    candidates: List[Tuple[str, ...]] = []
+    seen = set()
+    for order in raw:
+        if order in seen or len(order) != query.num_variables:
+            continue
+        seen.add(order)
+        if order == tuple(query.order):
+            candidates.append(order)
+            continue
+        try:
+            if is_equivalent_ordering(query, order):
+                candidates.append(order)
+        except Exception:  # pragma: no cover - defensive
+            continue
+    return candidates
+
+
+def _validated_explicit_ordering(query: FAQQuery, ordering: Sequence[str]) -> Tuple[str, ...]:
+    order = tuple(ordering)
+    if set(order) != set(query.order) or len(order) != len(query.order):
+        raise QueryError("ordering must be a permutation of the query variables")
+    if set(order[: query.num_free]) != set(query.free):
+        raise QueryError("ordering must list the free variables first")
+    return order
+
+
+# ---------------------------------------------------------------------- #
+# the planner
+# ---------------------------------------------------------------------- #
+def plan(
+    query: FAQQuery,
+    stats: Optional[QueryStatistics] = None,
+    *,
+    ordering: Sequence[str] | str | None = None,
+    backend: Optional[str] = None,
+    strategy: Optional[str] = None,
+    cache: Optional[PlanCache] = None,
+    use_cache: bool = True,
+    cost_model: Optional[CostModel] = None,
+) -> Plan:
+    """Choose a :class:`~repro.planner.plan.Plan` for ``query``.
+
+    Parameters
+    ----------
+    stats:
+        Data statistics to plan against (collected from the query when
+        omitted).  Caller-supplied statistics make the plan bespoke: it
+        bypasses the plan cache in both directions, since cache keys do not
+        encode statistics.
+    ordering:
+        ``None`` or ``"plan"`` searches the candidate space; ``"auto"``
+        restricts the search to the Section 7 FAQ-width approximation (the
+        pre-planner behaviour); an explicit sequence pins the ordering.
+    backend / strategy:
+        Optional overrides.  While the strategy (or the ordering) is left
+        open the planner scores the alternatives so ``explain()`` stays
+        meaningful; once *both* ordering and strategy are pinned, scoring
+        is skipped entirely and an open backend defers to the engines'
+        per-step runtime heuristic (``"auto"``).  A forced strategy the
+        query shape does not allow raises
+        :class:`~repro.core.query.QueryError`.
+    cache / use_cache:
+        The :class:`~repro.planner.cache.PlanCache` to consult (defaults to
+        the process-wide cache).  Explicitly pinned orderings are never
+        cached — there is nothing to search.
+    cost_model:
+        The :class:`~repro.planner.cost.CostModel` to score with (defaults
+        to the process-wide model, whose ``invocations`` counter tests
+        use).  Like ``stats``, a caller-supplied model makes the plan
+        bespoke and bypasses the plan cache in both directions.
+    """
+    model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+    if backend is not None:
+        validate_backend(backend)
+    if strategy is not None and strategy not in STRATEGIES:
+        raise QueryError(f"unknown plan strategy {strategy!r}; expected one of {STRATEGIES}")
+
+    mode = "search"
+    if isinstance(ordering, str):
+        if ordering == "auto":
+            mode = "auto"
+        elif ordering != "plan":
+            raise QueryError(f"unknown ordering specification {ordering!r}")
+        ordering = None
+
+    def _validated_strategies() -> List[str]:
+        strategies = applicable_strategies(query, query.hypergraph())
+        if strategy is None:
+            return strategies
+        if strategy not in strategies:
+            raise QueryError(
+                f"strategy {strategy!r} is not applicable to this query "
+                f"(allowed: {strategies})"
+            )
+        return [strategy]
+
+    # ------------------------------------------------------------------ #
+    # pinned ordering: no search, no cache
+    # ------------------------------------------------------------------ #
+    if ordering is not None:
+        order = _validated_explicit_ordering(query, ordering)
+        if strategy is not None:
+            # Ordering and strategy pinned: nothing worth an LP-backed
+            # scoring pass remains.  An open backend defers to the engines'
+            # cheap per-step runtime heuristic ("auto") — the pre-planner
+            # behaviour of the solver wrappers.  Join strategies still get
+            # the applicability check: executing Yannakakis on a
+            # non-indicator query would be silently wrong.
+            if strategy in (STRATEGY_YANNAKAKIS, STRATEGY_GENERIC_JOIN):
+                _validated_strategies()
+            return Plan(
+                query=query,
+                strategy=strategy,
+                ordering=order,
+                backend=backend if backend is not None else "auto",
+                estimated_cost=float("nan"),
+                faq_width=float("nan"),
+            )
+        if stats is None:
+            stats = QueryStatistics.from_query(query)
+        hypergraph = query.hypergraph()
+        estimates = [
+            model.estimate(query, stats, order, candidate_strategy, hypergraph)
+            for candidate_strategy in _validated_strategies()
+        ]
+        winner = _pick(estimates)
+        return Plan(
+            query=query,
+            strategy=winner.strategy,
+            ordering=order,
+            backend=backend if backend is not None else winner.backend,
+            estimated_cost=winner.total_cost,
+            faq_width=winner.faq_width,
+            estimate=winner,
+            candidates=estimates,
+        )
+
+    # ------------------------------------------------------------------ #
+    # cache lookup — before any stats collection or applicability scan, so
+    # a hit on repeated query traffic costs only the signature itself.
+    # Caller-supplied statistics or cost models make the plan bespoke: the
+    # cache key encodes neither, so such plans neither read nor populate
+    # the cache (which also keeps throwaway CostModel instances, and the
+    # hypergraphs/LP memos they pin, from being retained by cache entries).
+    # ------------------------------------------------------------------ #
+    use_cache = use_cache and stats is None and cost_model is None
+    plan_cache = cache if cache is not None else DEFAULT_PLAN_CACHE
+    signature, canon = query_signature(query)
+    key = (signature, mode, strategy, backend)
+    if use_cache:
+        cached = plan_cache.lookup(key)
+        if cached is not None and len(cached.ordering_indices) == query.num_variables:
+            # The signature certifies isomorphism (including the indicator
+            # bit join strategies depend on), so the cached strategy and
+            # ordering transfer without re-validation.
+            return Plan(
+                query=query,
+                strategy=cached.strategy,
+                ordering=ordering_from_indices(cached.ordering_indices, canon),
+                backend=cached.backend,
+                estimated_cost=cached.estimated_cost,
+                faq_width=cached.faq_width,
+                signature=signature,
+                cache_hit=True,
+            )
+
+    # ------------------------------------------------------------------ #
+    # candidate search
+    # ------------------------------------------------------------------ #
+    if stats is None:
+        stats = QueryStatistics.from_query(query)
+    hypergraph = query.hypergraph()
+    strategies = _validated_strategies()
+    if mode == "auto":
+        try:
+            candidates = [tuple(approximate_faqw_ordering(query))]
+        except Exception:  # pragma: no cover - defensive
+            candidates = [tuple(query.order)]
+    else:
+        candidates = candidate_orderings(query, hypergraph)
+    if not candidates:
+        candidates = [tuple(query.order)]
+
+    estimates: List[OrderingEstimate] = []
+    for candidate_strategy in strategies:
+        if candidate_strategy in (STRATEGY_YANNAKAKIS, STRATEGY_GENERIC_JOIN):
+            # Their cost does not depend on the elimination ordering.
+            estimates.append(
+                model.estimate(query, stats, candidates[0], candidate_strategy, hypergraph)
+            )
+            continue
+        for candidate in candidates:
+            estimates.append(
+                model.estimate(query, stats, candidate, candidate_strategy, hypergraph)
+            )
+    winner = _pick(estimates)
+    resolved_backend = backend if backend is not None else winner.backend
+
+    result = Plan(
+        query=query,
+        strategy=winner.strategy,
+        ordering=winner.ordering,
+        backend=resolved_backend,
+        estimated_cost=winner.total_cost,
+        faq_width=winner.faq_width,
+        signature=signature,
+        estimate=winner,
+        candidates=estimates,
+    )
+    if use_cache:
+        plan_cache.store(
+            key,
+            CachedPlan(
+                strategy=result.strategy,
+                backend=resolved_backend,
+                ordering_indices=ordering_to_indices(result.ordering, canon),
+                estimated_cost=result.estimated_cost,
+                faq_width=result.faq_width,
+            ),
+        )
+    return result
+
+
+def _pick(estimates: List[OrderingEstimate]) -> OrderingEstimate:
+    """The cheapest estimate, with a deterministic tie-break."""
+    return min(
+        estimates,
+        key=lambda e: (e.total_cost, _STRATEGY_RANK[e.strategy], e.ordering),
+    )
+
+
+def execute(
+    query: FAQQuery,
+    stats: Optional[QueryStatistics] = None,
+    *,
+    output_mode: str = "listing",
+    **kwargs,
+) -> PlanResult:
+    """Plan and execute ``query`` in one call (see :func:`plan` for kwargs)."""
+    if output_mode != "listing":
+        kwargs.setdefault("strategy", STRATEGY_INSIDEOUT)
+    return plan(query, stats, **kwargs).execute(output_mode=output_mode)

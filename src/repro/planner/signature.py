@@ -1,0 +1,172 @@
+"""Structural query signatures for plan caching.
+
+The :class:`~repro.planner.cache.PlanCache` must recognise a query it has
+planned before even when the *data* changed (repeated query traffic over
+drifting relations) or the *variable names* changed (isomorphic queries).
+This module computes a canonical labelling of the query's structure:
+
+* each variable's seed colour is ``(tag, aggregate block, |Dom|)`` — the
+  aggregate *block* is the index of the maximal run of identical aggregate
+  tags in the written bound order, which is exactly the granularity at which
+  reordering is always semantics-preserving (adjacent identical aggregates
+  commute; distinct blocks do not);
+* colours are refined Weisfeiler–Leman style against the multiset of
+  incident factor-edge signatures (member colours plus a log-bucketed factor
+  size, so mild data drift still hits the cache);
+* the final signature serialises the *entire* structure under the canonical
+  labelling.  Two queries with equal signatures are therefore certifiably
+  isomorphic via their canonical labellings — colour-refinement
+  incompleteness can only cause a missed cache hit, never a wrong one —
+  so a cached variable ordering can be transferred index-by-index and
+  remains a member of ``EVO`` of the new query.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.query import FAQQuery
+
+_REFINEMENT_ROUNDS = 3
+
+_INDICATOR_MEMO: "weakref.WeakKeyDictionary[FAQQuery, bool]" = weakref.WeakKeyDictionary()
+
+
+def size_bucket(size: int) -> int:
+    """Log2 bucket of a factor size (0 → 0, 1 → 1, 2-3 → 2, 4-7 → 3, ...)."""
+    return int(size).bit_length()
+
+
+def _aggregate_blocks(query: FAQQuery) -> Dict[str, int]:
+    """Map each variable to its aggregate block index (free variables: 0).
+
+    Bound variables are grouped into maximal runs of identical aggregate
+    tags along the written order; block boundaries are the only ordering
+    constraints the signature must preserve exactly.
+    """
+    blocks: Dict[str, int] = {v: 0 for v in query.free}
+    index = 0
+    previous_tag = None
+    for variable in query.bound:
+        tag = query.tag(variable)
+        if tag != previous_tag:
+            index += 1
+            previous_tag = tag
+        blocks[variable] = index
+    return blocks
+
+
+def canonical_order(query: FAQQuery) -> List[str]:
+    """The query's variables in canonical (colour-refined) order.
+
+    Ties that survive refinement break on the written position, which keeps
+    the labelling deterministic; a tie between genuinely asymmetric
+    variables merely yields a different serialisation (a cache miss), never
+    an unsound match.
+    """
+    blocks = _aggregate_blocks(query)
+    colors: Dict[str, tuple] = {
+        v: (query.tag(v), blocks[v], query.domain_size(v)) for v in query.order
+    }
+    edges = [(tuple(f.scope), size_bucket(len(f))) for f in query.factors]
+
+    for _ in range(min(_REFINEMENT_ROUNDS, len(query.order))):
+        edge_colors = [
+            (tuple(sorted(colors[v] for v in scope)), bucket) for scope, bucket in edges
+        ]
+        new_colors: Dict[str, tuple] = {}
+        for variable in query.order:
+            incident = sorted(
+                color for (scope, _), color in zip(edges, edge_colors) if variable in scope
+            )
+            new_colors[variable] = (colors[variable], tuple(incident))
+        if len(set(new_colors.values())) == len(set(colors.values())):
+            colors = new_colors
+            break
+        colors = new_colors
+
+    position = {v: i for i, v in enumerate(query.order)}
+    return sorted(query.order, key=lambda v: (colors[v], position[v]))
+
+
+def is_indicator_join(query: FAQQuery) -> bool:
+    """Whether this is an all-free query of covering indicator (0/1) factors.
+
+    This is exactly the shape the relational strategies (Yannakakis /
+    generic join) apply to: every variable free and mentioned by some
+    factor, no empty scopes, and every factor value equal to the semiring
+    one.  Strategy applicability depends on the factor *values*, which the
+    purely structural part of the signature cannot see — folding this bit
+    into the signature keeps indicator and weighted variants of the same
+    shape in separate cache entries, so a cached join-strategy plan can
+    never transfer to a query it would compute wrong values for.
+
+    The O(input) value scan only runs for all-free queries and is memoised
+    per query instance (queries are immutable after construction), so the
+    signature and the planner's applicability check share one scan.
+    """
+    cached = _INDICATOR_MEMO.get(query)
+    if cached is not None:
+        return cached
+    result = _compute_indicator_join(query)
+    _INDICATOR_MEMO[query] = result
+    return result
+
+
+def _compute_indicator_join(query: FAQQuery) -> bool:
+    if query.num_free != query.num_variables or query.num_variables == 0:
+        return False
+    if not query.factors:
+        return False
+    semiring = query.semiring
+    mentioned = set()
+    for factor in query.factors:
+        if not factor.scope:
+            return False
+        mentioned.update(factor.scope)
+        for value in factor.table.values():
+            if not semiring.is_one(value):
+                return False
+    return mentioned == set(query.order)
+
+
+def query_signature(query: FAQQuery) -> Tuple[tuple, List[str]]:
+    """The cache signature of a query plus its canonical variable order.
+
+    Returns ``(signature, canon)`` where ``signature`` is a hashable full
+    serialisation of the query structure under the canonical labelling and
+    ``canon`` lists the variables in canonical order (``canon[i]`` is the
+    variable behind canonical index ``i``).
+    """
+    canon = canonical_order(query)
+    index = {v: i for i, v in enumerate(canon)}
+    blocks = _aggregate_blocks(query)
+    variables = tuple(
+        (query.tag(v), blocks[v], query.domain_size(v)) for v in canon
+    )
+    factors = tuple(
+        sorted(
+            (tuple(sorted(index[v] for v in f.scope)), size_bucket(len(f)))
+            for f in query.factors
+        )
+    )
+    signature = (
+        query.semiring.name,
+        query.num_free,
+        is_indicator_join(query),
+        variables,
+        factors,
+    )
+    return signature, canon
+
+
+def ordering_to_indices(ordering: Sequence[str], canon: Sequence[str]) -> Tuple[int, ...]:
+    """Translate a variable ordering into canonical indices for storage."""
+    index = {v: i for i, v in enumerate(canon)}
+    return tuple(index[v] for v in ordering)
+
+
+def ordering_from_indices(indices: Sequence[int], canon: Sequence[str]) -> Tuple[str, ...]:
+    """Translate stored canonical indices back into this query's variables."""
+    return tuple(canon[i] for i in indices)

@@ -19,9 +19,9 @@ from typing import Dict, Tuple
 import networkx as nx
 import numpy as np
 
-from repro.core.insideout import inside_out
 from repro.core.query import FAQQuery, QueryError, Variable
 from repro.factors.factor import Factor
+from repro.planner import STRATEGY_INSIDEOUT, execute
 from repro.semiring.aggregates import SemiringAggregate
 from repro.semiring.standard import SUM_PRODUCT
 
@@ -60,9 +60,19 @@ def permanent_query(matrix: np.ndarray) -> FAQQuery:
 
 
 def permanent(matrix: np.ndarray) -> float:
-    """The permanent of a square matrix via InsideOut (exponential in n)."""
+    """The permanent of a square matrix via InsideOut (exponential in n).
+
+    The permanent's hypergraph is the complete graph of pairwise ``≠``
+    factors, so every elimination ordering induces the same (full) union
+    sets — an ordering search cannot help (matching the paper: the FAQ view
+    gives no asymptotic advantage here).  The written order is therefore
+    pinned through the planner, skipping the search entirely.
+    """
     query = permanent_query(matrix)
-    return float(inside_out(query, ordering=None).scalar_or_zero(SUM_PRODUCT))
+    result = execute(
+        query, ordering=list(query.order), strategy=STRATEGY_INSIDEOUT, backend="sparse"
+    )
+    return float(result.scalar_or_zero(SUM_PRODUCT))
 
 
 def ryser_permanent(matrix: np.ndarray) -> float:
@@ -108,4 +118,4 @@ def count_weighted_homomorphisms(
         semiring=SUM_PRODUCT,
         name="weighted-hom",
     )
-    return float(inside_out(query, ordering="auto").scalar_or_zero(SUM_PRODUCT))
+    return float(execute(query).scalar_or_zero(SUM_PRODUCT))

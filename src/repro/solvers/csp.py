@@ -15,9 +15,9 @@ from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
 
 import networkx as nx
 
-from repro.core.insideout import inside_out
 from repro.core.query import FAQQuery, QueryError, Variable
 from repro.factors.factor import Factor
+from repro.planner import execute
 from repro.semiring.aggregates import SemiringAggregate
 from repro.semiring.standard import BOOLEAN, COUNTING
 
@@ -87,19 +87,19 @@ class CSP:
         return FAQQuery(variables, list(self.variables), {}, self._factors(BOOLEAN), BOOLEAN, name="csp-all")
 
     # ------------------------------------------------------------------ #
-    def is_satisfiable(self, ordering="auto") -> bool:
-        """Decide satisfiability with InsideOut."""
-        result = inside_out(self.satisfiability_query(), ordering=ordering)
+    def is_satisfiable(self, ordering="plan") -> bool:
+        """Decide satisfiability via the cost-based planner (default)."""
+        result = execute(self.satisfiability_query(), ordering=ordering)
         return bool(result.scalar_or_zero(BOOLEAN))
 
-    def count_solutions(self, ordering="auto") -> int:
-        """Count satisfying assignments with InsideOut."""
-        result = inside_out(self.counting_query(), ordering=ordering)
+    def count_solutions(self, ordering="plan") -> int:
+        """Count satisfying assignments via the cost-based planner."""
+        result = execute(self.counting_query(), ordering=ordering)
         return int(result.scalar_or_zero(COUNTING))
 
-    def solutions(self, ordering="auto") -> List[Dict[str, Any]]:
-        """Enumerate all satisfying assignments with InsideOut."""
-        result = inside_out(self.enumeration_query(), ordering=ordering)
+    def solutions(self, ordering="plan") -> List[Dict[str, Any]]:
+        """Enumerate all satisfying assignments via the cost-based planner."""
+        result = execute(self.enumeration_query(), ordering=ordering)
         scope = result.factor.scope
         return [dict(zip(scope, key)) for key in result.factor.table]
 

@@ -13,9 +13,9 @@ from typing import Any, Dict, List, Sequence, Tuple
 
 import networkx as nx
 
-from repro.core.insideout import inside_out
 from repro.core.query import FAQQuery, Variable
-from repro.db.relation import Relation
+from repro.db.relation import Relation, RelationError
+from repro.planner import execute
 from repro.semiring.aggregates import SemiringAggregate
 from repro.semiring.standard import BOOLEAN, COUNTING
 
@@ -47,12 +47,48 @@ def natural_join_query(relations: Sequence[Relation]) -> FAQQuery:
 
 
 def natural_join_insideout(
-    relations: Sequence[Relation], ordering: Sequence[str] | str | None = "auto"
+    relations: Sequence[Relation], ordering: Sequence[str] | str | None = "plan"
 ) -> Relation:
-    """Evaluate a natural join with InsideOut and return it as a relation."""
+    """Evaluate a natural join via the cost-based planner.
+
+    The planner routes α-acyclic joins to Yannakakis' algorithm, cyclic
+    joins to the worst-case optimal generic join, and everything else to
+    InsideOut; pass an explicit ``ordering`` to pin the elimination order.
+    """
     query = natural_join_query(relations)
-    result = inside_out(query, ordering=ordering)
+    result = execute(query, ordering=ordering)
     return Relation("join", result.factor.scope, result.factor.table.keys())
+
+
+def projected_join_query(
+    relations: Sequence[Relation], output_attributes: Sequence[str]
+) -> FAQQuery:
+    """The projection ``π_out(R_1 ⋈ ... ⋈ R_m)`` as an FAQ query.
+
+    Output attributes are free; every other attribute is existentially
+    aggregated (``∨`` over the Boolean semiring), so the planner can bound
+    the work by the *projected* output instead of materialising the full
+    join first.
+    """
+    domains = _domains_from_relations(relations)
+    out = list(output_attributes)
+    missing = [a for a in out if a not in domains]
+    if missing:
+        raise RelationError(
+            f"projection attributes {missing} appear in no relation schema"
+        )
+    bound = [a for a in sorted(domains) if a not in set(out)]
+    variables = [Variable(a, domains[a]) for a in out + bound]
+    factors = [r.to_factor(BOOLEAN) for r in relations]
+    aggregates = {a: SemiringAggregate.logical_or() for a in bound}
+    return FAQQuery(
+        variables=variables,
+        free=out,
+        aggregates=aggregates,
+        factors=factors,
+        semiring=BOOLEAN,
+        name="projected-join",
+    )
 
 
 def join_size_query(relations: Sequence[Relation]) -> FAQQuery:
@@ -73,9 +109,9 @@ def join_size_query(relations: Sequence[Relation]) -> FAQQuery:
 
 
 def count_join_results(relations: Sequence[Relation]) -> int:
-    """``|R_1 ⋈ ... ⋈ R_m|`` computed by InsideOut (counting semiring)."""
+    """``|R_1 ⋈ ... ⋈ R_m|`` computed via the planner (counting semiring)."""
     query = join_size_query(relations)
-    result = inside_out(query, ordering="auto")
+    result = execute(query)
     return int(result.scalar_or_zero(COUNTING))
 
 
@@ -116,9 +152,9 @@ def homomorphism_count_query(pattern: nx.Graph, graph: nx.Graph) -> FAQQuery:
 
 
 def count_homomorphisms(pattern: nx.Graph, graph: nx.Graph) -> int:
-    """Number of homomorphisms from ``pattern`` to ``graph`` via InsideOut."""
+    """Number of homomorphisms from ``pattern`` to ``graph`` via the planner."""
     query = homomorphism_count_query(pattern, graph)
-    return int(inside_out(query, ordering="auto").scalar_or_zero(COUNTING))
+    return int(execute(query).scalar_or_zero(COUNTING))
 
 
 def count_triangles(graph: nx.Graph) -> int:

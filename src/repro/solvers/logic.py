@@ -18,9 +18,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence, Tuple
 
-from repro.core.insideout import inside_out
 from repro.core.query import FAQQuery, QueryError, Variable
 from repro.db.relation import Relation
+from repro.planner import execute
 from repro.hypergraph.elimination import elimination_sequence
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.semiring.aggregates import Aggregate, ProductAggregate, SemiringAggregate
@@ -181,15 +181,15 @@ class QuantifiedConjunctiveQuery:
     # ------------------------------------------------------------------ #
     # solvers
     # ------------------------------------------------------------------ #
-    def solve(self, ordering: Sequence[str] | str | None = "auto") -> Relation:
-        """Evaluate the QCQ with InsideOut; returns the satisfying free tuples."""
-        result = inside_out(self.decision_query(), ordering=ordering)
+    def solve(self, ordering: Sequence[str] | str | None = "plan") -> Relation:
+        """Evaluate the QCQ via the planner; returns the satisfying free tuples."""
+        result = execute(self.decision_query(), ordering=ordering)
         rows = [key for key, value in result.factor.table.items() if value]
         return Relation("qcq-answers", self.free, rows)
 
-    def count(self, ordering: Sequence[str] | str | None = "auto") -> int:
-        """Evaluate the #QCQ with InsideOut; returns the number of answers."""
-        result = inside_out(self.counting_query(), ordering=ordering)
+    def count(self, ordering: Sequence[str] | str | None = "plan") -> int:
+        """Evaluate the #QCQ via the planner; returns the number of answers."""
+        result = execute(self.counting_query(), ordering=ordering)
         return int(result.scalar_or_zero(COUNTING))
 
     # ------------------------------------------------------------------ #
@@ -295,7 +295,7 @@ def conjunctive_query(atoms: Sequence[Atom], free: Sequence[str]) -> QuantifiedC
 
 
 def count_conjunctive_query_answers(
-    atoms: Sequence[Atom], free: Sequence[str], ordering: Sequence[str] | str | None = "auto"
+    atoms: Sequence[Atom], free: Sequence[str], ordering: Sequence[str] | str | None = "plan"
 ) -> int:
     """#CQ (Table 1 row 3): the number of distinct free tuples with a match."""
     return conjunctive_query(atoms, free).count(ordering=ordering)

@@ -20,10 +20,10 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.insideout import inside_out
 from repro.core.query import FAQQuery, QueryError, Variable
 from repro.factors.builders import factor_from_matrix
 from repro.factors.factor import Factor
+from repro.planner import STRATEGY_INSIDEOUT, execute
 from repro.semiring.aggregates import SemiringAggregate
 from repro.semiring.base import Semiring
 from repro.semiring.standard import SUM_PRODUCT
@@ -80,10 +80,12 @@ def matrix_chain_insideout(
     """Multiply a matrix chain through the FAQ encoding and InsideOut.
 
     ``ordering`` defaults to the ordering derived from the classic dynamic
-    program (see :func:`mcm_dp_ordering`), which is optimal.  The workload
-    is naturally dense, so the factor ``backend`` defaults to ``"auto"``
-    (which the cost heuristic resolves to the ndarray representation for
-    dense input matrices); pass ``"sparse"`` for the pure listing path.
+    program (see :func:`mcm_dp_ordering`), which is optimal and is pinned
+    through the planner as an explicit override; pass ``"plan"`` to let the
+    cost-based planner search instead.  The workload is naturally dense, so
+    the factor ``backend`` defaults to ``"auto"`` (which the cost heuristic
+    resolves to the ndarray representation for dense input matrices); pass
+    ``"sparse"`` for the pure listing path.
     """
     arrays = [np.asarray(m, dtype=float) for m in matrices]
     if len(arrays) == 1:
@@ -92,7 +94,7 @@ def matrix_chain_insideout(
     if ordering is None:
         dims = [arrays[0].shape[0]] + [a.shape[1] for a in arrays]
         ordering = mcm_dp_ordering(dims)
-    result = inside_out(query, ordering=ordering, backend=backend)
+    result = execute(query, ordering=ordering, backend=backend, strategy=STRATEGY_INSIDEOUT)
     rows, cols = arrays[0].shape[0], arrays[-1].shape[1]
     output = np.zeros((rows, cols), dtype=float)
     for (i, j), value in result.factor.table.items():
@@ -235,14 +237,18 @@ def dft_insideout(
 ) -> np.ndarray:
     """Compute the DFT through the FAQ encoding (an FFT in disguise).
 
-    The input vector and the twiddle factors are dense, so the factor
-    ``backend`` defaults to ``"auto"`` (resolved to the vectorized ndarray
-    representation); pass ``"sparse"`` for the pure listing path.
+    The written digit ordering *is* the FFT ordering, so it is pinned
+    through the planner as an explicit override.  The input vector and the
+    twiddle factors are dense, so the factor ``backend`` defaults to
+    ``"auto"`` (resolved to the vectorized ndarray representation); pass
+    ``"sparse"`` for the pure listing path.
     """
     values = list(vector)
     size = len(values)
     query = dft_query(values, base)
-    result = inside_out(query, ordering=None, backend=backend)
+    result = execute(
+        query, ordering=list(query.order), backend=backend, strategy=STRATEGY_INSIDEOUT
+    )
     output = np.zeros(size, dtype=complex)
     for key, value in result.factor.table.items():
         index = sum(digit * (base ** position) for position, digit in enumerate(key))

@@ -17,60 +17,62 @@ from repro.core.insideout import InsideOutResult, inside_out
 from repro.core.variable_elimination import variable_elimination
 from repro.pgm.junction_tree import JunctionTree
 from repro.pgm.model import DiscreteGraphicalModel
+from repro.planner import STRATEGY_INSIDEOUT, execute
 
 
 def marginal_insideout(
     model: DiscreteGraphicalModel,
     variables: Sequence[str],
-    ordering: Sequence[str] | str | None = "auto",
-    backend: str = "auto",
+    ordering: Sequence[str] | str | None = "plan",
+    backend: str | None = None,
 ) -> Dict[Tuple[Any, ...], float]:
-    """Unnormalised marginal over ``variables`` computed by InsideOut.
+    """Unnormalised marginal over ``variables`` via the planner + InsideOut.
 
-    PGM potentials are usually dense over small domains, so the factor
-    ``backend`` defaults to ``"auto"``: each elimination step picks the
-    vectorized ndarray representation when the induced domain box is small
-    and dense enough, the listing representation otherwise.
+    The cost-based planner picks the elimination ordering and the factor
+    backend (PGM potentials are usually dense over small domains, so the
+    vectorized ndarray representation typically wins); pass explicit
+    ``ordering`` / ``backend`` values to override it.
     """
     query = model.marginal_query(list(variables))
-    result = inside_out(query, ordering=ordering, backend=backend)
+    result = execute(query, ordering=ordering, backend=backend, strategy=STRATEGY_INSIDEOUT)
     return dict(result.factor.table)
 
 
 def map_insideout(
     model: DiscreteGraphicalModel,
     variables: Sequence[str],
-    ordering: Sequence[str] | str | None = "auto",
-    backend: str = "auto",
+    ordering: Sequence[str] | str | None = "plan",
+    backend: str | None = None,
 ) -> Dict[Tuple[Any, ...], float]:
-    """Unnormalised max-marginals over ``variables`` computed by InsideOut."""
+    """Unnormalised max-marginals over ``variables`` via the planner."""
     query = model.map_query(list(variables))
-    result = inside_out(query, ordering=ordering, backend=backend)
+    result = execute(query, ordering=ordering, backend=backend, strategy=STRATEGY_INSIDEOUT)
     return dict(result.factor.table)
 
 
 def partition_function_insideout(
     model: DiscreteGraphicalModel,
-    ordering: Sequence[str] | str | None = "auto",
-    backend: str = "auto",
+    ordering: Sequence[str] | str | None = "plan",
+    backend: str | None = None,
 ) -> float:
-    """The partition function ``Z`` computed by InsideOut."""
+    """The partition function ``Z`` via the planner + InsideOut."""
     query = model.partition_function_query()
-    result = inside_out(query, ordering=ordering, backend=backend)
+    result = execute(query, ordering=ordering, backend=backend, strategy=STRATEGY_INSIDEOUT)
     return float(result.scalar_or_zero(query.semiring))
 
 
 def marginal_variable_elimination(
     model: DiscreteGraphicalModel,
     variables: Sequence[str],
-    ordering: Sequence[str] | None = None,
+    ordering: Sequence[str] | str | None = None,
     backend: str = "sparse",
 ) -> Dict[Tuple[Any, ...], float]:
     """Marginals via textbook (pairwise, projection-free) variable elimination.
 
-    The baseline keeps the listing representation by default so that its
-    cost profile stays comparable with the paper's prior-work bounds; pass
-    ``backend="auto"`` or ``"dense"`` to vectorize it as well.
+    The baseline keeps the written ordering and the listing representation
+    by default so that its cost profile stays comparable with the paper's
+    prior-work bounds; pass ``ordering="plan"`` to let the planner search,
+    or ``backend="auto"`` / ``"dense"`` to vectorize it as well.
     """
     query = model.marginal_query(list(variables))
     result = variable_elimination(query, ordering=ordering, backend=backend)

@@ -26,9 +26,9 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
-from repro.core.insideout import inside_out
 from repro.core.query import FAQQuery, Variable
 from repro.factors.compact import Clause
+from repro.planner import STRATEGY_INSIDEOUT, execute
 from repro.hypergraph.acyclicity import is_beta_acyclic, nested_elimination_order
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.semiring.aggregates import SemiringAggregate
@@ -168,19 +168,28 @@ def sharp_sat_query(formula: CNFFormula) -> FAQQuery:
 def count_models(
     formula: CNFFormula, ordering: Sequence[str] | str | None = None
 ) -> int:
-    """Exact model counting with InsideOut.
+    """Exact model counting via the planner.
 
-    For β-acyclic formulas the nested elimination order is used by default,
-    which keeps every intermediate factor nested inside an input clause scope
-    and hence polynomial (the Theorem 8.4 regime for bounded clause width).
+    For β-acyclic formulas the nested elimination order is pinned by
+    default — together with the InsideOut strategy, since the Theorem 8.4
+    argument (every intermediate factor stays nested inside an input clause
+    scope, hence polynomial for bounded clause width) is stated for
+    InsideOut's elimination — which makes the plan fully pinned and free of
+    any scoring overhead.  Without a NEO the cost-based planner searches
+    for an ordering; an explicit ``ordering`` is likewise pinned.
     """
     if not formula.clauses:
         return 2 ** len(formula.variables)
     query = sharp_sat_query(formula)
     if ordering is None:
         neo = nested_elimination_order(formula.hypergraph())
-        ordering = list(neo) if neo is not None else "auto"
-    result = inside_out(query, ordering=ordering)
+        ordering = list(neo) if neo is not None else "plan"
+    if isinstance(ordering, str):
+        result = execute(query, ordering=ordering)
+    else:
+        result = execute(
+            query, ordering=ordering, strategy=STRATEGY_INSIDEOUT, backend="sparse"
+        )
     return int(result.scalar_or_zero(COUNTING))
 
 

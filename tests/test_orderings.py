@@ -69,6 +69,60 @@ class TestGreedyFractionalCover:
         assert width == pytest.approx(1.0)
 
 
+class TestDeterministicTieBreaks:
+    """Regression pins: orderings on the paper's worked example hypergraphs.
+
+    Every heuristic breaks cost ties on the vertex repr (LP-derived costs
+    are quantised first), so these exact orderings must be reproduced on
+    every run and platform and for every edge insertion order.
+    """
+
+    # Example 5.6 / Figure 1 flavour: a chorded 4-cycle with a pendant edge.
+    FIGURE = Hypergraph.from_scopes(
+        [("X1", "X2"), ("X2", "X3"), ("X3", "X4"), ("X1", "X4"), ("X2", "X4"), ("X4", "X5")]
+    )
+
+    def test_min_fill_pins(self):
+        assert min_fill_ordering(PATH) == ["E", "D", "C", "B", "A"]
+        assert min_fill_ordering(TRIANGLE) == ["C", "B", "A"]
+        assert min_fill_ordering(STAR) == ["L4", "H", "L3", "L2", "L1"]
+        assert min_fill_ordering(self.FIGURE) == ["X5", "X4", "X3", "X2", "X1"]
+
+    def test_min_degree_pins(self):
+        assert min_degree_ordering(PATH) == ["E", "D", "C", "B", "A"]
+        assert min_degree_ordering(STAR) == ["L4", "H", "L3", "L2", "L1"]
+        assert min_degree_ordering(self.FIGURE) == ["X4", "X3", "X2", "X1", "X5"]
+
+    def test_greedy_fractional_cover_pins(self):
+        assert greedy_fractional_cover_ordering(PATH) == ["E", "D", "C", "B", "A"]
+        assert greedy_fractional_cover_ordering(TRIANGLE) == ["C", "B", "A"]
+        assert greedy_fractional_cover_ordering(self.FIGURE) == ["X4", "X3", "X2", "X1", "X5"]
+
+    def test_exhaustive_pins(self):
+        assert best_ordering_exhaustive(
+            TRIANGLE, lambda bag: fractional_edge_cover_number(TRIANGLE, bag)
+        ) == ["A", "B", "C"]
+        assert best_ordering_exhaustive(PATH, lambda bag: len(bag) - 1) == [
+            "A", "B", "C", "D", "E",
+        ]
+
+    def test_stable_under_edge_insertion_order(self):
+        import random
+
+        edges = [("A", "B"), ("B", "C"), ("C", "D"), ("D", "E")]
+        for seed in range(5):
+            shuffled = list(edges)
+            random.Random(seed).shuffle(shuffled)
+            hypergraph = Hypergraph.from_scopes(shuffled)
+            assert min_fill_ordering(hypergraph) == ["E", "D", "C", "B", "A"]
+            assert min_degree_ordering(hypergraph) == ["E", "D", "C", "B", "A"]
+            assert greedy_fractional_cover_ordering(hypergraph) == ["E", "D", "C", "B", "A"]
+
+    def test_repeated_runs_identical(self):
+        for heuristic in (min_fill_ordering, min_degree_ordering, greedy_fractional_cover_ordering):
+            assert heuristic(self.FIGURE) == heuristic(self.FIGURE)
+
+
 class TestExhaustive:
     def test_matches_known_optimum_for_triangle(self):
         ordering = best_ordering_exhaustive(

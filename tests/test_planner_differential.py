@@ -1,0 +1,196 @@
+"""Randomized differential testing of the planner against brute force.
+
+Every plan the planner can emit — each applicable strategy (InsideOut,
+textbook variable elimination, Yannakakis, generic join), each factor
+backend (sparse / dense / auto) and a spread of EVO-valid candidate
+orderings — is executed on small random FAQ queries over five semirings
+(sum-product counting, max-product, min-plus, Boolean, set) with random
+free-variable sets, and the output is compared against the exhaustive
+reference semantics of :meth:`FAQQuery.evaluate_brute_force` (the
+``pgm/brute.py``-style ground truth).
+
+Runs are fully seeded; on failure the assertion message prints the
+semiring/seed pair (and the exact strategy/backend/ordering) needed to
+reproduce:
+
+    query = _random_query("<semiring>", <seed>)
+
+The quick profile (8 seeds per semiring, 40 queries) runs in tier-1; the
+remaining 42 seeds per semiring (210 queries) carry the ``slow`` marker, so
+a full run of this module covers 50 seeds per semiring — 250 queries, the
+200+ of the acceptance criterion.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.query import FAQQuery, Variable
+from repro.factors.factor import Factor
+from repro.planner import (
+    PlanCache,
+    STRATEGY_GENERIC_JOIN,
+    STRATEGY_YANNAKAKIS,
+    applicable_strategies,
+    candidate_orderings,
+    plan,
+)
+from repro.semiring.aggregates import ProductAggregate, SemiringAggregate, semiring_aggregate
+from repro.semiring.standard import BOOLEAN, COUNTING, MAX_PRODUCT, MIN_PLUS, set_semiring
+
+SET_UNIVERSE = (0, 1, 2, 3)
+SET_SEMIRING = set_semiring(SET_UNIVERSE)
+
+BACKENDS = ("sparse", "dense", "auto")
+JOIN_STRATEGIES = (STRATEGY_YANNAKAKIS, STRATEGY_GENERIC_JOIN)
+
+
+def _union_aggregate():
+    return semiring_aggregate("union", lambda a, b: a | b, frozenset())
+
+
+# name -> (semiring, random value generator, semiring-aggregate factory, offset)
+SEMIRINGS = {
+    "counting": (COUNTING, lambda rng: rng.randint(1, 4), SemiringAggregate.sum, 0),
+    "max-product": (
+        MAX_PRODUCT,
+        lambda rng: round(rng.uniform(0.1, 2.0), 3),
+        SemiringAggregate.max,
+        1,
+    ),
+    "min-plus": (
+        MIN_PLUS,
+        lambda rng: round(rng.uniform(0.1, 2.0), 3),
+        SemiringAggregate.min,
+        2,
+    ),
+    "boolean": (BOOLEAN, lambda rng: True, SemiringAggregate.logical_or, 3),
+    "set": (
+        SET_SEMIRING,
+        lambda rng: frozenset(v for v in SET_UNIVERSE if rng.random() < 0.5),
+        _union_aggregate,
+        4,
+    ),
+}
+
+QUICK_SEEDS = tuple(range(8))
+FULL_SEEDS = tuple(range(8, 50))
+
+
+def _random_query(name: str, seed: int) -> FAQQuery:
+    """A small random FAQ query over the named semiring (deterministic)."""
+    semiring, value_of, aggregate_factory, offset = SEMIRINGS[name]
+    rng = random.Random(100_003 * offset + seed)
+    n = rng.randint(2, 5)
+    names = [f"x{i}" for i in range(n)]
+    domains = {v: tuple(range(rng.randint(2, 3))) for v in names}
+
+    all_free = rng.random() < 0.25
+    if all_free:
+        free = list(names)
+        aggregates = {}
+    else:
+        free = names[: min(rng.randint(0, 2), n - 1)]
+        aggregates = {}
+        for variable in names[len(free):]:
+            if rng.random() < 0.3:
+                aggregates[variable] = ProductAggregate.product()
+            else:
+                aggregates[variable] = aggregate_factory()
+
+    factors = []
+    for index in range(rng.randint(1, 4)):
+        arity = rng.randint(1, min(3, n))
+        scope = tuple(rng.sample(names, arity))
+        table = {}
+        for values in itertools.product(*(domains[v] for v in scope)):
+            if rng.random() < 0.7:
+                # All-free queries use indicator values so the relational
+                # strategies (Yannakakis / generic join) become applicable.
+                table[values] = semiring.one if all_free else value_of(rng)
+        factors.append(Factor(scope, table, name=f"psi{index}"))
+
+    return FAQQuery(
+        variables=[Variable(v, domains[v]) for v in names],
+        free=free,
+        aggregates=aggregates,
+        factors=factors,
+        semiring=semiring,
+        name=f"diff-{name}-{seed}",
+    )
+
+
+def _run_differential(name: str, seed: int) -> None:
+    semiring = SEMIRINGS[name][0]
+    query = _random_query(name, seed)
+    expected = query.evaluate_brute_force()
+    cache = PlanCache()
+
+    def check(result, label):
+        assert expected.equals(result.factor, semiring), (
+            f"planner disagreement with brute force!\n"
+            f"  reproduce: _random_query({name!r}, {seed})\n"
+            f"  plan     : {label}\n"
+            f"  query    : {query!r}\n"
+            f"  expected : {sorted(expected.table.items(), key=repr)}\n"
+            f"  got      : {sorted(result.factor.table.items(), key=repr)}"
+        )
+
+    # 1. the planner's own free choice
+    chosen = plan(query, cache=cache)
+    check(chosen.execute(), f"free choice: {chosen.strategy}/{chosen.backend}")
+
+    # 2. every strategy x backend over a spread of valid orderings
+    orderings = [chosen.ordering]
+    for candidate in candidate_orderings(query):
+        if candidate not in orderings:
+            orderings.append(candidate)
+    strategies = applicable_strategies(query)
+    for ordering in orderings[:4]:
+        for strategy in strategies:
+            backends = ("sparse",) if strategy in JOIN_STRATEGIES else BACKENDS
+            for backend in backends:
+                pinned = plan(
+                    query,
+                    ordering=list(ordering),
+                    strategy=strategy,
+                    backend=backend,
+                )
+                check(
+                    pinned.execute(),
+                    f"strategy={strategy} backend={backend} ordering={ordering}",
+                )
+
+    # 3. the repeated query hits the plan cache and still agrees
+    repeated = plan(query, cache=cache)
+    assert repeated.cache_hit, f"expected a plan-cache hit (seed={seed})"
+    check(repeated.execute(), "plan cache hit")
+
+
+@pytest.mark.parametrize("name", sorted(SEMIRINGS))
+@pytest.mark.parametrize("seed", QUICK_SEEDS)
+def test_differential_quick(name, seed):
+    """Tier-1 profile: 8 seeds per semiring (40 random queries)."""
+    _run_differential(name, seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(SEMIRINGS))
+@pytest.mark.parametrize("seed", FULL_SEEDS)
+def test_differential_full(name, seed):
+    """Slow remainder (42 seeds per semiring): together with the quick
+    profile this makes 50 seeds per semiring — 250 random queries, the
+    200+ of the acceptance criterion."""
+    _run_differential(name, seed)
+
+
+def test_join_strategies_are_exercised():
+    """The random query space actually reaches Yannakakis and generic join."""
+    seen = set()
+    for name in sorted(SEMIRINGS):
+        for seed in range(50):
+            query = _random_query(name, seed)
+            seen.update(applicable_strategies(query))
+    assert STRATEGY_YANNAKAKIS in seen
+    assert STRATEGY_GENERIC_JOIN in seen

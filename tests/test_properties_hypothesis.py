@@ -13,7 +13,13 @@ from repro.hypergraph.covers import fractional_edge_cover_number, integral_edge_
 from repro.hypergraph.elimination import elimination_sequence
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.semiring.aggregates import ProductAggregate, SemiringAggregate
-from repro.semiring.standard import COUNTING
+from repro.semiring.standard import (
+    COUNTING,
+    MAX_PRODUCT,
+    MAX_SUM,
+    MIN_PLUS,
+    MIN_PRODUCT,
+)
 
 
 # --------------------------------------------------------------------- #
@@ -167,6 +173,143 @@ def test_monotonicity_of_fractional_cover(hypergraph):
     assert fractional_edge_cover_number(hypergraph, small) <= fractional_edge_cover_number(
         hypergraph, covered
     ) + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# tropical semiring and factor-algebra properties
+#
+# The tropical semirings carry an *infinite* additive identity
+# (0 = +inf for min-plus / min-product, 0 = -inf for max-sum).  Before the
+# Semiring.values_equal fix, the relative-tolerance float comparison
+# declared every value equal to the infinite identity, which silently
+# zero-pruned entire tropical factors.  These properties pin the axioms and
+# the factor algebra over those semirings so that class of bug cannot recur.
+# --------------------------------------------------------------------- #
+TROPICALS = [MIN_PLUS, MAX_SUM, MAX_PRODUCT, MIN_PRODUCT]
+
+finite_weights = st.floats(
+    min_value=0.001, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@given(st.lists(finite_weights, min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_tropical_semiring_axioms(values):
+    """check_axioms holds on finite samples extended with the identities.
+
+    (min-product values stay strictly positive, matching its documented
+    domain ``[0, ∞]`` minus the ``inf · 0 = nan`` corner.)
+    """
+    for semiring in TROPICALS:
+        semiring.check_axioms(list(values) + [semiring.zero, semiring.one])
+
+
+@given(finite_weights)
+@settings(max_examples=60, deadline=None)
+def test_finite_value_is_never_the_infinite_zero(value):
+    """The values_equal regression: finite values differ from ±inf zeros."""
+    for semiring in TROPICALS:
+        assert semiring.is_zero(semiring.zero)
+        assert not semiring.is_zero(value)
+        assert not semiring.values_equal(value, semiring.zero)
+        assert not semiring.values_equal(semiring.zero, value)
+
+
+@given(st.floats(min_value=0.001, max_value=100.0, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_tropical_mul_idempotence_characterisation(value):
+    """``v ⊗ v = v`` only at the expected fixed points of each ``⊗``."""
+    # min-plus / max-sum: v + v = v only at v = 0 (and the infinite zero).
+    assert MIN_PLUS.is_mul_idempotent(0.0)
+    assert MIN_PLUS.is_mul_idempotent(MIN_PLUS.zero)
+    assert not MIN_PLUS.is_mul_idempotent(value)
+    assert not MAX_SUM.is_mul_idempotent(value)
+    # max-product: v * v = v only at v in {0, 1}.
+    assert MAX_PRODUCT.is_mul_idempotent(0.0)
+    assert MAX_PRODUCT.is_mul_idempotent(1.0)
+    if abs(value - 1.0) > 1e-6:
+        assert not MAX_PRODUCT.is_mul_idempotent(value)
+
+
+@st.composite
+def tropical_factors(draw, names=VARIABLE_NAMES, max_arity=3):
+    arity = draw(st.integers(1, min(max_arity, len(names))))
+    scope = tuple(draw(st.permutations(names))[:arity])
+    entries = {}
+    for values in itertools.product((0, 1), repeat=arity):
+        if draw(st.booleans()):
+            entries[values] = draw(finite_weights)
+    return Factor(scope, entries)
+
+
+@given(tropical_factors(), tropical_factors())
+@settings(max_examples=40, deadline=None)
+def test_tropical_factor_multiplication_is_commutative(left, right):
+    for semiring in TROPICALS:
+        product_lr = left.multiply(right, semiring)
+        product_rl = right.multiply(left, semiring)
+        assert product_lr.equals(product_rl, semiring)
+
+
+@given(tropical_factors())
+@settings(max_examples=40, deadline=None)
+def test_tropical_pruning_keeps_finite_values(factor):
+    """Pruning drops only true (infinite) zeros — the old bug dropped all."""
+    for semiring in (MIN_PLUS, MAX_SUM):
+        padded = Factor(
+            factor.scope,
+            {**factor.table, (9,) * len(factor.scope): semiring.zero},
+        )
+        pruned = padded.pruned(semiring)
+        assert set(pruned.table) == set(factor.table)
+        assert all(not semiring.is_zero(v) for v in pruned.table.values())
+
+
+@given(tropical_factors(), st.sampled_from(VARIABLE_NAMES))
+@settings(max_examples=40, deadline=None)
+def test_min_plus_marginalisation_matches_manual(factor, variable):
+    if variable not in factor.scope:
+        return
+    reduced = factor.aggregate_marginalize(
+        variable, lambda a, b: a if a <= b else b, MIN_PLUS
+    )
+    index = factor.scope.index(variable)
+    expected = {}
+    for key, value in factor.table.items():
+        rest = key[:index] + key[index + 1:]
+        expected[rest] = min(expected.get(rest, MIN_PLUS.zero), value)
+    assert variable not in reduced.scope
+    for key, value in expected.items():
+        assert MIN_PLUS.values_equal(reduced.table.get(key, MIN_PLUS.zero), value)
+
+
+@st.composite
+def tropical_queries(draw):
+    num_vars = draw(st.integers(2, 4))
+    names = VARIABLE_NAMES[:num_vars]
+    num_free = draw(st.integers(0, 1))
+    aggregates = {}
+    for name in names[num_free:]:
+        if draw(st.booleans()):
+            aggregates[name] = ProductAggregate.product()
+        else:
+            aggregates[name] = SemiringAggregate.min()
+    factor_list = [draw(tropical_factors(names=names)) for _ in range(draw(st.integers(1, 3)))]
+    return FAQQuery(
+        variables=[Variable(v, (0, 1)) for v in names],
+        free=names[:num_free],
+        aggregates=aggregates,
+        factors=factor_list,
+        semiring=MIN_PLUS,
+    )
+
+
+@given(tropical_queries())
+@settings(max_examples=40, deadline=None)
+def test_insideout_matches_brute_force_on_min_plus(query):
+    expected = query.evaluate_brute_force()
+    got = inside_out(query).factor
+    assert expected.equals(got, MIN_PLUS)
 
 
 # --------------------------------------------------------------------- #
