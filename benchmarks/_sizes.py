@@ -1,4 +1,4 @@
-"""Problem-size selection for the benchmark harness.
+"""Problem-size selection and shared JSON results for the benchmark harness.
 
 Every benchmark module sizes its inputs through :func:`pick` so that the CI
 smoke job can run the whole harness at minimal sizes.  Quick mode is enabled
@@ -6,13 +6,28 @@ either by the ``--quick`` pytest option (see ``benchmarks/conftest.py``) or
 by setting the environment variable ``FAQ_BENCH_QUICK=1`` — the option is
 translated into the environment variable before collection so module-level
 constants see it at import time.
+
+The module also hosts the shared machine-readable results channel: any
+benchmark can call :func:`record_result` with a name and arbitrary numeric
+fields, and ``conftest.py`` additionally records every test's call-phase
+duration.  When pytest runs with ``--json PATH`` the collected records are
+written to ``PATH`` at session end as::
+
+    {"quick": bool, "results": [{"name": ..., ...}, ...]}
+
+so successive PRs can diff one stable format across every ``bench_*``
+module (see ``BENCH_planner.json`` for a checked-in example).
 """
 
 from __future__ import annotations
 
 import os
+from typing import Any, Dict, List
 
 QUICK_ENV = "FAQ_BENCH_QUICK"
+
+# Shared mutable state for the --json channel (owned by conftest.py).
+RESULTS: List[Dict[str, Any]] = []
 
 
 def quick_mode() -> bool:
@@ -23,3 +38,16 @@ def quick_mode() -> bool:
 def pick(default, quick):
     """``quick`` in smoke mode, ``default`` otherwise."""
     return quick if quick_mode() else default
+
+
+def record_result(name: str, **fields) -> Dict[str, Any]:
+    """Append one named record to the shared JSON results.
+
+    Benchmarks call this with whatever numeric payload they want tracked
+    across PRs (timings, intermediate sizes, cache hit rates); the record
+    is emitted verbatim under ``results`` when ``--json`` is active.
+    """
+    record: Dict[str, Any] = {"name": name}
+    record.update(fields)
+    RESULTS.append(record)
+    return record

@@ -1,0 +1,185 @@
+"""Planner benchmark (ROADMAP item): overhead, savings and cache hit rates.
+
+Three questions, answered with numbers a future PR can diff:
+
+1. **Planning cost** — how long does ``plan(query)`` take cold (cost-based
+   search over candidate orderings, one LP per distinct induced set) vs warm
+   (a :class:`~repro.planner.cache.PlanCache` hit on repeated traffic), and
+   how expensive is the branch-and-bound exact ordering search on the
+   7-variable single-block #SAT query that used to take ~1 minute under the
+   seed permutation scan?
+2. **Execution savings** — is ``plan(query).execute()`` (planning included,
+   warm cache) faster end-to-end than the unplanned written-order InsideOut
+   baseline on Table-1 workloads?
+3. **Cache behaviour** — what hit rate does repeated query traffic see?
+
+Results are recorded through the shared ``--json`` channel
+(``_sizes.record_result``) and, on a full-size run, also written to
+``BENCH_planner.json`` at the repository root so the perf trajectory is
+checked in.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from _sizes import pick, quick_mode, record_result
+
+from repro.core.faqw import approximate_faqw_ordering
+from repro.core.insideout import inside_out
+from repro.datasets.cnf import random_k_cnf
+from repro.datasets.pgm_models import grid_model
+from repro.datasets.queries import example_5_6_query
+from repro.planner import PlanCache, plan
+from repro.solvers.sat import sharp_sat_query
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
+
+REPEAT_TRAFFIC = pick(50, 5)
+
+GRID = grid_model(pick(3, 2), pick(4, 2), domain_size=pick(3, 2), seed=8)
+SAT_FORMULA = random_k_cnf(
+    num_variables=pick(7, 5), num_clauses=pick(16, 8), clause_width=3, seed=57
+)
+
+
+def _workloads():
+    """Name → FAQ query for the end-to-end comparisons (Table-1 rows)."""
+    return {
+        "table1-marginal-grid": GRID.marginal_query([GRID.variables[0]]),
+        "table1-map-grid": GRID.map_query([GRID.variables[0]]),
+        "fig1-example-5.6": example_5_6_query(domain_size=pick(12, 3), seed=5),
+    }
+
+
+def _best_of(fn, repeat=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _cold_sat_ordering_seconds() -> float:
+    """Time the #SAT ordering search with a cold process-wide ρ* memo."""
+    from repro.hypergraph.covers import clear_rho_star_cache
+
+    clear_rho_star_cache()
+    start = time.perf_counter()
+    approximate_faqw_ordering(sharp_sat_query(SAT_FORMULA))
+    return time.perf_counter() - start
+
+
+def _measure(name, query):
+    """One workload's planning/execution/caching numbers (shared by tests)."""
+    cache = PlanCache()
+    cold_plan = plan(query, cache=cache)
+    planning_cold = cold_plan.planning_seconds
+
+    planning_warm = float("inf")
+    for _ in range(REPEAT_TRAFFIC):
+        warm_plan = plan(query, cache=cache)
+        planning_warm = min(planning_warm, warm_plan.planning_seconds)
+    hit_rate = cache.hits / max(cache.hits + cache.misses, 1)
+    assert warm_plan.cache_hit, "repeated traffic must hit the plan cache"
+
+    e2e_seconds, _ = _best_of(lambda: plan(query, cache=cache).execute())
+    baseline_seconds, _ = _best_of(
+        lambda: inside_out(query, ordering=None, backend="sparse")
+    )
+    return record_result(
+        f"planner:{name}",
+        planning_cold_s=planning_cold,
+        planning_warm_s=planning_warm,
+        cache_hit_rate=hit_rate,
+        plan_execute_s=e2e_seconds,
+        written_order_insideout_s=baseline_seconds,
+        end_to_end_speedup=baseline_seconds / e2e_seconds if e2e_seconds else float("inf"),
+        strategy=cold_plan.strategy,
+        backend=cold_plan.backend,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# micro benchmarks (pytest-benchmark groups)
+# ---------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="planner-planning")
+def test_plan_cold(benchmark):
+    query = GRID.marginal_query([GRID.variables[0]])
+    benchmark(lambda: plan(query, cache=PlanCache()))
+
+
+@pytest.mark.benchmark(group="planner-planning")
+def test_plan_warm_cache_hit(benchmark):
+    query = GRID.marginal_query([GRID.variables[0]])
+    cache = PlanCache()
+    plan(query, cache=cache)
+    benchmark(lambda: plan(query, cache=cache))
+
+
+@pytest.mark.benchmark(group="planner-ordering-search")
+def test_branch_and_bound_sat_ordering(benchmark):
+    """The 7-variable single-block #SAT ordering search (seed: ~1 minute)."""
+    query = sharp_sat_query(SAT_FORMULA)
+    benchmark(lambda: approximate_faqw_ordering(query))
+
+
+# ---------------------------------------------------------------------- #
+# shape assertions + the machine-readable trajectory
+# ---------------------------------------------------------------------- #
+@pytest.mark.shape
+def test_shape_planning_vs_execution():
+    """Warm planning is negligible and repeated traffic hits the cache."""
+    records = [_measure(name, query) for name, query in _workloads().items()]
+    for record in records:
+        print(
+            f"\n[planner] {record['name']}: cold={record['planning_cold_s'] * 1e3:.1f}ms "
+            f"warm={record['planning_warm_s'] * 1e6:.0f}us "
+            f"hit_rate={record['cache_hit_rate']:.2f} "
+            f"plan+execute={record['plan_execute_s'] * 1e3:.2f}ms "
+            f"baseline={record['written_order_insideout_s'] * 1e3:.2f}ms "
+            f"speedup={record['end_to_end_speedup']:.2f}x "
+            f"[{record['strategy']}/{record['backend']}]"
+        )
+        # A cache hit must be orders of magnitude cheaper than the search.
+        assert record["planning_warm_s"] < record["planning_cold_s"]
+        # All but the first plan() of the repeated traffic hit the cache.
+        assert record["cache_hit_rate"] >= REPEAT_TRAFFIC / (REPEAT_TRAFFIC + 1) - 1e-9
+
+    if not quick_mode():
+        # The planned end-to-end run beats written-order InsideOut on the
+        # Table-1 workloads (the planner picks better orderings/backends).
+        speedups = sorted(
+            (r["end_to_end_speedup"] for r in records), reverse=True
+        )
+        assert speedups[1] > 1.0, f"expected ≥2 workloads to speed up, got {speedups}"
+        payload = {
+            "quick": False,
+            "results": records
+            + [
+                record_result(
+                    "planner:sat7-ordering-search",
+                    seconds=_cold_sat_ordering_seconds(),
+                    seed_seconds=64.0,  # measured pre-branch-and-bound
+                )
+            ],
+        }
+        BENCH_JSON.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+@pytest.mark.shape
+def test_shape_sat_planning_budget():
+    """Planning the single-block #SAT query is far below the seed's ~1 min."""
+    query = sharp_sat_query(SAT_FORMULA)
+    start = time.perf_counter()
+    ordering = approximate_faqw_ordering(query)
+    elapsed = time.perf_counter() - start
+    print(f"\n[planner] #SAT ordering search: {elapsed * 1e3:.1f}ms (seed ~64000ms)")
+    assert sorted(ordering) == sorted(query.order)
+    assert elapsed < 10.0

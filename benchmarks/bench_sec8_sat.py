@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from _sizes import pick
+from _sizes import pick, record_result
 
 from repro.datasets.cnf import beta_acyclic_cnf, random_k_cnf
 from repro.solvers.sat import count_models, davis_putnam_sat
@@ -55,6 +55,12 @@ def test_shape_beta_acyclic_elimination_never_grows():
     print(
         f"\n[Sec8 SAT] clauses={len(BETA_ACYCLIC.clauses)} max_clauses_during_elim="
         f"{stats.max_clauses} satisfiable={satisfiable}"
+    )
+    record_result(
+        "sec8:sat-beta-acyclic",
+        clauses=len(BETA_ACYCLIC.clauses),
+        max_clauses_during_elim=stats.max_clauses,
+        satisfiable=satisfiable,
     )
     assert stats.max_clauses <= len(BETA_ACYCLIC.clauses)
     # And counting matches brute force on the smaller instance.

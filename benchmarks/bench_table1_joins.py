@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from _sizes import pick
+from _sizes import pick, record_result
 
 from repro.core.insideout import inside_out
 from repro.datasets.relations import cycle_query_relations, path_query_relations
@@ -65,6 +65,13 @@ def test_shape_pairwise_intermediate_blowup():
         f"\n[Joins/triangle] N={max(len(r) for r in TRIANGLE)} output={output_size} "
         f"insideout_max_intermediate={io.stats.max_intermediate_size} "
         f"pairwise_max_intermediate={max(sizes)}"
+    )
+    record_result(
+        "table1:joins-triangle",
+        n=max(len(r) for r in TRIANGLE),
+        output_size=output_size,
+        insideout_max_intermediate=io.stats.max_intermediate_size,
+        pairwise_max_intermediate=max(sizes),
     )
     assert max(sizes) >= io.stats.max_intermediate_size
     assert max(sizes) > output_size

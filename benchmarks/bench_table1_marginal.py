@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from _sizes import pick
+from _sizes import pick, record_result
 
 from repro.core.insideout import inside_out
 from repro.core.variable_elimination import variable_elimination
@@ -89,6 +89,12 @@ def test_shape_sparse_intermediates_beat_dense_cliques():
         f"\n[Marginal/sparse] insideout_max_intermediate="
         f"{report.insideout_max_intermediate} junction_tree_dense_cells="
         f"{report.junction_tree_dense_cells} speedup_proxy={report.speedup_proxy:.1f}x"
+    )
+    record_result(
+        "table1:marginal-sparse",
+        insideout_max_intermediate=report.insideout_max_intermediate,
+        junction_tree_dense_cells=report.junction_tree_dense_cells,
+        speedup_proxy=report.speedup_proxy,
     )
     assert report.junction_tree_dense_cells > report.insideout_max_intermediate
 

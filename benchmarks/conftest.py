@@ -20,7 +20,10 @@ uniquely-named modules (``benchmarks/_sizes.py``, ``tests/_helpers.py``).
 
 from __future__ import annotations
 
+import json
 import os
+
+import _sizes
 
 
 def pytest_addoption(parser):
@@ -29,6 +32,13 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="run every benchmark at minimal problem size (CI smoke mode)",
+    )
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write the shared machine-readable benchmark results to PATH",
     )
 
 
@@ -42,3 +52,43 @@ def pytest_configure(config):
         # Module-level size constants read the environment at import time,
         # which happens after configure.
         os.environ["FAQ_BENCH_QUICK"] = "1"
+
+
+def pytest_runtest_makereport(item, call):
+    """Record every benchmark test's call-phase duration in the shared JSON.
+
+    This makes *all* ``bench_*`` modules emit a uniform machine-readable
+    timing record with zero per-module wiring; modules with richer payloads
+    (cache hit rates, intermediate sizes) add explicit
+    :func:`_sizes.record_result` calls on top.
+    """
+    if call.when != "call" or item.config.getoption("--json", default=None) is None:
+        return
+    import pytest
+
+    if call.excinfo is None:
+        outcome = "passed"
+    elif call.excinfo.errisinstance(pytest.skip.Exception):
+        outcome = "skipped"
+    else:
+        outcome = "failed"
+    _sizes.record_result(
+        f"test:{item.nodeid.split('::')[-1]}",
+        module=item.nodeid.split("::")[0].split("/")[-1],
+        seconds=call.duration,
+        outcome=outcome,
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the shared results to the ``--json`` path, when given."""
+    try:
+        path = session.config.getoption("--json")
+    except ValueError:  # pragma: no cover - option not registered
+        path = None
+    if not path:
+        return
+    payload = {"quick": _sizes.quick_mode(), "results": _sizes.RESULTS}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")

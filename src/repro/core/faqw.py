@@ -27,7 +27,7 @@ from repro.core.expression_tree import (
 )
 from repro.core.query import FAQQuery
 from repro.hypergraph.covers import fractional_edge_cover_number
-from repro.hypergraph.elimination import elimination_sequence
+from repro.hypergraph.elimination import induced_unions
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.orderings import best_ordering_exhaustive, min_fill_ordering
 from repro.semiring.aggregates import FREE_TAG, PRODUCT_TAG
@@ -45,13 +45,10 @@ def faq_width_of_ordering(query: FAQQuery, ordering: Sequence[str]) -> float:
     variables simply disappear from every edge.
     """
     hypergraph = query.hypergraph()
-    steps = elimination_sequence(hypergraph, ordering, query.product_variables)
-    k_set = query.k_set
+    unions = induced_unions(hypergraph, ordering, query.product_variables)
     width = 0.0
-    for step in steps:
-        if step.vertex not in k_set:
-            continue
-        value = fractional_edge_cover_number(hypergraph, step.union, ignore_uncovered=True)
+    for vertex in query.k_set:
+        value = fractional_edge_cover_number(hypergraph, unions[vertex], ignore_uncovered=True)
         if value > width:
             width = value
     return width
@@ -164,14 +161,18 @@ def _node_ordering(
 
 
 def approximate_faqw_ordering(
-    query: FAQQuery, exact_limit: int = 7
+    query: FAQQuery, exact_limit: int = 9
 ) -> Tuple[str, ...]:
     """Compute an equivalent ordering with near-optimal FAQ-width (Thm 7.2/7.5).
 
     The expression tree is traversed top-down; for every free/semiring node a
     width-minimising ordering of its hypergraph ``H_L`` is computed (exactly
     when the node has at most ``exact_limit`` variables, with the min-fill
-    heuristic otherwise); product nodes keep their written order.  The
+    heuristic otherwise); product nodes keep their written order.  The exact
+    search is the branch-and-bound of
+    :func:`repro.hypergraph.orderings.best_ordering_search` backed by the
+    process-wide ``ρ*`` memo, so ``exact_limit`` now affords 9 variables
+    where the historical permutation scan struggled at 7.  The
     per-node orderings are concatenated pre-order, which is a linear
     extension of the precedence poset and therefore semantically equivalent
     to the query.

@@ -27,7 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.outsidein import OutsideInStats, join_factors
+from repro.core.outsidein import OutsideInStats, eliminate_join, join_factors
 from repro.core.output import FactorizedOutput
 from repro.core.query import FAQQuery, QueryError
 from repro.factors.backend import (
@@ -40,7 +40,9 @@ from repro.factors.backend import (
     dense_join_reduce,
     validate_backend,
 )
+from repro.factors.dense import DenseFactor
 from repro.factors.factor import Factor
+from repro.factors.index import FactorTrie, TrieCache
 from repro.semiring.base import Semiring
 
 
@@ -136,8 +138,16 @@ def _eliminate_semiring(
     stats: InsideOutStats,
     backend: str = BACKEND_SPARSE,
     policy: BackendPolicy = DEFAULT_POLICY,
+    tries: Optional[TrieCache] = None,
 ) -> List[Factor]:
-    """One semiring-aggregate elimination step (lines 5-11 of Algorithm 1)."""
+    """One semiring-aggregate elimination step (lines 5-11 of Algorithm 1).
+
+    The sparse path runs the fused hash-join-and-aggregate kernel
+    (:func:`repro.core.outsidein.eliminate_join`) over tries from the
+    per-run :class:`~repro.factors.index.TrieCache`: surviving factors and
+    repeated indicator projections keep their index across steps instead of
+    being re-hashed tuple-by-tuple at every elimination.
+    """
     semiring = query.semiring
     aggregate = query.aggregates[variable]
     start = time.perf_counter()
@@ -173,12 +183,24 @@ def _eliminate_semiring(
         induced |= set(factor.scope)
 
     participants: List[Factor] = list(incident)
+    projections: List[Tuple[Factor, frozenset]] = []  # (sparse source, overlap)
+    dense_projections: List[Factor] = []
     projection_count = 0
     if use_indicator_projections:
         for factor in others:
-            overlap = set(factor.scope) & induced
+            overlap = frozenset(factor.scope) & induced
             if overlap:
-                participants.append(factor.indicator_projection(overlap, semiring))
+                if tries is not None and not isinstance(factor, DenseFactor):
+                    # Cached per (factor, overlap); the trie is built lazily
+                    # on the sparse branch only (dense steps never need one).
+                    projected = tries.projection_factor(factor, overlap)
+                    projections.append((factor, overlap))
+                else:
+                    # Dense sources keep their vectorized projection (and
+                    # stay dense for the backend heuristic below).
+                    projected = factor.indicator_projection(overlap, semiring)
+                    dense_projections.append(projected)
+                participants.append(projected)
                 projection_count += 1
 
     output_scope = tuple(v for v in query.order if v in induced and v != variable)
@@ -195,6 +217,27 @@ def _eliminate_semiring(
             aggregate.tag,
             name=f"psi_elim({variable})",
         )
+    elif tries is not None:
+        participant_tries = [tries.trie(f) for f in incident]
+        participant_tries.extend(
+            tries.projection(source, overlap)[1] for source, overlap in projections
+        )
+        # Projections of dense factors are transient (a new object per step):
+        # index them directly rather than through the per-run cache.
+        participant_tries.extend(
+            FactorTrie(as_sparse(p, semiring), tries.order, semiring)
+            for p in dense_projections
+        )
+        new_factor = eliminate_join(
+            participant_tries,
+            semiring,
+            variable,
+            output_scope,
+            aggregate.combine,
+            variable_order=tries.order,
+            stats=stats.join_stats,
+            name=f"psi_elim({variable})",
+        )
     else:
         new_factor = join_factors(
             participants,
@@ -205,6 +248,9 @@ def _eliminate_semiring(
             stats=stats.join_stats,
             name=f"psi_elim({variable})",
         )
+    if tries is not None:
+        for factor in incident:
+            tries.discard(factor)
     result_size = len(new_factor)
     stats.max_intermediate_size = max(stats.max_intermediate_size, result_size)
     stats.steps.append(
@@ -350,16 +396,29 @@ def inside_out(
         # An empty product is the constant 1 over all free assignments.
         factors = [Factor((), {(): semiring.one}, name="unit")]
 
+    # One trie index per run, shared across elimination steps: surviving
+    # factors keep their per-variable buckets instead of being re-hashed at
+    # every step (the ordering is the global trie order, so the variable
+    # being eliminated is always the deepest remaining trie level).
+    tries = TrieCache(order, semiring)
+
     # Eliminate bound variables from the innermost aggregate outwards.
     for position in range(len(order) - 1, query.num_free - 1, -1):
         variable = order[position]
         aggregate = query.aggregates[variable]
         if aggregate.is_product:
+            before = factors
             factors = _eliminate_product(query, factors, variable, stats)
+            # Product steps replace marginalised/powered factors with new
+            # objects; drop the dead factors' cached tries.
+            kept = {id(f) for f in factors}
+            for factor in before:
+                if id(factor) not in kept:
+                    tries.discard(factor)
         else:
             factors = _eliminate_semiring(
                 query, factors, variable, use_indicator_projections, stats,
-                backend=backend, policy=policy,
+                backend=backend, policy=policy, tries=tries,
             )
 
     # Output phase over the free variables.

@@ -8,7 +8,7 @@ Generic-Join / LeapFrog-TrieJoin family of worst-case optimal join
 algorithms, whose running time is bounded by the AGM bound of the joined
 relations (Theorem 5.1).
 
-The module exposes two entry points:
+The module exposes three entry points:
 
 * :func:`enumerate_join` — a generator of ``(assignment, value)`` pairs over
   the union of the factor scopes, where ``value`` is the ``⊗``-product of
@@ -16,7 +16,12 @@ The module exposes two entry points:
 * :func:`join_factors` — materialises the product as a single
   :class:`~repro.factors.factor.Factor` over a chosen output scope,
   optionally aggregating away the non-output variables with a semiring
-  aggregate.
+  aggregate,
+* :func:`eliminate_join` — the fused single-variable elimination kernel used
+  by InsideOut's hot loop: a hash join over pre-built tries that groups by
+  the surviving variables directly and folds the eliminated variable's
+  aggregate in place, never materialising the full induced-set factor nor a
+  per-tuple assignment dict.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
 
 from repro.factors.backend import as_sparse
 from repro.factors.factor import Factor
-from repro.factors.index import FactorTrie
+from repro.factors.index import _LEAF, FactorTrie
 from repro.semiring.base import Semiring
 
 
@@ -188,3 +193,150 @@ def join_factors(
             table[key] = value
     table = {k: v for k, v in table.items() if not semiring.is_zero(v)}
     return Factor(scope, table, name=name or "join")
+
+
+def eliminate_join(
+    tries: Sequence[FactorTrie],
+    semiring: Semiring,
+    variable: str,
+    output_scope: Sequence[str],
+    combine: Callable[[Any, Any], Any],
+    variable_order: Sequence[str],
+    stats: OutsideInStats | None = None,
+    name: str | None = None,
+) -> Factor:
+    """Fused multiply-then-marginalize kernel for one elimination step.
+
+    ``tries`` index the participating factors against the run's global
+    variable order, in which ``variable`` (the variable being eliminated)
+    comes *after* every surviving variable — InsideOut eliminates from the
+    back of the ordering, so every remaining scope is a subset of the
+    not-yet-eliminated prefix plus ``variable`` itself.  The kernel runs the
+    OutsideIn backtracking search over the surviving variables only,
+    descending trie *nodes* instead of re-walking prefixes from the root,
+    and at each complete survivor assignment intersects the candidate
+    values of ``variable`` and folds them into a single aggregated value —
+    the grouped-by-survivors hash join.  Equivalent to
+    ``join_factors(participants, output_scope=survivors, combine=...)`` but
+    without materialising per-tuple assignment dicts or the induced-set
+    relation.
+
+    Falls back to the general :func:`join_factors` when ``variable`` is not
+    last in the join order (never the case when called from InsideOut).
+    """
+    counters = stats if stats is not None else OutsideInStats()
+    out_scope = tuple(output_scope)
+    zero = semiring.zero
+    empty = Factor(out_scope, {}, name=name or f"elim({variable})")
+    if not tries:
+        return empty
+
+    # Join variables in the tries' shared global order (``variable_order``
+    # must be the order the tries were built against).
+    seen: set = set()
+    for trie in tries:
+        if not trie.root:
+            return empty  # some participant is identically zero
+        seen.update(trie.variables)
+    order = [v for v in variable_order if v in seen]
+
+    survivors = order[:-1]
+    if (
+        variable not in seen
+        or order[-1] != variable
+        or set(survivors) != set(out_scope)
+        or len(survivors) != len(out_scope)
+    ):
+        return join_factors(
+            [t.factor for t in tries],
+            semiring,
+            output_scope=out_scope,
+            combine=combine,
+            variable_order=order,
+            stats=stats,
+            name=name,
+        )
+    # Permutation from survivor enumeration order to the requested scope.
+    if tuple(survivors) == out_scope:
+        key_perm = None
+    else:
+        index = {v: i for i, v in enumerate(survivors)}
+        key_perm = [index[v] for v in out_scope]
+
+    var_set = {i for i, t in enumerate(tries) if variable in t.variables}
+    var_tries = sorted(var_set)
+    base_tries = [i for i in range(len(tries)) if i not in var_set]
+    participating: List[List[int]] = [
+        [i for i, t in enumerate(tries) if v in t.variables] for v in survivors
+    ]
+
+    nodes: List[Any] = [t.root for t in tries]
+    values: List[Any] = [None] * len(survivors)
+    table: Dict[Tuple[Any, ...], Any] = {}
+    mul = semiring.mul
+    is_zero = semiring.is_zero
+
+    def emit() -> None:
+        """All survivors bound: fold the eliminated variable's aggregate."""
+        value = semiring.one
+        for i in base_tries:
+            held = nodes[i].get(_LEAF)
+            if held is None:
+                return  # pragma: no cover - defensive (descent guarantees a leaf)
+            value = mul(value, held)
+            if is_zero(value):
+                return
+        candidate_maps = [nodes[i] for i in var_tries]
+        counters.intersections += len(candidate_maps)
+        candidates = None
+        for child in candidate_maps:
+            keys = child.keys() - {_LEAF} if _LEAF in child else child.keys()
+            candidates = set(keys) if candidates is None else candidates & keys
+            if not candidates:
+                return
+        accumulated = None
+        for candidate in candidates:
+            counters.search_steps += 1
+            product = value
+            for i in var_tries:
+                held = nodes[i][candidate].get(_LEAF)
+                if held is None:
+                    product = None  # pragma: no cover - defensive
+                    break
+                product = mul(product, held)
+                if is_zero(product):
+                    product = None
+                    break
+            if product is None:
+                continue
+            counters.emitted_tuples += 1
+            accumulated = product if accumulated is None else combine(accumulated, product)
+        if accumulated is None or is_zero(accumulated):
+            return
+        key = tuple(values) if key_perm is None else tuple(values[i] for i in key_perm)
+        table[key] = accumulated
+
+    def descend(depth: int) -> None:
+        if depth == len(survivors):
+            emit()
+            return
+        active = participating[depth]
+        counters.intersections += len(active)
+        candidates = None
+        for i in active:
+            keys = nodes[i].keys() - {_LEAF} if _LEAF in nodes[i] else nodes[i].keys()
+            candidates = set(keys) if candidates is None else candidates & keys
+            if not candidates:
+                return
+        for candidate in candidates:
+            counters.search_steps += 1
+            values[depth] = candidate
+            saved = [nodes[i] for i in active]
+            for i in active:
+                nodes[i] = nodes[i][candidate]
+            descend(depth + 1)
+            for pos, i in enumerate(active):
+                nodes[i] = saved[pos]
+
+    descend(0)
+    return Factor(out_scope, table, name=name or f"elim({variable})")

@@ -171,12 +171,24 @@ def variable_elimination(
             factors = rest + [reduced]
             continue
         product = as_sparse(incident[0], semiring)
-        for factor in incident[1:]:
-            product = product.multiply(as_sparse(factor, semiring), semiring)
-            stats.multiplications += len(product)
-        stats.max_intermediate_size = max(stats.max_intermediate_size, len(product))
-        stats.intermediate_sizes.append(len(product))
-        reduced = product.aggregate_marginalize(variable, aggregate.combine, semiring)
+        if len(incident) == 1:
+            reduced = product.aggregate_marginalize(variable, aggregate.combine, semiring)
+            intermediate = len(product)
+        else:
+            # Pairwise products as before, but the *last* multiply is fused
+            # with the marginalisation: the full induced-set product is never
+            # materialised, while ``joined`` keeps the historical intermediate
+            # accounting (it equals the listed size of the unfused product).
+            for factor in incident[1:-1]:
+                product = product.multiply(as_sparse(factor, semiring), semiring)
+                stats.multiplications += len(product)
+            reduced, joined = product.multiply_marginalize(
+                as_sparse(incident[-1], semiring), variable, aggregate.combine, semiring
+            )
+            stats.multiplications += joined
+            intermediate = joined
+        stats.max_intermediate_size = max(stats.max_intermediate_size, intermediate)
+        stats.intermediate_sizes.append(intermediate)
         factors = rest + [reduced]
 
     # Output phase: pairwise product of the residual factors.

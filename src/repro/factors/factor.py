@@ -40,7 +40,7 @@ class Factor:
         Optional human-readable name (defaults to ``psi_{scope}``).
     """
 
-    __slots__ = ("scope", "table", "name")
+    __slots__ = ("scope", "table", "name", "_variables")
 
     def __init__(
         self,
@@ -65,6 +65,7 @@ class Factor:
                 )
             self.table[key] = value
         self.name = name if name is not None else "psi_{" + ",".join(map(str, self.scope)) + "}"
+        self._variables: frozenset | None = None
 
     # ------------------------------------------------------------------ #
     # basic protocol
@@ -84,8 +85,10 @@ class Factor:
 
     @property
     def variables(self) -> frozenset:
-        """The scope as a frozen set (the hyperedge ``S``)."""
-        return frozenset(self.scope)
+        """The scope as a frozen set (the hyperedge ``S``), built lazily once."""
+        if self._variables is None:
+            self._variables = frozenset(self.scope)
+        return self._variables
 
     def copy(self, name: str | None = None) -> "Factor":
         """Return a shallow copy (table dict is copied, values are shared)."""
@@ -283,17 +286,18 @@ class Factor:
     # ------------------------------------------------------------------ #
     # binary operations
     # ------------------------------------------------------------------ #
-    def multiply(self, other: "Factor", semiring: Semiring) -> "Factor":
-        """Pointwise product ``ψ_S ⊗ ψ_T`` over scope ``S ∪ T`` (a join).
+    def _joined_items(
+        self, other: "Factor", semiring: Semiring
+    ) -> Iterator[Tuple[ValueTuple, Any]]:
+        """Hash-join with ``other``: yield ``(joined_tuple, product)`` pairs.
 
-        This is a straightforward hash join on the shared variables; the
-        engine's OutsideIn join is used for the multiway case, this method is
-        mostly a convenience for tests, baselines and small factors.
+        The joined tuple follows the scope ``self.scope + other_only``;
+        zero inputs and zero products are skipped.  Shared by
+        :meth:`multiply` and :meth:`multiply_marginalize` so the two paths
+        cannot diverge.
         """
         shared = [v for v in self.scope if v in other.scope]
         other_only = [v for v in other.scope if v not in self.scope]
-        new_scope = self.scope + tuple(other_only)
-
         other_shared_idx = [other.scope.index(v) for v in shared]
         other_rest_idx = [other.scope.index(v) for v in other_only]
         self_shared_idx = [self.scope.index(v) for v in shared]
@@ -305,7 +309,6 @@ class Factor:
             sig = tuple(key[i] for i in other_shared_idx)
             buckets.setdefault(sig, []).append((tuple(key[i] for i in other_rest_idx), value))
 
-        table: Dict[ValueTuple, Any] = {}
         for key, value in self.table.items():
             if semiring.is_zero(value):
                 continue
@@ -314,8 +317,57 @@ class Factor:
                 prod = semiring.mul(value, other_value)
                 if semiring.is_zero(prod):
                     continue
-                table[key + rest] = prod
+                yield key + rest, prod
+
+    def multiply(self, other: "Factor", semiring: Semiring) -> "Factor":
+        """Pointwise product ``ψ_S ⊗ ψ_T`` over scope ``S ∪ T`` (a join).
+
+        This is a straightforward hash join on the shared variables; the
+        engine's OutsideIn join is used for the multiway case, this method is
+        mostly a convenience for tests, baselines and small factors.
+        """
+        other_only = [v for v in other.scope if v not in self.scope]
+        new_scope = self.scope + tuple(other_only)
+        table: Dict[ValueTuple, Any] = dict(self._joined_items(other, semiring))
         return Factor(new_scope, table, name=f"({self.name}*{other.name})")
+
+    def multiply_marginalize(
+        self,
+        other: "Factor",
+        variable: str,
+        combine: Callable[[Any, Any], Any],
+        semiring: Semiring,
+    ) -> Tuple["Factor", int]:
+        """Fused ``(self ⊗ other)`` then ``⊕``-eliminate ``variable``.
+
+        Joins like :meth:`multiply` but aggregates ``variable`` out of each
+        joined tuple on the fly instead of materialising the full product
+        first.  Returns ``(factor, joined_count)`` where ``joined_count`` is
+        the number of non-zero joined tuples the unfused product would have
+        listed — callers tracking intermediate sizes keep their historical
+        accounting without paying for the intermediate.
+        """
+        other_only = [v for v in other.scope if v not in self.scope]
+        product_scope = self.scope + tuple(other_only)
+        if variable not in product_scope:
+            raise FactorError(f"{variable} not in joined scope {product_scope}")
+        keep_idx = [i for i, v in enumerate(product_scope) if v != variable]
+        new_scope = tuple(product_scope[i] for i in keep_idx)
+
+        joined = 0
+        table: Dict[ValueTuple, Any] = {}
+        for full, prod in self._joined_items(other, semiring):
+            joined += 1
+            reduced = tuple(full[i] for i in keep_idx)
+            if reduced in table:
+                table[reduced] = combine(table[reduced], prod)
+            else:
+                table[reduced] = prod
+        table = {k: v for k, v in table.items() if not semiring.is_zero(v)}
+        return (
+            Factor(new_scope, table, name=f"({self.name}*{other.name})-agg({variable})"),
+            joined,
+        )
 
     def normalize_scope(self, order: Sequence[str]) -> "Factor":
         """Return an equivalent factor whose scope follows ``order``.

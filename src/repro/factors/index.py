@@ -113,3 +113,81 @@ def build_tries(
 ) -> list:
     """Index every factor against the same global ``order``."""
     return [FactorTrie(f, order, semiring) for f in factors]
+
+
+class TrieCache:
+    """Per-run trie index shared across elimination steps.
+
+    InsideOut's hot loop used to rebuild every participant's hash index at
+    every elimination step, even though most factors survive many steps
+    unchanged.  A :class:`TrieCache` is created once per run with the run's
+    global variable order and hands out
+
+    * :meth:`trie` — the :class:`FactorTrie` of a factor, built once per
+      factor object (dense factors are converted to the listing
+      representation once and indexed from that), and
+    * :meth:`projection` — the indicator projection of a factor onto an
+      overlap set *and* its trie, built once per ``(factor, overlap)`` pair
+      (the same projection recurs whenever later steps induce the same
+      overlap).
+
+    Entries are keyed by object identity; the cache holds a reference to
+    the keyed factor so the identity cannot be recycled while the entry
+    lives.  :meth:`discard` drops entries for factors consumed by a step.
+    """
+
+    __slots__ = ("order", "semiring", "_tries", "_projections", "_projection_keys")
+
+    def __init__(self, order: Sequence[str], semiring: Semiring) -> None:
+        self.order: Tuple[str, ...] = tuple(order)
+        self.semiring = semiring
+        self._tries: Dict[int, Tuple[Any, FactorTrie]] = {}
+        # key -> [source factor, projected factor, trie or None (lazy)]
+        self._projections: Dict[Tuple[int, frozenset], list] = {}
+        self._projection_keys: Dict[int, set] = {}
+
+    def trie(self, factor) -> FactorTrie:
+        key = id(factor)
+        entry = self._tries.get(key)
+        if entry is None or entry[0] is not factor:
+            from repro.factors.backend import as_sparse
+
+            sparse = as_sparse(factor, self.semiring)
+            entry = (factor, FactorTrie(sparse, self.order, self.semiring))
+            self._tries[key] = entry
+        return entry[1]
+
+    def _projection_entry(self, factor, overlap: Iterable[str]) -> list:
+        overlap_key = frozenset(overlap)
+        key = (id(factor), overlap_key)
+        entry = self._projections.get(key)
+        if entry is None or entry[0] is not factor:
+            from repro.factors.backend import as_sparse
+
+            sparse = as_sparse(factor, self.semiring)
+            projected = sparse.indicator_projection(overlap_key, self.semiring)
+            entry = [factor, projected, None]
+            self._projections[key] = entry
+            self._projection_keys.setdefault(id(factor), set()).add(key)
+        return entry
+
+    def projection_factor(self, factor, overlap: Iterable[str]) -> Factor:
+        """The cached indicator projection of ``factor`` onto ``overlap``.
+
+        Does *not* build the projection's trie — steps that end up on the
+        dense path never need one (see :meth:`projection` for the trie).
+        """
+        return self._projection_entry(factor, overlap)[1]
+
+    def projection(self, factor, overlap: Iterable[str]) -> Tuple[Factor, FactorTrie]:
+        """The indicator projection of ``factor`` onto ``overlap`` + its trie."""
+        entry = self._projection_entry(factor, overlap)
+        if entry[2] is None:
+            entry[2] = FactorTrie(entry[1], self.order, self.semiring)
+        return entry[1], entry[2]
+
+    def discard(self, factor) -> None:
+        """Drop the tries of a factor consumed by an elimination step."""
+        self._tries.pop(id(factor), None)
+        for key in self._projection_keys.pop(id(factor), ()):
+            self._projections.pop(key, None)

@@ -12,9 +12,11 @@ graphs and trees) and ``scipy`` (for the covering linear programs).
 from repro.hypergraph.hypergraph import Hypergraph, HypergraphError
 from repro.hypergraph.covers import (
     agm_bound,
+    clear_rho_star_cache,
     fractional_edge_cover,
     fractional_edge_cover_number,
     integral_edge_cover_number,
+    rho_star_cache_info,
 )
 from repro.hypergraph.elimination import (
     EliminationStep,
@@ -39,6 +41,7 @@ from repro.hypergraph.treedecomp import (
 )
 from repro.hypergraph.orderings import (
     best_ordering_exhaustive,
+    best_ordering_search,
     min_degree_ordering,
     min_fill_ordering,
     greedy_fractional_cover_ordering,
@@ -48,6 +51,8 @@ __all__ = [
     "Hypergraph",
     "HypergraphError",
     "agm_bound",
+    "clear_rho_star_cache",
+    "rho_star_cache_info",
     "fractional_edge_cover",
     "fractional_edge_cover_number",
     "integral_edge_cover_number",
@@ -67,6 +72,7 @@ __all__ = [
     "ordering_from_decomposition",
     "treewidth",
     "best_ordering_exhaustive",
+    "best_ordering_search",
     "min_degree_ordering",
     "min_fill_ordering",
     "greedy_fractional_cover_ordering",

@@ -3,7 +3,11 @@
 * :func:`fractional_edge_cover` — solves the fractional edge cover linear
   program for a vertex subset ``B``, optionally with per-edge weights
   (``log |ψ_S|`` for the AGM bound).
-* :func:`fractional_edge_cover_number` — ``ρ*_H(B)``.
+* :func:`fractional_edge_cover_number` — ``ρ*_H(B)``, memoised process-wide
+  by the *restricted edge structure* ``{S ∩ B : S ∈ E, S ∩ B ≠ ∅}``: the LP
+  depends on the hypergraph only through which (deduplicated) edge
+  restrictions cover ``B``, and the same structures recur thousands of times
+  across ordering-search candidates, planner invocations and queries.
 * :func:`integral_edge_cover_number` — ``ρ_H(B)`` (exact for small edge
   counts via branch-and-bound over distinct edges, otherwise greedy with a
   logarithmic guarantee — the paper only needs ``ρ*`` for its main results).
@@ -95,13 +99,82 @@ def fractional_edge_cover(
     return float(result.fun), solution
 
 
+# The restricted-edge-structure memo for ρ*.  Keys are frozensets of the
+# non-empty edge restrictions ``S ∩ B`` — the target itself is implied (it is
+# the union of the restrictions once uncovered vertices are handled), so one
+# entry serves every (hypergraph, subset) pair inducing the same structure.
+_RHO_STAR_CACHE: Dict[FrozenSet, float] = {}
+_RHO_STAR_CACHE_MAX = 100_000
+_RHO_STAR_STATS = {"hits": 0, "misses": 0}
+
+
+def rho_star_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the process-wide ρ* memo (observability)."""
+    return {
+        "hits": _RHO_STAR_STATS["hits"],
+        "misses": _RHO_STAR_STATS["misses"],
+        "size": len(_RHO_STAR_CACHE),
+    }
+
+
+def clear_rho_star_cache() -> None:
+    """Drop the process-wide ρ* memo (tests and benchmarks)."""
+    _RHO_STAR_CACHE.clear()
+    _RHO_STAR_STATS["hits"] = 0
+    _RHO_STAR_STATS["misses"] = 0
+
+
 def fractional_edge_cover_number(
     hypergraph: Hypergraph,
     subset: Iterable | None = None,
     ignore_uncovered: bool = False,
 ) -> float:
-    """``ρ*_H(B)``: the optimal value of the fractional edge cover LP."""
-    objective, _ = fractional_edge_cover(hypergraph, subset, ignore_uncovered=ignore_uncovered)
+    """``ρ*_H(B)``: the optimal value of the fractional edge cover LP.
+
+    Memoised process-wide on the restricted edge structure (see the module
+    docstring): the LP is solved at most once per distinct structure, over a
+    canonically sorted restricted hypergraph so the cached value is
+    bit-identical no matter which caller populated it.
+    """
+    target = frozenset(subset) if subset is not None else hypergraph.vertices
+    target = frozenset(v for v in target if v in hypergraph.vertices)
+    if not target:
+        return 0.0
+
+    distinct = {e & target for e in hypergraph.edges if e & target}
+    covered: set = set()
+    for edge in distinct:
+        covered |= edge
+    missing = target - covered
+    if missing:
+        if not ignore_uncovered:
+            raise HypergraphError(
+                f"vertices {sorted(map(repr, missing))} are not covered by any hyperedge"
+            )
+        if not covered:
+            return 0.0
+        # Dropped vertices belonged to no edge, so the restrictions (and with
+        # them the memo key) are unchanged by shrinking the target.
+
+    # A restriction contained in another never helps the LP (its weight can
+    # always be shifted to the superset at equal cost), so dominated
+    # restrictions are dropped from the canonical structure.
+    restricted = frozenset(
+        e for e in distinct if not any(e < other for other in distinct)
+    )
+
+    cached = _RHO_STAR_CACHE.get(restricted)
+    if cached is not None:
+        _RHO_STAR_STATS["hits"] += 1
+        return cached
+    _RHO_STAR_STATS["misses"] += 1
+    canonical = Hypergraph(
+        covered, sorted(restricted, key=lambda e: sorted(map(repr, e)))
+    )
+    objective, _ = fractional_edge_cover(canonical)
+    if len(_RHO_STAR_CACHE) >= _RHO_STAR_CACHE_MAX:
+        _RHO_STAR_CACHE.clear()
+    _RHO_STAR_CACHE[restricted] = objective
     return objective
 
 

@@ -50,6 +50,21 @@ class EliminationStep:
     is_product: bool = False
 
 
+def _validated_order(hypergraph: Hypergraph, ordering: Sequence) -> List:
+    """The ordering as a list, checked to enumerate ``V`` exactly once."""
+    order = list(ordering)
+    if set(order) != set(hypergraph.vertices):
+        missing = set(hypergraph.vertices) - set(order)
+        extra = set(order) - set(hypergraph.vertices)
+        raise HypergraphError(
+            f"ordering must list every vertex exactly once (missing={sorted(map(repr, missing))}, "
+            f"extra={sorted(map(repr, extra))})"
+        )
+    if len(set(order)) != len(order):
+        raise HypergraphError("ordering contains duplicates")
+    return order
+
+
 def elimination_sequence(
     hypergraph: Hypergraph,
     ordering: Sequence,
@@ -75,17 +90,7 @@ def elimination_sequence(
         (``steps[k-1].vertex == ordering[k-1]``), even though they are
         computed from the back.
     """
-    order = list(ordering)
-    if set(order) != set(hypergraph.vertices):
-        missing = set(hypergraph.vertices) - set(order)
-        extra = set(order) - set(hypergraph.vertices)
-        raise HypergraphError(
-            f"ordering must list every vertex exactly once (missing={sorted(map(repr, missing))}, "
-            f"extra={sorted(map(repr, extra))})"
-        )
-    if len(set(order)) != len(order):
-        raise HypergraphError("ordering contains duplicates")
-
+    order = _validated_order(hypergraph, ordering)
     product_set = frozenset(product_vertices or ())
     current = hypergraph
     steps_rev: List[EliminationStep] = []
@@ -116,6 +121,39 @@ def elimination_sequence(
         current = Hypergraph(remaining_vertices, new_edges)
 
     return list(reversed(steps_rev))
+
+
+def induced_unions(
+    hypergraph: Hypergraph,
+    ordering: Sequence,
+    product_vertices: Iterable | None = None,
+) -> Dict[object, FrozenSet]:
+    """Map each vertex to its induced set ``U_k`` without building ``H_k``.
+
+    Semantically identical to :func:`induced_sets`, but the intermediate
+    hypergraphs are kept as plain edge lists instead of
+    :class:`~repro.hypergraph.hypergraph.Hypergraph` instances.  The cost
+    model scores every candidate ordering with one pass of this function, so
+    avoiding the per-step object construction is a real planning win.
+    """
+    order = _validated_order(hypergraph, ordering)
+    product_set = frozenset(product_vertices or ())
+    edges: List[FrozenSet] = list(hypergraph.edges)
+    unions: Dict[object, FrozenSet] = {}
+    for k in range(len(order), 0, -1):
+        vertex = order[k - 1]
+        incident = [e for e in edges if vertex in e]
+        union: FrozenSet = frozenset().union(*incident) if incident else frozenset({vertex})
+        unions[vertex] = union
+        if vertex in product_set:
+            edges = [e - {vertex} for e in edges]
+            edges = [e for e in edges if e]
+        else:
+            edges = [e for e in edges if vertex not in e]
+            residual = union - {vertex}
+            if residual:
+                edges.append(residual)
+    return unions
 
 
 def induced_sets(

@@ -20,7 +20,7 @@ class Hypergraph:
     and tracked explicitly.
     """
 
-    __slots__ = ("_vertices", "_edges")
+    __slots__ = ("_vertices", "_edges", "_gaifman")
 
     def __init__(
         self,
@@ -32,6 +32,7 @@ class Hypergraph:
         for edge in self._edges:
             vertex_set |= edge
         self._vertices: Set = vertex_set
+        self._gaifman: nx.Graph | None = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -127,22 +128,38 @@ class Hypergraph:
     # ------------------------------------------------------------------ #
     # graph views
     # ------------------------------------------------------------------ #
+    def _gaifman_cached(self) -> nx.Graph:
+        """The lazily built, shared Gaifman graph.  Never mutate the result."""
+        if self._gaifman is None:
+            graph = nx.Graph()
+            graph.add_nodes_from(self._vertices)
+            for edge in self._edges:
+                members = sorted(edge, key=repr)
+                for i, u in enumerate(members):
+                    for v in members[i + 1:]:
+                        graph.add_edge(u, v)
+            self._gaifman = graph
+        return self._gaifman
+
     def gaifman_graph(self) -> nx.Graph:
-        """The Gaifman (primal) graph: vertices adjacent iff co-occurring."""
-        graph = nx.Graph()
-        graph.add_nodes_from(self._vertices)
-        for edge in self._edges:
-            members = sorted(edge, key=repr)
-            for i, u in enumerate(members):
-                for v in members[i + 1:]:
-                    graph.add_edge(u, v)
-        return graph
+        """The Gaifman (primal) graph: vertices adjacent iff co-occurring.
+
+        Built once per hypergraph and cached (hypergraphs are immutable);
+        each call returns a fresh copy so callers remain free to mutate the
+        graph, as the elimination heuristics do.
+        """
+        return self._gaifman_cached().copy()
+
+    def gaifman_adjacency(self) -> Dict:
+        """``{vertex: frozenset(neighbors)}`` of the (cached) Gaifman graph."""
+        graph = self._gaifman_cached()
+        return {v: frozenset(graph.neighbors(v)) for v in graph.nodes}
 
     def connected_components(self) -> List[FrozenSet]:
         """Connected components of the Gaifman graph (isolated vertices are
         singleton components).  Deterministic order: sorted by repr of the
         smallest member."""
-        graph = self.gaifman_graph()
+        graph = self._gaifman_cached()
         components = [frozenset(c) for c in nx.connected_components(graph)]
         return sorted(components, key=lambda c: min(repr(v) for v in c))
 

@@ -9,8 +9,7 @@ provided alongside an exhaustive search for small instances.
 
 from __future__ import annotations
 
-import itertools
-from typing import Callable, FrozenSet, List, Sequence
+from typing import Callable, FrozenSet, List, Sequence, Tuple
 
 import networkx as nx
 
@@ -50,16 +49,30 @@ def min_fill_ordering(hypergraph: Hypergraph) -> List:
     Definition 4.7 where elimination proceeds from the back of ``σ``.
     Cost ties break on the vertex repr, so the ordering is deterministic
     regardless of vertex insertion order.
+
+    Fill-in counts are maintained incrementally: eliminating ``v`` can only
+    change the count of a vertex adjacent to ``v`` or to one of ``v``'s
+    neighbours (fill edges are added inside ``N(v)`` only), so each round
+    recomputes counts just for that 2-hop neighbourhood instead of for every
+    remaining vertex.
     """
     graph = hypergraph.gaifman_graph()
+    fill: dict = {v: _fill_in_count(graph, v) for v in graph.nodes}
     eliminated: List = []
     while graph.number_of_nodes():
-        vertex = min(graph.nodes, key=lambda v: (_fill_in_count(graph, v), repr(v)))
+        vertex = min(graph.nodes, key=lambda v: (fill[v], repr(v)))
         neighbors = list(graph.neighbors(vertex))
         for i, u in enumerate(neighbors):
             for v in neighbors[i + 1:]:
                 graph.add_edge(u, v)
         graph.remove_node(vertex)
+        del fill[vertex]
+        affected = set(neighbors)
+        for u in neighbors:
+            affected.update(graph.neighbors(u))
+        for u in affected:
+            if u in graph:
+                fill[u] = _fill_in_count(graph, u)
         eliminated.append(vertex)
     return list(reversed(eliminated))
 
@@ -110,27 +123,149 @@ def greedy_fractional_cover_ordering(hypergraph: Hypergraph) -> List:
     return list(reversed(eliminated))
 
 
+def best_ordering_search(
+    hypergraph: Hypergraph,
+    width_fn: Callable[[FrozenSet], float],
+) -> Tuple[List, float]:
+    """Optimal induced width by branch-and-bound over elimination prefixes.
+
+    Semantically identical to the exhaustive permutation scan (the search is
+    complete), but exponentially cheaper: orderings are extended from the
+    *back* — the end elimination starts from — one eliminated vertex at a
+    time, and
+
+    * a prefix is pruned as soon as its running maximum step width reaches
+      the incumbent (step widths only accumulate along a prefix, so no
+      completion can improve on it);
+    * the induced set ``U(v, S)`` of eliminating ``v`` after the set ``S``
+      depends only on the *set* ``S`` (not on the order it was eliminated
+      in — the classic elimination-graph property), so per-step widths are
+      memoised by ``(S, v)`` and every prefix that permutes the same suffix
+      shares them;
+    * a dominance memo per eliminated set ``S`` cuts any prefix reaching
+      ``S`` with a running maximum no better than an earlier visit,
+      bounding the search by the subset lattice instead of the factorial.
+
+    Returns ``(ordering, width)`` where ``ordering`` is the lexicographically
+    smallest (over the repr-sorted vertex list, i.e. the first the
+    permutation scan would have found) ordering attaining the optimal
+    quantised width.
+    """
+    vertices = sorted(hypergraph.vertices, key=repr)
+    n = len(vertices)
+    if n == 0:
+        return [], 0.0
+
+    adjacency = hypergraph.gaifman_adjacency()
+
+    def union_after(vertex, eliminated: frozenset) -> FrozenSet:
+        """``U(v, S)``: closed neighbourhood of ``v`` reachable through ``S``."""
+        seen = {vertex}
+        stack = [vertex]
+        union = {vertex}
+        while stack:
+            for neighbor in adjacency[stack.pop()]:
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                if neighbor in eliminated:
+                    stack.append(neighbor)
+                else:
+                    union.add(neighbor)
+        return frozenset(union)
+
+    step_memo: dict = {}
+
+    def step_width(eliminated: frozenset, vertex) -> float:
+        key = (eliminated, vertex)
+        width = step_memo.get(key)
+        if width is None:
+            width = _quantized(width_fn(union_after(vertex, eliminated)))
+            step_memo[key] = width
+        return width
+
+    best = [float("inf")]
+    visited: dict = {}
+
+    def search(eliminated: frozenset, running: float) -> None:
+        if running >= best[0]:
+            return
+        previous = visited.get(eliminated)
+        if previous is not None and previous <= running:
+            return
+        visited[eliminated] = running
+        if len(eliminated) == n:
+            best[0] = running
+            return
+        for vertex in vertices:
+            if vertex in eliminated:
+                continue
+            width = step_width(eliminated, vertex)
+            search(eliminated | {vertex}, max(running, width))
+
+    search(frozenset(), float("-inf"))
+    best_width = best[0]
+
+    # Reconstruct the lexicographically smallest optimal ordering from the
+    # front (the front vertex is the one eliminated *last*): a remaining set
+    # is feasible iff some vertex of it can be eliminated last within budget
+    # and the rest remains feasible.
+    feasible_memo: dict = {frozenset(): True}
+
+    def feasible(remaining: frozenset) -> bool:
+        result = feasible_memo.get(remaining)
+        if result is None:
+            result = any(
+                step_width(remaining - {v}, v) <= best_width
+                and feasible(remaining - {v})
+                for v in remaining
+            )
+            feasible_memo[remaining] = result
+        return result
+
+    ordering: List = []
+    remaining = frozenset(vertices)
+    while remaining:
+        for vertex in vertices:
+            if vertex not in remaining:
+                continue
+            rest = remaining - {vertex}
+            if step_width(rest, vertex) <= best_width and feasible(rest):
+                ordering.append(vertex)
+                remaining = rest
+                break
+        else:  # pragma: no cover - the optimum is always attainable
+            ordering.extend(sorted(remaining, key=repr))
+            break
+    return ordering, best_width
+
+
 def best_ordering_exhaustive(
     hypergraph: Hypergraph,
     width_fn: Callable[[FrozenSet], float],
     candidates: Sequence[Sequence] | None = None,
 ) -> List:
-    """Exhaustively minimise an induced width over orderings (or candidates).
+    """Minimise an induced width over all orderings (or given candidates).
 
-    When ``candidates`` is ``None`` all permutations of the vertex set are
-    tried — factorial cost, use only for small hypergraphs.  Widths are
-    quantised before comparison and ties keep the earliest candidate in
-    enumeration order (permutations of the repr-sorted vertex set), so the
-    result is deterministic even when ``width_fn`` is LP-derived.
+    When ``candidates`` is ``None`` the full ordering space is searched by
+    the branch-and-bound of :func:`best_ordering_search` — complete, so the
+    result is the same quantised width the historical permutation scan
+    produced, including its tie-break (the earliest optimal permutation of
+    the repr-sorted vertex set in enumeration order).  With ``candidates``
+    the given orderings are scanned directly; widths are quantised before
+    comparison and ties keep the earliest candidate, so the result is
+    deterministic even when ``width_fn`` is LP-derived.
     """
     from repro.hypergraph.elimination import elimination_sequence
 
     vertices = sorted(hypergraph.vertices, key=repr)
-    pool = candidates if candidates is not None else itertools.permutations(vertices)
+    if candidates is None:
+        ordering, _ = best_ordering_search(hypergraph, width_fn)
+        return ordering if ordering else list(vertices)
 
     best_order: List | None = None
     best_width = float("inf")
-    for order in pool:
+    for order in candidates:
         steps = elimination_sequence(hypergraph, order)
         width = max((_quantized(width_fn(step.union)) for step in steps), default=0.0)
         if width < best_width:

@@ -11,7 +11,6 @@ from orderings when an explicit tree is needed.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Sequence, Tuple
 
@@ -23,7 +22,7 @@ from repro.hypergraph.covers import (
 )
 from repro.hypergraph.elimination import elimination_sequence
 from repro.hypergraph.hypergraph import Hypergraph, HypergraphError
-from repro.hypergraph.orderings import min_fill_ordering
+from repro.hypergraph.orderings import _quantized, best_ordering_search, min_fill_ordering
 
 
 @dataclass
@@ -197,25 +196,23 @@ def _width_over_orderings(
 ) -> Tuple[float, List]:
     """Minimise the induced ``g``-width over orderings.
 
-    Exhaustive for ≤ ``exact_limit`` vertices, otherwise the min-fill
-    heuristic ordering plus a handful of greedy restarts.
+    Exact (complete branch-and-bound search, see
+    :func:`repro.hypergraph.orderings.best_ordering_search`) for
+    ≤ ``exact_limit`` vertices, otherwise the min-fill heuristic ordering
+    plus a handful of greedy restarts.
     """
     vertices = sorted(hypergraph.vertices, key=repr)
     if not vertices:
         return 0.0, []
 
     def ordering_width(order: Sequence) -> float:
+        # Quantised like the exact branch, so widths compare consistently
+        # across the exact_limit size boundary.
         steps = elimination_sequence(hypergraph, order)
-        return max(width_fn(step.union) for step in steps)
+        return max(_quantized(width_fn(step.union)) for step in steps)
 
     if len(vertices) <= exact_limit:
-        best_width = float("inf")
-        best_order: List = list(vertices)
-        for perm in itertools.permutations(vertices):
-            width = ordering_width(perm)
-            if width < best_width:
-                best_width = width
-                best_order = list(perm)
+        best_order, best_width = best_ordering_search(hypergraph, width_fn)
         return best_width, best_order
 
     candidates = [min_fill_ordering(hypergraph)]

@@ -21,7 +21,10 @@ elimination it would perform:
 
 ``ρ*`` and AGM evaluations are memoised per cost-model instance: candidate
 orderings of the same query share most of their induced sets, and each
-evaluation solves a small LP.  :attr:`CostModel.invocations` counts
+evaluation solves a small LP.  ``ρ*`` is additionally backed by the
+process-wide restricted-edge-structure memo of
+:func:`repro.hypergraph.covers.fractional_edge_cover_number`, so even a
+fresh cost model rarely pays for an LP the process has seen before.  :attr:`CostModel.invocations` counts
 top-level :meth:`CostModel.estimate` calls so tests can verify that a
 :class:`~repro.planner.cache.PlanCache` hit skips the ordering search.
 """
@@ -41,7 +44,7 @@ from repro.factors.backend import (
     supports_dense,
 )
 from repro.hypergraph.covers import agm_bound, fractional_edge_cover_number
-from repro.hypergraph.elimination import elimination_sequence
+from repro.hypergraph.elimination import induced_unions
 from repro.hypergraph.hypergraph import Hypergraph
 
 # Strategy names understood by the planner.
@@ -236,8 +239,7 @@ class CostModel:
         if strategy in (STRATEGY_YANNAKAKIS, STRATEGY_GENERIC_JOIN):
             return self._estimate_join_strategy(query, stats, order, hypergraph, strategy)
 
-        steps = elimination_sequence(hypergraph, order, query.product_variables)
-        by_vertex = {step.vertex: step for step in steps}
+        unions = induced_unions(hypergraph, order, query.product_variables)
         k_set = query.k_set
 
         # Simulated per-factor size estimates (scope, estimated tuples).
@@ -271,7 +273,7 @@ class CostModel:
                 total += product_cost
                 continue
 
-            union = by_vertex[variable].union
+            union = unions[variable]
             rho = self.rho_star(hypergraph, union)
             faq_width = max(faq_width, rho) if variable in k_set else faq_width
             box = self._box_cells(union, stats)
@@ -336,7 +338,7 @@ class CostModel:
         if query.num_free:
             free_set = frozenset(query.free)
             for variable in query.free:
-                rho = self.rho_star(hypergraph, by_vertex[variable].union)
+                rho = self.rho_star(hypergraph, unions[variable])
                 faq_width = max(faq_width, rho)
             out_box = self._box_cells(free_set, stats)
             if strategy == STRATEGY_VARIABLE_ELIMINATION:

@@ -83,6 +83,7 @@ class Plan:
     cache_hit: bool = False
     estimate: Optional[OrderingEstimate] = None
     candidates: List[OrderingEstimate] = field(default_factory=list)
+    planning_seconds: float = 0.0
 
     # ------------------------------------------------------------------ #
     # execution
@@ -171,6 +172,7 @@ class Plan:
             f"  backend  : {self.backend}",
             f"  est cost : {self.estimated_cost:.1f} (faqw ~ {self.faq_width:.2f})",
             f"  source   : {'plan cache hit' if self.cache_hit else 'cost-based search'}",
+            f"  planned  : {self.planning_seconds * 1e3:.2f} ms",
         ]
         if self.estimate is not None and self.estimate.steps:
             lines.append("  steps:")

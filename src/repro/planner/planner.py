@@ -27,6 +27,7 @@ overrides, preserving every pre-planner call signature in the repo.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.evo import is_equivalent_ordering, linear_extensions
@@ -173,6 +174,10 @@ def plan(
 ) -> Plan:
     """Choose a :class:`~repro.planner.plan.Plan` for ``query``.
 
+    The returned plan carries ``planning_seconds`` — the wall-clock cost of
+    this call — so callers (and ``benchmarks/bench_planner.py``) can track
+    planning overhead against execution savings.
+
     Parameters
     ----------
     stats:
@@ -202,6 +207,33 @@ def plan(
         use).  Like ``stats``, a caller-supplied model makes the plan
         bespoke and bypasses the plan cache in both directions.
     """
+    started = time.perf_counter()
+    result = _plan_search(
+        query,
+        stats,
+        ordering=ordering,
+        backend=backend,
+        strategy=strategy,
+        cache=cache,
+        use_cache=use_cache,
+        cost_model=cost_model,
+    )
+    result.planning_seconds = time.perf_counter() - started
+    return result
+
+
+def _plan_search(
+    query: FAQQuery,
+    stats: Optional[QueryStatistics] = None,
+    *,
+    ordering: Sequence[str] | str | None = None,
+    backend: Optional[str] = None,
+    strategy: Optional[str] = None,
+    cache: Optional[PlanCache] = None,
+    use_cache: bool = True,
+    cost_model: Optional[CostModel] = None,
+) -> Plan:
+    """The body of :func:`plan` (split out so the wrapper can time it)."""
     model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
     if backend is not None:
         validate_backend(backend)

@@ -128,3 +128,129 @@ class TestJoinFactors:
         psi = make_factor(("A",), {(0,): 2})
         joined = join_factors([constant, psi], COUNTING)
         assert joined.value({"A": 0}, COUNTING) == 20
+
+
+class TestEliminateJoin:
+    """The fused hash-join-and-aggregate kernel used by InsideOut's hot loop."""
+
+    def _tries(self, factors, order):
+        from repro.factors.index import TrieCache
+
+        cache = TrieCache(order, COUNTING)
+        return [cache.trie(f) for f in factors], cache
+
+    def _fused_vs_reference(self, factors, variable, order, combine=lambda a, b: a + b):
+        from repro.core.outsidein import eliminate_join
+
+        present = set()
+        for f in factors:
+            present |= set(f.scope)
+        output_scope = tuple(v for v in order if v in present and v != variable)
+        tries, _ = self._tries(factors, order)
+        fused = eliminate_join(
+            tries, COUNTING, variable, output_scope, combine, variable_order=order
+        )
+        reference = join_factors(
+            factors, COUNTING, output_scope=output_scope, combine=combine,
+            variable_order=list(order),
+        )
+        assert fused.equals(reference, COUNTING), (fused.table, reference.table)
+        return fused
+
+    def test_matches_join_factors_on_randoms(self):
+        rng = random.Random(11)
+        order = ("A", "B", "C", "D")
+        for _ in range(25):
+            domains = {v: (0, 1, 2) for v in order}
+            factors = []
+            for _ in range(rng.randint(1, 4)):
+                arity = rng.randint(0, 3)
+                scope = tuple(rng.sample(order, arity))
+                factors.append(random_factor(scope, domains, rng, density=0.7))
+            present = set()
+            for f in factors:
+                present |= set(f.scope)
+            if not present:
+                continue
+            variable = max(present, key=order.index)
+            self._fused_vs_reference(factors, variable, order)
+
+    def test_empty_participant_short_circuits(self):
+        psi = make_factor(("A", "B"), {})
+        other = make_factor(("B",), {(0,): 1})
+        fused = self._fused_vs_reference([psi, other], "B", ("A", "B"))
+        assert len(fused) == 0
+
+    def test_constant_factor_participates(self):
+        constant = Factor((), {(): 10})
+        psi = make_factor(("A", "B"), {(0, 0): 2, (0, 1): 3})
+        fused = self._fused_vs_reference([constant, psi], "B", ("A", "B"))
+        assert fused.table == {(0,): 50}
+
+    def test_no_survivors_collapses_to_scalar(self):
+        psi = make_factor(("A",), {(0,): 2, (1,): 3})
+        fused = self._fused_vs_reference([psi], "A", ("A",))
+        assert fused.table == {(): 5}
+
+    def test_falls_back_when_variable_not_last(self):
+        from repro.core.outsidein import eliminate_join
+
+        left = make_factor(("A", "B"), {(0, 0): 1, (1, 0): 2})
+        right = make_factor(("B", "C"), {(0, 1): 3})
+        order = ("A", "B", "C")
+        tries, _ = self._tries([left, right], order)
+        fused = eliminate_join(
+            tries, COUNTING, "B", ("A", "C"), lambda a, b: a + b, variable_order=order
+        )
+        reference = join_factors(
+            [left, right], COUNTING, output_scope=("A", "C"),
+            combine=lambda a, b: a + b, variable_order=list(order),
+        )
+        assert fused.equals(reference, COUNTING)
+
+    def test_counters_track_work(self):
+        from repro.core.outsidein import eliminate_join
+
+        stats = OutsideInStats()
+        left = make_factor(("A", "B"), {(0, 0): 1, (0, 1): 2, (1, 0): 4})
+        right = make_factor(("B",), {(0,): 1, (1,): 1})
+        tries, _ = self._tries([left, right], ("A", "B"))
+        fused = eliminate_join(
+            tries, COUNTING, "B", ("A",), lambda a, b: a + b,
+            variable_order=("A", "B"), stats=stats,
+        )
+        assert fused.table == {(0,): 3, (1,): 4}
+        assert stats.emitted_tuples == 3
+        assert stats.search_steps > 0
+        assert stats.intersections > 0
+
+
+class TestTrieCache:
+    def test_trie_reused_for_same_factor(self):
+        from repro.factors.index import TrieCache
+
+        cache = TrieCache(("A", "B"), COUNTING)
+        psi = make_factor(("A", "B"), {(0, 0): 1})
+        assert cache.trie(psi) is cache.trie(psi)
+
+    def test_projection_reused_and_discarded(self):
+        from repro.factors.index import TrieCache
+
+        cache = TrieCache(("A", "B", "C"), COUNTING)
+        psi = make_factor(("A", "B"), {(0, 0): 1, (0, 1): 2})
+        projected, trie = cache.projection(psi, {"A"})
+        assert projected.table == {(0,): 1}
+        assert cache.projection(psi, {"A"})[1] is trie
+        cache.discard(psi)
+        assert cache.projection(psi, {"A"})[1] is not trie
+
+    def test_dense_factor_indexed_via_listing(self):
+        from repro.factors.dense import DenseFactor
+        from repro.factors.index import TrieCache
+
+        dense = DenseFactor.from_factor(
+            make_factor(("A",), {(0,): 2, (1,): 0}), {"A": (0, 1)}, COUNTING
+        )
+        cache = TrieCache(("A",), COUNTING)
+        trie = cache.trie(dense)
+        assert trie.value((0,)) == 2
