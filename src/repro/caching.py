@@ -1,0 +1,135 @@
+"""A small thread-safe LRU used by the process-wide memo caches.
+
+Both the planner's :class:`~repro.planner.cache.PlanCache` and the
+process-wide ``ρ*`` memo of :mod:`repro.hypergraph.covers` need the same
+thing: a bounded mapping with least-recently-used eviction, hit/miss
+counters, and safety under the worker pools introduced by
+:mod:`repro.exec` and :mod:`repro.serve` (planning and execution now run
+concurrently against the shared caches).  This module is deliberately
+dependency-free so that both layers can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator, List, Tuple
+
+_MISSING = object()
+
+
+class LruCache:
+    """A bounded least-recently-used mapping with hit/miss counters.
+
+    All operations take an internal lock, so a single instance can back a
+    process-wide memo that worker threads read and populate concurrently.
+    Counters are exact under concurrency (they are only touched while the
+    lock is held).
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValueError(f"LruCache needs maxsize >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The value for ``key`` (counted + marked most recently used)."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """``get`` without touching LRU order or the counters."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            return default if value is _MISSING else value
+
+    def put(self, key: Hashable, value: Any) -> List[Tuple[Hashable, Any]]:
+        """Insert (or refresh) an entry; returns the evicted ``(key, value)``
+        pairs so callers keeping secondary indexes can clean them up."""
+        evicted: List[Tuple[Hashable, Any]] = []
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                evicted.append(self._entries.popitem(last=False))
+        return evicted
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            return self._entries.pop(key, default)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        """A snapshot of the entries, least recently used first."""
+        with self._lock:
+            return iter(list(self._entries.items()))
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path, *, kind: str, version: int) -> int:
+        """Pickle the entries to ``path`` tagged with a kind + format version.
+
+        Returns the number of entries written.  The tag is checked by
+        :meth:`load`, so bumping ``version`` invalidates every persisted
+        file of that kind at once.
+        """
+        with self._lock:
+            entries = list(self._entries.items())
+        payload = {"kind": kind, "version": version, "entries": entries}
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        return len(entries)
+
+    def load(self, path, *, kind: str, version: int) -> int:
+        """Merge entries persisted by :meth:`save` into this cache.
+
+        Entries with a mismatched kind or format version are ignored (the
+        file is simply stale); returns the number of entries merged.
+        Existing entries for the same keys are refreshed.
+        """
+        # Best-effort by contract: a missing, truncated, corrupt or
+        # stale-format file (including unpicklable entries whose classes
+        # moved between releases — the version tag can only be checked
+        # *after* pickle has instantiated them) must never crash the
+        # loading process; it is simply ignored.
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if not isinstance(payload, dict):
+                return 0
+            if payload.get("kind") != kind or payload.get("version") != version:
+                return 0
+            entries = list(payload.get("entries", []))
+            count = 0
+            for key, value in entries:
+                self.put(key, value)
+                count += 1
+            return count
+        except Exception:
+            return 0

@@ -19,6 +19,12 @@ with three twists over textbook variable elimination:
 The output over the free variables is produced either in the listing
 representation (a final OutsideIn join, equation (9)) or as a
 :class:`~repro.core.output.FactorizedOutput` (Section 8.4).
+
+The per-variable step bodies are exposed as :func:`eliminate_semiring_step`,
+:func:`eliminate_product_step` and :func:`output_phase` so that the parallel
+step-DAG executor (:mod:`repro.exec`) runs *exactly* the same kernels as the
+sequential loop below — a DAG run with any worker count computes the same
+factors (and the same per-step stats) as ``inside_out`` itself.
 """
 
 from __future__ import annotations
@@ -42,7 +48,7 @@ from repro.factors.backend import (
 )
 from repro.factors.dense import DenseFactor
 from repro.factors.factor import Factor
-from repro.factors.index import FactorTrie, TrieCache
+from repro.factors.index import SharedTrieCache, TrieCache, build_trie
 from repro.semiring.base import Semiring
 
 
@@ -130,17 +136,35 @@ def _validated_ordering(query: FAQQuery, ordering: Sequence[str] | None) -> List
     return order
 
 
-def _eliminate_semiring(
+def _validated_workers(workers: int | None) -> int | None:
+    """Validate an opt-in ``workers=`` argument (``None`` means serial)."""
+    if workers is None:
+        return None
+    if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
+        raise QueryError(f"workers must be a positive integer or None, got {workers!r}")
+    return workers
+
+
+def eliminate_semiring_step(
     query: FAQQuery,
-    factors: List[Factor],
+    incident: List[Factor],
+    others: List[Factor],
     variable: str,
     use_indicator_projections: bool,
-    stats: InsideOutStats,
+    join_stats: OutsideInStats,
     backend: str = BACKEND_SPARSE,
     policy: BackendPolicy = DEFAULT_POLICY,
     tries: Optional[TrieCache] = None,
-) -> List[Factor]:
+) -> Tuple[Optional[Factor], EliminationRecord]:
     """One semiring-aggregate elimination step (lines 5-11 of Algorithm 1).
+
+    ``incident`` are the factors whose scope contains ``variable``;
+    ``others`` are the remaining live factors (scanned for indicator
+    projections).  Returns the step's new factor (``None`` when the step
+    produces nothing — a constant fold to the semiring one) plus its
+    :class:`EliminationRecord`.  The step is a pure function of its factor
+    inputs, which is what lets the DAG executor run independent steps
+    concurrently and still match the sequential loop bit for bit.
 
     The sparse path runs the fused hash-join-and-aggregate kernel
     (:func:`repro.core.outsidein.eliminate_join`) over tries from the
@@ -152,9 +176,6 @@ def _eliminate_semiring(
     aggregate = query.aggregates[variable]
     start = time.perf_counter()
 
-    incident = [f for f in factors if variable in f.scope]
-    others = [f for f in factors if variable not in f.scope]
-
     if not incident:
         # The variable occurs in no remaining factor: the inner product is the
         # constant 1 and the aggregate folds |Dom| copies of it.
@@ -162,21 +183,19 @@ def _eliminate_semiring(
         value = semiring.one
         for _ in range(domain_size - 1):
             value = aggregate.combine(value, semiring.one)
-        new_factors = list(others)
+        new_factor = None
         if not semiring.is_one(value):
-            new_factors.append(Factor((), {(): value}, name=f"const({variable})"))
-        stats.steps.append(
-            EliminationRecord(
-                variable=variable,
-                kind="semiring",
-                induced_set=frozenset({variable}),
-                incident_count=0,
-                projection_count=0,
-                result_size=1,
-                seconds=time.perf_counter() - start,
-            )
+            new_factor = Factor((), {(): value}, name=f"const({variable})")
+        record = EliminationRecord(
+            variable=variable,
+            kind="semiring",
+            induced_set=frozenset({variable}),
+            incident_count=0,
+            projection_count=0,
+            result_size=1,
+            seconds=time.perf_counter() - start,
         )
-        return new_factors
+        return new_factor, record
 
     induced: set = set()
     for factor in incident:
@@ -223,10 +242,11 @@ def _eliminate_semiring(
             tries.projection(source, overlap)[1] for source, overlap in projections
         )
         # Projections of dense factors are transient (a new object per step):
-        # index them directly rather than through the per-run cache.
+        # index them directly rather than through the per-run cache.  The
+        # dense-aware build walks the ndarray cells without a listing
+        # detour.
         participant_tries.extend(
-            FactorTrie(as_sparse(p, semiring), tries.order, semiring)
-            for p in dense_projections
+            build_trie(p, tries.order, semiring) for p in dense_projections
         )
         new_factor = eliminate_join(
             participant_tries,
@@ -235,7 +255,7 @@ def _eliminate_semiring(
             output_scope,
             aggregate.combine,
             variable_order=tries.order,
-            stats=stats.join_stats,
+            stats=join_stats,
             name=f"psi_elim({variable})",
         )
     else:
@@ -245,36 +265,61 @@ def _eliminate_semiring(
             output_scope=output_scope,
             combine=aggregate.combine,
             variable_order=list(query.order),
-            stats=stats.join_stats,
+            stats=join_stats,
             name=f"psi_elim({variable})",
         )
     if tries is not None:
         for factor in incident:
             tries.discard(factor)
-    result_size = len(new_factor)
-    stats.max_intermediate_size = max(stats.max_intermediate_size, result_size)
-    stats.steps.append(
-        EliminationRecord(
-            variable=variable,
-            kind="semiring",
-            induced_set=frozenset(induced),
-            incident_count=len(incident),
-            projection_count=projection_count,
-            result_size=result_size,
-            seconds=time.perf_counter() - start,
-            backend=BACKEND_DENSE if use_dense else BACKEND_SPARSE,
-        )
+    record = EliminationRecord(
+        variable=variable,
+        kind="semiring",
+        induced_set=frozenset(induced),
+        incident_count=len(incident),
+        projection_count=projection_count,
+        result_size=len(new_factor),
+        seconds=time.perf_counter() - start,
+        backend=BACKEND_DENSE if use_dense else BACKEND_SPARSE,
     )
-    return others + [new_factor]
+    return new_factor, record
 
 
-def _eliminate_product(
+def _eliminate_semiring(
     query: FAQQuery,
     factors: List[Factor],
     variable: str,
+    use_indicator_projections: bool,
     stats: InsideOutStats,
+    backend: str = BACKEND_SPARSE,
+    policy: BackendPolicy = DEFAULT_POLICY,
+    tries: Optional[TrieCache] = None,
 ) -> List[Factor]:
-    """One product-aggregate elimination step (lines 13-18 of Algorithm 1)."""
+    """Sequential-loop wrapper around :func:`eliminate_semiring_step`."""
+    incident = [f for f in factors if variable in f.scope]
+    others = [f for f in factors if variable not in f.scope]
+    new_factor, record = eliminate_semiring_step(
+        query, incident, others, variable, use_indicator_projections,
+        stats.join_stats, backend=backend, policy=policy, tries=tries,
+    )
+    stats.steps.append(record)
+    if incident:
+        stats.max_intermediate_size = max(stats.max_intermediate_size, record.result_size)
+    if new_factor is None:
+        return list(others)
+    return others + [new_factor]
+
+
+def eliminate_product_step(
+    query: FAQQuery,
+    factors: List[Factor],
+    variable: str,
+) -> Tuple[List[Factor], EliminationRecord]:
+    """One product-aggregate elimination step (lines 13-18 of Algorithm 1).
+
+    Returns the new factor list aligned positionally with ``factors`` (the
+    factor at index ``i`` is the image of ``factors[i]``) plus the step
+    record, so the DAG executor can map input slots to output slots.
+    """
     semiring = query.semiring
     domain_size = query.domain_size(variable)
     start = time.perf_counter()
@@ -295,18 +340,28 @@ def _eliminate_product(
             largest = max(largest, len(powered))
             new_factors.append(powered)
 
-    stats.max_intermediate_size = max(stats.max_intermediate_size, largest)
-    stats.steps.append(
-        EliminationRecord(
-            variable=variable,
-            kind="product",
-            induced_set=frozenset({variable}),
-            incident_count=incident_count,
-            projection_count=0,
-            result_size=largest,
-            seconds=time.perf_counter() - start,
-        )
+    record = EliminationRecord(
+        variable=variable,
+        kind="product",
+        induced_set=frozenset({variable}),
+        incident_count=incident_count,
+        projection_count=0,
+        result_size=largest,
+        seconds=time.perf_counter() - start,
     )
+    return new_factors, record
+
+
+def _eliminate_product(
+    query: FAQQuery,
+    factors: List[Factor],
+    variable: str,
+    stats: InsideOutStats,
+) -> List[Factor]:
+    """Sequential-loop wrapper around :func:`eliminate_product_step`."""
+    new_factors, record = eliminate_product_step(query, factors, variable)
+    stats.max_intermediate_size = max(stats.max_intermediate_size, record.result_size)
+    stats.steps.append(record)
     return new_factors
 
 
@@ -333,6 +388,47 @@ def _expand_isolated_free(
     return result.normalize_scope(query.free)
 
 
+def output_phase(
+    query: FAQQuery,
+    factors: List[Factor],
+    order: Sequence[str],
+    backend: str,
+    policy: BackendPolicy,
+    join_stats: OutsideInStats,
+) -> Factor:
+    """The output phase over the free variables (listing mode, equation (9))."""
+    semiring = query.semiring
+    if query.num_free == 0:
+        value = semiring.one
+        for factor in factors:
+            value = semiring.mul(value, factor.value({}, semiring))
+        table = {} if semiring.is_zero(value) else {(): value}
+        return Factor((), table, name=f"{query.name}(out)")
+
+    output_scope = tuple(v for v in query.free if any(v in f.scope for f in factors))
+    if factors and choose_dense(
+        backend, factors, output_scope, query.domains(), semiring, (), policy
+    ):
+        output = dense_join_reduce(
+            factors,
+            semiring,
+            query.domains(),
+            output_scope,
+            name=f"{query.name}(out)",
+        ).to_factor(semiring, name=f"{query.name}(out)")
+    else:
+        output = join_factors(
+            factors,
+            semiring,
+            output_scope=output_scope,
+            combine=None,
+            variable_order=list(order),
+            stats=join_stats,
+            name=f"{query.name}(out)",
+        )
+    return _expand_isolated_free(query, output, semiring)
+
+
 def inside_out(
     query: FAQQuery,
     ordering: Sequence[str] | str | None = None,
@@ -340,6 +436,8 @@ def inside_out(
     output_mode: str = "listing",
     backend: str = BACKEND_SPARSE,
     backend_policy: BackendPolicy | None = None,
+    workers: int | None = None,
+    shared_tries: SharedTrieCache | None = None,
 ) -> InsideOutResult:
     """Run InsideOut (Algorithm 1) on an FAQ query.
 
@@ -377,6 +475,17 @@ def inside_out(
     backend_policy:
         Thresholds for the heuristic (defaults to
         :data:`repro.factors.backend.DEFAULT_POLICY`).
+    workers:
+        Opt-in parallelism.  ``None`` or ``1`` runs the sequential loop
+        below; any larger value lowers the run to an explicit step DAG and
+        executes independent elimination steps on a thread pool
+        (:class:`repro.exec.DagExecutor`).  Results and stats totals are
+        identical to the serial run for every worker count.
+    shared_tries:
+        A :class:`~repro.factors.index.SharedTrieCache` holding this
+        query's base-factor tries across runs (supplied by the serving
+        layer for repeated identical queries); ignored unless it was built
+        for the same ordering and semiring.
 
     Returns
     -------
@@ -385,8 +494,23 @@ def inside_out(
     if output_mode not in ("listing", "factorized"):
         raise QueryError(f"unknown output mode {output_mode!r}")
     backend = validate_backend(backend)
+    workers = _validated_workers(workers)
     policy = backend_policy if backend_policy is not None else DEFAULT_POLICY
     order = _validated_ordering(query, ordering)
+
+    if workers is not None and workers > 1:
+        from repro.exec import DagExecutor
+
+        return DagExecutor(workers=workers).run(
+            query,
+            ordering=order,
+            use_indicator_projections=use_indicator_projections,
+            output_mode=output_mode,
+            backend=backend,
+            backend_policy=policy,
+            shared_tries=shared_tries,
+        )
+
     semiring = query.semiring
     stats = InsideOutStats()
     started = time.perf_counter()
@@ -401,6 +525,7 @@ def inside_out(
     # every step (the ordering is the global trie order, so the variable
     # being eliminated is always the deepest remaining trie level).
     tries = TrieCache(order, semiring)
+    tries.adopt_parent(shared_tries)
 
     # Eliminate bound variables from the innermost aggregate outwards.
     for position in range(len(order) - 1, query.num_free - 1, -1):
@@ -435,36 +560,7 @@ def inside_out(
             factor=None, factorized=factorized, ordering=tuple(order), stats=stats
         )
 
-    if query.num_free == 0:
-        value = semiring.one
-        for factor in factors:
-            value = semiring.mul(value, factor.value({}, semiring))
-        table = {} if semiring.is_zero(value) else {(): value}
-        output = Factor((), table, name=f"{query.name}(out)")
-    else:
-        output_scope = tuple(v for v in query.free if any(v in f.scope for f in factors))
-        if factors and choose_dense(
-            backend, factors, output_scope, query.domains(), semiring, (), policy
-        ):
-            output = dense_join_reduce(
-                factors,
-                semiring,
-                query.domains(),
-                output_scope,
-                name=f"{query.name}(out)",
-            ).to_factor(semiring, name=f"{query.name}(out)")
-        else:
-            output = join_factors(
-                factors,
-                semiring,
-                output_scope=output_scope,
-                combine=None,
-                variable_order=list(order),
-                stats=stats.join_stats,
-                name=f"{query.name}(out)",
-            )
-        output = _expand_isolated_free(query, output, semiring)
-
+    output = output_phase(query, factors, order, backend, policy, stats.join_stats)
     stats.output_size = len(output)
     stats.total_seconds = time.perf_counter() - started
     return InsideOutResult(factor=output, factorized=None, ordering=tuple(order), stats=stats)

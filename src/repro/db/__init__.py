@@ -14,7 +14,7 @@ from repro.db.yannakakis import semijoin, yannakakis
 from repro.db.generic_join import generic_join
 
 
-def join(relations, output_attributes=None):
+def join(relations, output_attributes=None, workers=None):
     """Natural join routed through the cost-based planner.
 
     The planner (:mod:`repro.planner`) picks the algorithm from estimated
@@ -29,9 +29,9 @@ def join(relations, output_attributes=None):
     from repro.solvers.joins import natural_join_insideout, projected_join_query
 
     if output_attributes is None:
-        return natural_join_insideout(relations)
+        return natural_join_insideout(relations, workers=workers)
     query = projected_join_query(relations, output_attributes)
-    result = execute(query)
+    result = execute(query, workers=workers)
     rows = [key for key, value in result.factor.table.items() if value]
     return Relation("join", result.factor.scope, rows)
 

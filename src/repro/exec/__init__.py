@@ -1,0 +1,30 @@
+"""Parallel execution of InsideOut runs as explicit step DAGs.
+
+The planner's chosen ordering fixes *what* each elimination step computes;
+this package makes the dependency structure between those steps explicit
+(:func:`lower_insideout` → :class:`StepDag`) and executes independent steps
+on a worker pool (:class:`DagExecutor`).  Entry points stay where they are:
+pass ``workers=`` to :func:`repro.core.insideout.inside_out`,
+:meth:`repro.planner.Plan.execute`, :func:`repro.planner.execute` or any
+solver wrapper, or batch whole queries through :mod:`repro.serve`.
+"""
+
+from repro.exec.dag import (
+    KIND_OUTPUT,
+    KIND_PRODUCT,
+    KIND_SEMIRING,
+    StepDag,
+    StepNode,
+    lower_insideout,
+)
+from repro.exec.executor import DagExecutor
+
+__all__ = [
+    "DagExecutor",
+    "StepDag",
+    "StepNode",
+    "lower_insideout",
+    "KIND_SEMIRING",
+    "KIND_PRODUCT",
+    "KIND_OUTPUT",
+]

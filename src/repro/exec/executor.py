@@ -1,0 +1,251 @@
+"""The parallel step-DAG executor.
+
+:class:`DagExecutor` runs the :class:`~repro.exec.dag.StepDag` of one
+InsideOut run on a thread pool.  Independent elimination steps — steps over
+disjoint factor groups, whose DAG nodes share no slots — execute
+concurrently; the dense/NumPy kernels release the GIL inside their ufunc
+reductions, so multi-block dense workloads scale with cores.  The sparse
+kernels are pure Python and gain nothing from threads, but remain *correct*
+under the pool: every step kernel is a pure function of its input factors.
+
+Guarantees (enforced by ``tests/test_exec_parallel.py``):
+
+* the output factor is **bit-identical** to the sequential
+  :func:`repro.core.insideout.inside_out` run for every worker count, and
+* the :class:`~repro.core.insideout.InsideOutStats` totals (per-step
+  records, join counters, max intermediate size) are identical too —
+  per-node counters are accumulated privately and merged in sequential
+  step order once the run completes.
+
+``workers=1`` is the serial fallback: the nodes run in exactly the
+sequential loop's order on the calling thread (no pool, no locks beyond
+the always-cheap ones), which keeps the serial path's cost profile.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.core.insideout import (
+    EliminationRecord,
+    InsideOutResult,
+    InsideOutStats,
+    _validated_ordering,
+    _validated_workers,
+    eliminate_product_step,
+    eliminate_semiring_step,
+    output_phase,
+)
+from repro.core.output import FactorizedOutput
+from repro.core.outsidein import OutsideInStats
+from repro.core.query import FAQQuery, QueryError
+from repro.exec.dag import (
+    KIND_OUTPUT,
+    KIND_PRODUCT,
+    KIND_SEMIRING,
+    StepDag,
+    lower_insideout,
+)
+from repro.factors.backend import (
+    BACKEND_SPARSE,
+    BackendPolicy,
+    DEFAULT_POLICY,
+    as_sparse,
+    validate_backend,
+)
+from repro.factors.factor import Factor
+from repro.factors.index import SharedTrieCache, TrieCache
+
+
+class DagExecutor:
+    """Executes a lowered InsideOut step DAG on a worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``1`` runs the serial fallback (bit-identical to the
+        sequential loop, executed inline); larger values run independent
+        steps concurrently on threads.  ``None`` lets the platform decide
+        (``os.cpu_count()``).
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        workers = _validated_workers(workers)
+        if workers is None:
+            import os
+
+            workers = os.cpu_count() or 1
+        self.workers = workers
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        query: FAQQuery,
+        ordering: Sequence[str] | str | None = None,
+        use_indicator_projections: bool = True,
+        output_mode: str = "listing",
+        backend: str = BACKEND_SPARSE,
+        backend_policy: BackendPolicy | None = None,
+        shared_tries: SharedTrieCache | None = None,
+    ) -> InsideOutResult:
+        """Lower ``query`` to a step DAG and execute it.
+
+        Accepts the same arguments as
+        :func:`repro.core.insideout.inside_out` and returns the same
+        :class:`~repro.core.insideout.InsideOutResult`.
+        """
+        if output_mode not in ("listing", "factorized"):
+            raise QueryError(f"unknown output mode {output_mode!r}")
+        backend = validate_backend(backend)
+        policy = backend_policy if backend_policy is not None else DEFAULT_POLICY
+        order = _validated_ordering(query, ordering)
+        semiring = query.semiring
+        started = time.perf_counter()
+
+        dag = lower_insideout(
+            query, order,
+            use_indicator_projections=use_indicator_projections,
+            output_mode=output_mode,
+        )
+
+        slots: List[Optional[Factor]] = [None] * dag.num_slots
+        base_factors: List[Factor] = list(query.factors)
+        if not base_factors:
+            base_factors = [Factor((), {(): semiring.one}, name="unit")]
+        for i, factor in enumerate(base_factors):
+            slots[i] = factor
+
+        parallel = self.workers > 1 and dag.max_parallelism > 1
+        tries = TrieCache(order, semiring, thread_safe=parallel)
+        tries.adopt_parent(shared_tries)
+
+        records: List[Optional[EliminationRecord]] = [None] * len(dag.nodes)
+        node_join_stats = [OutsideInStats() for _ in dag.nodes]
+
+        def execute_node(index: int) -> None:
+            node = dag.nodes[index]
+            join_stats = node_join_stats[index]
+            if node.kind == KIND_SEMIRING:
+                incident = [slots[s] for s in node.incident]
+                others = [slots[s] for s in node.reads]
+                new_factor, record = eliminate_semiring_step(
+                    query, incident, others, node.variable,
+                    use_indicator_projections, join_stats,
+                    backend=backend, policy=policy, tries=tries,
+                )
+                slots[node.outputs[0]] = new_factor
+                records[index] = record
+            elif node.kind == KIND_PRODUCT:
+                pairs = [
+                    (k, slots[s]) for k, s in enumerate(node.incident)
+                    if slots[s] is not None
+                ]
+                new_factors, record = eliminate_product_step(
+                    query, [factor for _, factor in pairs], node.variable
+                )
+                for (k, old), new in zip(pairs, new_factors):
+                    slots[node.outputs[k]] = new
+                    if new is not old:
+                        tries.discard(old)
+                records[index] = record
+            elif node.kind == KIND_OUTPUT:
+                factors = [slots[s] for s in node.incident if slots[s] is not None]
+                slots[node.outputs[0]] = output_phase(
+                    query, factors, order, backend, policy, join_stats
+                )
+            else:  # pragma: no cover - defensive
+                raise QueryError(f"unknown step kind {node.kind!r}")
+
+        if parallel:
+            self._run_parallel(dag, execute_node)
+        else:
+            for node in dag.nodes:
+                execute_node(node.index)
+
+        # Assemble stats in sequential step order, independent of the order
+        # the pool happened to complete nodes in: totals match the serial run.
+        stats = InsideOutStats()
+        for index in range(len(dag.nodes)):
+            record = records[index]
+            if record is not None:
+                stats.steps.append(record)
+                if record.kind == KIND_PRODUCT or record.incident_count > 0:
+                    stats.max_intermediate_size = max(
+                        stats.max_intermediate_size, record.result_size
+                    )
+            stats.join_stats.merge(node_join_stats[index])
+
+        if output_mode == "factorized":
+            factorized = FactorizedOutput(
+                free=tuple(order[: query.num_free]),
+                factors=tuple(
+                    as_sparse(slots[s], semiring)
+                    for s in dag.final_live
+                    if slots[s] is not None
+                ),
+                semiring=semiring,
+                domains={v: query.domain(v) for v in query.free},
+            )
+            stats.output_size = -1
+            stats.total_seconds = time.perf_counter() - started
+            return InsideOutResult(
+                factor=None, factorized=factorized, ordering=tuple(order), stats=stats
+            )
+
+        output = slots[dag.final_live[0]]
+        stats.output_size = len(output)
+        stats.total_seconds = time.perf_counter() - started
+        return InsideOutResult(
+            factor=output, factorized=None, ordering=tuple(order), stats=stats
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run_parallel(self, dag: StepDag, execute_node) -> None:
+        """Run the DAG nodes as their dependencies complete.
+
+        The calling thread schedules: it submits every dependency-free node,
+        then wakes on each completion to release the node's dependents.
+        Worker exceptions are re-raised here after the pool drains.
+        """
+        dependents = dag.dependents()
+        indegree = {node.index: len(node.depends_on) for node in dag.nodes}
+        lock = threading.Lock()
+        ready_cv = threading.Condition(lock)
+        finished: List[int] = []
+        errors: List[BaseException] = []
+
+        def work(index: int) -> None:
+            try:
+                execute_node(index)
+            except BaseException as exc:  # noqa: BLE001 - re-raised by scheduler
+                with ready_cv:
+                    errors.append(exc)
+                    ready_cv.notify()
+                return
+            with ready_cv:
+                finished.append(index)
+                ready_cv.notify()
+
+        with ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-dag"
+        ) as pool:
+            with ready_cv:
+                for node in dag.nodes:
+                    if indegree[node.index] == 0:
+                        pool.submit(work, node.index)
+                processed = 0
+                while processed < len(dag.nodes) and not errors:
+                    while not finished and not errors:
+                        ready_cv.wait()
+                    while finished:
+                        completed = finished.pop()
+                        processed += 1
+                        for dependent in dependents[completed]:
+                            indegree[dependent] -= 1
+                            if indegree[dependent] == 0:
+                                pool.submit(work, dependent)
+        if errors:
+            raise errors[0]

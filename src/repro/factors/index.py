@@ -7,11 +7,28 @@ scope contains the current variable.  To make each intersection step cheap we
 index every factor as a trie whose levels follow the global order restricted
 to the factor's scope — the classic structure behind worst-case-optimal join
 algorithms such as LeapFrog TrieJoin and Generic Join.
+
+Three index holders live here:
+
+* :class:`FactorTrie` — one factor's trie.  Builds from the listing
+  representation or (via :meth:`FactorTrie.from_dense`) directly from a
+  dense ndarray factor's non-zero cells, skipping the dense → listing
+  round trip mixed ``auto`` plans used to pay.
+* :class:`TrieCache` — the per-run index shared across one InsideOut run's
+  elimination steps (optionally thread-safe for the parallel executor).
+* :class:`SharedTrieCache` — a cross-run store for *base* factors' tries
+  and indicator projections, used by :mod:`repro.serve` so repeated
+  identical queries stop re-indexing their input factors on every
+  execution.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Sequence, Tuple
+import threading
+from contextlib import nullcontext
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.factors.factor import Factor
 from repro.semiring.base import Semiring
@@ -63,6 +80,45 @@ class FactorTrie:
                 root[_LEAF] = value
         self.root = root
 
+    @classmethod
+    def from_dense(cls, dense, order: Sequence[str], semiring: Semiring) -> "FactorTrie":
+        """Index a :class:`~repro.factors.dense.DenseFactor` directly.
+
+        Builds the trie in one pass over the array's non-zero cells instead
+        of materialising an intermediate listing ``Factor`` first (the
+        dense → listing → trie round trip a sparse step following a dense
+        one used to pay under ``backend="auto"``).  The inserted values are
+        exactly those ``DenseFactor.to_factor`` would produce, so the
+        resulting trie is interchangeable with the converted one.
+        """
+        position = {v: i for i, v in enumerate(order)}
+        missing = [v for v in dense.scope if v not in position]
+        if missing:
+            raise ValueError(f"order {list(order)} misses scope variables {missing}")
+        self = cls.__new__(cls)
+        self.factor = dense
+        self.variables = tuple(sorted(dense.scope, key=lambda v: position[v]))
+        perm = [dense.scope.index(v) for v in self.variables]
+        root: Dict[Any, Any] = {}
+        mask = dense.nonzero_mask(semiring)
+        domains = [dense.domains[v] for v in dense.scope]
+        array = dense.array
+        is_object = array.dtype == object
+        for cell in np.argwhere(mask):
+            raw = array[tuple(cell)]
+            value = raw if is_object else raw.item()
+            node = root
+            for idx in perm[:-1] if perm else []:
+                node = node.setdefault(domains[idx][cell[idx]], {})
+            if perm:
+                last = domains[perm[-1]][cell[perm[-1]]]
+                leaf = node.setdefault(last, {})
+                leaf[_LEAF] = value
+            else:
+                root[_LEAF] = value
+        self.root = root
+        return self
+
     # ------------------------------------------------------------------ #
     @property
     def depth(self) -> int:
@@ -108,11 +164,101 @@ class FactorTrie:
         return f"FactorTrie({self.factor.name}, levels={self.variables})"
 
 
+def build_trie(factor, order: Sequence[str], semiring: Semiring) -> FactorTrie:
+    """Index one factor, dispatching on its representation.
+
+    Dense factors are indexed straight from their ndarray cells
+    (:meth:`FactorTrie.from_dense`); sparse factors through the ordinary
+    constructor.
+    """
+    from repro.factors.dense import DenseFactor
+
+    if isinstance(factor, DenseFactor):
+        return FactorTrie.from_dense(factor, order, semiring)
+    return FactorTrie(factor, order, semiring)
+
+
 def build_tries(
     factors: Iterable[Factor], order: Sequence[str], semiring: Semiring
 ) -> list:
     """Index every factor against the same global ``order``."""
-    return [FactorTrie(f, order, semiring) for f in factors]
+    return [build_trie(f, order, semiring) for f in factors]
+
+
+class SharedTrieCache:
+    """Cross-run trie store for a query's *base* factors.
+
+    A per-run :class:`TrieCache` dies with its run, so repeated executions
+    of the identical query re-index the same input factors every time.  The
+    serving layer (:mod:`repro.serve`) keeps one ``SharedTrieCache`` per
+    (query, ordering) and hands it to each run as the :class:`TrieCache`
+    parent: base-factor tries and indicator projections are built once and
+    survive across runs.  Entries are keyed by object identity and the
+    factors are pinned (the cache holds the query's factor list), so a
+    recycled ``id()`` can never resolve to a stale trie.
+
+    All methods are thread-safe — concurrent runs of the same query may
+    populate the store simultaneously (both build the same trie; the first
+    store wins, the results are equal).
+    """
+
+    __slots__ = ("order", "semiring", "hits", "misses", "_factors", "_ids",
+                 "_tries", "_projections", "_lock")
+
+    def __init__(self, order: Sequence[str], semiring: Semiring, factors: Sequence[Any]) -> None:
+        self.order: Tuple[str, ...] = tuple(order)
+        self.semiring = semiring
+        self.hits = 0
+        self.misses = 0
+        self._factors = list(factors)  # pins the ids below
+        self._ids = frozenset(id(f) for f in self._factors)
+        self._tries: Dict[int, FactorTrie] = {}
+        # (id, overlap) -> [projected factor, trie or None (lazy)]
+        self._projections: Dict[Tuple[int, frozenset], list] = {}
+        self._lock = threading.Lock()
+
+    def covers(self, factor) -> bool:
+        """Whether ``factor`` is one of the base factors this store serves."""
+        return id(factor) in self._ids
+
+    def trie(self, factor) -> FactorTrie:
+        key = id(factor)
+        with self._lock:
+            trie = self._tries.get(key)
+            if trie is not None:
+                self.hits += 1
+                return trie
+            self.misses += 1
+        trie = build_trie(factor, self.order, self.semiring)
+        with self._lock:
+            return self._tries.setdefault(key, trie)
+
+    def projection_entry(self, factor, overlap: frozenset) -> list:
+        """The cached ``[projected, trie-or-None]`` pair for a projection."""
+        from repro.factors.backend import as_sparse
+
+        key = (id(factor), overlap)
+        with self._lock:
+            entry = self._projections.get(key)
+            if entry is not None:
+                self.hits += 1
+                return entry
+            self.misses += 1
+        sparse = as_sparse(factor, self.semiring)
+        projected = sparse.indicator_projection(overlap, self.semiring)
+        with self._lock:
+            return self._projections.setdefault(key, [projected, None])
+
+    def projection_trie(self, entry: list) -> FactorTrie:
+        """The (lazily built) trie of a projection entry."""
+        with self._lock:
+            if entry[1] is not None:
+                return entry[1]
+        trie = FactorTrie(entry[0], self.order, self.semiring)
+        with self._lock:
+            if entry[1] is None:
+                entry[1] = trie
+            return entry[1]
 
 
 class TrieCache:
@@ -124,8 +270,8 @@ class TrieCache:
     global variable order and hands out
 
     * :meth:`trie` — the :class:`FactorTrie` of a factor, built once per
-      factor object (dense factors are converted to the listing
-      representation once and indexed from that), and
+      factor object (dense factors are indexed straight from their ndarray
+      cells), and
     * :meth:`projection` — the indicator projection of a factor onto an
       overlap set *and* its trie, built once per ``(factor, overlap)`` pair
       (the same projection recurs whenever later steps induce the same
@@ -134,39 +280,86 @@ class TrieCache:
     Entries are keyed by object identity; the cache holds a reference to
     the keyed factor so the identity cannot be recycled while the entry
     lives.  :meth:`discard` drops entries for factors consumed by a step.
+
+    ``thread_safe=True`` (used by the parallel DAG executor) guards the
+    entry maps and the ``hits``/``misses`` counters with a lock so stats
+    stay exact under the worker pool; tries themselves are built outside
+    the lock (two threads may build the same trie — the first store wins
+    and both results are equal).  ``adopt_parent`` plugs in a
+    :class:`SharedTrieCache` whose base-factor entries are consulted first
+    and never discarded.
     """
 
-    __slots__ = ("order", "semiring", "_tries", "_projections", "_projection_keys")
+    __slots__ = ("order", "semiring", "hits", "misses", "_tries", "_projections",
+                 "_projection_keys", "_lock", "_parent")
 
-    def __init__(self, order: Sequence[str], semiring: Semiring) -> None:
+    def __init__(
+        self, order: Sequence[str], semiring: Semiring, thread_safe: bool = False
+    ) -> None:
         self.order: Tuple[str, ...] = tuple(order)
         self.semiring = semiring
+        self.hits = 0
+        self.misses = 0
         self._tries: Dict[int, Tuple[Any, FactorTrie]] = {}
         # key -> [source factor, projected factor, trie or None (lazy)]
         self._projections: Dict[Tuple[int, frozenset], list] = {}
         self._projection_keys: Dict[int, set] = {}
+        self._lock = threading.RLock() if thread_safe else nullcontext()
+        self._parent: Optional[SharedTrieCache] = None
+
+    def adopt_parent(self, parent: Optional[SharedTrieCache]) -> None:
+        """Consult ``parent`` for base-factor tries before building locally.
+
+        A parent built against a different global order or semiring is
+        silently ignored — its tries would be ordered wrong for this run.
+        """
+        if parent is None:
+            return
+        if parent.order != self.order or parent.semiring is not self.semiring:
+            return
+        self._parent = parent
 
     def trie(self, factor) -> FactorTrie:
         key = id(factor)
-        entry = self._tries.get(key)
-        if entry is None or entry[0] is not factor:
-            from repro.factors.backend import as_sparse
-
-            sparse = as_sparse(factor, self.semiring)
-            entry = (factor, FactorTrie(sparse, self.order, self.semiring))
-            self._tries[key] = entry
-        return entry[1]
+        with self._lock:
+            entry = self._tries.get(key)
+            if entry is not None and entry[0] is factor:
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
+        if self._parent is not None and self._parent.covers(factor):
+            trie = self._parent.trie(factor)
+        else:
+            trie = build_trie(factor, self.order, self.semiring)
+        with self._lock:
+            stored = self._tries.get(key)
+            if stored is not None and stored[0] is factor:
+                return stored[1]
+            self._tries[key] = (factor, trie)
+        return trie
 
     def _projection_entry(self, factor, overlap: Iterable[str]) -> list:
         overlap_key = frozenset(overlap)
         key = (id(factor), overlap_key)
-        entry = self._projections.get(key)
-        if entry is None or entry[0] is not factor:
+        with self._lock:
+            entry = self._projections.get(key)
+            if entry is not None and entry[0] is factor:
+                self.hits += 1
+                return entry
+            self.misses += 1
+        if self._parent is not None and self._parent.covers(factor):
+            shared = self._parent.projection_entry(factor, overlap_key)
+            entry = [factor, shared[0], None, shared]
+        else:
             from repro.factors.backend import as_sparse
 
             sparse = as_sparse(factor, self.semiring)
             projected = sparse.indicator_projection(overlap_key, self.semiring)
-            entry = [factor, projected, None]
+            entry = [factor, projected, None, None]
+        with self._lock:
+            stored = self._projections.get(key)
+            if stored is not None and stored[0] is factor:
+                return stored
             self._projections[key] = entry
             self._projection_keys.setdefault(id(factor), set()).add(key)
         return entry
@@ -183,11 +376,24 @@ class TrieCache:
         """The indicator projection of ``factor`` onto ``overlap`` + its trie."""
         entry = self._projection_entry(factor, overlap)
         if entry[2] is None:
-            entry[2] = FactorTrie(entry[1], self.order, self.semiring)
+            if entry[3] is not None:  # backed by the shared parent store
+                entry[2] = self._parent.projection_trie(entry[3])
+            else:
+                entry[2] = FactorTrie(entry[1], self.order, self.semiring)
         return entry[1], entry[2]
 
     def discard(self, factor) -> None:
-        """Drop the tries of a factor consumed by an elimination step."""
-        self._tries.pop(id(factor), None)
-        for key in self._projection_keys.pop(id(factor), ()):
-            self._projections.pop(key, None)
+        """Drop the tries of a factor consumed by an elimination step.
+
+        Parent (:class:`SharedTrieCache`) entries are never discarded —
+        they exist precisely to survive into the next run of the query.
+        """
+        with self._lock:
+            self._tries.pop(id(factor), None)
+            for key in self._projection_keys.pop(id(factor), ()):
+                self._projections.pop(key, None)
+
+    def counters(self) -> Dict[str, int]:
+        """A snapshot of the hit/miss counters (exact under the pool)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses}

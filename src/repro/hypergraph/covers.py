@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
 import numpy as np
 from scipy.optimize import linprog
 
+from repro.caching import LruCache
 from repro.hypergraph.hypergraph import Hypergraph, HypergraphError
 
 
@@ -103,16 +104,19 @@ def fractional_edge_cover(
 # non-empty edge restrictions ``S ∩ B`` — the target itself is implied (it is
 # the union of the restrictions once uncovered vertices are handled), so one
 # entry serves every (hypergraph, subset) pair inducing the same structure.
-_RHO_STAR_CACHE: Dict[FrozenSet, float] = {}
-_RHO_STAR_CACHE_MAX = 100_000
-_RHO_STAR_STATS = {"hits": 0, "misses": 0}
+# A real (thread-safe) LRU: full caches evict the least recently used
+# structure instead of dropping everything at once, and concurrent planner
+# threads (repro.serve) share it safely.
+_RHO_STAR_CACHE = LruCache(maxsize=100_000)
+_RHO_STAR_KIND = "repro-rho-star"
+_RHO_STAR_VERSION = 1
 
 
 def rho_star_cache_info() -> Dict[str, int]:
     """Hit/miss/size counters of the process-wide ρ* memo (observability)."""
     return {
-        "hits": _RHO_STAR_STATS["hits"],
-        "misses": _RHO_STAR_STATS["misses"],
+        "hits": _RHO_STAR_CACHE.hits,
+        "misses": _RHO_STAR_CACHE.misses,
         "size": len(_RHO_STAR_CACHE),
     }
 
@@ -120,8 +124,21 @@ def rho_star_cache_info() -> Dict[str, int]:
 def clear_rho_star_cache() -> None:
     """Drop the process-wide ρ* memo (tests and benchmarks)."""
     _RHO_STAR_CACHE.clear()
-    _RHO_STAR_STATS["hits"] = 0
-    _RHO_STAR_STATS["misses"] = 0
+
+
+def save_rho_star_cache(path) -> int:
+    """Persist the ρ* memo to ``path``; returns the number of entries written.
+
+    The memo is keyed purely by restricted edge structure (no data sizes,
+    no variable names), so persisted values stay exact forever; the format
+    version only guards against layout changes of the key itself.
+    """
+    return _RHO_STAR_CACHE.save(path, kind=_RHO_STAR_KIND, version=_RHO_STAR_VERSION)
+
+
+def load_rho_star_cache(path) -> int:
+    """Warm the ρ* memo from :func:`save_rho_star_cache` output."""
+    return _RHO_STAR_CACHE.load(path, kind=_RHO_STAR_KIND, version=_RHO_STAR_VERSION)
 
 
 def fractional_edge_cover_number(
@@ -165,16 +182,12 @@ def fractional_edge_cover_number(
 
     cached = _RHO_STAR_CACHE.get(restricted)
     if cached is not None:
-        _RHO_STAR_STATS["hits"] += 1
         return cached
-    _RHO_STAR_STATS["misses"] += 1
     canonical = Hypergraph(
         covered, sorted(restricted, key=lambda e: sorted(map(repr, e)))
     )
     objective, _ = fractional_edge_cover(canonical)
-    if len(_RHO_STAR_CACHE) >= _RHO_STAR_CACHE_MAX:
-        _RHO_STAR_CACHE.clear()
-    _RHO_STAR_CACHE[restricted] = objective
+    _RHO_STAR_CACHE.put(restricted, objective)
     return objective
 
 

@@ -5,16 +5,46 @@ Plans are stored under the structural signature of
 translated into canonical variable indices, so a cached plan transfers to
 any query with the same signature — the same query re-issued, the same
 query over drifted data (factor sizes only enter the signature through log
-buckets), or an isomorphic rename.  The cache is a small LRU keyed also by
-the caller's forced strategy/backend so overridden plans do not shadow the
-planner's free choice.
+buckets), or an isomorphic rename.  The cache is a bounded LRU (backed by
+the thread-safe :class:`repro.caching.LruCache`, shared with the
+process-wide ``ρ*`` memo) keyed also by the caller's forced
+strategy/backend so overridden plans do not shadow the planner's free
+choice.
+
+Two capabilities beyond the plain LRU:
+
+* **drift-tolerant lookup** — when the exact signature misses, the cache
+  consults a secondary *shape* index (the signature with the per-factor
+  size buckets zeroed out).  A stored plan whose buckets differ from the
+  query's by at most one step transfers (data drifted mildly, the plan is
+  still good); past that tolerance nothing transfers — the ROADMAP's
+  "invalidate when factor-size buckets drift more than one step" rule.
+  The out-of-tolerance entry itself is left in place: it is still exactly
+  keyed for its own signature (which may have live traffic — alternating
+  same-shape workloads must not thrash each other out), and retires by
+  ordinary LRU aging or a signature-version bump.
+* **persistence** — :meth:`PlanCache.save` / :meth:`PlanCache.load` move
+  the entries to/from disk (tagged with
+  :data:`repro.planner.signature.SIGNATURE_VERSION`, so a signature-format
+  change silently discards stale files), letting repeated traffic hit warm
+  plans across processes.  :func:`save_planner_caches` /
+  :func:`load_planner_caches` bundle the plan cache with the ``ρ*`` memo
+  of :mod:`repro.hypergraph.covers`.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Optional, Tuple
+import os
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.caching import LruCache
+from repro.planner.signature import SIGNATURE_VERSION, bucket_drift, signature_shape
+
+_PLAN_CACHE_KIND = "repro-plan-cache"
+_PLAN_CACHE_FILE = "plan_cache.pkl"
+_RHO_STAR_FILE = "rho_star.pkl"
 
 
 @dataclass(frozen=True)
@@ -26,6 +56,22 @@ class CachedPlan:
     ordering_indices: Tuple[int, ...]
     estimated_cost: float
     faq_width: float
+    buckets: Tuple[int, ...] = field(default=())
+
+
+def _shape_key(key: tuple) -> Optional[Tuple[tuple, Tuple[int, ...]]]:
+    """Split a plan-cache key into its shape key and buckets.
+
+    Keys are ``(signature, mode, strategy, backend)``; the shape key zeroes
+    the signature's size buckets and keeps the rest.  Returns ``None`` for
+    keys that do not carry a signature (defensive).
+    """
+    signature, *rest = key
+    try:
+        shape, buckets = signature_shape(signature)
+    except (TypeError, ValueError):  # pragma: no cover - defensive
+        return None
+    return (shape, *rest), buckets
 
 
 class PlanCache:
@@ -33,36 +79,134 @@ class PlanCache:
 
     def __init__(self, maxsize: int = 1024) -> None:
         self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
-        self._entries: "OrderedDict[tuple, CachedPlan]" = OrderedDict()
+        self._entries = LruCache(maxsize=maxsize)
+        # shape key -> exact key of the most recently stored entry with that
+        # shape.  Pointers may go stale after eviction; resolved lazily.
+        self._shapes: Dict[tuple, tuple] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def hits(self) -> int:
+        return self._entries.hits
+
+    @property
+    def misses(self) -> int:
+        return self._entries.misses
+
     def lookup(self, key: tuple) -> Optional[CachedPlan]:
         """The cached plan for ``key``, updating LRU order and hit counters."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
+        return self._entries.get(key)
+
+    def lookup_drifted(self, key: tuple, max_drift: int = 1) -> Optional[CachedPlan]:
+        """Shape-indexed fallback for an exact miss (see the module docstring).
+
+        Does not touch the hit/miss counters — the caller already recorded
+        the exact-lookup miss.  Unlike an exact signature hit, a drifted
+        transfer is *not* certified by a canonical labelling (the bucket
+        change can perturb colour refinement), so the caller must validate
+        the transferred ordering before trusting it — and re-store the
+        validated plan under the new exact key itself.
+        """
+        split = _shape_key(key)
+        if split is None:
             return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+        shape, buckets = split
+        with self._lock:
+            stored_key = self._shapes.get(shape)
+        if stored_key is None or stored_key == key:
+            return None
+        entry = self._entries.peek(stored_key)
+        if entry is None:  # stale pointer (evicted entry)
+            with self._lock:
+                if self._shapes.get(shape) == stored_key:
+                    del self._shapes[shape]
+            return None
+        drift = bucket_drift(entry.buckets, buckets)
+        if drift is None or drift > max_drift:
+            # The data drifted past the tolerance: the stored plan must not
+            # transfer to this query.  The entry itself stays — it is still
+            # exactly keyed for its own signature, which may have live
+            # traffic of its own (alternating same-shape workloads would
+            # otherwise thrash each other out of the cache); if that
+            # traffic never returns, ordinary LRU aging retires it.
+            return None
         return entry
 
     def store(self, key: tuple, plan: CachedPlan) -> None:
         """Insert (or refresh) a plan, evicting the least recently used."""
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        split = _shape_key(key)
+        if split is not None and not plan.buckets:
+            plan = replace(plan, buckets=split[1])
+        evicted = self._entries.put(key, plan)
+        with self._lock:
+            if split is not None:
+                self._shapes[split[0]] = key
+            for evicted_key, _ in evicted:
+                evicted_split = _shape_key(evicted_key)
+                if evicted_split is not None and self._shapes.get(evicted_split[0]) == evicted_key:
+                    del self._shapes[evicted_split[0]]
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""
         self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._shapes.clear()
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> int:
+        """Persist the entries to ``path``; returns the number written."""
+        return self._entries.save(path, kind=_PLAN_CACHE_KIND, version=SIGNATURE_VERSION)
+
+    def load(self, path) -> int:
+        """Merge entries persisted by :meth:`save`; returns the number merged.
+
+        Files written under a different :data:`SIGNATURE_VERSION` are
+        ignored wholesale — persisted signatures from an older format must
+        never match a new-format lookup.
+        """
+        merged = self._entries.load(path, kind=_PLAN_CACHE_KIND, version=SIGNATURE_VERSION)
+        if merged:
+            with self._lock:
+                for key, _ in self._entries.items():
+                    split = _shape_key(key)
+                    if split is not None:
+                        self._shapes[split[0]] = key
+        return merged
 
 
 DEFAULT_PLAN_CACHE = PlanCache()
 """The process-wide cache used when callers do not supply their own."""
+
+
+def save_planner_caches(directory, plan_cache: Optional[PlanCache] = None) -> Dict[str, int]:
+    """Persist the plan cache *and* the process-wide ``ρ*`` memo to a directory.
+
+    Returns ``{"plans": n, "rho_star": m}`` entry counts.  Load them back
+    with :func:`load_planner_caches` at process start to serve repeated
+    traffic warm across processes (the ROADMAP's "plan cache persistence"
+    item).
+    """
+    from repro.hypergraph.covers import save_rho_star_cache
+
+    os.makedirs(directory, exist_ok=True)
+    cache = plan_cache if plan_cache is not None else DEFAULT_PLAN_CACHE
+    return {
+        "plans": cache.save(os.path.join(directory, _PLAN_CACHE_FILE)),
+        "rho_star": save_rho_star_cache(os.path.join(directory, _RHO_STAR_FILE)),
+    }
+
+
+def load_planner_caches(directory, plan_cache: Optional[PlanCache] = None) -> Dict[str, int]:
+    """Warm the plan cache and the ``ρ*`` memo from :func:`save_planner_caches`."""
+    from repro.hypergraph.covers import load_rho_star_cache
+
+    cache = plan_cache if plan_cache is not None else DEFAULT_PLAN_CACHE
+    return {
+        "plans": cache.load(os.path.join(directory, _PLAN_CACHE_FILE)),
+        "rho_star": load_rho_star_cache(os.path.join(directory, _RHO_STAR_FILE)),
+    }

@@ -32,6 +32,7 @@ top-level :meth:`CostModel.estimate` calls so tests can verify that a
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -137,6 +138,12 @@ class CostModel:
         # entries in the caches — without the pin a recycled id could
         # resolve to a stale quantity.
         self._pinned: Dict[int, object] = {}
+        # The process-wide model is shared by concurrent planner calls
+        # (repro.serve plans queries on a pool): the counter and the memo
+        # maps are guarded so stats stay exact under the workers.  LPs are
+        # solved outside the lock — a duplicate solve is benign (equal
+        # results), a serialized solve is not.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # memoised hypergraph quantities
@@ -144,12 +151,13 @@ class CostModel:
     def _pin_key(self, obj: object) -> int:
         """A stable id() key for an unhashable object, pinned against reuse."""
         key = id(obj)
-        if key not in self._pinned:
-            if len(self._pinned) >= 256:
-                self._pinned.clear()
-                self._rho_cache.clear()
-                self._agm_cache.clear()
-            self._pinned[key] = obj
+        with self._lock:
+            if key not in self._pinned:
+                if len(self._pinned) >= 256:
+                    self._pinned.clear()
+                    self._rho_cache.clear()
+                    self._agm_cache.clear()
+                self._pinned[key] = obj
         return key
 
     def _hypergraph_key(self, hypergraph: Hypergraph) -> int:
@@ -158,14 +166,24 @@ class CostModel:
     def rho_star(self, hypergraph: Hypergraph, subset: FrozenSet[str]) -> float:
         """Memoised ``ρ*_H(subset)`` (one LP per distinct subset)."""
         key = (self._hypergraph_key(hypergraph), subset)
-        if key not in self._rho_cache:
+        with self._lock:
+            cached = self._rho_cache.get(key)
+        if cached is None:
             if len(subset) <= 1:
-                self._rho_cache[key] = float(bool(subset))
+                cached = float(bool(subset))
             else:
-                self._rho_cache[key] = fractional_edge_cover_number(
+                cached = fractional_edge_cover_number(
                     hypergraph, subset, ignore_uncovered=True
                 )
-        return self._rho_cache[key]
+            with self._lock:
+                # A concurrent _pin_key may have cleared the pins (and the
+                # id may even have been re-pinned by a different object)
+                # while the LP ran; storing under such a key could later
+                # serve a stale value.  Store only while the id still pins
+                # this very object (the result itself is still returned).
+                if self._pinned.get(key[0]) is hypergraph:
+                    self._rho_cache[key] = cached
+        return cached
 
     def agm(
         self,
@@ -181,15 +199,25 @@ class CostModel:
         stale bounds.
         """
         key = (self._hypergraph_key(hypergraph), self._pin_key(stats), subset)
-        if key not in self._agm_cache:
+        with self._lock:
+            cached = self._agm_cache.get(key)
+        if cached is None:
             covered = frozenset(
                 v for v in subset if any(v in e for e in hypergraph.edges)
             )
             if not covered:
-                self._agm_cache[key] = 1.0
+                cached = 1.0
             else:
-                self._agm_cache[key] = agm_bound(hypergraph, stats.factor_sizes, covered)
-        return self._agm_cache[key]
+                cached = agm_bound(hypergraph, stats.factor_sizes, covered)
+            with self._lock:
+                # Same stale-id guard as rho_star: both ids must still pin
+                # these very objects for the store to be safe.
+                if (
+                    self._pinned.get(key[0]) is hypergraph
+                    and self._pinned.get(key[1]) is stats
+                ):
+                    self._agm_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     def _box_cells(self, variables: FrozenSet[str], stats: QueryStatistics) -> float:
@@ -231,7 +259,8 @@ class CostModel:
         :attr:`invocations` — the counter plan-cache tests use to prove that
         a cache hit skips the ordering search entirely.
         """
-        self.invocations += 1
+        with self._lock:
+            self.invocations += 1
         order = tuple(ordering)
         if hypergraph is None:
             hypergraph = query.hypergraph()

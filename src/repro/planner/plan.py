@@ -88,8 +88,22 @@ class Plan:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def execute(self, output_mode: str = "listing") -> PlanResult:
-        """Run the plan and return the output over the free variables."""
+    def execute(
+        self,
+        output_mode: str = "listing",
+        workers: int | None = None,
+        shared_tries: Any = None,
+    ) -> PlanResult:
+        """Run the plan and return the output over the free variables.
+
+        ``workers`` opts the InsideOut strategy into the parallel step-DAG
+        executor (:mod:`repro.exec`); the other strategies always execute
+        serially — per-query parallelism for them comes from batching whole
+        queries through :mod:`repro.serve`.  ``shared_tries`` passes a
+        :class:`~repro.factors.index.SharedTrieCache` of this query's
+        base-factor tries (the serving layer reuses one across repeated
+        identical queries).
+        """
         if self.strategy == STRATEGY_INSIDEOUT:
             from repro.core.insideout import inside_out
 
@@ -98,6 +112,8 @@ class Plan:
                 ordering=list(self.ordering),
                 output_mode=output_mode,
                 backend=self.backend,
+                workers=workers,
+                shared_tries=shared_tries,
             )
             return PlanResult(
                 plan=self,

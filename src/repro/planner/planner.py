@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import itertools
 import time
+from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.evo import is_equivalent_ordering, linear_extensions
@@ -314,20 +315,45 @@ def _plan_search(
     key = (signature, mode, strategy, backend)
     if use_cache:
         cached = plan_cache.lookup(key)
+        drifted = False
+        if cached is None:
+            # Same structure, drifted data: transfer the plan when the
+            # per-factor size buckets moved at most one step; beyond that
+            # the stored entry is invalidated (its cost choices are stale).
+            cached = plan_cache.lookup_drifted(key)
+            drifted = cached is not None
         if cached is not None and len(cached.ordering_indices) == query.num_variables:
-            # The signature certifies isomorphism (including the indicator
-            # bit join strategies depend on), so the cached strategy and
-            # ordering transfer without re-validation.
-            return Plan(
-                query=query,
-                strategy=cached.strategy,
-                ordering=ordering_from_indices(cached.ordering_indices, canon),
-                backend=cached.backend,
-                estimated_cost=cached.estimated_cost,
-                faq_width=cached.faq_width,
-                signature=signature,
-                cache_hit=True,
-            )
+            # An exact signature hit certifies isomorphism (including the
+            # indicator bit join strategies depend on), so the cached
+            # strategy and ordering transfer without re-validation.  A
+            # *drifted* transfer is only shape-certified: the bucket change
+            # can perturb the canonical labelling, so the transferred
+            # ordering is checked for EVO membership before it is trusted
+            # (an invalid one falls through to the ordinary search).
+            order = ordering_from_indices(cached.ordering_indices, canon)
+            valid = True
+            if drifted:
+                valid = set(order[: query.num_free]) == set(query.free)
+                if valid and order != tuple(query.order):
+                    try:
+                        valid = is_equivalent_ordering(query, order)
+                    except Exception:  # pragma: no cover - defensive
+                        valid = False
+                if valid:
+                    # Re-store under the new exact key; buckets=() makes
+                    # store() backfill this signature's own buckets.
+                    plan_cache.store(key, replace(cached, buckets=()))
+            if valid:
+                return Plan(
+                    query=query,
+                    strategy=cached.strategy,
+                    ordering=order,
+                    backend=cached.backend,
+                    estimated_cost=cached.estimated_cost,
+                    faq_width=cached.faq_width,
+                    signature=signature,
+                    cache_hit=True,
+                )
 
     # ------------------------------------------------------------------ #
     # candidate search
@@ -399,9 +425,15 @@ def execute(
     stats: Optional[QueryStatistics] = None,
     *,
     output_mode: str = "listing",
+    workers: Optional[int] = None,
     **kwargs,
 ) -> PlanResult:
-    """Plan and execute ``query`` in one call (see :func:`plan` for kwargs)."""
+    """Plan and execute ``query`` in one call (see :func:`plan` for kwargs).
+
+    ``workers`` is an execution argument, not a planning one: it opts the
+    chosen plan into the parallel step-DAG executor (InsideOut strategy
+    only; see :meth:`~repro.planner.plan.Plan.execute`).
+    """
     if output_mode != "listing":
         kwargs.setdefault("strategy", STRATEGY_INSIDEOUT)
-    return plan(query, stats, **kwargs).execute(output_mode=output_mode)
+    return plan(query, stats, **kwargs).execute(output_mode=output_mode, workers=workers)

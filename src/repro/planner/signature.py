@@ -24,11 +24,20 @@ This module computes a canonical labelling of the query's structure:
 from __future__ import annotations
 
 import weakref
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.query import FAQQuery
 
 _REFINEMENT_ROUNDS = 3
+
+SIGNATURE_VERSION = 1
+"""Format version of :func:`query_signature` tuples.
+
+Bump whenever the signature layout changes: persisted plan caches
+(:meth:`repro.planner.cache.PlanCache.save`) are tagged with this version
+and silently discarded on mismatch, so stale on-disk plans can never be
+deserialised against a new signature scheme.
+"""
 
 _INDICATOR_MEMO: "weakref.WeakKeyDictionary[FAQQuery, bool]" = weakref.WeakKeyDictionary()
 
@@ -159,6 +168,29 @@ def query_signature(query: FAQQuery) -> Tuple[tuple, List[str]]:
         factors,
     )
     return signature, canon
+
+
+def signature_shape(signature: tuple) -> Tuple[tuple, Tuple[int, ...]]:
+    """Split a signature into its data-free *shape* and the size buckets.
+
+    The shape is the signature with every factor's log2 size bucket zeroed
+    out; the buckets are returned in the factors' canonical order.  Two
+    queries with equal shapes are structurally identical up to data volume
+    — exactly the situation "the same query over drifted relations"
+    produces — so the plan cache can transfer a plan between them when the
+    per-factor drift stays within :func:`bucket_drift`'s tolerance.
+    """
+    semiring, num_free, indicator, variables, factors = signature
+    shape = (semiring, num_free, indicator, variables, tuple(s for s, _ in factors))
+    buckets = tuple(b for _, b in factors)
+    return shape, buckets
+
+
+def bucket_drift(a: Sequence[int], b: Sequence[int]) -> Optional[int]:
+    """The largest per-factor bucket distance (``None`` if incomparable)."""
+    if len(a) != len(b):
+        return None
+    return max((abs(x - y) for x, y in zip(a, b)), default=0)
 
 
 def ordering_to_indices(ordering: Sequence[str], canon: Sequence[str]) -> Tuple[int, ...]:

@@ -47,7 +47,9 @@ def natural_join_query(relations: Sequence[Relation]) -> FAQQuery:
 
 
 def natural_join_insideout(
-    relations: Sequence[Relation], ordering: Sequence[str] | str | None = "plan"
+    relations: Sequence[Relation],
+    ordering: Sequence[str] | str | None = "plan",
+    workers: int | None = None,
 ) -> Relation:
     """Evaluate a natural join via the cost-based planner.
 
@@ -56,7 +58,7 @@ def natural_join_insideout(
     InsideOut; pass an explicit ``ordering`` to pin the elimination order.
     """
     query = natural_join_query(relations)
-    result = execute(query, ordering=ordering)
+    result = execute(query, ordering=ordering, workers=workers)
     return Relation("join", result.factor.scope, result.factor.table.keys())
 
 
@@ -108,10 +110,10 @@ def join_size_query(relations: Sequence[Relation]) -> FAQQuery:
     )
 
 
-def count_join_results(relations: Sequence[Relation]) -> int:
+def count_join_results(relations: Sequence[Relation], workers: int | None = None) -> int:
     """``|R_1 ⋈ ... ⋈ R_m|`` computed via the planner (counting semiring)."""
     query = join_size_query(relations)
-    result = execute(query)
+    result = execute(query, workers=workers)
     return int(result.scalar_or_zero(COUNTING))
 
 
@@ -151,10 +153,12 @@ def homomorphism_count_query(pattern: nx.Graph, graph: nx.Graph) -> FAQQuery:
     )
 
 
-def count_homomorphisms(pattern: nx.Graph, graph: nx.Graph) -> int:
+def count_homomorphisms(
+    pattern: nx.Graph, graph: nx.Graph, workers: int | None = None
+) -> int:
     """Number of homomorphisms from ``pattern`` to ``graph`` via the planner."""
     query = homomorphism_count_query(pattern, graph)
-    return int(execute(query).scalar_or_zero(COUNTING))
+    return int(execute(query, workers=workers).scalar_or_zero(COUNTING))
 
 
 def count_triangles(graph: nx.Graph) -> int:

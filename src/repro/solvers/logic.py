@@ -181,15 +181,19 @@ class QuantifiedConjunctiveQuery:
     # ------------------------------------------------------------------ #
     # solvers
     # ------------------------------------------------------------------ #
-    def solve(self, ordering: Sequence[str] | str | None = "plan") -> Relation:
+    def solve(
+        self, ordering: Sequence[str] | str | None = "plan", workers: int | None = None
+    ) -> Relation:
         """Evaluate the QCQ via the planner; returns the satisfying free tuples."""
-        result = execute(self.decision_query(), ordering=ordering)
+        result = execute(self.decision_query(), ordering=ordering, workers=workers)
         rows = [key for key, value in result.factor.table.items() if value]
         return Relation("qcq-answers", self.free, rows)
 
-    def count(self, ordering: Sequence[str] | str | None = "plan") -> int:
+    def count(
+        self, ordering: Sequence[str] | str | None = "plan", workers: int | None = None
+    ) -> int:
         """Evaluate the #QCQ via the planner; returns the number of answers."""
-        result = execute(self.counting_query(), ordering=ordering)
+        result = execute(self.counting_query(), ordering=ordering, workers=workers)
         return int(result.scalar_or_zero(COUNTING))
 
     # ------------------------------------------------------------------ #

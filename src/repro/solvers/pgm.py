@@ -25,6 +25,7 @@ def marginal_insideout(
     variables: Sequence[str],
     ordering: Sequence[str] | str | None = "plan",
     backend: str | None = None,
+    workers: int | None = None,
 ) -> Dict[Tuple[Any, ...], float]:
     """Unnormalised marginal over ``variables`` via the planner + InsideOut.
 
@@ -34,7 +35,9 @@ def marginal_insideout(
     ``ordering`` / ``backend`` values to override it.
     """
     query = model.marginal_query(list(variables))
-    result = execute(query, ordering=ordering, backend=backend, strategy=STRATEGY_INSIDEOUT)
+    result = execute(
+        query, ordering=ordering, backend=backend, strategy=STRATEGY_INSIDEOUT, workers=workers
+    )
     return dict(result.factor.table)
 
 
@@ -43,10 +46,13 @@ def map_insideout(
     variables: Sequence[str],
     ordering: Sequence[str] | str | None = "plan",
     backend: str | None = None,
+    workers: int | None = None,
 ) -> Dict[Tuple[Any, ...], float]:
     """Unnormalised max-marginals over ``variables`` via the planner."""
     query = model.map_query(list(variables))
-    result = execute(query, ordering=ordering, backend=backend, strategy=STRATEGY_INSIDEOUT)
+    result = execute(
+        query, ordering=ordering, backend=backend, strategy=STRATEGY_INSIDEOUT, workers=workers
+    )
     return dict(result.factor.table)
 
 
@@ -54,10 +60,13 @@ def partition_function_insideout(
     model: DiscreteGraphicalModel,
     ordering: Sequence[str] | str | None = "plan",
     backend: str | None = None,
+    workers: int | None = None,
 ) -> float:
     """The partition function ``Z`` via the planner + InsideOut."""
     query = model.partition_function_query()
-    result = execute(query, ordering=ordering, backend=backend, strategy=STRATEGY_INSIDEOUT)
+    result = execute(
+        query, ordering=ordering, backend=backend, strategy=STRATEGY_INSIDEOUT, workers=workers
+    )
     return float(result.scalar_or_zero(query.semiring))
 
 

@@ -1,0 +1,219 @@
+"""LRU caches, disk persistence, and size-bucket drift invalidation."""
+
+import pytest
+
+from repro.caching import LruCache
+from repro.core.query import FAQQuery, Variable
+from repro.factors.factor import Factor
+from repro.hypergraph.covers import (
+    clear_rho_star_cache,
+    fractional_edge_cover_number,
+    load_rho_star_cache,
+    rho_star_cache_info,
+    save_rho_star_cache,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.planner import PlanCache, plan
+from repro.planner.cache import (
+    CachedPlan,
+    load_planner_caches,
+    save_planner_caches,
+)
+from repro.planner.signature import (
+    bucket_drift,
+    query_signature,
+    signature_shape,
+    size_bucket,
+)
+from repro.semiring.aggregates import SemiringAggregate
+from repro.semiring.standard import COUNTING
+
+
+# ---------------------------------------------------------------------- #
+# the generic LRU
+# ---------------------------------------------------------------------- #
+def test_lru_cache_eviction_is_lru_not_wholesale():
+    cache = LruCache(maxsize=3)
+    for key in "abc":
+        cache.put(key, key.upper())
+    assert cache.get("a") == "A"          # refreshes 'a'
+    evicted = cache.put("d", "D")          # evicts 'b', the oldest untouched
+    assert evicted == [("b", "B")]
+    assert cache.get("b") is None
+    assert cache.get("a") == "A" and cache.get("d") == "D"
+    assert len(cache) == 3
+
+
+def test_lru_cache_counters_and_clear():
+    cache = LruCache(maxsize=2)
+    cache.put("x", 1)
+    assert cache.get("x") == 1
+    assert cache.get("y") is None
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.peek("x") == 1            # peek does not count
+    assert (cache.hits, cache.misses) == (1, 1)
+    cache.clear()
+    assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+
+def test_lru_cache_save_load_roundtrip(tmp_path):
+    cache = LruCache(maxsize=8)
+    cache.put(("k", 1), 1.5)
+    cache.put(("k", 2), 2.5)
+    path = tmp_path / "cache.pkl"
+    assert cache.save(path, kind="t", version=1) == 2
+    fresh = LruCache(maxsize=8)
+    assert fresh.load(path, kind="t", version=1) == 2
+    assert fresh.peek(("k", 2)) == 2.5
+    # Mismatched kind or version discards the file wholesale.
+    assert LruCache(4).load(path, kind="other", version=1) == 0
+    assert LruCache(4).load(path, kind="t", version=2) == 0
+    assert LruCache(4).load(tmp_path / "missing.pkl", kind="t", version=1) == 0
+
+
+# ---------------------------------------------------------------------- #
+# the ρ* memo is now a real LRU and persists
+# ---------------------------------------------------------------------- #
+def test_rho_star_memo_is_lru_and_persists(tmp_path):
+    clear_rho_star_cache()
+    hypergraph = Hypergraph("abc", [frozenset("ab"), frozenset("bc"), frozenset("ac")])
+    value = fractional_edge_cover_number(hypergraph)
+    assert value == pytest.approx(1.5)
+    info = rho_star_cache_info()
+    assert info["size"] >= 1 and info["misses"] >= 1
+    # Warm call hits the memo.
+    assert fractional_edge_cover_number(hypergraph) == pytest.approx(1.5)
+    assert rho_star_cache_info()["hits"] >= 1
+
+    path = tmp_path / "rho.pkl"
+    written = save_rho_star_cache(path)
+    assert written == rho_star_cache_info()["size"]
+    clear_rho_star_cache()
+    assert rho_star_cache_info()["size"] == 0
+    assert load_rho_star_cache(path) == written
+    before = rho_star_cache_info()["misses"]
+    assert fractional_edge_cover_number(hypergraph) == pytest.approx(1.5)
+    assert rho_star_cache_info()["misses"] == before  # served from the memo
+
+
+# ---------------------------------------------------------------------- #
+# plan-cache persistence
+# ---------------------------------------------------------------------- #
+def _chain_query(size=4, name="chain"):
+    domain = (0, 1, 2)
+    table = {(i, j): 1 for i in domain for j in domain}
+    entries = dict(list(table.items())[:size])
+    names = ["x0", "x1", "x2"]
+    return FAQQuery(
+        variables=[Variable(v, domain) for v in names],
+        free=[],
+        aggregates={v: SemiringAggregate.sum() for v in names},
+        factors=[
+            Factor(("x0", "x1"), dict(entries), name="f01"),
+            Factor(("x1", "x2"), dict(entries), name="f12"),
+        ],
+        semiring=COUNTING,
+        name=name,
+    )
+
+
+def test_plan_cache_save_load_roundtrip(tmp_path):
+    cache = PlanCache()
+    query = _chain_query()
+    cold = plan(query, cache=cache)
+    assert not cold.cache_hit
+
+    directory = tmp_path / "caches"
+    counts = save_planner_caches(directory, plan_cache=cache)
+    assert counts["plans"] >= 1
+
+    fresh = PlanCache()
+    loaded = load_planner_caches(directory, plan_cache=fresh)
+    assert loaded["plans"] == counts["plans"]
+    warm = plan(query, cache=fresh)
+    assert warm.cache_hit
+    assert warm.strategy == cold.strategy
+    assert warm.ordering == cold.ordering
+
+
+# ---------------------------------------------------------------------- #
+# size-bucket drift
+# ---------------------------------------------------------------------- #
+def test_signature_shape_splits_buckets():
+    small = _chain_query(size=4)
+    large = _chain_query(size=8)
+    sig_small, _ = query_signature(small)
+    sig_large, _ = query_signature(large)
+    assert sig_small != sig_large
+    shape_small, buckets_small = signature_shape(sig_small)
+    shape_large, buckets_large = signature_shape(sig_large)
+    assert shape_small == shape_large
+    assert bucket_drift(buckets_small, buckets_large) == abs(
+        size_bucket(4) - size_bucket(8)
+    ) == 1
+
+
+def test_plan_transfers_within_one_bucket_of_drift():
+    cache = PlanCache()
+    cold = plan(_chain_query(size=4), cache=cache)
+    assert not cold.cache_hit
+    # Sizes 4 -> 8 move exactly one bucket: the plan transfers.
+    drifted = plan(_chain_query(size=8), cache=cache)
+    assert drifted.cache_hit
+    assert drifted.strategy == cold.strategy
+    # The transfer re-stored under the new signature: now an exact hit.
+    again = plan(_chain_query(size=8), cache=cache)
+    assert again.cache_hit
+
+
+def test_plan_does_not_transfer_beyond_one_bucket_of_drift():
+    cache = PlanCache()
+    plan(_chain_query(size=2), cache=cache)       # bucket 2
+    # Size 9 is bucket 4 — two steps away: no transfer, a fresh search.
+    far = plan(_chain_query(size=9), cache=cache)
+    assert not far.cache_hit
+    # Both signatures now hold their own exact entries: excessive drift
+    # must never evict the other workload's valid plan (alternating
+    # same-shape traffic would otherwise thrash the cache forever).
+    assert len(cache) == 2
+    assert plan(_chain_query(size=2), cache=cache).cache_hit
+    assert plan(_chain_query(size=9), cache=cache).cache_hit
+
+
+def test_alternating_far_drift_workloads_do_not_thrash():
+    """Regression: two same-shape workloads >1 bucket apart both stay cached."""
+    cache = PlanCache()
+    small, large = _chain_query(size=2), _chain_query(size=9)
+    hits = 0
+    for round_index in range(4):
+        for query in (small, large):
+            if plan(query, cache=cache).cache_hit:
+                hits += 1
+    # Only the two cold plans miss; every later occurrence is an exact hit.
+    assert hits == 4 * 2 - 2
+
+
+def test_persisted_plans_invalidate_on_version_mismatch(tmp_path, monkeypatch):
+    cache = PlanCache()
+    plan(_chain_query(), cache=cache)
+    path = tmp_path / "plans.pkl"
+    assert cache.save(path) >= 1
+    import repro.planner.cache as cache_module
+
+    monkeypatch.setattr(cache_module, "SIGNATURE_VERSION", 999)
+    fresh = PlanCache()
+    assert fresh.load(path) == 0
+
+
+def test_cached_plan_buckets_backfilled_on_store():
+    cache = PlanCache()
+    query = _chain_query()
+    signature, canon = query_signature(query)
+    key = (signature, "search", None, None)
+    cache.store(key, CachedPlan(
+        strategy="insideout", backend="sparse",
+        ordering_indices=tuple(range(len(canon))),
+        estimated_cost=1.0, faq_width=1.0,
+    ))
+    entry = cache.lookup(key)
+    assert entry.buckets == signature_shape(signature)[1]

@@ -31,6 +31,7 @@ from repro.factors.factor import Factor
 from repro.planner import (
     PlanCache,
     STRATEGY_GENERIC_JOIN,
+    STRATEGY_INSIDEOUT,
     STRATEGY_YANNAKAKIS,
     applicable_strategies,
     candidate_orderings,
@@ -137,9 +138,18 @@ def _run_differential(name: str, seed: int) -> None:
             f"  got      : {sorted(result.factor.table.items(), key=repr)}"
         )
 
-    # 1. the planner's own free choice
+    # 1. the planner's own free choice — serial, then through the parallel
+    # step-DAG executor (which must agree with brute force too; exact
+    # serial/parallel equality is asserted in test_exec_parallel.py).
+    # Only the InsideOut strategy parallelises — for the others workers=
+    # would re-run the identical serial path and add no coverage.
     chosen = plan(query, cache=cache)
     check(chosen.execute(), f"free choice: {chosen.strategy}/{chosen.backend}")
+    if chosen.strategy == STRATEGY_INSIDEOUT:
+        check(
+            chosen.execute(workers=2),
+            f"free choice (workers=2): {chosen.strategy}/{chosen.backend}",
+        )
 
     # 2. every strategy x backend over a spread of valid orderings
     orderings = [chosen.ordering]

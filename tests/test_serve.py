@@ -1,0 +1,202 @@
+"""The batched serving layer: ordering, coalescing, trie reuse, exact stats."""
+
+import threading
+
+import pytest
+
+from repro.planner import PlanCache, STRATEGY_INSIDEOUT, plan
+from repro.serve import PlanServer, execute_batch
+
+from test_planner_differential import _random_query
+
+
+def _reference(query):
+    return plan(query, cache=PlanCache()).execute().factor
+
+
+def _traffic(num_unique=4, repeats=6, name="counting"):
+    unique = [_random_query(name, seed) for seed in range(num_unique)]
+    return unique, [unique[i % num_unique] for i in range(num_unique * repeats)]
+
+
+def test_execute_batch_preserves_input_order():
+    unique, traffic = _traffic()
+    expected = {id(q): _reference(q) for q in unique}
+    results = execute_batch(traffic, workers=3)
+    assert len(results) == len(traffic)
+    for query, result in zip(traffic, results):
+        want = expected[id(query)]
+        assert result.factor.scope == want.scope
+        assert result.factor.table == want.table
+
+
+def test_coalescing_executes_each_object_once():
+    unique, traffic = _traffic(num_unique=3, repeats=5)
+    with PlanServer(workers=2) as server:
+        results = server.execute_batch(traffic)
+        stats = server.stats()
+    # 15 requests, 3 unique objects -> 12 coalesced away.
+    assert stats["submitted"] == 3
+    assert stats["coalesced"] == len(traffic) - 3
+    # Coalesced requests share the result object.
+    by_query = {}
+    for query, result in zip(traffic, results):
+        by_query.setdefault(id(query), result)
+        assert result is by_query[id(query)]
+
+
+def test_no_coalescing_still_correct_and_reuses_plans():
+    unique, traffic = _traffic(num_unique=3, repeats=4)
+    expected = {id(q): _reference(q) for q in unique}
+    with PlanServer(workers=2) as server:
+        results = server.execute_batch(traffic, coalesce=False)
+        stats = server.stats()
+    assert stats["submitted"] == len(traffic)
+    assert stats["coalesced"] == 0
+    # Counters are exact (no torn updates), and repeats overwhelmingly plan
+    # from the cache.  Two workers can race a query's *first* two
+    # occurrences into concurrent cold searches, so allow up to two misses
+    # per unique signature.
+    assert stats["plan_cache_hits"] + stats["plan_cache_misses"] == len(traffic)
+    assert stats["plan_cache_hits"] >= len(traffic) - 2 * len(unique)
+    for query, result in zip(traffic, results):
+        assert result.factor.table == expected[id(query)].table
+
+
+def test_shared_tries_survive_across_batches():
+    unique, traffic = _traffic(num_unique=2, repeats=3)
+    with PlanServer(workers=2) as server:
+        server.execute_batch(traffic, coalesce=False, strategy=STRATEGY_INSIDEOUT,
+                             backend="sparse")
+        first = server.stats()
+        server.execute_batch(traffic, coalesce=False, strategy=STRATEGY_INSIDEOUT,
+                             backend="sparse")
+        second = server.stats()
+    assert first["shared_trie_stores"] >= 1
+    # The second batch reuses tries built by the first.
+    assert second["shared_trie_hits"] > first["shared_trie_hits"]
+    # Sharing never rebuilds what it already holds.
+    assert second["shared_trie_misses"] == first["shared_trie_misses"]
+
+
+def test_submit_returns_futures():
+    unique, traffic = _traffic(num_unique=2, repeats=2)
+    expected = {id(q): _reference(q) for q in unique}
+    with PlanServer(workers=2) as server:
+        futures = [server.submit(query) for query in traffic]
+        for query, future in zip(traffic, futures):
+            assert future.result().factor.table == expected[id(query)].table
+    with pytest.raises(RuntimeError):
+        server.submit(traffic[0])
+
+
+def test_server_workers_validation_matches_engines():
+    from repro.core.query import QueryError
+
+    for bad in (0, -1, True):
+        with pytest.raises(QueryError):
+            PlanServer(workers=bad)
+
+
+def test_trie_counters_survive_lru_eviction():
+    """stats() trie counters are cumulative — eviction must not shrink them."""
+    unique, traffic = _traffic(num_unique=3, repeats=2)
+    with PlanServer(workers=1, max_shared_queries=1) as server:
+        server.execute_batch(traffic, coalesce=False, strategy=STRATEGY_INSIDEOUT,
+                             backend="sparse")
+        first = server.stats()
+        server.execute_batch(traffic, coalesce=False, strategy=STRATEGY_INSIDEOUT,
+                             backend="sparse")
+        second = server.stats()
+    assert first["shared_trie_stores"] == 1  # the LRU kept only one store
+    total_first = first["shared_trie_hits"] + first["shared_trie_misses"]
+    total_second = second["shared_trie_hits"] + second["shared_trie_misses"]
+    assert second["shared_trie_hits"] >= first["shared_trie_hits"]
+    assert total_second >= total_first
+
+
+def test_per_query_dag_workers_compose():
+    unique, traffic = _traffic(num_unique=2, repeats=2)
+    expected = {id(q): _reference(q) for q in unique}
+    results = execute_batch(traffic, workers=2, dag_workers=2)
+    for query, result in zip(traffic, results):
+        assert result.factor.table == expected[id(query)].table
+
+
+def test_cost_model_invocations_exact_under_concurrency():
+    """``CostModel.invocations`` lands exactly on the true call count.
+
+    Plain ``+= 1`` increments tear under a pool (read-modify-write races
+    lose updates); the model's lock keeps the counter exact, which is what
+    lets plan-cache tests keep proving "a hit skips the search" even with
+    serving-layer concurrency.
+    """
+    from repro.planner import CostModel, QueryStatistics
+
+    model = CostModel()
+    query = _random_query("counting", 1)
+    stats = QueryStatistics.from_query(query)
+    hypergraph = query.hypergraph()
+    ordering = tuple(query.order)
+    threads_n, per_thread = 4, 50
+    barrier = threading.Barrier(threads_n)
+    errors = []
+
+    def worker():
+        try:
+            barrier.wait(timeout=10)
+            for _ in range(per_thread):
+                model.estimate(query, stats, ordering, hypergraph=hypergraph)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    assert model.invocations == threads_n * per_thread
+
+
+def test_trie_cache_counters_exact_under_concurrency():
+    """The per-run ``TrieCache`` hit/miss counters stay exact under the pool."""
+    from repro.factors.index import TrieCache
+
+    query = _random_query("counting", 2)
+    tries = TrieCache(tuple(query.order), query.semiring, thread_safe=True)
+    factors = list(query.factors)
+    threads_n, per_thread = 4, 40
+    barrier = threading.Barrier(threads_n)
+    errors = []
+
+    def worker():
+        try:
+            barrier.wait(timeout=10)
+            for _ in range(per_thread):
+                for factor in factors:
+                    tries.trie(factor)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    counters = tries.counters()
+    assert counters["hits"] + counters["misses"] == threads_n * per_thread * len(factors)
+    # Each factor misses at least once (first build) but the store-once
+    # discipline keeps the miss count tiny relative to the traffic.
+    assert counters["misses"] >= len(factors)
+    assert counters["hits"] >= (threads_n * per_thread - threads_n) * len(factors)
+
+
+def test_batch_with_mixed_strategies_and_output_modes():
+    unique, _ = _traffic(num_unique=3, repeats=1)
+    results = execute_batch(unique, workers=2, strategy=STRATEGY_INSIDEOUT,
+                            output_mode="factorized")
+    for query, result in zip(unique, results):
+        assert result.factor is None
+        assert result.factorized is not None
