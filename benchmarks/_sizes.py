@@ -21,10 +21,15 @@ module (see ``BENCH_planner.json`` for a checked-in example).
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Any, Dict, List
+from pathlib import Path
+from typing import Any, Dict, Iterable, List
 
 QUICK_ENV = "FAQ_BENCH_QUICK"
+
+# The checked-in perf trajectory at the repository root.
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
 
 # Shared mutable state for the --json channel (owned by conftest.py).
 RESULTS: List[Dict[str, Any]] = []
@@ -51,3 +56,28 @@ def record_result(name: str, **fields) -> Dict[str, Any]:
     record.update(fields)
     RESULTS.append(record)
     return record
+
+
+def publish(records: Iterable[Dict[str, Any]]) -> None:
+    """Merge records (by name) into the checked-in trajectory file.
+
+    Quick-mode numbers are meaningless for trending, so smoke runs never
+    touch the file.  Records from different ``bench_*`` modules coexist:
+    the merge is by row name, rows a run does not produce stay untouched.
+    """
+    if quick_mode():
+        return
+    existing: Dict[str, Dict[str, Any]] = {}
+    if BENCH_JSON.exists():
+        try:
+            for row in json.loads(BENCH_JSON.read_text()).get("results", []):
+                existing[row.get("name")] = row
+        except (ValueError, AttributeError):
+            existing = {}
+    for record in records:
+        existing[record["name"]] = record
+    payload = {
+        "quick": False,
+        "results": [existing[name] for name in sorted(existing)],
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")

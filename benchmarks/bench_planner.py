@@ -30,15 +30,13 @@ checked-in file and fails CI on large regressions of the ratio metrics.
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
 
-from _sizes import pick, quick_mode, record_result
+from _sizes import pick, publish, quick_mode, record_result
 
 from repro.core.faqw import approximate_faqw_ordering
 from repro.core.insideout import inside_out
@@ -51,10 +49,8 @@ from repro.factors.dense import DenseFactor
 from repro.planner import PlanCache, plan
 from repro.semiring.aggregates import SemiringAggregate
 from repro.semiring.standard import SUM_PRODUCT
-from repro.serve import PlanServer
+from repro.serve import PlanServer, ServeRequest
 from repro.solvers.sat import sharp_sat_query
-
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
 
 REPEAT_TRAFFIC = pick(50, 5)
 BATCH_TRAFFIC = pick(60, 9)
@@ -153,26 +149,6 @@ def _measure(name, query):
     )
 
 
-def _publish(records) -> None:
-    """Merge records (by name) into the checked-in trajectory file."""
-    if quick_mode():
-        return
-    existing = {}
-    if BENCH_JSON.exists():
-        try:
-            for row in json.loads(BENCH_JSON.read_text()).get("results", []):
-                existing[row.get("name")] = row
-        except (ValueError, AttributeError):
-            existing = {}
-    for record in records:
-        existing[record["name"]] = record
-    payload = {
-        "quick": False,
-        "results": [existing[name] for name in sorted(existing)],
-    }
-    BENCH_JSON.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
-
-
 # ---------------------------------------------------------------------- #
 # micro benchmarks (pytest-benchmark groups)
 # ---------------------------------------------------------------------- #
@@ -233,7 +209,7 @@ def test_shape_planning_vs_execution():
                 seed_seconds=64.0,  # measured pre-branch-and-bound
             )
         )
-        _publish(records)
+        publish(records)
 
 
 @pytest.mark.shape
@@ -307,7 +283,7 @@ def test_shape_dag_parallel_multiblock():
                 assert speedup >= 2.0, (
                     f"expected ≥2x at workers=4 on {cpus} cores, got {speedup:.2f}x"
                 )
-        _publish([record])
+        publish([record])
 
 
 @pytest.mark.shape
@@ -322,11 +298,14 @@ def test_shape_batched_serving_throughput():
     serial_s, serial_results = _best_of(
         lambda: [plan(q, cache=cache).execute() for q in traffic]
     )
-    with PlanServer(workers=4, cache=cache) as server:
-        server.execute_batch(traffic)  # warm the shared tries
-        batch_s, batch_results = _best_of(lambda: server.execute_batch(traffic))
+    # pool_size=4 is what PlanServer(workers=4) meant before the serving
+    # API redesign (workers= is now per-query step-DAG parallelism).
+    requests = [ServeRequest(query=q) for q in traffic]
+    with PlanServer(pool_size=4, cache=cache) as server:
+        server.execute_batch(requests)  # warm the shared tries
+        batch_s, batch_results = _best_of(lambda: server.execute_batch(requests))
         nocoalesce_s, nocoalesce_results = _best_of(
-            lambda: server.execute_batch(traffic, coalesce=False)
+            lambda: server.execute_batch(requests, coalesce=False)
         )
         stats = server.stats()
 
@@ -364,4 +343,4 @@ def test_shape_batched_serving_throughput():
         # Coalescing repeated traffic is an algorithmic win — it does not
         # need cores, so this holds even on a single-CPU host.
         assert throughput >= 3.0, f"expected ≥3x batched throughput, got {throughput:.2f}x"
-        _publish([record])
+        publish([record])

@@ -17,7 +17,8 @@ run — fewer cores legitimately produce smaller multipliers.
 
 Usage::
 
-    python -m pytest benchmarks/bench_planner.py -q -m shape --json fresh.json
+    python -m pytest benchmarks/bench_planner.py benchmarks/bench_serve.py \
+        -q -m shape --json fresh.json
     python benchmarks/compare_bench.py fresh.json \
         [--baseline BENCH_planner.json] [--max-regression 0.30]
 """
@@ -36,6 +37,12 @@ RATIO_FIELDS = {
     "speedup_w4": True,
     "throughput_x": True,
     "throughput_nocoalesce_x": True,
+    # serve:* — fleet wall-clock over a single replica on identical
+    # open-loop traffic; process parallelism, so cpu-sensitive.  The
+    # coalescing dedup ratio is deliberately NOT gated: it *shrinks* as
+    # hosts gain cores (the no-coalesce denominator parallelises), so
+    # trending it across machines would gate on hardware, not code.
+    "replica_speedup_x": True,
 }
 
 # metric field -> cpu_sensitive.  LOWER is better for these (overhead
@@ -56,6 +63,12 @@ TIMING_FIELDS = (
     "workers4_s",
     "serial_loop_s",
     "batch_s",
+    "single_wall_s",
+    "fleet_nocoalesce_wall_s",
+    "fleet_wall_s",
+    "p50_s",
+    "p95_s",
+    "p99_s",
 )
 
 

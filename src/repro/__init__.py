@@ -22,6 +22,13 @@ Quick start::
         semiring=COUNTING,
     )
     print(inside_out(query).factor.table)
+
+or, through the stable top-level facade::
+
+    from repro import Engine
+
+    with Engine() as engine:
+        print(engine.query(query).factor.table)
 """
 
 from repro.core.insideout import InsideOutResult, InsideOutStats, inside_out
@@ -34,6 +41,7 @@ from repro.core.faqw import (
     faq_width_of_ordering,
     faq_width_of_query,
 )
+from repro.engine import Engine, EngineConfig
 from repro.factors.factor import Factor
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.planner import Plan, PlanCache, PlanResult
@@ -41,6 +49,13 @@ from repro.planner import execute as execute_query
 from repro.planner import plan as plan_query
 from repro.semiring.aggregates import Aggregate, ProductAggregate, SemiringAggregate
 from repro.semiring.base import Semiring
+from repro.serve.api import (
+    Overloaded,
+    PlanFailure,
+    ServeError,
+    ServeRequest,
+    ServeResult,
+)
 
 __version__ = "1.0.0"
 
@@ -70,5 +85,12 @@ __all__ = [
     "approximate_faqw_ordering",
     "faq_width_of_ordering",
     "faq_width_of_query",
+    "Engine",
+    "EngineConfig",
+    "ServeRequest",
+    "ServeResult",
+    "ServeError",
+    "Overloaded",
+    "PlanFailure",
     "__version__",
 ]

@@ -5,10 +5,16 @@ this package makes the dependency structure between those steps explicit
 (:func:`lower_insideout` → :class:`StepDag`) and executes independent steps
 on a worker pool (:class:`DagExecutor`).  Entry points stay where they are:
 pass ``workers=`` to :func:`repro.core.insideout.inside_out`,
-:meth:`repro.planner.Plan.execute`, :func:`repro.planner.execute` or any
-solver wrapper, or batch whole queries through :mod:`repro.serve`.
+:meth:`repro.planner.Plan.execute`, :func:`repro.planner.execute`, any
+solver wrapper, ``db.join`` or the serving layer (:mod:`repro.serve`) —
+``workers=`` means the *same thing everywhere*: per-query step-DAG
+parallelism (``None``/1 = serial).  :func:`resolve_workers` is the one
+shim that folds the deprecated ``dag_workers=`` alias into it.
 """
 
+import warnings
+
+from repro.core.insideout import _validated_workers as validate_workers
 from repro.exec.dag import (
     KIND_OUTPUT,
     KIND_PRODUCT,
@@ -19,6 +25,33 @@ from repro.exec.dag import (
 )
 from repro.exec.executor import DagExecutor
 
+_UNSET = object()
+
+
+def resolve_workers(workers=None, dag_workers=_UNSET, *, stacklevel: int = 3):
+    """Fold the deprecated ``dag_workers=`` alias into the unified ``workers=``.
+
+    Returns the validated worker count (``None`` = serial).  Passing
+    ``dag_workers=`` emits a :class:`DeprecationWarning`; passing both with
+    conflicting values raises ``QueryError`` rather than guessing.
+    """
+    from repro.core.query import QueryError
+
+    if dag_workers is not _UNSET and dag_workers is not None:
+        warnings.warn(
+            "dag_workers= is deprecated; pass workers= instead "
+            "(the unified per-query parallelism argument)",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        if workers is not None and workers != dag_workers:
+            raise QueryError(
+                f"conflicting workers={workers!r} and deprecated dag_workers={dag_workers!r}"
+            )
+        workers = dag_workers
+    return validate_workers(workers)
+
+
 __all__ = [
     "DagExecutor",
     "StepDag",
@@ -27,4 +60,6 @@ __all__ = [
     "KIND_SEMIRING",
     "KIND_PRODUCT",
     "KIND_OUTPUT",
+    "validate_workers",
+    "resolve_workers",
 ]

@@ -15,7 +15,7 @@ plan under a structural query signature so repeated or isomorphic queries
 skip planning entirely.
 """
 
-from repro.planner.cache import DEFAULT_PLAN_CACHE, CachedPlan, PlanCache
+from repro.planner.cache import DEFAULT_PLAN_CACHE, CachedPlan, DigestPlan, PlanCache
 from repro.planner.cost import (
     CostModel,
     OrderingEstimate,
@@ -35,7 +35,12 @@ from repro.planner.planner import (
     execute,
     plan,
 )
-from repro.planner.signature import query_signature
+from repro.planner.signature import (
+    factor_digest,
+    query_content_key,
+    query_signature,
+    signature_digest,
+)
 
 __all__ = [
     "plan",
@@ -44,6 +49,7 @@ __all__ = [
     "PlanResult",
     "PlanCache",
     "CachedPlan",
+    "DigestPlan",
     "DEFAULT_PLAN_CACHE",
     "CostModel",
     "DEFAULT_COST_MODEL",
@@ -58,4 +64,7 @@ __all__ = [
     "applicable_strategies",
     "candidate_orderings",
     "query_signature",
+    "signature_digest",
+    "factor_digest",
+    "query_content_key",
 ]

@@ -59,6 +59,23 @@ class CachedPlan:
     buckets: Tuple[int, ...] = field(default=())
 
 
+@dataclass(frozen=True)
+class DigestPlan:
+    """A plan addressed by content digest (ordering stored by variable name).
+
+    Digest-addressed entries answer *value-identical* repeats (the serving
+    tier's content-hash keys certify value equality), so — unlike
+    :class:`CachedPlan` — no canonical-index translation is needed and the
+    lookup skips the WL signature computation entirely.
+    """
+
+    strategy: str
+    backend: str
+    ordering: Tuple[str, ...]
+    estimated_cost: float
+    faq_width: float
+
+
 def _shape_key(key: tuple) -> Optional[Tuple[tuple, Tuple[int, ...]]]:
     """Split a plan-cache key into its shape key and buckets.
 
@@ -83,6 +100,10 @@ class PlanCache:
         # shape key -> exact key of the most recently stored entry with that
         # shape.  Pointers may go stale after eviction; resolved lazily.
         self._shapes: Dict[tuple, tuple] = {}
+        # content digest (hex string) -> DigestPlan; a separate LRU so the
+        # digest-addressed path of the serving tier cannot evict (or be
+        # evicted by) signature-keyed traffic.
+        self._digests = LruCache(maxsize=maxsize)
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -90,11 +111,11 @@ class PlanCache:
 
     @property
     def hits(self) -> int:
-        return self._entries.hits
+        return self._entries.hits + self._digests.hits
 
     @property
     def misses(self) -> int:
-        return self._entries.misses
+        return self._entries.misses + self._digests.misses
 
     def lookup(self, key: tuple) -> Optional[CachedPlan]:
         """The cached plan for ``key``, updating LRU order and hit counters."""
@@ -149,9 +170,27 @@ class PlanCache:
                 if evicted_split is not None and self._shapes.get(evicted_split[0]) == evicted_key:
                     del self._shapes[evicted_split[0]]
 
+    # ------------------------------------------------------------------ #
+    # digest-addressed lookup (the serving tier's cross-process keys)
+    # ------------------------------------------------------------------ #
+    def lookup_digest(self, digest: str) -> Optional[DigestPlan]:
+        """The plan stored under a stable content digest, if any.
+
+        Content digests (:func:`repro.planner.signature.query_content_key`)
+        certify value equality, so a hit transfers verbatim — strategy,
+        backend and the ordering by variable name — without recomputing the
+        query signature.  Counted in the ordinary hit/miss counters.
+        """
+        return self._digests.get(digest)
+
+    def store_digest(self, digest: str, plan: DigestPlan) -> None:
+        """Insert (or refresh) a digest-addressed plan."""
+        self._digests.put(digest, plan)
+
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""
         self._entries.clear()
+        self._digests.clear()
         with self._lock:
             self._shapes.clear()
 

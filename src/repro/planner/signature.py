@@ -23,8 +23,9 @@ This module computes a canonical labelling of the query's structure:
 
 from __future__ import annotations
 
+import hashlib
 import weakref
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.query import FAQQuery
 
@@ -191,6 +192,148 @@ def bucket_drift(a: Sequence[int], b: Sequence[int]) -> Optional[int]:
     if len(a) != len(b):
         return None
     return max((abs(x - y) for x, y in zip(a, b)), default=0)
+
+
+# ---------------------------------------------------------------------- #
+# stable cross-process content hashes
+# ---------------------------------------------------------------------- #
+# The in-process plan cache keys on hashable signature *tuples*; the
+# replicated serving tier (:mod:`repro.serve`) keys on hex *digests* that
+# must agree between processes.  Python's builtin ``hash`` is salted per
+# process (PYTHONHASHSEED), so the digests below are built from an explicit
+# canonical byte encoding instead.
+
+CONTENT_KEY_VERSION = 1
+"""Format version folded into every content digest.
+
+Bump together with :data:`SIGNATURE_VERSION` whenever the canonical byte
+encoding (or what it covers) changes, so digests computed by an old process
+can never alias digests of a new one across a rolling restart.
+"""
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """A deterministic, process-independent byte encoding of plain data.
+
+    Supports the value shapes that occur in signatures, factor tables and
+    variable domains: ``None``, bools, ints, floats, complex, strings,
+    bytes, and (frozen)sets/sequences thereof.  The encoding is injective
+    per type (every atom is length-prefixed and type-tagged) and
+    canonicalises sets by sorting their encoded elements, so equal values
+    encode equally in every process.  Unsupported types raise ``TypeError``
+    — callers (the serving tier) degrade gracefully.
+    """
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):  # before int: bool subclasses int
+        return b"T" if value else b"F"
+    if isinstance(value, int):
+        raw = str(value).encode("ascii")
+        return b"i%d:%s" % (len(raw), raw)
+    if isinstance(value, float):
+        raw = repr(value).encode("ascii")  # repr is shortest-roundtrip, stable
+        return b"f%d:%s" % (len(raw), raw)
+    if isinstance(value, complex):
+        raw = repr(value).encode("ascii")
+        return b"c%d:%s" % (len(raw), raw)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return b"s%d:%s" % (len(raw), raw)
+    if isinstance(value, (bytes, bytearray)):
+        return b"b%d:%s" % (len(value), bytes(value))
+    if isinstance(value, (frozenset, set)):
+        parts = sorted(canonical_bytes(v) for v in value)
+        return b"S(" + b",".join(parts) + b")"
+    if isinstance(value, (tuple, list)):
+        return b"(" + b",".join(canonical_bytes(v) for v in value) + b")"
+    raise TypeError(f"no canonical byte encoding for {type(value).__name__!r}")
+
+
+def _digest(*chunks: bytes) -> str:
+    h = hashlib.sha256()
+    h.update(b"repro-content-v%d" % CONTENT_KEY_VERSION)
+    for chunk in chunks:
+        h.update(b"|")
+        h.update(chunk)
+    return h.hexdigest()
+
+
+def signature_digest(signature: tuple) -> str:
+    """A stable hex digest of a :func:`query_signature` tuple.
+
+    Unlike ``hash(signature)`` this agrees across processes and interpreter
+    restarts, so it can key cross-process caches and wire protocols.
+    """
+    return _digest(b"sig", canonical_bytes(signature))
+
+
+def factor_digest(factor: Any) -> str:
+    """A stable content digest of one factor (scope, name excluded).
+
+    Keyed on the scope *names* plus the sorted non-default table entries,
+    so two value-equal factors — distinct objects, different processes —
+    digest identically, and any changed cell changes the digest.  Dense
+    ndarray factors digest their domains and raw cells without a listing
+    round trip.
+    """
+    from repro.factors.dense import DenseFactor
+
+    if isinstance(factor, DenseFactor):
+        domains = tuple(factor.domains[v] for v in factor.scope)
+        return _digest(
+            b"dense",
+            canonical_bytes(tuple(factor.scope)),
+            canonical_bytes(domains),
+            str(factor.array.dtype).encode("ascii"),
+            factor.array.tobytes(),
+        )
+    items = sorted(
+        (canonical_bytes(key) + b"=" + canonical_bytes(value))
+        for key, value in factor.table.items()
+    )
+    return _digest(
+        b"sparse", canonical_bytes(tuple(factor.scope)), b";".join(items)
+    )
+
+
+_CONTENT_KEY_MEMO: "weakref.WeakKeyDictionary[FAQQuery, str]" = weakref.WeakKeyDictionary()
+
+
+def query_content_key(query: FAQQuery) -> str:
+    """The stable content digest of a query — equal iff queries are value-equal.
+
+    Combines the canonical WL signature (structure) with the exact
+    variable/domain/aggregate spelling and a :func:`factor_digest` per
+    factor, so *value-equal* queries from different clients or processes
+    share one key while isomorphic-but-renamed queries (whose outputs name
+    different variables) do not.  This is the coalescing key of the serving
+    tier: two requests with equal keys are certifiably answerable by one
+    execution.
+
+    Memoised per query instance (queries are immutable after construction);
+    raises ``TypeError`` for queries whose domains or factor values have no
+    canonical encoding — callers fall back to not coalescing.
+    """
+    cached = _CONTENT_KEY_MEMO.get(query)
+    if cached is not None:
+        return cached
+    signature, _ = query_signature(query)
+    spelling = (
+        query.semiring.name,
+        tuple(query.order),
+        tuple(query.free),
+        tuple((v, query.tag(v)) for v in query.bound),
+        tuple((v, query.domain(v)) for v in query.order),
+    )
+    factor_part = ";".join(sorted(factor_digest(f) for f in query.factors))
+    key = _digest(
+        b"query",
+        signature_digest(signature).encode("ascii"),
+        canonical_bytes(spelling),
+        factor_part.encode("ascii"),
+    )
+    _CONTENT_KEY_MEMO[query] = key
+    return key
 
 
 def ordering_to_indices(ordering: Sequence[str], canon: Sequence[str]) -> Tuple[int, ...]:

@@ -109,28 +109,48 @@ def product_aggregate() -> Aggregate:
     return Aggregate(kind="product", name=PRODUCT_TAG, op=None, identity=None)
 
 
+# The standard combine operators are module-level functions (not lambdas) so
+# the aggregates — and with them whole queries — pickle: the replicated
+# serving tier (:mod:`repro.serve`) ships query skeletons to worker
+# processes over multiprocessing pipes.
+def _op_sum(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def _op_max(a: Any, b: Any) -> Any:
+    return a if a >= b else b
+
+
+def _op_min(a: Any, b: Any) -> Any:
+    return a if a <= b else b
+
+
+def _op_or(a: Any, b: Any) -> bool:
+    return bool(a or b)
+
+
 class SemiringAggregate:
     """Namespace of convenience constructors for common semiring aggregates."""
 
     @staticmethod
     def sum() -> Aggregate:
         """The ``Σ`` aggregate over a numeric domain."""
-        return semiring_aggregate("sum", lambda a, b: a + b, 0)
+        return semiring_aggregate("sum", _op_sum, 0)
 
     @staticmethod
     def max() -> Aggregate:
         """The ``max`` aggregate over a numeric domain."""
-        return semiring_aggregate("max", lambda a, b: a if a >= b else b)
+        return semiring_aggregate("max", _op_max)
 
     @staticmethod
     def min() -> Aggregate:
         """The ``min`` aggregate (for (min,+)/(min,×) style queries)."""
-        return semiring_aggregate("min", lambda a, b: a if a <= b else b)
+        return semiring_aggregate("min", _op_min)
 
     @staticmethod
     def logical_or() -> Aggregate:
         """The ``∃`` / ``∨`` aggregate over the Boolean domain."""
-        return semiring_aggregate("or", lambda a, b: bool(a or b), False)
+        return semiring_aggregate("or", _op_or, False)
 
 
 class ProductAggregate:

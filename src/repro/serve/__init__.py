@@ -1,248 +1,58 @@
-"""Batched plan serving: many queries, one warm engine.
+"""The serving tier: typed requests in, typed results out, at any scale.
 
-PR 2–4 made a *single* query fast (cost-based planning, plan caching, fused
-kernels); this package is the layer that serves *traffic*.  A
-:class:`PlanServer` owns a worker pool, a shared
-:class:`~repro.planner.cache.PlanCache` and a bounded store of
-:class:`~repro.factors.index.SharedTrieCache` instances, and exposes
+PR 2–4 made a *single* query fast (cost-based planning, plan caching,
+fused kernels) and PR 5 served batches from one warm process; this package
+is the horizontal tier on top, behind one stable contract:
 
-* :meth:`PlanServer.submit` — an async-friendly submit loop: enqueue one
-  query, get a :class:`concurrent.futures.Future` back immediately (wrap it
-  with :func:`asyncio.wrap_future` inside an event loop);
-* :meth:`PlanServer.execute_batch` — run a whole batch concurrently and
-  return results in input order;
-* :func:`execute_batch` — the one-shot convenience wrapper.
+* :mod:`repro.serve.api` — the public value types
+  (:class:`ServeRequest` / :class:`ServeResult`) and the typed error
+  hierarchy (:class:`ServeError`, retryable :class:`Overloaded`,
+  non-retryable :class:`PlanFailure`, :class:`ReplicaCrashed`);
+* :mod:`repro.serve.server` — :class:`PlanServer`, the in-process serving
+  loop (thread pool + plan cache + shared tries) with **content-hash
+  coalescing**: value-equal in-flight requests execute once, keyed by the
+  stable digests of :func:`repro.planner.signature.query_content_key`
+  rather than object identity;
+* :mod:`repro.serve.replica` / :mod:`repro.serve.protocol` — replica
+  processes speaking a digest-addressed wire protocol (factor tables ship
+  to each replica once, then travel as digests);
+* :mod:`repro.serve.frontend` — :class:`Frontend`, the asyncio admission
+  point: per-tenant quotas, deadline-aware load shedding, tier-wide
+  coalescing, rendezvous-hash routing and replica health/restart.
 
-Three effects stack up on repeated traffic:
+Scaling ladder — all three speak the same request/result types::
 
-1. **plan reuse** — every query plans against the shared cache, so all but
-   the first occurrence of a signature skip the ordering search;
-2. **trie reuse** — repeated executions of the *same query object* share
-   their base-factor tries and indicator projections through a
-   :class:`SharedTrieCache` instead of re-indexing the inputs every run;
-3. **request coalescing** — identical in-flight query objects inside one
-   batch execute once and fan the result out (``coalesce=False`` opts
-   out).  Coalescing keys on object identity: two *equal but distinct*
-   query objects are conservatively treated as different requests.
+    PlanServer().execute_request(req)          # one thread, warm caches
+    PlanServer().submit(req)                   # thread pool, Future out
+    await Frontend(replicas=4).submit(req)     # process fleet, coalesced
 
-Per-query parallelism composes: ``dag_workers`` forwards to the step-DAG
-executor (:mod:`repro.exec`) so each InsideOut run can itself fan out.
+The PR 5 call forms (bare ``FAQQuery`` in, ``PlanResult`` future out,
+``dag_workers=``) keep working through deprecation shims on
+:class:`PlanServer` and :func:`execute_batch`.
 """
 
-from __future__ import annotations
+from repro.serve.api import (
+    Overloaded,
+    PlanFailure,
+    ReplicaCrashed,
+    ServeError,
+    ServeRequest,
+    ServeResult,
+)
+from repro.serve.frontend import Frontend
+from repro.serve.replica import ReplicaHandle, ReplicaSet
+from repro.serve.server import PlanServer, execute_batch
 
-import os
-import threading
-from collections import OrderedDict
-from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence
-
-from repro.core.insideout import _validated_workers
-from repro.core.query import FAQQuery
-from repro.factors.index import SharedTrieCache
-from repro.planner import STRATEGY_INSIDEOUT, PlanCache, PlanResult, plan
-
-__all__ = ["PlanServer", "execute_batch"]
-
-_MAX_SHARED_QUERIES = 64
-
-
-class PlanServer:
-    """A long-lived serving loop over the planner and the engines.
-
-    Parameters
-    ----------
-    workers:
-        Pool size for concurrent query execution (defaults to the CPU
-        count).  The dense/NumPy kernels release the GIL, so distinct
-        queries overlap on multicore hosts; on any host the pool still
-        amortises planning and trie building across the batch.
-    cache:
-        The :class:`~repro.planner.cache.PlanCache` to plan against
-        (defaults to a server-private cache).
-    share_tries:
-        Keep a bounded LRU of per-query :class:`SharedTrieCache` stores so
-        repeated executions of the same query object skip re-indexing
-        their base factors (InsideOut strategy only).
-    dag_workers:
-        Per-query ``workers=`` forwarded to
-        :meth:`~repro.planner.plan.Plan.execute` (``None``/1 = serial per
-        query; the batch itself still parallelises across queries).
-    """
-
-    def __init__(
-        self,
-        workers: Optional[int] = None,
-        cache: Optional[PlanCache] = None,
-        share_tries: bool = True,
-        dag_workers: Optional[int] = None,
-        max_shared_queries: int = _MAX_SHARED_QUERIES,
-    ) -> None:
-        # Same validation as inside_out/DagExecutor (rejects bools, zero,
-        # negatives) so the three entry points cannot drift.
-        self.workers = _validated_workers(workers) or (os.cpu_count() or 1)
-        self.cache = cache if cache is not None else PlanCache()
-        self.share_tries = share_tries
-        self.dag_workers = dag_workers
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="repro-serve"
-        )
-        self._lock = threading.Lock()
-        # key -> (query, SharedTrieCache): the query object is pinned so a
-        # recycled id() can never resolve to another query's store.  A
-        # plain OrderedDict under self._lock rather than caching.LruCache:
-        # the store needs atomic get-or-create *with identity validation*
-        # in one critical section, which a generic get/put surface cannot
-        # express without a second race-prone round trip.
-        self._shared: "OrderedDict[tuple, tuple[FAQQuery, SharedTrieCache]]" = OrderedDict()
-        self._max_shared = max_shared_queries
-        # Counters of stores already evicted from the LRU, so stats() stays
-        # cumulative (monotone) across evictions.
-        self._evicted_trie_hits = 0
-        self._evicted_trie_misses = 0
-        self._submitted = 0
-        self._coalesced = 0
-        self._closed = False
-
-    # ------------------------------------------------------------------ #
-    # the submit loop
-    # ------------------------------------------------------------------ #
-    def submit(self, query: FAQQuery, **kwargs: Any) -> "Future[PlanResult]":
-        """Enqueue one query; returns a future resolving to its result.
-
-        ``kwargs`` are forwarded to :func:`repro.planner.plan` (e.g.
-        ``strategy=``/``backend=``/``ordering=`` overrides) plus
-        ``output_mode=``.  Asyncio callers wrap the returned future with
-        :func:`asyncio.wrap_future`.
-        """
-        if self._closed:
-            raise RuntimeError("PlanServer is shut down")
-        with self._lock:
-            self._submitted += 1
-        return self._pool.submit(self._run_one, query, kwargs)
-
-    def execute_batch(
-        self,
-        queries: Sequence[FAQQuery],
-        coalesce: bool = True,
-        **kwargs: Any,
-    ) -> List[PlanResult]:
-        """Execute ``queries`` concurrently; results come back in input order.
-
-        With ``coalesce=True`` identical query *objects* in the batch are
-        executed once and share one :class:`PlanResult` (request
-        coalescing — the standard serving-layer optimisation for repeated
-        traffic).
-        """
-        futures: List[Future] = []
-        in_flight: Dict[int, Future] = {}
-        for query in queries:
-            if coalesce:
-                future = in_flight.get(id(query))
-                if future is not None:
-                    with self._lock:
-                        self._coalesced += 1
-                    futures.append(future)
-                    continue
-            future = self.submit(query, **kwargs)
-            if coalesce:
-                in_flight[id(query)] = future
-            futures.append(future)
-        return [future.result() for future in futures]
-
-    # ------------------------------------------------------------------ #
-    def _run_one(self, query: FAQQuery, kwargs: Dict[str, Any]) -> PlanResult:
-        output_mode = kwargs.pop("output_mode", "listing")
-        chosen = plan(query, cache=self.cache, **kwargs)
-        shared = None
-        if self.share_tries and chosen.strategy == STRATEGY_INSIDEOUT:
-            shared = self._shared_tries_for(query, chosen.ordering)
-        return chosen.execute(
-            output_mode=output_mode, workers=self.dag_workers, shared_tries=shared
-        )
-
-    def _shared_tries_for(
-        self, query: FAQQuery, ordering: Sequence[str]
-    ) -> SharedTrieCache:
-        """The cross-run trie store for (query object, ordering), LRU-bounded.
-
-        Entries pin the query object they were built for: a dead query's
-        recycled ``id()`` must neither serve the old store (its ``covers``
-        checks would reject every factor, silently disabling sharing) nor
-        keep the old factor list alive behind a mismatched key.
-        """
-        key = (id(query), tuple(ordering))
-        with self._lock:
-            entry = self._shared.get(key)
-            if entry is not None and entry[0] is query:
-                self._shared.move_to_end(key)
-                return entry[1]
-            shared = SharedTrieCache(ordering, query.semiring, query.factors)
-            self._shared[key] = (query, shared)
-            while len(self._shared) > self._max_shared:
-                _, (_, evicted) = self._shared.popitem(last=False)
-                self._evicted_trie_hits += evicted.hits
-                self._evicted_trie_misses += evicted.misses
-            return shared
-
-    # ------------------------------------------------------------------ #
-    # observability + lifecycle
-    # ------------------------------------------------------------------ #
-    def stats(self) -> Dict[str, Any]:
-        """Serving counters: submissions, coalescing, cache and trie reuse.
-
-        The trie counters are cumulative over the server's lifetime —
-        stores evicted from the LRU contribute the counts they had at
-        eviction time, so ``shared_trie_hits`` is monotone and safe to
-        trend.  They are a (tight) lower bound, not an exact total: a
-        store evicted while another pool thread's in-flight run still
-        holds it stops contributing that run's remaining increments.
-        """
-        with self._lock:
-            shared = [entry[1] for entry in self._shared.values()]
-            submitted = self._submitted
-            coalesced = self._coalesced
-            evicted_hits = self._evicted_trie_hits
-            evicted_misses = self._evicted_trie_misses
-        return {
-            "submitted": submitted,
-            "coalesced": coalesced,
-            "plan_cache_hits": self.cache.hits,
-            "plan_cache_misses": self.cache.misses,
-            "shared_trie_stores": len(shared),
-            "shared_trie_hits": evicted_hits + sum(s.hits for s in shared),
-            "shared_trie_misses": evicted_misses + sum(s.misses for s in shared),
-        }
-
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) wait for in-flight queries."""
-        self._closed = True
-        self._pool.shutdown(wait=wait)
-
-    def __enter__(self) -> "PlanServer":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.shutdown(wait=True)
-
-
-def execute_batch(
-    queries: Sequence[FAQQuery],
-    *,
-    workers: Optional[int] = None,
-    cache: Optional[PlanCache] = None,
-    coalesce: bool = True,
-    share_tries: bool = True,
-    dag_workers: Optional[int] = None,
-    **kwargs: Any,
-) -> List[PlanResult]:
-    """Run a batch of queries against a transient :class:`PlanServer`.
-
-    Results come back in input order.  For long-lived traffic keep a
-    :class:`PlanServer` instead — its plan cache and shared tries stay warm
-    across batches.
-    """
-    with PlanServer(
-        workers=workers, cache=cache, share_tries=share_tries, dag_workers=dag_workers
-    ) as server:
-        return server.execute_batch(queries, coalesce=coalesce, **kwargs)
+__all__ = [
+    "ServeRequest",
+    "ServeResult",
+    "ServeError",
+    "Overloaded",
+    "PlanFailure",
+    "ReplicaCrashed",
+    "PlanServer",
+    "execute_batch",
+    "Frontend",
+    "ReplicaSet",
+    "ReplicaHandle",
+]

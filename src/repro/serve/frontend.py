@@ -1,0 +1,349 @@
+"""The horizontal serving tier: an asyncio front-end over N replicas.
+
+:class:`Frontend` is the admission point of the replicated tier.  One
+``await frontend.submit(request)`` walks the full serving path:
+
+1. **admission control** — a global pending bound, a per-tenant in-flight
+   quota and deadline-aware rejection (don't dispatch work whose latency
+   budget the current backlog already exceeds).  Shed requests raise
+   :class:`~repro.serve.api.Overloaded`, which is retryable by contract.
+2. **content-hash coalescing** — value-equal requests in flight *anywhere
+   in the tier* (any client, any connection) share one execution; the
+   duplicates' results come back flagged ``coalesced=True``.
+3. **routing** — rendezvous hashing on the content key sends repeated
+   traffic to the replica that already holds its factor tables and warm
+   tries, falling back to least-loaded under skew (see
+   :class:`~repro.serve.replica.ReplicaSet`).
+4. **dispatch** — the blocking pipe round-trip runs in a worker thread
+   (``asyncio.to_thread``), so the event loop keeps admitting while
+   replicas compute.  A crashed replica is restarted and the request
+   retried once before :class:`~repro.serve.api.ReplicaCrashed` surfaces.
+
+A background health loop sweeps for dead replicas every
+``health_interval`` seconds.  Synchronous callers (tests, benchmarks) use
+:meth:`Frontend.serve_batch`, which runs the submissions in a private
+event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.query import FAQQuery
+from repro.serve.api import Overloaded, PlanFailure, ReplicaCrashed, ServeRequest, ServeResult
+from repro.serve.replica import ReplicaSet
+
+_EWMA_ALPHA = 0.2
+
+
+class Frontend:
+    """Admit, coalesce and route requests across a replica fleet.
+
+    Parameters
+    ----------
+    replicas:
+        Fleet size (defaults to the CPU count).
+    workers:
+        Per-query step-DAG parallelism *inside* each replica — the unified
+        ``workers=`` meaning (``None``/1 = serial per query; the fleet
+        still overlaps distinct queries across processes).
+    start_method:
+        ``multiprocessing`` start method (platform default when ``None``).
+    max_pending:
+        Global bound on dispatched-but-unfinished requests; past it new
+        arrivals are shed with ``Overloaded("queue full")``.
+    tenant_limit:
+        Per-tenant in-flight quota (``None`` disables per-tenant
+        metering).
+    health_interval:
+        Seconds between dead-replica sweeps (``None`` disables the loop;
+        crashes are then only repaired on the dispatch retry path).
+    coalesce:
+        Tier-wide default for content-hash coalescing (requests opt out
+        individually with ``ServeRequest(coalesce=False)``).
+    """
+
+    def __init__(
+        self,
+        replicas: Optional[int] = None,
+        *,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        max_pending: int = 1024,
+        tenant_limit: Optional[int] = None,
+        health_interval: Optional[float] = 1.0,
+        coalesce: bool = True,
+    ) -> None:
+        size = replicas if replicas is not None else (os.cpu_count() or 1)
+        self.max_pending = max_pending
+        self.tenant_limit = tenant_limit
+        self.health_interval = health_interval
+        self.coalesce = coalesce
+        self._set = ReplicaSet(size, workers=workers, start_method=start_method)
+        # content key -> the primary's asyncio future (per-loop objects, but
+        # the map is only touched from whichever loop is currently driving
+        # submissions — serve_batch runs one loop at a time).
+        self._inflight: Dict[str, "asyncio.Future[ServeResult]"] = {}
+        self._tenant_pending: Dict[str, int] = {}
+        self._pending = 0
+        self._latency_ewma: Optional[float] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._health_loop_obj: Optional[asyncio.AbstractEventLoop] = None
+        self._closed = False
+        self._submitted = 0
+        self._coalesced = 0
+        self._shed_queue = 0
+        self._shed_tenant = 0
+        self._shed_deadline = 0
+        self._replica_crashes = 0
+
+    # ------------------------------------------------------------------ #
+    # the serving path
+    # ------------------------------------------------------------------ #
+    async def submit(self, request: ServeRequest) -> ServeResult:
+        """Admit one request and return its typed result.
+
+        Raises :class:`Overloaded` when shed, :class:`PlanFailure` when the
+        query cannot be planned/executed, :class:`ReplicaCrashed` when the
+        fleet lost the request twice.
+        """
+        if self._closed:
+            raise RuntimeError("Frontend is shut down")
+        if not isinstance(request, ServeRequest):
+            raise TypeError(
+                f"Frontend.submit takes a ServeRequest, got {type(request).__name__} "
+                "(the deprecated bare-query form exists only on PlanServer)"
+            )
+        if request.output_mode != "listing":
+            raise PlanFailure(
+                "factorized output cannot cross a process boundary; "
+                "serve factorized queries in-process via PlanServer",
+                cause_type="QueryError",
+            )
+        self._ensure_health_task()
+        self._submitted += 1
+
+        # -------------------------- admission -------------------------- #
+        if self._pending >= self.max_pending:
+            self._shed_queue += 1
+            raise Overloaded(f"queue full ({self._pending} pending)", request.tenant)
+        if (
+            self.tenant_limit is not None
+            and self._tenant_pending.get(request.tenant, 0) >= self.tenant_limit
+        ):
+            self._shed_tenant += 1
+            raise Overloaded(
+                f"tenant quota exceeded ({self.tenant_limit} in flight)", request.tenant
+            )
+        if request.deadline is not None:
+            estimated = self._estimated_wait()
+            if estimated > request.deadline:
+                self._shed_deadline += 1
+                raise Overloaded(
+                    f"deadline {request.deadline:.3f}s unmeetable "
+                    f"(estimated wait {estimated:.3f}s)",
+                    request.tenant,
+                )
+
+        # ------------------------- coalescing -------------------------- #
+        key = request.content_key if (self.coalesce and request.coalesce) else None
+        if key is not None:
+            primary = self._inflight.get(key)
+            if primary is not None:
+                self._coalesced += 1
+                result = await asyncio.shield(primary)
+                return result.mark_coalesced()
+
+        loop = asyncio.get_running_loop()
+        future: Optional["asyncio.Future[ServeResult]"] = None
+        if key is not None:
+            future = loop.create_future()
+            self._inflight[key] = future
+        self._pending += 1
+        self._tenant_pending[request.tenant] = self._tenant_pending.get(request.tenant, 0) + 1
+        try:
+            result = await self._dispatch(request, loop)
+        except BaseException as exc:
+            if future is not None and not future.done():
+                future.set_exception(exc)
+                future.exception()  # mark retrieved: waiters re-raise their own copy
+            raise
+        else:
+            if future is not None and not future.done():
+                future.set_result(result)
+            return result
+        finally:
+            if key is not None and self._inflight.get(key) is future:
+                del self._inflight[key]
+            self._pending -= 1
+            remaining = self._tenant_pending.get(request.tenant, 1) - 1
+            if remaining <= 0:
+                self._tenant_pending.pop(request.tenant, None)
+            else:
+                self._tenant_pending[request.tenant] = remaining
+
+    async def _dispatch(
+        self, request: ServeRequest, loop: asyncio.AbstractEventLoop
+    ) -> ServeResult:
+        deadline_at = (
+            loop.time() + request.deadline if request.deadline is not None else None
+        )
+        attempts = 0
+        while True:
+            if deadline_at is not None and loop.time() >= deadline_at:
+                self._shed_deadline += 1
+                raise Overloaded("deadline expired before dispatch", request.tenant)
+            replica = self._set.pick(request.content_key)
+            replica.load += 1
+            started = loop.time()
+            try:
+                result = await asyncio.to_thread(replica.execute, request)
+            except ReplicaCrashed:
+                self._replica_crashes += 1
+                await asyncio.to_thread(replica.restart)
+                attempts += 1
+                if attempts > 1:
+                    raise
+                continue
+            finally:
+                replica.load -= 1
+                self._observe_latency(loop.time() - started)
+            return result
+
+    # ------------------------------------------------------------------ #
+    # load estimation
+    # ------------------------------------------------------------------ #
+    def _estimated_wait(self) -> float:
+        """Expected queueing delay for a new arrival, from the latency EWMA.
+
+        Optimistic before any observation (admit; the tier has no basis to
+        shed yet) — thereafter ``ewma × ceil(backlog share per replica)``.
+        """
+        if self._latency_ewma is None or self._pending == 0:
+            return 0.0
+        per_replica = self._pending / max(1, len(self._set))
+        return self._latency_ewma * per_replica
+
+    def _observe_latency(self, seconds: float) -> None:
+        if self._latency_ewma is None:
+            self._latency_ewma = seconds
+        else:
+            self._latency_ewma = _EWMA_ALPHA * seconds + (1 - _EWMA_ALPHA) * self._latency_ewma
+
+    # ------------------------------------------------------------------ #
+    # health
+    # ------------------------------------------------------------------ #
+    def _ensure_health_task(self) -> None:
+        if self.health_interval is None or self._closed:
+            return
+        loop = asyncio.get_running_loop()
+        if (
+            self._health_task is not None
+            and not self._health_task.done()
+            and self._health_loop_obj is loop
+        ):
+            return
+        self._health_task = loop.create_task(self._health_loop())
+        self._health_loop_obj = loop
+
+    async def _health_loop(self) -> None:
+        while not self._closed:
+            await asyncio.sleep(self.health_interval)
+            restarted = await asyncio.to_thread(self._set.restart_dead)
+            self._replica_crashes += len(restarted)
+
+    async def _cancel_health_task(self) -> None:
+        task = self._health_task
+        if (
+            task is not None
+            and not task.done()
+            and self._health_loop_obj is asyncio.get_running_loop()
+        ):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._health_task = None
+        self._health_loop_obj = None
+
+    # ------------------------------------------------------------------ #
+    # synchronous conveniences
+    # ------------------------------------------------------------------ #
+    def serve_batch(
+        self,
+        requests: Sequence[Union[ServeRequest, FAQQuery]],
+        *,
+        return_exceptions: bool = False,
+    ) -> List[Any]:
+        """Run a batch through the tier in a private event loop (blocking).
+
+        Bare queries are wrapped into default :class:`ServeRequest` values.
+        With ``return_exceptions=True`` shed/failed entries come back as
+        their exception objects instead of raising, so open-loop callers
+        (the benchmark) can count sheds without losing the batch.
+        """
+        wrapped = [
+            r if isinstance(r, ServeRequest) else ServeRequest(query=r) for r in requests
+        ]
+
+        async def _run() -> List[Any]:
+            try:
+                return list(
+                    await asyncio.gather(
+                        *(self.submit(r) for r in wrapped),
+                        return_exceptions=return_exceptions,
+                    )
+                )
+            finally:
+                await self._cancel_health_task()
+
+        return asyncio.run(_run())
+
+    def ping(self) -> List[Optional[Dict[str, Any]]]:
+        """Deep health probe: each replica's serving counters (``None`` = dead)."""
+        return [replica.ping() for replica in self._set.replicas]
+
+    def stats(self) -> Dict[str, Any]:
+        """Tier counters: admission, coalescing, shedding, crashes, fleet state."""
+        return {
+            "replicas": len(self._set),
+            "submitted": self._submitted,
+            "coalesced": self._coalesced,
+            "pending": self._pending,
+            "shed_queue": self._shed_queue,
+            "shed_tenant": self._shed_tenant,
+            "shed_deadline": self._shed_deadline,
+            "replica_crashes": self._replica_crashes,
+            "latency_ewma_s": self._latency_ewma,
+            "fleet": self._set.stats(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def aclose(self) -> None:
+        """Stop the health loop and shut the fleet down."""
+        self._closed = True
+        await self._cancel_health_task()
+        await asyncio.to_thread(self._set.close)
+
+    def close(self) -> None:
+        """Synchronous shutdown (for non-async callers)."""
+        self._closed = True
+        self._health_task = None
+        self._health_loop_obj = None
+        self._set.close()
+
+    def __enter__(self) -> "Frontend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    async def __aenter__(self) -> "Frontend":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()

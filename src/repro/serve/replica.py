@@ -1,0 +1,336 @@
+"""Replica processes: one warm :class:`PlanServer` per OS process.
+
+:func:`_replica_main` is the child-process entry point — a blocking loop
+over one pipe, speaking :mod:`repro.serve.protocol`.  Each replica keeps
+
+* a digest-addressed **factor store** (tables ship once, then are referred
+  to by digest — the amortisation the wire protocol exists for);
+* a **query memo** (content key → rebuilt :class:`FAQQuery`), so repeated
+  traffic reuses one query object and with it every identity-keyed memo
+  downstream (hypergraph, shared tries);
+* its own :class:`~repro.serve.server.PlanServer` for digest-addressed
+  plans and trie reuse.
+
+The parent side is :class:`ReplicaHandle` (spawn, locked request/response
+call, known-digest tracking, restart) and :class:`ReplicaSet` (a fixed
+fleet with rendezvous-hash routing and dead-replica sweeps).  Handles are
+thread-safe; the asyncio front-end calls them via ``asyncio.to_thread``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import pickle
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.api import PlanFailure, ReplicaCrashed, ServeError, ServeRequest, ServeResult
+from repro.serve.protocol import (
+    ERR_INTERNAL,
+    ERR_PLAN,
+    MSG_ERR,
+    MSG_EXEC,
+    MSG_NEED,
+    MSG_OK,
+    MSG_PING,
+    MSG_PONG,
+    MSG_SHUTDOWN,
+    WireResult,
+    decode_query,
+    encode_query,
+    missing_digests,
+)
+
+_MAX_REPLICA_QUERIES = 256
+_REQ_IDS = itertools.count(1)
+
+
+# ---------------------------------------------------------------------- #
+# the child process
+# ---------------------------------------------------------------------- #
+def _replica_main(conn, replica_id: int, workers: Optional[int] = None) -> None:
+    """The replica loop (module-level so the spawn start method can pickle it)."""
+    from repro.serve.server import PlanServer
+
+    server = PlanServer(workers=workers, pool_size=1)
+    store: Dict[str, Any] = {}
+    queries: "OrderedDict[str, Any]" = OrderedDict()
+    served = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == MSG_SHUTDOWN:
+            break
+        if kind == MSG_PING:
+            stats = {
+                "replica": replica_id,
+                "served": served,
+                "factor_store": len(store),
+                "query_memo": len(queries),
+            }
+            stats.update(server.stats())
+            conn.send((MSG_PONG, message[1], stats))
+            continue
+        if kind != MSG_EXEC:
+            conn.send((MSG_ERR, None, ERR_INTERNAL, f"unknown message {kind!r}", "ServeError"))
+            continue
+        _, req_id, wire, payloads, output_mode, options = message
+        store.update(payloads)
+        missing = missing_digests(wire, store.keys())
+        if missing:
+            conn.send((MSG_NEED, req_id, missing))
+            continue
+        try:
+            query = queries.get(wire.query_key) if wire.query_key is not None else None
+            if query is None:
+                query = decode_query(wire, store)
+                if wire.query_key is not None:
+                    queries[wire.query_key] = query
+                    while len(queries) > _MAX_REPLICA_QUERIES:
+                        queries.popitem(last=False)
+            elif wire.query_key is not None:
+                queries.move_to_end(wire.query_key)
+            request = ServeRequest(
+                query=query, output_mode=output_mode, coalesce=False, options=options
+            )
+            result = server.execute_request(request)
+        except PlanFailure as exc:
+            conn.send((MSG_ERR, req_id, ERR_PLAN, str(exc), exc.cause_type))
+            continue
+        except Exception as exc:  # noqa: BLE001 - replica must not die on a bad request
+            conn.send((MSG_ERR, req_id, ERR_INTERNAL, f"{type(exc).__name__}: {exc}", type(exc).__name__))
+            continue
+        served += 1
+        conn.send(
+            (
+                MSG_OK,
+                req_id,
+                WireResult(
+                    factor=result.factor,
+                    ordering=result.ordering,
+                    strategy=result.strategy,
+                    backend=result.backend,
+                    seconds=result.seconds,
+                ),
+            )
+        )
+    conn.close()
+
+
+# ---------------------------------------------------------------------- #
+# the parent side
+# ---------------------------------------------------------------------- #
+class ReplicaHandle:
+    """One replica process plus its pipe, lock and known-digest set.
+
+    ``load`` is the front-end's in-flight count for routing decisions (the
+    handle itself serialises calls under ``self.lock`` — one pipe, one
+    outstanding request).  A pipe failure raises
+    :class:`~repro.serve.api.ReplicaCrashed`; :meth:`restart` replaces the
+    process and resets the known-digest set, after which factor tables
+    re-ship lazily.
+    """
+
+    def __init__(self, index: int, *, workers: Optional[int] = None, context=None) -> None:
+        self.index = index
+        self.workers = workers
+        self._ctx = context if context is not None else multiprocessing.get_context()
+        self.lock = threading.Lock()
+        self.load = 0
+        self.restarts = 0
+        self._start()
+
+    def _start(self) -> None:
+        parent, child = self._ctx.Pipe()
+        self.process = self._ctx.Process(
+            target=_replica_main,
+            args=(child, self.index, self.workers),
+            name=f"repro-replica-{self.index}",
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+        self.conn = parent
+        self.known: set = set()
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def restart(self) -> None:
+        """Replace a dead (or wedged) replica process with a fresh one."""
+        self._terminate()
+        self.restarts += 1
+        self._start()
+
+    # ------------------------------------------------------------------ #
+    def execute(self, request: ServeRequest) -> ServeResult:
+        """Run one request on this replica (blocking; thread-safe).
+
+        Ships only the factor payloads the replica is missing; answers a
+        ``("need", ...)`` reply (a replica that restarted mid-conversation)
+        by resending with the requested tables.
+        """
+        try:
+            wire, tables = encode_query(request.query)
+        except TypeError as exc:
+            raise PlanFailure(
+                f"query is not digest-addressable and cannot be served by a replica: {exc}",
+                cause_type=type(exc).__name__,
+            ) from exc
+        req_id = next(_REQ_IDS)
+        with self.lock:
+            payloads = {d: tables[d] for d in missing_digests(wire, self.known)}
+            reply = self._call(
+                (MSG_EXEC, req_id, wire, payloads, request.output_mode, request.options)
+            )
+            self.known.update(payloads)
+            if reply[0] == MSG_NEED:
+                payloads = {d: tables[d] for d in reply[2]}
+                reply = self._call(
+                    (MSG_EXEC, req_id, wire, payloads, request.output_mode, request.options)
+                )
+                self.known.update(payloads)
+        if reply[0] == MSG_OK:
+            result: WireResult = reply[2]
+            return ServeResult(
+                factor=result.factor,
+                ordering=result.ordering,
+                strategy=result.strategy,
+                backend=result.backend,
+                content_key=request.content_key,
+                replica=self.index,
+                seconds=result.seconds,
+            )
+        if reply[0] == MSG_ERR:
+            _, _, err_kind, message, cause_type = reply
+            raise PlanFailure(message, cause_type=cause_type)
+        raise ReplicaCrashed(
+            f"replica {self.index} sent unexpected reply {reply[0]!r}"
+        )
+
+    def ping(self) -> Optional[Dict[str, Any]]:
+        """Health probe; the replica's serving counters, or ``None`` if dead."""
+        nonce = next(_REQ_IDS)
+        try:
+            with self.lock:
+                reply = self._call((MSG_PING, nonce))
+        except ServeError:
+            return None
+        if reply[0] != MSG_PONG or reply[1] != nonce:
+            return None
+        return reply[2]
+
+    def _call(self, message: tuple) -> tuple:
+        """One locked request/response round trip (caller holds ``self.lock``)."""
+        try:
+            self.conn.send(message)
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            # Pickling happens before any bytes hit the pipe, so the
+            # connection is still clean — fail the request, not the replica.
+            raise PlanFailure(
+                f"request is not picklable for replica dispatch: {exc}",
+                cause_type=type(exc).__name__,
+            ) from exc
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise ReplicaCrashed(f"replica {self.index} died mid-send: {exc!r}") from exc
+        try:
+            return self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ReplicaCrashed(f"replica {self.index} died mid-request: {exc!r}") from exc
+
+    # ------------------------------------------------------------------ #
+    def close(self, timeout: float = 2.0) -> None:
+        """Ask the replica to drain and exit; escalate to terminate."""
+        try:
+            with self.lock:
+                self.conn.send((MSG_SHUTDOWN,))
+        except Exception:  # noqa: BLE001 - already dead is fine
+            pass
+        self.process.join(timeout)
+        self._terminate()
+
+    def _terminate(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(1.0)
+        try:
+            self.conn.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+class ReplicaSet:
+    """A fixed fleet of replicas with content-affine routing.
+
+    Routing is rendezvous (highest-random-weight) hashing on the request's
+    content key: value-equal traffic lands on the replica that already
+    holds the factor tables, the query memo and the warm tries for it.
+    When the affine choice is overloaded (or the request has no content
+    key) the least-loaded replica wins instead — shipping a table again is
+    cheaper than queueing behind a hot spot.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"a ReplicaSet needs at least one replica, got {size}")
+        context = multiprocessing.get_context(start_method)
+        self.replicas: List[ReplicaHandle] = [
+            ReplicaHandle(i, workers=workers, context=context) for i in range(size)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def pick(self, content_key: Optional[str], overload_margin: int = 2) -> ReplicaHandle:
+        """The replica to route this key to (see the class docstring)."""
+        live = [r for r in self.replicas if r.alive()] or self.replicas
+        least = min(live, key=lambda r: (r.load, r.index))
+        if content_key is None:
+            return least
+        affine = max(live, key=lambda r: _rendezvous_score(content_key, r.index))
+        if affine.load > least.load + overload_margin:
+            return least
+        return affine
+
+    def restart_dead(self) -> List[int]:
+        """Replace every dead replica; returns the indices restarted."""
+        restarted = []
+        for replica in self.replicas:
+            if not replica.alive():
+                replica.restart()
+                restarted.append(replica.index)
+        return restarted
+
+    def stats(self) -> List[Dict[str, Any]]:
+        """Per-replica liveness, load and restart counters (no pipe traffic)."""
+        return [
+            {
+                "replica": r.index,
+                "alive": r.alive(),
+                "load": r.load,
+                "restarts": r.restarts,
+                "known_factors": len(r.known),
+            }
+            for r in self.replicas
+        ]
+
+    def close(self) -> None:
+        for replica in self.replicas:
+            replica.close()
+
+
+def _rendezvous_score(content_key: str, index: int) -> Tuple[bytes, int]:
+    digest = hashlib.sha256(f"{content_key}|{index}".encode("utf-8")).digest()
+    return (digest, index)

@@ -1,0 +1,489 @@
+"""The in-process serving loop: one warm engine behind a typed submit API.
+
+:class:`PlanServer` owns a thread pool, a shared
+:class:`~repro.planner.cache.PlanCache` and a bounded store of
+:class:`~repro.factors.index.SharedTrieCache` instances.  The redesigned
+surface speaks :class:`~repro.serve.api.ServeRequest` /
+:class:`~repro.serve.api.ServeResult`; the PR 5 call forms (bare
+``FAQQuery`` objects in/``PlanResult`` futures out, ``dag_workers=``) keep
+working through deprecation shims.
+
+Three reuse effects stack on repeated traffic, now keyed by *content* —
+stable cross-process digests from :func:`repro.planner.signature.query_content_key`
+— instead of object identity:
+
+1. **content-hash coalescing** — value-equal in-flight requests (even
+   distinct objects from different clients) execute once; duplicates get
+   the same result flagged ``coalesced=True``.
+2. **digest-addressed plans** — a content-key hit in the plan cache skips
+   even the WL signature computation; the stored ordering transfers by
+   variable name because equal digests certify value equality.
+3. **canonical-query pinning** — the first query object seen for a content
+   key becomes the *canonical* instance all value-equal traffic executes
+   as, so identity-keyed machinery downstream (hypergraph memos, the
+   shared trie stores) hits across distinct-but-equal objects.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import warnings
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.query import FAQQuery, QueryError
+from repro.exec import _UNSET, resolve_workers
+from repro.factors.index import SharedTrieCache
+from repro.planner import (
+    DigestPlan,
+    Plan,
+    PlanCache,
+    PlanResult,
+    STRATEGY_INSIDEOUT,
+    plan,
+    query_content_key,
+)
+from repro.serve.api import PlanFailure, ServeRequest, ServeResult
+
+_MAX_SHARED_QUERIES = 64
+_MAX_CANONICAL_QUERIES = 256
+
+_LEGACY_SUBMIT_MESSAGE = (
+    "submitting bare FAQQuery objects is deprecated; wrap the query in a "
+    "repro.serve.ServeRequest (returns a typed ServeResult)"
+)
+
+
+def _plan_digest(request: ServeRequest) -> Optional[str]:
+    """The plan-cache digest of a request, or ``None`` when not cacheable.
+
+    Pinned orderings are never cached (matching the planner), and
+    ``use_cache=False`` opts out entirely.  The digest excludes the output
+    mode — plans are execution-mode agnostic.
+    """
+    options = dict(request.options)
+    if options.get("ordering") is not None or options.get("use_cache") is False:
+        return None
+    try:
+        query_key = query_content_key(request.query)
+    except TypeError:
+        return None
+    option_tag = ",".join(f"{k}={v!r}" for k, v in sorted(options.items()))
+    return f"{query_key}|{option_tag}"
+
+
+class PlanServer:
+    """A long-lived serving loop over the planner and the engines.
+
+    Parameters
+    ----------
+    workers:
+        Per-query step-DAG parallelism forwarded to
+        :meth:`~repro.planner.plan.Plan.execute` — the *unified* ``workers=``
+        meaning shared with every other entry point (``None``/1 = serial
+        per query; the pool still overlaps distinct queries).
+    pool_size:
+        Thread-pool size for concurrent query execution (defaults to the
+        CPU count).  This is what ``PlanServer(workers=N)`` meant before
+        the serving API redesign.
+    cache:
+        The :class:`~repro.planner.cache.PlanCache` to plan against
+        (defaults to a server-private cache).
+    coalesce:
+        Server-wide default for content-hash coalescing of in-flight
+        value-equal requests (individual requests opt out via
+        ``ServeRequest(coalesce=False)``).
+    share_tries:
+        Keep a bounded LRU of per-content-key :class:`SharedTrieCache`
+        stores so repeated executions skip re-indexing their base factors
+        (InsideOut strategy only).
+    dag_workers:
+        Deprecated alias of ``workers`` (emits ``DeprecationWarning``).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        pool_size: Optional[int] = None,
+        cache: Optional[PlanCache] = None,
+        coalesce: bool = True,
+        share_tries: bool = True,
+        dag_workers: Any = _UNSET,
+        max_shared_queries: int = _MAX_SHARED_QUERIES,
+    ) -> None:
+        self.workers = resolve_workers(workers, dag_workers)
+        self.pool_size = resolve_workers(pool_size) or (os.cpu_count() or 1)
+        self.cache = cache if cache is not None else PlanCache()
+        self.coalesce = coalesce
+        self.share_tries = share_tries
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.pool_size, thread_name_prefix="repro-serve"
+        )
+        self._lock = threading.Lock()
+        # content key -> primary in-flight future (typed path only).
+        self._inflight: Dict[str, "Future[ServeResult]"] = {}
+        # content key -> pinned canonical query object (LRU).  All
+        # value-equal traffic executes as the canonical instance so the
+        # identity-keyed stores below hit across distinct objects.
+        self._canonical: "OrderedDict[str, FAQQuery]" = OrderedDict()
+        # (content key | id, ordering) -> (query, SharedTrieCache).  The
+        # query object is pinned so an id-keyed entry can never resolve a
+        # recycled id() to another query's store, and so a content-keyed
+        # entry is dropped when its canonical instance rotates.
+        self._shared: "OrderedDict[tuple, Tuple[FAQQuery, SharedTrieCache]]" = OrderedDict()
+        self._max_shared = max_shared_queries
+        self._evicted_trie_hits = 0
+        self._evicted_trie_misses = 0
+        self._submitted = 0
+        self._coalesced = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # the submit loop
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, request: Union[ServeRequest, FAQQuery], **kwargs: Any
+    ) -> "Future[ServeResult]":
+        """Enqueue one request; returns a future resolving to its result.
+
+        Value-equal requests already in flight coalesce onto one execution:
+        the duplicate's future resolves to the same result with
+        ``coalesced=True``.  Asyncio callers wrap the returned future with
+        :func:`asyncio.wrap_future`.
+
+        Passing a bare :class:`FAQQuery` (plus ``plan()`` kwargs) is the
+        deprecated PR 5 form; it returns a ``Future[PlanResult]``.
+        """
+        if self._closed:
+            raise RuntimeError("PlanServer is shut down")
+        if not isinstance(request, ServeRequest):
+            warnings.warn(_LEGACY_SUBMIT_MESSAGE, DeprecationWarning, stacklevel=2)
+            with self._lock:
+                self._submitted += 1
+            return self._pool.submit(self._run_legacy, request, kwargs)
+        if kwargs:
+            raise QueryError(
+                f"ServeRequest submissions take no kwargs (got {sorted(kwargs)}); "
+                "put planner overrides in ServeRequest.options"
+            )
+        key = request.content_key if (self.coalesce and request.coalesce) else None
+        with self._lock:
+            self._submitted += 1
+            if key is not None:
+                primary = self._inflight.get(key)
+                if primary is not None:
+                    self._coalesced += 1
+                    return _chain_coalesced(primary)
+            future: "Future[ServeResult]" = Future()
+            if key is not None:
+                self._inflight[key] = future
+        self._pool.submit(self._fulfil, request, key, future)
+        return future
+
+    def execute_request(self, request: ServeRequest) -> ServeResult:
+        """Execute one request synchronously on the calling thread.
+
+        Bypasses the pool and the in-flight coalescing map (the replica
+        tier calls this — its frontend already coalesced) but shares the
+        plan cache, digest plans, canonical pinning and trie stores.
+        """
+        return self._run_request(request)
+
+    def execute_batch(
+        self,
+        requests: Sequence[Union[ServeRequest, FAQQuery]],
+        coalesce: bool = True,
+        **kwargs: Any,
+    ) -> List[Union[ServeResult, PlanResult]]:
+        """Execute ``requests`` concurrently; results come back in input order.
+
+        With ``coalesce=True`` value-equal in-flight requests execute once
+        and share one result (duplicates flagged ``coalesced=True``).  A
+        batch of bare queries is the deprecated PR 5 form and returns
+        ``PlanResult`` objects (coalesced on object identity, as before).
+        """
+        if requests and not isinstance(requests[0], ServeRequest):
+            return self._execute_batch_legacy(requests, coalesce, kwargs)
+        if kwargs:
+            raise QueryError(
+                f"ServeRequest batches take no kwargs (got {sorted(kwargs)}); "
+                "put planner overrides in ServeRequest.options"
+            )
+        if not coalesce:
+            requests = [
+                r if not r.coalesce else ServeRequest(
+                    query=r.query,
+                    output_mode=r.output_mode,
+                    tenant=r.tenant,
+                    deadline=r.deadline,
+                    coalesce=False,
+                    options=r.options,
+                )
+                for r in requests
+            ]
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _fulfil(
+        self, request: ServeRequest, key: Optional[str], future: "Future[ServeResult]"
+    ) -> None:
+        try:
+            result = self._run_request(request)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the future
+            self._retire(key, future)
+            future.set_exception(exc)
+        else:
+            self._retire(key, future)
+            future.set_result(result)
+
+    def _retire(self, key: Optional[str], future: "Future[ServeResult]") -> None:
+        # Remove from the in-flight map *before* resolving the future, so a
+        # request arriving after resolution starts a fresh execution
+        # instead of coalescing onto a completed one forever.
+        if key is None:
+            return
+        with self._lock:
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+
+    def _run_request(self, request: ServeRequest) -> ServeResult:
+        try:
+            query_key = query_content_key(request.query)
+        except TypeError:
+            query_key = None
+        query = self._canonical_query(query_key, request.query)
+        started = time.perf_counter()
+        try:
+            chosen = self._plan_for(query, request)
+            shared = None
+            if self.share_tries and chosen.strategy == STRATEGY_INSIDEOUT:
+                shared = self._shared_tries_for(query_key, query, chosen.ordering)
+            executed = chosen.execute(
+                output_mode=request.output_mode,
+                workers=self.workers,
+                shared_tries=shared,
+            )
+        except QueryError as exc:
+            raise PlanFailure(str(exc), cause_type=type(exc).__name__) from exc
+        return ServeResult(
+            factor=executed.factor,
+            factorized=executed.factorized,
+            ordering=tuple(executed.ordering),
+            strategy=chosen.strategy,
+            backend=chosen.backend,
+            content_key=request.content_key,
+            coalesced=False,
+            replica=None,
+            seconds=time.perf_counter() - started,
+            stats=executed.stats,
+        )
+
+    def _plan_for(self, query: FAQQuery, request: ServeRequest) -> Plan:
+        digest = _plan_digest(request)
+        if digest is not None:
+            hit = self.cache.lookup_digest(digest)
+            if hit is not None and set(hit.ordering) == set(query.order):
+                # Equal content digests certify value equality, so the
+                # stored ordering/strategy/backend transfer verbatim — no
+                # signature computation, no canonical-index translation.
+                return Plan(
+                    query=query,
+                    strategy=hit.strategy,
+                    ordering=hit.ordering,
+                    backend=hit.backend,
+                    estimated_cost=hit.estimated_cost,
+                    faq_width=hit.faq_width,
+                    cache_hit=True,
+                )
+        chosen = plan(query, cache=self.cache, **request.plan_kwargs())
+        if digest is not None:
+            self.cache.store_digest(
+                digest,
+                DigestPlan(
+                    strategy=chosen.strategy,
+                    backend=chosen.backend,
+                    ordering=tuple(chosen.ordering),
+                    estimated_cost=chosen.estimated_cost,
+                    faq_width=chosen.faq_width,
+                ),
+            )
+        return chosen
+
+    def _canonical_query(self, query_key: Optional[str], query: FAQQuery) -> FAQQuery:
+        """The pinned canonical instance for this content key (LRU).
+
+        The first object seen under a key wins; value-equal later arrivals
+        execute as that instance, so identity-keyed downstream machinery
+        (hypergraph memos, trie stores) hits across distinct objects.
+        """
+        if query_key is None:
+            return query
+        with self._lock:
+            canonical = self._canonical.get(query_key)
+            if canonical is not None:
+                self._canonical.move_to_end(query_key)
+                return canonical
+            self._canonical[query_key] = query
+            while len(self._canonical) > _MAX_CANONICAL_QUERIES:
+                self._canonical.popitem(last=False)
+            return query
+
+    def _shared_tries_for(
+        self, query_key: Optional[str], query: FAQQuery, ordering: Sequence[str]
+    ) -> SharedTrieCache:
+        """The cross-run trie store for (content key, ordering), LRU-bounded.
+
+        Falls back to object identity for queries with no content key.
+        Entries pin the query object they were built for: a store must
+        neither serve a recycled ``id()`` nor outlive the canonical
+        instance whose factors it indexes (``covers`` checks factor
+        identity, so a mismatched store would silently disable sharing).
+        """
+        key = (query_key if query_key is not None else id(query), tuple(ordering))
+        with self._lock:
+            entry = self._shared.get(key)
+            if entry is not None and entry[0] is query:
+                self._shared.move_to_end(key)
+                return entry[1]
+            shared = SharedTrieCache(ordering, query.semiring, query.factors)
+            self._shared[key] = (query, shared)
+            while len(self._shared) > self._max_shared:
+                _, (_, evicted) = self._shared.popitem(last=False)
+                self._evicted_trie_hits += evicted.hits
+                self._evicted_trie_misses += evicted.misses
+            return shared
+
+    # ------------------------------------------------------------------ #
+    # the deprecated PR 5 surface
+    # ------------------------------------------------------------------ #
+    def _run_legacy(self, query: FAQQuery, kwargs: Dict[str, Any]) -> PlanResult:
+        output_mode = kwargs.pop("output_mode", "listing")
+        chosen = plan(query, cache=self.cache, **kwargs)
+        shared = None
+        if self.share_tries and chosen.strategy == STRATEGY_INSIDEOUT:
+            try:
+                query_key = query_content_key(query)
+            except TypeError:
+                query_key = None
+            shared = self._shared_tries_for(
+                query_key, self._canonical_query(query_key, query), chosen.ordering
+            )
+        return chosen.execute(
+            output_mode=output_mode, workers=self.workers, shared_tries=shared
+        )
+
+    def _execute_batch_legacy(
+        self, queries: Sequence[FAQQuery], coalesce: bool, kwargs: Dict[str, Any]
+    ) -> List[PlanResult]:
+        warnings.warn(_LEGACY_SUBMIT_MESSAGE, DeprecationWarning, stacklevel=3)
+        futures: List[Future] = []
+        in_flight: Dict[int, Future] = {}
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)  # already warned once
+            for query in queries:
+                if coalesce:
+                    future = in_flight.get(id(query))
+                    if future is not None:
+                        with self._lock:
+                            self._coalesced += 1
+                        futures.append(future)
+                        continue
+                future = self.submit(query, **dict(kwargs))
+                if coalesce:
+                    in_flight[id(query)] = future
+                futures.append(future)
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # observability + lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters: submissions, coalescing, cache and trie reuse.
+
+        ``coalesced`` counts requests answered by another request's
+        execution (content-hash coalescing, plus identity coalescing on the
+        deprecated batch path).  The trie counters are cumulative over the
+        server's lifetime — stores evicted from the LRU contribute the
+        counts they had at eviction time, so ``shared_trie_hits`` is
+        monotone and safe to trend.
+        """
+        with self._lock:
+            shared = [entry[1] for entry in self._shared.values()]
+            submitted = self._submitted
+            coalesced = self._coalesced
+            evicted_hits = self._evicted_trie_hits
+            evicted_misses = self._evicted_trie_misses
+            inflight = len(self._inflight)
+        return {
+            "submitted": submitted,
+            "coalesced": coalesced,
+            "inflight": inflight,
+            "plan_cache_hits": self.cache.hits,
+            "plan_cache_misses": self.cache.misses,
+            "shared_trie_stores": len(shared),
+            "shared_trie_hits": evicted_hits + sum(s.hits for s in shared),
+            "shared_trie_misses": evicted_misses + sum(s.misses for s in shared),
+        }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for in-flight requests."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "PlanServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)
+
+
+def _chain_coalesced(primary: "Future[ServeResult]") -> "Future[ServeResult]":
+    """A future resolving to the primary's result flagged ``coalesced=True``."""
+    chained: "Future[ServeResult]" = Future()
+
+    def _copy(done: "Future[ServeResult]") -> None:
+        if done.cancelled():
+            chained.cancel()
+            return
+        exc = done.exception()
+        if exc is not None:
+            chained.set_exception(exc)
+        else:
+            chained.set_result(done.result().mark_coalesced())
+
+    primary.add_done_callback(_copy)
+    return chained
+
+
+def execute_batch(
+    requests: Sequence[Union[ServeRequest, FAQQuery]],
+    *,
+    workers: Optional[int] = None,
+    pool_size: Optional[int] = None,
+    cache: Optional[PlanCache] = None,
+    coalesce: bool = True,
+    share_tries: bool = True,
+    dag_workers: Any = _UNSET,
+    **kwargs: Any,
+) -> List[Union[ServeResult, PlanResult]]:
+    """Run a batch of requests against a transient :class:`PlanServer`.
+
+    Results come back in input order.  For long-lived traffic keep a
+    :class:`PlanServer` (or a replicated :class:`~repro.serve.frontend.Frontend`)
+    instead — its plan cache and shared tries stay warm across batches.
+    """
+    with PlanServer(
+        workers=workers,
+        pool_size=pool_size,
+        cache=cache,
+        share_tries=share_tries,
+        dag_workers=dag_workers,
+    ) as server:
+        return server.execute_batch(requests, coalesce=coalesce, **kwargs)

@@ -1,0 +1,98 @@
+"""Snapshot of the public API surface.
+
+The exported names of ``repro`` and ``repro.serve`` are a compatibility
+contract: removing or renaming one is a breaking change that must be made
+deliberately (deprecate first, then update this snapshot in the same
+change).  Adding names is fine — add them here too.
+"""
+
+import repro
+import repro.serve
+
+REPRO_EXPORTS = {
+    # core model
+    "FAQQuery",
+    "QueryError",
+    "Variable",
+    "Factor",
+    "Hypergraph",
+    "Semiring",
+    "Aggregate",
+    "SemiringAggregate",
+    "ProductAggregate",
+    # engines
+    "inside_out",
+    "InsideOutResult",
+    "InsideOutStats",
+    "variable_elimination",
+    # planner
+    "plan_query",
+    "execute_query",
+    "Plan",
+    "PlanResult",
+    "PlanCache",
+    # FAQ-width theory
+    "ExpressionTree",
+    "build_expression_tree",
+    "is_equivalent_ordering",
+    "linear_extensions",
+    "approximate_faqw_ordering",
+    "faq_width_of_ordering",
+    "faq_width_of_query",
+    # the stable facade + serving contract
+    "Engine",
+    "EngineConfig",
+    "ServeRequest",
+    "ServeResult",
+    "ServeError",
+    "Overloaded",
+    "PlanFailure",
+    "__version__",
+}
+
+SERVE_EXPORTS = {
+    "ServeRequest",
+    "ServeResult",
+    "ServeError",
+    "Overloaded",
+    "PlanFailure",
+    "ReplicaCrashed",
+    "PlanServer",
+    "execute_batch",
+    "Frontend",
+    "ReplicaSet",
+    "ReplicaHandle",
+}
+
+
+def test_repro_all_matches_snapshot():
+    assert set(repro.__all__) == REPRO_EXPORTS
+
+
+def test_repro_serve_all_matches_snapshot():
+    assert set(repro.serve.__all__) == SERVE_EXPORTS
+
+
+def test_every_exported_name_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+    for name in repro.serve.__all__:
+        assert getattr(repro.serve, name, None) is not None, name
+
+
+def test_error_hierarchy_contract():
+    assert issubclass(repro.Overloaded, repro.ServeError)
+    assert issubclass(repro.PlanFailure, repro.ServeError)
+    assert issubclass(repro.serve.ReplicaCrashed, repro.ServeError)
+    assert issubclass(repro.ServeError, Exception)
+    # Overloaded is the retryable signal; it must stay distinguishable.
+    assert not issubclass(repro.Overloaded, repro.PlanFailure)
+
+
+def test_serve_value_types_are_frozen():
+    import dataclasses
+
+    assert dataclasses.is_dataclass(repro.ServeRequest)
+    assert dataclasses.is_dataclass(repro.ServeResult)
+    assert repro.ServeRequest.__dataclass_params__.frozen
+    assert repro.ServeResult.__dataclass_params__.frozen
