@@ -43,6 +43,11 @@ RATIO_FIELDS = {
     # hosts gain cores (the no-coalesce denominator parallelises), so
     # trending it across machines would gate on hardware, not code.
     "replica_speedup_x": True,
+    # planner:batch-shared-subplans — cross-query step dedup.  The dedup
+    # ratio is an executor counter and the speedup an algorithmic win on a
+    # single-threaded server, so neither needs cores to reproduce.
+    "shared_step_dedup_x": False,
+    "shared_batch_speedup_x": False,
 }
 
 # metric field -> cpu_sensitive.  LOWER is better for these (overhead
@@ -63,6 +68,8 @@ TIMING_FIELDS = (
     "workers4_s",
     "serial_loop_s",
     "batch_s",
+    "merged_s",
+    "independent_s",
     "single_wall_s",
     "fleet_nocoalesce_wall_s",
     "fleet_wall_s",

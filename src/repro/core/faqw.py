@@ -152,12 +152,19 @@ def _node_ordering(
         return []
     if node_graph.num_edges == 0:
         return vertices
+    free = [v for v in vertices if v in set(query.free)]
     if len(vertices) <= exact_limit:
         return best_ordering_exhaustive(
             node_graph,
             lambda bag: fractional_edge_cover_number(node_graph, bag, ignore_uncovered=True),
+            free=free,
         )
-    return min_fill_ordering(node_graph)
+    ordering = min_fill_ordering(node_graph)
+    if free:
+        free_set = set(free)
+        prefix = [v for v in ordering if v in free_set]
+        ordering = prefix + [v for v in ordering if v not in free_set]
+    return ordering
 
 
 def approximate_faqw_ordering(

@@ -438,6 +438,7 @@ def inside_out(
     backend_policy: BackendPolicy | None = None,
     workers: int | None = None,
     shared_tries: SharedTrieCache | None = None,
+    step_cache=None,
 ) -> InsideOutResult:
     """Run InsideOut (Algorithm 1) on an FAQ query.
 
@@ -486,6 +487,12 @@ def inside_out(
         query's base-factor tries across runs (supplied by the serving
         layer for repeated identical queries); ignored unless it was built
         for the same ordering and semiring.
+    step_cache:
+        A :class:`~repro.exec.StepResultCache` of finished elimination
+        steps keyed by content digest.  Supplying one routes the run
+        through the step-DAG executor (at any worker count — the serial
+        DAG fallback is bit-identical to the loop below), which replays
+        shared elimination prefixes instead of recomputing them.
 
     Returns
     -------
@@ -498,10 +505,10 @@ def inside_out(
     policy = backend_policy if backend_policy is not None else DEFAULT_POLICY
     order = _validated_ordering(query, ordering)
 
-    if workers is not None and workers > 1:
+    if (workers is not None and workers > 1) or step_cache is not None:
         from repro.exec import DagExecutor
 
-        return DagExecutor(workers=workers).run(
+        return DagExecutor(workers=workers or 1).run(
             query,
             ordering=order,
             use_indicator_projections=use_indicator_projections,
@@ -509,6 +516,7 @@ def inside_out(
             backend=backend,
             backend_policy=policy,
             shared_tries=shared_tries,
+            step_cache=step_cache,
         )
 
     semiring = query.semiring

@@ -21,9 +21,15 @@ from repro.exec.dag import (
     KIND_SEMIRING,
     StepDag,
     StepNode,
+    annotate_digests,
     lower_insideout,
 )
-from repro.exec.executor import DagExecutor
+from repro.exec.executor import (
+    DagExecutor,
+    MergedRunInfo,
+    RunSpec,
+    StepResultCache,
+)
 
 _UNSET = object()
 
@@ -54,9 +60,13 @@ def resolve_workers(workers=None, dag_workers=_UNSET, *, stacklevel: int = 3):
 
 __all__ = [
     "DagExecutor",
+    "StepResultCache",
+    "RunSpec",
+    "MergedRunInfo",
     "StepDag",
     "StepNode",
     "lower_insideout",
+    "annotate_digests",
     "KIND_SEMIRING",
     "KIND_PRODUCT",
     "KIND_OUTPUT",

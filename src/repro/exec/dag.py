@@ -50,6 +50,7 @@ class StepNode:
     reads: Tuple[int, ...] = ()     # slots read for indicator projections
     outputs: Tuple[int, ...] = ()   # slots produced
     depends_on: Tuple[int, ...] = ()  # indices of producer nodes
+    digest: Optional[str] = None    # content address (see annotate_digests)
 
 
 @dataclass
@@ -61,6 +62,7 @@ class StepDag:
     num_base: int                   # slots [0, num_base) hold the input factors
     slot_scope: List[FrozenSet[str]] = field(default_factory=list)
     final_live: List[int] = field(default_factory=list)  # slots alive at the end
+    slot_digests: List[Optional[str]] = field(default_factory=list)  # per-slot content address
 
     def dependents(self) -> Dict[int, List[int]]:
         """Node index → indices of the nodes that depend on it."""
@@ -123,6 +125,7 @@ def lower_insideout(
     order: Sequence[str],
     use_indicator_projections: bool = True,
     output_mode: str = "listing",
+    content_digests: bool = False,
 ) -> StepDag:
     """Lower one InsideOut run over ``order`` to a :class:`StepDag`.
 
@@ -132,6 +135,11 @@ def lower_insideout(
     :func:`repro.core.insideout.inside_out` exactly: the live list evolves
     as ``others + [new]`` so that node input orders (and therefore factor
     orders inside each step) match the loop's.
+
+    With ``content_digests=True`` every node (and slot) additionally gets a
+    content address via :func:`annotate_digests`, turning the DAG into the
+    content-addressed step IR: structurally identical steps from different
+    queries over the same factor content collide by construction.
     """
     scopes: List[FrozenSet[str]] = [frozenset(f.scope) for f in query.factors]
     if not scopes:
@@ -209,10 +217,131 @@ def lower_insideout(
         ))
         live = [out]
 
-    return StepDag(
+    dag = StepDag(
         nodes=nodes,
         num_slots=len(scopes),
         num_base=num_base,
         slot_scope=scopes,
         final_live=list(live),
     )
+    if content_digests:
+        annotate_digests(dag, query, order, use_indicator_projections)
+    return dag
+
+
+# ---------------------------------------------------------------------- #
+# content addressing — the step IR
+# ---------------------------------------------------------------------- #
+def annotate_digests(
+    dag: StepDag,
+    query: FAQQuery,
+    order: Sequence[str],
+    use_indicator_projections: bool = True,
+) -> None:
+    """Assign a content address to every slot and node of ``dag``.
+
+    A node's digest is a stable hash of *everything its result depends on*:
+    the op kind, the semiring, the eliminated variable's aggregate, the
+    relevant domain values, the elimination/written-order restrictions that
+    fix enumeration and scope order inside the step kernels, and — ordered,
+    because semiring combines need not be associative in float arithmetic —
+    the digests of its input slots (leaves reuse
+    :func:`repro.planner.signature.factor_digest`).  Equal digests therefore
+    certify bit-identical step results *under the same backend selection*,
+    which is why executor-side caches key on ``(digest, backend)`` and only
+    engage under the default backend policy.
+
+    Factor names are deliberately excluded (they never influence values);
+    unencodable content (exotic domain or table values) yields ``None``
+    digests, which propagate and simply disable sharing for the affected
+    subgraph.
+    """
+    from repro.planner.signature import _digest, canonical_bytes, factor_digest
+
+    def encode(payload) -> Optional[bytes]:
+        try:
+            return canonical_bytes(payload)
+        except TypeError:
+            return None
+
+    slot_digests: List[Optional[str]] = [None] * dag.num_slots
+    if query.factors:
+        for i, factor in enumerate(query.factors):
+            try:
+                slot_digests[i] = factor_digest(factor)
+            except TypeError:
+                slot_digests[i] = None
+    else:
+        # the synthetic unit factor of an empty product
+        slot_digests[0] = _digest(b"unit", canonical_bytes(query.semiring.name))
+
+    sem = query.semiring.name
+    scopes = dag.slot_scope
+
+    def domain_spec(variables) -> tuple:
+        return tuple((v, tuple(query.domain(v))) for v in sorted(variables))
+
+    for node in dag.nodes:
+        inputs = tuple(slot_digests[s] for s in node.incident)
+        if any(d is None for d in inputs):
+            continue
+        if node.kind == KIND_SEMIRING:
+            variable = node.variable
+            induced = (
+                frozenset().union(*(scopes[s] for s in node.incident))
+                if node.incident
+                else frozenset({variable})
+            )
+            reads = tuple(
+                (slot_digests[s], tuple(sorted(scopes[s] & induced)))
+                for s in node.reads
+            )
+            if any(d is None for d, _ in reads):
+                continue
+            payload = encode((
+                "semiring",
+                sem,
+                variable,
+                query.tag(variable),
+                bool(use_indicator_projections),
+                tuple(v for v in order if v in induced),
+                tuple(v for v in query.order if v in induced),
+                domain_spec(induced),
+                inputs,
+                reads,
+            ))
+            if payload is None:
+                continue
+            node.digest = _digest(b"step", payload)
+            slot_digests[node.outputs[0]] = node.digest
+        elif node.kind == KIND_PRODUCT:
+            variable = node.variable
+            size = query.domain_size(variable)
+            head = encode(("product", sem, variable, size))
+            if head is None:
+                continue
+            for slot, out, digest in zip(node.incident, node.outputs, inputs):
+                out_payload = encode((variable in scopes[slot],))
+                slot_digests[out] = _digest(
+                    b"step", head, out_payload, digest.encode("ascii")
+                )
+            node.digest = _digest(
+                b"step", head, canonical_bytes(inputs)
+            )
+        else:  # KIND_OUTPUT
+            free = set(query.free)
+            payload = encode((
+                "output",
+                sem,
+                tuple(query.free),
+                tuple(v for v in order if v in free),
+                tuple(v for v in query.order if v in free),
+                domain_spec(query.free),
+                inputs,
+            ))
+            if payload is None:
+                continue
+            node.digest = _digest(b"step", payload)
+            slot_digests[node.outputs[0]] = node.digest
+
+    dag.slot_digests = slot_digests

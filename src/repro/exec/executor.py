@@ -1,4 +1,4 @@
-"""The parallel step-DAG executor.
+"""The parallel step-DAG executor over the content-addressed step IR.
 
 :class:`DagExecutor` runs the :class:`~repro.exec.dag.StepDag` of one
 InsideOut run on a thread pool.  Independent elimination steps — steps over
@@ -8,10 +8,28 @@ reductions, so multi-block dense workloads scale with cores.  The sparse
 kernels are pure Python and gain nothing from threads, but remain *correct*
 under the pool: every step kernel is a pure function of its input factors.
 
-Guarantees (enforced by ``tests/test_exec_parallel.py``):
+On top of the per-run DAG, the content addresses of
+:func:`~repro.exec.dag.annotate_digests` enable cross-run sharing:
+
+* :class:`StepResultCache` is a digest-keyed LRU of finished step results
+  (output factors, the step record, and the step's join-counter delta), so
+  sequential repeated traffic replays shared elimination prefixes instead
+  of recomputing them;
+* :meth:`DagExecutor.run_many` merges several lowered runs into one
+  multi-sink DAG in which nodes with equal content digests execute exactly
+  once — the first run introducing a digest owns the execution, every other
+  (run, node) pair replays the owner's entry into its own context.
+
+Replaying an entry merges the *original* step record and join-counter
+delta, so per-run stats describe the logical execution and stay identical
+to an uncached run (wall-clock ``seconds`` aside).
+
+Guarantees (enforced by ``tests/test_exec_parallel.py`` and
+``tests/test_exec_merged.py``):
 
 * the output factor is **bit-identical** to the sequential
-  :func:`repro.core.insideout.inside_out` run for every worker count, and
+  :func:`repro.core.insideout.inside_out` run for every worker count, with
+  or without a step cache and inside or outside a merged batch, and
 * the :class:`~repro.core.insideout.InsideOutStats` totals (per-step
   records, join counters, max intermediate size) are identical too —
   per-node counters are accumulated privately and merged in sequential
@@ -26,9 +44,10 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.caching import LruCache
 from repro.core.insideout import (
     EliminationRecord,
     InsideOutResult,
@@ -60,8 +79,305 @@ from repro.factors.factor import Factor
 from repro.factors.index import SharedTrieCache, TrieCache
 
 
+@dataclass(frozen=True)
+class _StepEntry:
+    """A finished step: its outputs plus the stats it logically performed."""
+
+    outputs: Tuple[Optional[Factor], ...]
+    record: Optional[EliminationRecord]
+    join_delta: OutsideInStats
+
+
+class StepResultCache:
+    """Digest-keyed LRU of completed elimination-step results.
+
+    Keys are ``(node digest, backend)`` pairs — equal digests certify equal
+    inputs and operation, the backend pins the representation choice, and
+    callers only engage the cache under the default
+    :class:`~repro.factors.backend.BackendPolicy` — so a hit replays a
+    bit-identical result.  The cache is shared across queries (the serving
+    tier holds one per :class:`~repro.serve.PlanServer`), which is what
+    makes *sequential* repeated traffic skip shared elimination prefixes.
+
+    Thread-safe, with an in-flight claim map so concurrent executions of
+    the same digest compute it exactly once: the first caller *claims* the
+    key and computes, later callers block until the claimant fulfils (or
+    abandons) it.  ``computed``/``replayed`` count resolved lookups and are
+    the executor counters the differential tests assert exactly-once with.
+    """
+
+    def __init__(self, maxsize: int = 512) -> None:
+        self._entries = LruCache(maxsize=maxsize)
+        self._lock = threading.Lock()
+        self._inflight: Dict[object, threading.Event] = {}
+        self.computed = 0
+        self.replayed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup_or_claim(self, key) -> Optional[_StepEntry]:
+        """Return a finished entry, or claim ``key`` and return ``None``.
+
+        A ``None`` return means the caller now *owns* the computation and
+        must resolve the claim with :meth:`fulfil` or :meth:`abandon` —
+        other threads asking for the same key are blocked on it.
+        """
+        while True:
+            entry = self._entries.get(key)
+            if entry is not None:
+                with self._lock:
+                    self.replayed += 1
+                return entry
+            with self._lock:
+                event = self._inflight.get(key)
+                if event is None:
+                    self._inflight[key] = threading.Event()
+                    return None
+            event.wait()
+
+    def fulfil(self, key, entry: _StepEntry) -> None:
+        """Store the computed entry and release any blocked claimants."""
+        self._entries.put(key, entry)
+        with self._lock:
+            self.computed += 1
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
+
+    def abandon(self, key) -> None:
+        """Release a claim without a result (the computation failed)."""
+        with self._lock:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
+
+    def clear(self) -> None:
+        self._entries.clear()
+        with self._lock:
+            self.computed = 0
+            self.replayed = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "computed": self.computed,
+            "replayed": self.replayed,
+        }
+
+
+@dataclass
+class RunSpec:
+    """One query's execution parameters inside a merged multi-sink run."""
+
+    query: FAQQuery
+    ordering: Sequence[str] | str | None = None
+    use_indicator_projections: bool = True
+    output_mode: str = "listing"
+    backend: str = BACKEND_SPARSE
+    backend_policy: BackendPolicy | None = None
+    shared_tries: SharedTrieCache | None = None
+
+
+@dataclass
+class MergedRunInfo:
+    """Dedup accounting of one :meth:`DagExecutor.run_many` call."""
+
+    total_nodes: int = 0     # sum of per-run DAG nodes
+    merged_nodes: int = 0    # distinct nodes after digest merging
+    executed_nodes: int = 0  # nodes actually computed
+    replayed_nodes: int = 0  # merged nodes served from the step cache
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Total logical nodes per executed node (≥ 1; higher is better)."""
+        return self.total_nodes / self.executed_nodes if self.executed_nodes else 1.0
+
+
+class _RunState:
+    """The mutable execution context of one lowered run.
+
+    Owns the slots, the per-run :class:`~repro.factors.index.TrieCache`,
+    and the per-node records/join counters.  ``execute_node`` runs a node's
+    kernel exactly like the sequential loop; ``capture``/``replay`` move a
+    node's outputs *and* its logical stats in and out of step-cache
+    entries, so a replayed run's stats match an uncached run's.
+    """
+
+    __slots__ = (
+        "query", "order", "dag", "output_mode", "backend", "policy", "uip",
+        "slots", "tries", "records", "node_join_stats", "started",
+    )
+
+    def __init__(
+        self,
+        query: FAQQuery,
+        order: List[str],
+        dag: StepDag,
+        output_mode: str,
+        backend: str,
+        policy: BackendPolicy,
+        uip: bool,
+        shared_tries: SharedTrieCache | None,
+        thread_safe: bool,
+        started: float,
+    ) -> None:
+        self.query = query
+        self.order = order
+        self.dag = dag
+        self.output_mode = output_mode
+        self.backend = backend
+        self.policy = policy
+        self.uip = uip
+        self.started = started
+
+        semiring = query.semiring
+        self.slots: List[Optional[Factor]] = [None] * dag.num_slots
+        base_factors: List[Factor] = list(query.factors)
+        if not base_factors:
+            base_factors = [Factor((), {(): semiring.one}, name="unit")]
+        for i, factor in enumerate(base_factors):
+            self.slots[i] = factor
+
+        self.tries = TrieCache(order, semiring, thread_safe=thread_safe)
+        self.tries.adopt_parent(shared_tries)
+        self.records: List[Optional[EliminationRecord]] = [None] * len(dag.nodes)
+        self.node_join_stats = [OutsideInStats() for _ in dag.nodes]
+
+    # ------------------------------------------------------------------ #
+    def cache_key(self, index: int):
+        """The step cache key of a node (``None`` disables sharing)."""
+        digest = self.dag.nodes[index].digest
+        if digest is None or self.policy is not DEFAULT_POLICY:
+            return None
+        return (digest, self.backend)
+
+    def execute_node(self, index: int) -> None:
+        node = self.dag.nodes[index]
+        slots = self.slots
+        join_stats = self.node_join_stats[index]
+        if node.kind == KIND_SEMIRING:
+            incident = [slots[s] for s in node.incident]
+            others = [slots[s] for s in node.reads]
+            new_factor, record = eliminate_semiring_step(
+                self.query, incident, others, node.variable,
+                self.uip, join_stats,
+                backend=self.backend, policy=self.policy, tries=self.tries,
+            )
+            slots[node.outputs[0]] = new_factor
+            self.records[index] = record
+        elif node.kind == KIND_PRODUCT:
+            pairs = [
+                (k, slots[s]) for k, s in enumerate(node.incident)
+                if slots[s] is not None
+            ]
+            new_factors, record = eliminate_product_step(
+                self.query, [factor for _, factor in pairs], node.variable
+            )
+            for (k, old), new in zip(pairs, new_factors):
+                slots[node.outputs[k]] = new
+                if new is not old:
+                    self.tries.discard(old)
+            self.records[index] = record
+        elif node.kind == KIND_OUTPUT:
+            factors = [slots[s] for s in node.incident if slots[s] is not None]
+            slots[node.outputs[0]] = output_phase(
+                self.query, factors, self.order, self.backend, self.policy,
+                join_stats,
+            )
+        else:  # pragma: no cover - defensive
+            raise QueryError(f"unknown step kind {node.kind!r}")
+
+    def capture(self, index: int) -> _StepEntry:
+        """Snapshot an executed node as a shareable step-cache entry."""
+        node = self.dag.nodes[index]
+        return _StepEntry(
+            outputs=tuple(self.slots[s] for s in node.outputs),
+            record=self.records[index],
+            join_delta=replace(self.node_join_stats[index]),
+        )
+
+    def replay(self, index: int, entry: _StepEntry) -> None:
+        """Apply a finished entry as if this run had executed the node.
+
+        Input-independent by design (consumed input slots are only touched
+        to drop their now-dead tries, guarded for not-yet-filled slots), so
+        a merged run may replay a node before the replaying run's own
+        producers have run.
+        """
+        node = self.dag.nodes[index]
+        for slot, factor in zip(node.outputs, entry.outputs):
+            self.slots[slot] = factor
+        if entry.record is not None:
+            self.records[index] = replace(entry.record)
+        self.node_join_stats[index].merge(entry.join_delta)
+        if node.kind == KIND_PRODUCT:
+            for slot, new in zip(node.incident, entry.outputs):
+                old = self.slots[slot]
+                if old is not None and new is not old:
+                    self.tries.discard(old)
+        elif node.kind == KIND_SEMIRING:
+            for slot in node.incident:
+                old = self.slots[slot]
+                if old is not None:
+                    self.tries.discard(old)
+
+    def finish(self) -> InsideOutResult:
+        """Assemble the run's result and stats in sequential step order.
+
+        Totals are accumulated independently of the order the pool happened
+        to complete (or replay) nodes in, so they match the serial run.
+        """
+        query, dag = self.query, self.dag
+        stats = InsideOutStats()
+        for index in range(len(dag.nodes)):
+            record = self.records[index]
+            if record is not None:
+                stats.steps.append(record)
+                if record.kind == KIND_PRODUCT or record.incident_count > 0:
+                    stats.max_intermediate_size = max(
+                        stats.max_intermediate_size, record.result_size
+                    )
+            stats.join_stats.merge(self.node_join_stats[index])
+
+        semiring = query.semiring
+        if self.output_mode == "factorized":
+            factorized = FactorizedOutput(
+                free=tuple(self.order[: query.num_free]),
+                factors=tuple(
+                    as_sparse(self.slots[s], semiring)
+                    for s in dag.final_live
+                    if self.slots[s] is not None
+                ),
+                semiring=semiring,
+                domains={v: query.domain(v) for v in query.free},
+            )
+            stats.output_size = -1
+            stats.total_seconds = time.perf_counter() - self.started
+            return InsideOutResult(
+                factor=None, factorized=factorized,
+                ordering=tuple(self.order), stats=stats,
+            )
+
+        output = self.slots[dag.final_live[0]]
+        stats.output_size = len(output)
+        stats.total_seconds = time.perf_counter() - self.started
+        return InsideOutResult(
+            factor=output, factorized=None, ordering=tuple(self.order), stats=stats
+        )
+
+
+@dataclass
+class _MergedNode:
+    """One node of the merged multi-sink DAG."""
+
+    owner: Tuple[int, int]                      # (run index, node index)
+    key: Optional[tuple]                        # step cache key, if shareable
+    subscribers: List[Tuple[int, int]] = field(default_factory=list)
+
+
 class DagExecutor:
-    """Executes a lowered InsideOut step DAG on a worker pool.
+    """Executes lowered InsideOut step DAGs on a worker pool.
 
     Parameters
     ----------
@@ -90,136 +406,204 @@ class DagExecutor:
         backend: str = BACKEND_SPARSE,
         backend_policy: BackendPolicy | None = None,
         shared_tries: SharedTrieCache | None = None,
+        step_cache: StepResultCache | None = None,
     ) -> InsideOutResult:
         """Lower ``query`` to a step DAG and execute it.
 
         Accepts the same arguments as
         :func:`repro.core.insideout.inside_out` and returns the same
-        :class:`~repro.core.insideout.InsideOutResult`.
+        :class:`~repro.core.insideout.InsideOutResult`.  With a
+        ``step_cache``, nodes are content-addressed and finished steps are
+        replayed from / stored into the cache (under the default backend
+        policy only — the digest does not encode bespoke thresholds).
         """
         if output_mode not in ("listing", "factorized"):
             raise QueryError(f"unknown output mode {output_mode!r}")
         backend = validate_backend(backend)
         policy = backend_policy if backend_policy is not None else DEFAULT_POLICY
         order = _validated_ordering(query, ordering)
-        semiring = query.semiring
         started = time.perf_counter()
 
+        use_cache = step_cache is not None and policy is DEFAULT_POLICY
         dag = lower_insideout(
             query, order,
             use_indicator_projections=use_indicator_projections,
             output_mode=output_mode,
+            content_digests=use_cache,
+        )
+        parallel = self.workers > 1 and dag.max_parallelism > 1
+        state = _RunState(
+            query, order, dag, output_mode, backend, policy,
+            use_indicator_projections, shared_tries,
+            thread_safe=parallel, started=started,
         )
 
-        slots: List[Optional[Factor]] = [None] * dag.num_slots
-        base_factors: List[Factor] = list(query.factors)
-        if not base_factors:
-            base_factors = [Factor((), {(): semiring.one}, name="unit")]
-        for i, factor in enumerate(base_factors):
-            slots[i] = factor
-
-        parallel = self.workers > 1 and dag.max_parallelism > 1
-        tries = TrieCache(order, semiring, thread_safe=parallel)
-        tries.adopt_parent(shared_tries)
-
-        records: List[Optional[EliminationRecord]] = [None] * len(dag.nodes)
-        node_join_stats = [OutsideInStats() for _ in dag.nodes]
-
-        def execute_node(index: int) -> None:
-            node = dag.nodes[index]
-            join_stats = node_join_stats[index]
-            if node.kind == KIND_SEMIRING:
-                incident = [slots[s] for s in node.incident]
-                others = [slots[s] for s in node.reads]
-                new_factor, record = eliminate_semiring_step(
-                    query, incident, others, node.variable,
-                    use_indicator_projections, join_stats,
-                    backend=backend, policy=policy, tries=tries,
-                )
-                slots[node.outputs[0]] = new_factor
-                records[index] = record
-            elif node.kind == KIND_PRODUCT:
-                pairs = [
-                    (k, slots[s]) for k, s in enumerate(node.incident)
-                    if slots[s] is not None
-                ]
-                new_factors, record = eliminate_product_step(
-                    query, [factor for _, factor in pairs], node.variable
-                )
-                for (k, old), new in zip(pairs, new_factors):
-                    slots[node.outputs[k]] = new
-                    if new is not old:
-                        tries.discard(old)
-                records[index] = record
-            elif node.kind == KIND_OUTPUT:
-                factors = [slots[s] for s in node.incident if slots[s] is not None]
-                slots[node.outputs[0]] = output_phase(
-                    query, factors, order, backend, policy, join_stats
-                )
-            else:  # pragma: no cover - defensive
-                raise QueryError(f"unknown step kind {node.kind!r}")
+        if not use_cache:
+            execute = state.execute_node
+        else:
+            def execute(index: int) -> None:
+                key = state.cache_key(index)
+                if key is None:
+                    state.execute_node(index)
+                    return
+                entry = step_cache.lookup_or_claim(key)
+                if entry is not None:
+                    state.replay(index, entry)
+                    return
+                try:
+                    state.execute_node(index)
+                except BaseException:
+                    step_cache.abandon(key)
+                    raise
+                step_cache.fulfil(key, state.capture(index))
 
         if parallel:
-            self._run_parallel(dag, execute_node)
+            indegree = {node.index: len(node.depends_on) for node in dag.nodes}
+            self._run_scheduler(indegree, dag.dependents(), execute)
         else:
             for node in dag.nodes:
-                execute_node(node.index)
-
-        # Assemble stats in sequential step order, independent of the order
-        # the pool happened to complete nodes in: totals match the serial run.
-        stats = InsideOutStats()
-        for index in range(len(dag.nodes)):
-            record = records[index]
-            if record is not None:
-                stats.steps.append(record)
-                if record.kind == KIND_PRODUCT or record.incident_count > 0:
-                    stats.max_intermediate_size = max(
-                        stats.max_intermediate_size, record.result_size
-                    )
-            stats.join_stats.merge(node_join_stats[index])
-
-        if output_mode == "factorized":
-            factorized = FactorizedOutput(
-                free=tuple(order[: query.num_free]),
-                factors=tuple(
-                    as_sparse(slots[s], semiring)
-                    for s in dag.final_live
-                    if slots[s] is not None
-                ),
-                semiring=semiring,
-                domains={v: query.domain(v) for v in query.free},
-            )
-            stats.output_size = -1
-            stats.total_seconds = time.perf_counter() - started
-            return InsideOutResult(
-                factor=None, factorized=factorized, ordering=tuple(order), stats=stats
-            )
-
-        output = slots[dag.final_live[0]]
-        stats.output_size = len(output)
-        stats.total_seconds = time.perf_counter() - started
-        return InsideOutResult(
-            factor=output, factorized=None, ordering=tuple(order), stats=stats
-        )
+                execute(node.index)
+        return state.finish()
 
     # ------------------------------------------------------------------ #
-    def _run_parallel(self, dag: StepDag, execute_node) -> None:
-        """Run the DAG nodes as their dependencies complete.
+    def run_many(
+        self,
+        specs: Sequence[RunSpec],
+        step_cache: StepResultCache | None = None,
+        info: MergedRunInfo | None = None,
+    ) -> List[InsideOutResult]:
+        """Execute several runs as one merged multi-sink step DAG.
+
+        The runs' step DAGs are lowered with content digests and merged:
+        nodes with equal ``(digest, backend)`` keys collapse into one
+        merged node, owned by the first run that introduced the digest;
+        every other (run, node) pair subscribes and has the owner's entry
+        replayed into its own context.  Each distinct key therefore
+        executes **exactly once** per batch — and not at all when a
+        ``step_cache`` already holds it.  Results and per-run stats are
+        bit-identical to independent :meth:`run` calls (wall-clock
+        ``seconds`` fields aside; they reflect where the work actually
+        happened).
+
+        Pass a :class:`MergedRunInfo` as ``info`` to receive the dedup
+        accounting for the batch.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        started = time.perf_counter()
+
+        states: List[_RunState] = []
+        for spec in specs:
+            if spec.output_mode not in ("listing", "factorized"):
+                raise QueryError(f"unknown output mode {spec.output_mode!r}")
+            backend = validate_backend(spec.backend)
+            policy = (
+                spec.backend_policy if spec.backend_policy is not None
+                else DEFAULT_POLICY
+            )
+            order = _validated_ordering(spec.query, spec.ordering)
+            dag = lower_insideout(
+                spec.query, order,
+                use_indicator_projections=spec.use_indicator_projections,
+                output_mode=spec.output_mode,
+                content_digests=True,
+            )
+            states.append(_RunState(
+                spec.query, order, dag, spec.output_mode, backend, policy,
+                spec.use_indicator_projections, spec.shared_tries,
+                thread_safe=self.workers > 1, started=started,
+            ))
+
+        # Merge by content address: the first (run, node) with a key owns it.
+        merged: List[_MergedNode] = []
+        owner_of: Dict[tuple, int] = {}
+        mid_of: Dict[Tuple[int, int], int] = {}
+        for r, state in enumerate(states):
+            for node in state.dag.nodes:
+                key = state.cache_key(node.index)
+                if key is not None and key in owner_of:
+                    mid = owner_of[key]
+                    merged[mid].subscribers.append((r, node.index))
+                else:
+                    mid = len(merged)
+                    merged.append(_MergedNode(owner=(r, node.index), key=key))
+                    if key is not None:
+                        owner_of[key] = mid
+                mid_of[(r, node.index)] = mid
+
+        # Edges come from the owners only: replays are input-independent, so
+        # a subscriber's own producers need not have run before its replay.
+        indegree = {mid: 0 for mid in range(len(merged))}
+        dependents: Dict[int, List[int]] = {mid: [] for mid in range(len(merged))}
+        for mid, node in enumerate(merged):
+            r, index = node.owner
+            deps = {mid_of[(r, dep)] for dep in states[r].dag.nodes[index].depends_on}
+            indegree[mid] = len(deps)
+            for dep in sorted(deps):
+                dependents[dep].append(mid)
+
+        run_info = info if info is not None else MergedRunInfo()
+        run_info.total_nodes += sum(len(s.dag.nodes) for s in states)
+        run_info.merged_nodes += len(merged)
+        counters_lock = threading.Lock()
+
+        def execute(mid: int) -> None:
+            node = merged[mid]
+            r, index = node.owner
+            state = states[r]
+            entry = None
+            claimed = False
+            if node.key is not None and step_cache is not None:
+                entry = step_cache.lookup_or_claim(node.key)
+                claimed = entry is None
+            if entry is None:
+                try:
+                    state.execute_node(index)
+                except BaseException:
+                    if claimed:
+                        step_cache.abandon(node.key)
+                    raise
+                entry = state.capture(index)
+                if claimed:
+                    step_cache.fulfil(node.key, entry)
+                with counters_lock:
+                    run_info.executed_nodes += 1
+            else:
+                state.replay(index, entry)
+                with counters_lock:
+                    run_info.replayed_nodes += 1
+            for sub_run, sub_index in node.subscribers:
+                states[sub_run].replay(sub_index, entry)
+
+        if self.workers > 1 and len(merged) > 1:
+            self._run_scheduler(indegree, dependents, execute)
+        else:
+            # Merged-id order is a topological order of the owner edges
+            # (every owner dependency maps to an earlier merged id).
+            for mid in range(len(merged)):
+                execute(mid)
+        return [state.finish() for state in states]
+
+    # ------------------------------------------------------------------ #
+    def _run_scheduler(self, indegree: Dict[int, int], dependents, execute) -> None:
+        """Run the nodes of a dependency graph as their producers complete.
 
         The calling thread schedules: it submits every dependency-free node,
         then wakes on each completion to release the node's dependents.
         Worker exceptions are re-raised here after the pool drains.
         """
-        dependents = dag.dependents()
-        indegree = {node.index: len(node.depends_on) for node in dag.nodes}
+        from concurrent.futures import ThreadPoolExecutor
+
         lock = threading.Lock()
         ready_cv = threading.Condition(lock)
         finished: List[int] = []
         errors: List[BaseException] = []
+        total = len(indegree)
 
         def work(index: int) -> None:
             try:
-                execute_node(index)
+                execute(index)
             except BaseException as exc:  # noqa: BLE001 - re-raised by scheduler
                 with ready_cv:
                     errors.append(exc)
@@ -233,11 +617,11 @@ class DagExecutor:
             max_workers=self.workers, thread_name_prefix="repro-dag"
         ) as pool:
             with ready_cv:
-                for node in dag.nodes:
-                    if indegree[node.index] == 0:
-                        pool.submit(work, node.index)
+                for index, degree in indegree.items():
+                    if degree == 0:
+                        pool.submit(work, index)
                 processed = 0
-                while processed < len(dag.nodes) and not errors:
+                while processed < total and not errors:
                     while not finished and not errors:
                         ready_cv.wait()
                     while finished:

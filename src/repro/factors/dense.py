@@ -118,7 +118,7 @@ class DenseFactor:
         Optional human-readable name.
     """
 
-    __slots__ = ("scope", "domains", "array", "name", "zero")
+    __slots__ = ("scope", "domains", "array", "name", "zero", "_digest")
 
     def __init__(
         self,
@@ -145,6 +145,7 @@ class DenseFactor:
         if zero is None:
             zero = False if self.array.dtype == np.bool_ else 0
         self.zero = zero
+        self._digest = None  # content-digest memo; factors are immutable
 
     # ------------------------------------------------------------------ #
     # basic protocol (mirrors Factor where the semantics carry over)

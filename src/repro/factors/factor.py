@@ -40,7 +40,7 @@ class Factor:
         Optional human-readable name (defaults to ``psi_{scope}``).
     """
 
-    __slots__ = ("scope", "table", "name", "_variables")
+    __slots__ = ("scope", "table", "name", "_variables", "_digest")
 
     def __init__(
         self,
@@ -66,6 +66,7 @@ class Factor:
             self.table[key] = value
         self.name = name if name is not None else "psi_{" + ",".join(map(str, self.scope)) + "}"
         self._variables: frozenset | None = None
+        self._digest: str | None = None  # content-digest memo; factors are immutable
 
     # ------------------------------------------------------------------ #
     # basic protocol

@@ -126,8 +126,18 @@ def greedy_fractional_cover_ordering(hypergraph: Hypergraph) -> List:
 def best_ordering_search(
     hypergraph: Hypergraph,
     width_fn: Callable[[FrozenSet], float],
+    free: Sequence = (),
 ) -> Tuple[List, float]:
     """Optimal induced width by branch-and-bound over elimination prefixes.
+
+    ``free`` vertices (Section 4.4: the free variables of an FAQ query) are
+    constrained to the *prefix* of the returned ordering — elimination runs
+    from the back, so they are eliminated last.  The search enforces this
+    structurally instead of post-filtering: a free vertex only becomes an
+    elimination candidate once every bound vertex is gone, so the search
+    space is ``|bound|! · |free|!`` branches (before pruning) rather than
+    ``n!`` filtered down.  With ``free`` empty the search is unconstrained
+    and identical to the historical behaviour.
 
     Semantically identical to the exhaustive permutation scan (the search is
     complete), but exponentially cheaper: orderings are extended from the
@@ -155,6 +165,8 @@ def best_ordering_search(
     n = len(vertices)
     if n == 0:
         return [], 0.0
+    free_set = frozenset(free) & frozenset(vertices)
+    bound_count = n - len(free_set)
 
     adjacency = hypergraph.gaifman_adjacency()
 
@@ -197,8 +209,13 @@ def best_ordering_search(
         if len(eliminated) == n:
             best[0] = running
             return
+        # Free vertices sit in the ordering prefix, i.e. they are only
+        # eliminated once every bound vertex has been.
+        bound_done = len(eliminated) >= bound_count
         for vertex in vertices:
             if vertex in eliminated:
+                continue
+            if vertex in free_set and not bound_done:
                 continue
             width = step_width(eliminated, vertex)
             search(eliminated | {vertex}, max(running, width))
@@ -212,13 +229,18 @@ def best_ordering_search(
     # and the rest remains feasible.
     feasible_memo: dict = {frozenset(): True}
 
+    def front_candidates(remaining: frozenset) -> FrozenSet:
+        """Vertices allowed at the front (eliminated last) of ``remaining``."""
+        remaining_free = remaining & free_set
+        return remaining_free if remaining_free else remaining
+
     def feasible(remaining: frozenset) -> bool:
         result = feasible_memo.get(remaining)
         if result is None:
             result = any(
                 step_width(remaining - {v}, v) <= best_width
                 and feasible(remaining - {v})
-                for v in remaining
+                for v in front_candidates(remaining)
             )
             feasible_memo[remaining] = result
         return result
@@ -226,8 +248,9 @@ def best_ordering_search(
     ordering: List = []
     remaining = frozenset(vertices)
     while remaining:
+        allowed = front_candidates(remaining)
         for vertex in vertices:
-            if vertex not in remaining:
+            if vertex not in allowed:
                 continue
             rest = remaining - {vertex}
             if step_width(rest, vertex) <= best_width and feasible(rest):
@@ -244,6 +267,7 @@ def best_ordering_exhaustive(
     hypergraph: Hypergraph,
     width_fn: Callable[[FrozenSet], float],
     candidates: Sequence[Sequence] | None = None,
+    free: Sequence = (),
 ) -> List:
     """Minimise an induced width over all orderings (or given candidates).
 
@@ -255,17 +279,24 @@ def best_ordering_exhaustive(
     the given orderings are scanned directly; widths are quantised before
     comparison and ties keep the earliest candidate, so the result is
     deterministic even when ``width_fn`` is LP-derived.
+
+    ``free`` vertices are constrained to the ordering prefix (they are
+    eliminated last): the branch-and-bound honours them structurally, and
+    explicit ``candidates`` violating the prefix are skipped.
     """
     from repro.hypergraph.elimination import elimination_sequence
 
     vertices = sorted(hypergraph.vertices, key=repr)
+    free_set = frozenset(free) & frozenset(vertices)
     if candidates is None:
-        ordering, _ = best_ordering_search(hypergraph, width_fn)
+        ordering, _ = best_ordering_search(hypergraph, width_fn, free=free_set)
         return ordering if ordering else list(vertices)
 
     best_order: List | None = None
     best_width = float("inf")
     for order in candidates:
+        if free_set and set(order[: len(free_set)]) != set(free_set):
+            continue
         steps = elimination_sequence(hypergraph, order)
         width = max((_quantized(width_fn(step.union)) for step in steps), default=0.0)
         if width < best_width:

@@ -15,7 +15,13 @@ plan under a structural query signature so repeated or isomorphic queries
 skip planning entirely.
 """
 
-from repro.planner.cache import DEFAULT_PLAN_CACHE, CachedPlan, DigestPlan, PlanCache
+from repro.planner.cache import (
+    DEFAULT_PLAN_CACHE,
+    CachedPlan,
+    DigestPlan,
+    PlanCache,
+    PlanHealth,
+)
 from repro.planner.cost import (
     CostModel,
     OrderingEstimate,
@@ -26,14 +32,17 @@ from repro.planner.cost import (
     STRATEGY_VARIABLE_ELIMINATION,
     STRATEGY_YANNAKAKIS,
     StepEstimate,
+    observed_step_errors,
 )
 from repro.planner.plan import Plan, PlanResult
 from repro.planner.planner import (
     DEFAULT_COST_MODEL,
+    PlanFeedback,
     applicable_strategies,
     candidate_orderings,
     execute,
     plan,
+    record_plan_feedback,
 )
 from repro.planner.signature import (
     factor_digest,
@@ -61,6 +70,10 @@ __all__ = [
     "STRATEGY_VARIABLE_ELIMINATION",
     "STRATEGY_YANNAKAKIS",
     "STRATEGY_GENERIC_JOIN",
+    "PlanHealth",
+    "PlanFeedback",
+    "record_plan_feedback",
+    "observed_step_errors",
     "applicable_strategies",
     "candidate_orderings",
     "query_signature",

@@ -57,6 +57,10 @@ class CachedPlan:
     estimated_cost: float
     faq_width: float
     buckets: Tuple[int, ...] = field(default=())
+    # Estimated result sizes per elimination step (NaN for product steps),
+    # in elimination order, optionally followed by the output-phase
+    # estimate.  Compared against observed sizes by record_feedback.
+    step_sizes: Tuple[float, ...] = field(default=())
 
 
 @dataclass(frozen=True)
@@ -74,6 +78,24 @@ class DigestPlan:
     ordering: Tuple[str, ...]
     estimated_cost: float
     faq_width: float
+    step_sizes: Tuple[float, ...] = field(default=())
+
+
+@dataclass
+class PlanHealth:
+    """Accumulated observed-vs-estimated error of one cached plan."""
+
+    ewma_error: float = 0.0   # EWMA of the max |log(observed/estimated)| per run
+    observations: int = 0
+
+
+# A cached plan is invalidated (forcing a fresh search on the next lookup)
+# once the EWMA of its observed error exceeds the replan threshold — or the
+# tighter drift threshold when the plan only transferred across a data
+# drift in the first place (drift-transferred plans demote first).
+REPLAN_ERROR_THRESHOLD = 1.5
+DRIFT_REPLAN_ERROR_THRESHOLD = 0.75
+_HEALTH_ALPHA = 0.5
 
 
 def _shape_key(key: tuple) -> Optional[Tuple[tuple, Tuple[int, ...]]]:
@@ -94,8 +116,14 @@ def _shape_key(key: tuple) -> Optional[Tuple[tuple, Tuple[int, ...]]]:
 class PlanCache:
     """A bounded LRU of :class:`CachedPlan` entries keyed by query signature."""
 
-    def __init__(self, maxsize: int = 1024) -> None:
+    def __init__(self, maxsize: int = 1024, cost_model=None) -> None:
         self.maxsize = maxsize
+        # The cost model this cache is *paired* with for the feedback loop:
+        # when the planner is handed this cache (and no explicit model), it
+        # scores with the paired model, so calibration observations recorded
+        # against the cache's plans shape exactly the searches that refill
+        # it.  None pairs the cache with the process-wide default model.
+        self.cost_model = cost_model
         self._entries = LruCache(maxsize=maxsize)
         # shape key -> exact key of the most recently stored entry with that
         # shape.  Pointers may go stale after eviction; resolved lazily.
@@ -104,6 +132,11 @@ class PlanCache:
         # digest-addressed path of the serving tier cannot evict (or be
         # evicted by) signature-keyed traffic.
         self._digests = LruCache(maxsize=maxsize)
+        # plan key (tuple or digest string) -> PlanHealth, written by
+        # record_feedback.  Dropped on invalidation; bounded opportunistically
+        # (stale keys of evicted entries age out when the map overgrows).
+        self._health: Dict[object, PlanHealth] = {}
+        self.replans = 0
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -187,12 +220,78 @@ class PlanCache:
         """Insert (or refresh) a digest-addressed plan."""
         self._digests.put(digest, plan)
 
+    # ------------------------------------------------------------------ #
+    # the feedback loop — observed error accumulation and invalidation
+    # ------------------------------------------------------------------ #
+    def health(self, key) -> Optional[PlanHealth]:
+        """The accumulated error state of the plan stored under ``key``."""
+        with self._lock:
+            return self._health.get(key)
+
+    def record_feedback(self, key, errors, *, drifted: bool = False) -> bool:
+        """Fold one run's observed step errors into the plan's health.
+
+        ``key`` is either the exact tuple key of a signature-cached plan or
+        the hex string of a digest-addressed one; ``errors`` the signed
+        per-step log errors of
+        :func:`repro.planner.cost.observed_step_errors`.  The run's *worst*
+        absolute error updates an EWMA; once the EWMA exceeds
+        :data:`REPLAN_ERROR_THRESHOLD` (:data:`DRIFT_REPLAN_ERROR_THRESHOLD`
+        for plans that only transferred across a data drift) the entry is
+        invalidated — the next lookup misses and the planner re-searches
+        with freshly calibrated estimates.  Returns ``True`` when the plan
+        was invalidated.
+        """
+        if not errors:
+            return False
+        signal = max(abs(e) for e in errors)
+        threshold = DRIFT_REPLAN_ERROR_THRESHOLD if drifted else REPLAN_ERROR_THRESHOLD
+        with self._lock:
+            if len(self._health) > 4 * self.maxsize:
+                self._health.clear()  # stale keys of long-evicted entries
+            health = self._health.setdefault(key, PlanHealth())
+            if health.observations == 0:
+                health.ewma_error = signal
+            else:
+                health.ewma_error = (
+                    (1.0 - _HEALTH_ALPHA) * health.ewma_error + _HEALTH_ALPHA * signal
+                )
+            health.observations += 1
+            replan = health.ewma_error > threshold
+            if replan:
+                del self._health[key]
+                self.replans += 1
+        if replan:
+            self.invalidate(key)
+        return replan
+
+    def invalidate(self, key) -> bool:
+        """Drop the plan stored under ``key`` (tuple or digest string).
+
+        Returns ``True`` when an entry was actually removed.  The shape
+        pointer of a signature-keyed entry is cleaned up so a drifted
+        lookup cannot resurrect the invalidated plan.
+        """
+        with self._lock:
+            self._health.pop(key, None)
+        if isinstance(key, str):
+            return self._digests.pop(key, None) is not None
+        removed = self._entries.pop(key, None) is not None
+        split = _shape_key(key)
+        if split is not None:
+            with self._lock:
+                if self._shapes.get(split[0]) == key:
+                    del self._shapes[split[0]]
+        return removed
+
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""
         self._entries.clear()
         self._digests.clear()
         with self._lock:
             self._shapes.clear()
+            self._health.clear()
+            self.replans = 0
 
     # ------------------------------------------------------------------ #
     # persistence

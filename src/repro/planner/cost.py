@@ -64,6 +64,11 @@ STRATEGIES = (
 # than a sparse per-tuple dict operation; Yannakakis and generic join avoid
 # the general elimination machinery on the query shapes they apply to.
 DENSE_CELL_WEIGHT = 0.05
+# Calibration loop (CostModel.observe): EWMA smoothing of the observed
+# log-size errors, and the clamp keeping one pathological run from swinging
+# future estimates by more than e^±2 ≈ 7.4x in either direction.
+CALIBRATION_ALPHA = 0.5
+CALIBRATION_CLAMP = 2.0
 STRATEGY_WEIGHT = {
     STRATEGY_INSIDEOUT: 1.0,
     STRATEGY_VARIABLE_ELIMINATION: 0.95,
@@ -106,6 +111,7 @@ class StepEstimate:
     sparse_cost: float
     dense_cost: Optional[float]  # None when the step cannot vectorise
     backend: str  # the cheaper representation for this step
+    est_size: float = float("nan")  # estimated result tuples (NaN: not modelled)
 
     @property
     def cost(self) -> float:
@@ -132,8 +138,15 @@ class CostModel:
     def __init__(self, policy: BackendPolicy = DEFAULT_POLICY) -> None:
         self.policy = policy
         self.invocations = 0
+        self.observations = 0
         self._rho_cache: Dict[tuple, float] = {}
         self._agm_cache: Dict[tuple, float] = {}
+        # strategy -> EWMA of the signed mean log(observed/estimated) step
+        # size error reported through observe().  Applied in estimate() as a
+        # multiplicative correction: a strategy whose intermediates keep
+        # coming in above the model's sizes gets its future totals scaled up
+        # (and vice versa), shifting strategy/ordering choices accordingly.
+        self._calibration_log: Dict[str, float] = {}
         # Objects (hypergraphs, statistics) pinned while their id() keys
         # entries in the caches — without the pin a recycled id could
         # resolve to a stale quantity.
@@ -218,6 +231,37 @@ class CostModel:
                 ):
                     self._agm_cache[key] = cached
         return cached
+
+    # ------------------------------------------------------------------ #
+    # calibration — the observation half of the planner feedback loop
+    # ------------------------------------------------------------------ #
+    def observe(self, strategy: str, errors: Sequence[float]) -> float:
+        """Fold observed-vs-estimated step-size errors into the calibration.
+
+        ``errors`` are signed per-step log errors
+        ``log((observed_size + 1) / (estimated_size + 1))`` (see
+        :func:`observed_step_errors`).  Their mean updates a per-strategy
+        EWMA (``alpha`` = :data:`CALIBRATION_ALPHA`) clamped to
+        ±:data:`CALIBRATION_CLAMP` log units; :meth:`estimate` multiplies
+        future totals for the strategy by ``exp`` of the EWMA.  Returns the
+        updated multiplier (1.0 when ``errors`` is empty).
+        """
+        finite = [e for e in errors if math.isfinite(e)]
+        if not finite:
+            return self.calibration(strategy)
+        signal = sum(finite) / len(finite)
+        signal = max(-CALIBRATION_CLAMP, min(CALIBRATION_CLAMP, signal))
+        with self._lock:
+            self.observations += 1
+            previous = self._calibration_log.get(strategy, 0.0)
+            updated = (1.0 - CALIBRATION_ALPHA) * previous + CALIBRATION_ALPHA * signal
+            self._calibration_log[strategy] = updated
+        return math.exp(updated)
+
+    def calibration(self, strategy: str) -> float:
+        """The current multiplicative correction for ``strategy`` (1.0 = none)."""
+        with self._lock:
+            return math.exp(self._calibration_log.get(strategy, 0.0))
 
     # ------------------------------------------------------------------ #
     def _box_cells(self, variables: FrozenSet[str], stats: QueryStatistics) -> float:
@@ -321,6 +365,7 @@ class CostModel:
                         sparse_cost=1.0,
                         dense_cost=None,
                         backend=BACKEND_SPARSE,
+                        est_size=1.0,
                     )
                 )
                 total += 1.0
@@ -342,6 +387,12 @@ class CostModel:
             backend = (
                 BACKEND_DENSE if dense is not None and dense < sparse else BACKEND_SPARSE
             )
+            result_scope = union - {variable}
+            result_size = min(
+                self._box_cells(result_scope, stats),
+                sparse if strategy == STRATEGY_VARIABLE_ELIMINATION
+                else self.agm(hypergraph, stats, union),
+            )
             step = StepEstimate(
                 variable=variable,
                 kind="semiring",
@@ -351,16 +402,11 @@ class CostModel:
                 sparse_cost=sparse,
                 dense_cost=dense,
                 backend=backend,
+                est_size=result_size,
             )
             estimates.append(step)
             total += step.cost
 
-            result_scope = union - {variable}
-            result_size = min(
-                self._box_cells(result_scope, stats),
-                sparse if strategy == STRATEGY_VARIABLE_ELIMINATION
-                else self.agm(hypergraph, stats, union),
-            )
             live = rest + [(result_scope, result_size)]
 
         # Output phase over the free variables.
@@ -392,12 +438,13 @@ class CostModel:
                 sparse_cost=out_sparse,
                 dense_cost=out_dense,
                 backend=out_backend,
+                est_size=min(out_box, self.agm(hypergraph, stats, free_set)),
             )
             estimates.append(out_step)
             total += out_step.cost
 
         backend = self._suggest_backend(estimates)
-        total *= STRATEGY_WEIGHT[strategy]
+        total *= STRATEGY_WEIGHT[strategy] * self.calibration(strategy)
         return OrderingEstimate(
             ordering=order,
             strategy=strategy,
@@ -434,12 +481,13 @@ class CostModel:
             sparse_cost=sparse,
             dense_cost=None,
             backend=BACKEND_SPARSE,
+            est_size=out_est,
         )
         return OrderingEstimate(
             ordering=order,
             strategy=strategy,
             backend=BACKEND_SPARSE,
-            total_cost=sparse * STRATEGY_WEIGHT[strategy],
+            total_cost=sparse * STRATEGY_WEIGHT[strategy] * self.calibration(strategy),
             faq_width=step.rho_star,
             steps=[step],
         )
@@ -456,3 +504,37 @@ class CostModel:
         if dense_steps == len(eliminations):
             return BACKEND_DENSE
         return "auto"
+
+
+# ---------------------------------------------------------------------- #
+# observed-vs-estimated comparison (the feedback half of the loop)
+# ---------------------------------------------------------------------- #
+def observed_step_errors(step_sizes: Sequence[float], stats) -> List[float]:
+    """Signed per-step log errors of a plan against an execution's stats.
+
+    ``step_sizes`` is :attr:`repro.planner.plan.Plan.step_sizes` — the cost
+    model's estimated result sizes in elimination order, optionally followed
+    by the output-phase estimate; ``stats`` is the ``InsideOutStats`` of the
+    run that executed the plan.  Each comparable step contributes
+    ``log((observed_size + 1) / (estimated_size + 1))`` — positive when the
+    data came in bigger than the model thought.  Product steps (``NaN``
+    estimates) and shape mismatches (a different ordering executed than was
+    estimated) contribute nothing; a mismatched step *count* returns ``[]``
+    outright rather than comparing misaligned steps.
+    """
+    records = getattr(stats, "steps", None)
+    if records is None or not step_sizes:
+        return []
+    if len(step_sizes) not in (len(records), len(records) + 1):
+        return []
+    errors: List[float] = []
+    for estimated, record in zip(step_sizes, records):
+        if record.kind != "semiring" or not math.isfinite(estimated):
+            continue
+        errors.append(math.log((record.result_size + 1.0) / (estimated + 1.0)))
+    output_size = getattr(stats, "output_size", -1)
+    if len(step_sizes) == len(records) + 1 and output_size >= 0:
+        estimated = step_sizes[-1]
+        if math.isfinite(estimated):
+            errors.append(math.log((output_size + 1.0) / (estimated + 1.0)))
+    return errors

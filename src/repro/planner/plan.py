@@ -84,6 +84,13 @@ class Plan:
     estimate: Optional[OrderingEstimate] = None
     candidates: List[OrderingEstimate] = field(default_factory=list)
     planning_seconds: float = 0.0
+    # Closed-loop planning (see repro.planner.planner.record_plan_feedback):
+    # the per-step estimated result sizes stored with the cached plan entry,
+    # the cache key the plan was served/stored under, and whether it was
+    # transferred across a shape drift (drifted plans demote first).
+    step_sizes: Tuple[float, ...] = ()
+    cache_key: Optional[tuple] = None
+    drifted: bool = False
 
     # ------------------------------------------------------------------ #
     # execution
@@ -93,6 +100,7 @@ class Plan:
         output_mode: str = "listing",
         workers: int | None = None,
         shared_tries: Any = None,
+        step_cache: Any = None,
     ) -> PlanResult:
         """Run the plan and return the output over the free variables.
 
@@ -102,7 +110,11 @@ class Plan:
         queries through :mod:`repro.serve`.  ``shared_tries`` passes a
         :class:`~repro.factors.index.SharedTrieCache` of this query's
         base-factor tries (the serving layer reuses one across repeated
-        identical queries).
+        identical queries); ``step_cache`` a
+        :class:`~repro.exec.StepResultCache` of content-addressed step
+        results (shared elimination prefixes replay instead of
+        recomputing).  Both are InsideOut-only accelerations and are
+        ignored by the other strategies.
         """
         if self.strategy == STRATEGY_INSIDEOUT:
             from repro.core.insideout import inside_out
@@ -114,6 +126,7 @@ class Plan:
                 backend=self.backend,
                 workers=workers,
                 shared_tries=shared_tries,
+                step_cache=step_cache,
             )
             return PlanResult(
                 plan=self,

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.evo import is_equivalent_ordering, linear_extensions
@@ -48,6 +48,7 @@ from repro.planner.cost import (
     STRATEGY_INSIDEOUT,
     STRATEGY_VARIABLE_ELIMINATION,
     STRATEGY_YANNAKAKIS,
+    observed_step_errors,
 )
 from repro.planner.plan import Plan, PlanResult
 from repro.planner.signature import (
@@ -66,6 +67,7 @@ _STRATEGY_RANK = {name: rank for rank, name in enumerate(STRATEGIES)}
 _MAX_LINEAR_EXTENSIONS = 4
 _LINEAR_EXTENSION_VARS = 8
 _GREEDY_COVER_VARS = 10
+_EXACT_SEARCH_VARS = 9
 
 
 # ---------------------------------------------------------------------- #
@@ -109,6 +111,26 @@ def candidate_orderings(
         raw.append(tuple(approximate_faqw_ordering(query)))
     except Exception:  # pragma: no cover - defensive: never lose plannability
         pass
+
+    if query.num_variables <= _EXACT_SEARCH_VARS:
+        # Free-prefix-constrained branch-and-bound: optimal induced ρ* width
+        # among the orderings the query actually admits (free variables
+        # first), so the planner never has to repair an unconstrained
+        # optimum into a worse free-prefix arrangement.
+        from repro.hypergraph.covers import fractional_edge_cover_number
+        from repro.hypergraph.orderings import best_ordering_search
+
+        try:
+            constrained, _ = best_ordering_search(
+                hypergraph,
+                lambda bag: fractional_edge_cover_number(
+                    hypergraph, bag, ignore_uncovered=True
+                ),
+                free=query.free,
+            )
+            raw.append(_free_prefix_arrangement(query, constrained))
+        except Exception:  # pragma: no cover - defensive
+            pass
 
     heuristics = [min_fill_ordering, min_degree_ordering]
     if query.num_variables <= _GREEDY_COVER_VARS:
@@ -235,7 +257,16 @@ def _plan_search(
     cost_model: Optional[CostModel] = None,
 ) -> Plan:
     """The body of :func:`plan` (split out so the wrapper can time it)."""
-    model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+    plan_cache = cache if cache is not None else DEFAULT_PLAN_CACHE
+    # Score with, in order of preference: the caller's explicit model, the
+    # model *paired* with the plan cache (PlanCache(cost_model=...) — the
+    # feedback loop's arrangement, where calibration observations shape the
+    # searches that refill the same cache), or the process-wide default.
+    model = cost_model
+    if model is None:
+        model = getattr(plan_cache, "cost_model", None)
+    if model is None:
+        model = DEFAULT_COST_MODEL
     if backend is not None:
         validate_backend(backend)
     if strategy is not None and strategy not in STRATEGIES:
@@ -299,6 +330,7 @@ def _plan_search(
             faq_width=winner.faq_width,
             estimate=winner,
             candidates=estimates,
+            step_sizes=_plan_step_sizes(winner),
         )
 
     # ------------------------------------------------------------------ #
@@ -310,7 +342,6 @@ def _plan_search(
     # hypergraphs/LP memos they pin, from being retained by cache entries).
     # ------------------------------------------------------------------ #
     use_cache = use_cache and stats is None and cost_model is None
-    plan_cache = cache if cache is not None else DEFAULT_PLAN_CACHE
     signature, canon = query_signature(query)
     key = (signature, mode, strategy, backend)
     if use_cache:
@@ -353,6 +384,9 @@ def _plan_search(
                     faq_width=cached.faq_width,
                     signature=signature,
                     cache_hit=True,
+                    step_sizes=cached.step_sizes,
+                    cache_key=key,
+                    drifted=drifted,
                 )
 
     # ------------------------------------------------------------------ #
@@ -386,6 +420,7 @@ def _plan_search(
             )
     winner = _pick(estimates)
     resolved_backend = backend if backend is not None else winner.backend
+    step_sizes = _plan_step_sizes(winner)
 
     result = Plan(
         query=query,
@@ -397,6 +432,8 @@ def _plan_search(
         signature=signature,
         estimate=winner,
         candidates=estimates,
+        step_sizes=step_sizes,
+        cache_key=key if use_cache else None,
     )
     if use_cache:
         plan_cache.store(
@@ -407,6 +444,7 @@ def _plan_search(
                 ordering_indices=ordering_to_indices(result.ordering, canon),
                 estimated_cost=result.estimated_cost,
                 faq_width=result.faq_width,
+                step_sizes=step_sizes,
             ),
         )
     return result
@@ -417,6 +455,76 @@ def _pick(estimates: List[OrderingEstimate]) -> OrderingEstimate:
     return min(
         estimates,
         key=lambda e: (e.total_cost, _STRATEGY_RANK[e.strategy], e.ordering),
+    )
+
+
+def _plan_step_sizes(winner: OrderingEstimate) -> Tuple[float, ...]:
+    """The per-step size estimates worth comparing against a run's stats.
+
+    Only the InsideOut strategy executes the step sequence the cost model
+    simulated (``InsideOutStats.steps`` aligns with the estimate's steps),
+    so only its plans carry sizes into the feedback loop.
+    """
+    if winner.strategy != STRATEGY_INSIDEOUT:
+        return ()
+    return tuple(s.est_size for s in winner.steps)
+
+
+# ---------------------------------------------------------------------- #
+# the feedback loop — closing plan → execute → observe → re-plan
+# ---------------------------------------------------------------------- #
+@dataclass
+class PlanFeedback:
+    """What one run's statistics did to the planner state."""
+
+    errors: Tuple[float, ...]  # signed per-step log(observed/estimated)
+    worst: float               # max |error| of the run (0.0 when no errors)
+    replanned: bool            # True when the cached plan was invalidated
+
+
+def record_plan_feedback(
+    executed_plan: Plan,
+    stats,
+    *,
+    cache: Optional[PlanCache] = None,
+    cost_model: Optional[CostModel] = None,
+) -> PlanFeedback:
+    """Close the planning loop with the statistics of an executed plan.
+
+    ``stats`` is the ``InsideOutStats`` of the run that executed
+    ``executed_plan`` (``PlanResult.stats``).  The observed per-step result
+    sizes are compared against the plan's estimates
+    (:func:`repro.planner.cost.observed_step_errors`); the signed errors
+
+    * calibrate the cost model (:meth:`CostModel.observe`) — the same
+      effective model :func:`plan` would score with for this ``cache`` /
+      ``cost_model`` pair, so future searches see corrected estimates; and
+    * accumulate into the cached plan's :class:`~repro.planner.cache.PlanHealth`
+      (:meth:`PlanCache.record_feedback`) when the plan came from (or was
+      stored into) the cache — a plan whose error EWMA crosses the replan
+      threshold is invalidated, and the next occurrence of the query
+      re-plans against the calibrated model.
+
+    Plans that bypassed the cache (pinned orderings, bespoke stats/models)
+    still calibrate the model; they just have no entry to invalidate.
+    """
+    errors = tuple(observed_step_errors(executed_plan.step_sizes, stats))
+    if not errors:
+        return PlanFeedback(errors=(), worst=0.0, replanned=False)
+    plan_cache = cache if cache is not None else DEFAULT_PLAN_CACHE
+    model = cost_model
+    if model is None:
+        model = getattr(plan_cache, "cost_model", None)
+    if model is None:
+        model = DEFAULT_COST_MODEL
+    model.observe(executed_plan.strategy, errors)
+    replanned = False
+    if executed_plan.cache_key is not None:
+        replanned = plan_cache.record_feedback(
+            executed_plan.cache_key, errors, drifted=executed_plan.drifted
+        )
+    return PlanFeedback(
+        errors=errors, worst=max(abs(e) for e in errors), replanned=replanned
     )
 
 

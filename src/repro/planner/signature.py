@@ -31,13 +31,15 @@ from repro.core.query import FAQQuery
 
 _REFINEMENT_ROUNDS = 3
 
-SIGNATURE_VERSION = 1
-"""Format version of :func:`query_signature` tuples.
+SIGNATURE_VERSION = 2
+"""Format version of :func:`query_signature` tuples and cached-plan payloads.
 
-Bump whenever the signature layout changes: persisted plan caches
+Bump whenever the signature layout — or the :class:`~repro.planner.cache.CachedPlan`
+payload stored under it — changes: persisted plan caches
 (:meth:`repro.planner.cache.PlanCache.save`) are tagged with this version
 and silently discarded on mismatch, so stale on-disk plans can never be
-deserialised against a new signature scheme.
+deserialised against a new signature scheme.  Version 2: ``CachedPlan``
+gained ``step_sizes`` (the planner feedback loop).
 """
 
 _INDICATOR_MEMO: "weakref.WeakKeyDictionary[FAQQuery, bool]" = weakref.WeakKeyDictionary()
@@ -274,8 +276,21 @@ def factor_digest(factor: Any) -> str:
     so two value-equal factors — distinct objects, different processes —
     digest identically, and any changed cell changes the digest.  Dense
     ndarray factors digest their domains and raw cells without a listing
-    round trip.
+    round trip.  Memoised on the factor (factors are immutable after
+    construction), so the O(input) hash is paid once per factor object.
     """
+    cached = getattr(factor, "_digest", None)
+    if cached is not None:
+        return cached
+    digest = _compute_factor_digest(factor)
+    try:
+        factor._digest = digest
+    except AttributeError:  # foreign factor-like object without the slot
+        pass
+    return digest
+
+
+def _compute_factor_digest(factor: Any) -> str:
     from repro.factors.dense import DenseFactor
 
     if isinstance(factor, DenseFactor):
@@ -333,6 +348,32 @@ def query_content_key(query: FAQQuery) -> str:
         factor_part.encode("ascii"),
     )
     _CONTENT_KEY_MEMO[query] = key
+    return key
+
+
+_SHARING_KEY_MEMO: "weakref.WeakKeyDictionary[FAQQuery, str]" = weakref.WeakKeyDictionary()
+
+
+def query_sharing_key(query: FAQQuery) -> str:
+    """A digest of the query's semiring plus factor *set* (order-insensitive).
+
+    Two queries with equal sharing keys evaluate over the same factor
+    content under the same algebra, which is the precondition for their
+    elimination steps to collide in the content-addressed step IR.  The
+    serving tier routes on this key so overlapping queries land on the
+    replica whose step cache already holds their shared prefixes.  Raises
+    ``TypeError`` for factors without a canonical encoding.
+    """
+    cached = _SHARING_KEY_MEMO.get(query)
+    if cached is not None:
+        return cached
+    factor_part = ";".join(sorted(factor_digest(f) for f in query.factors))
+    key = _digest(
+        b"sharing",
+        canonical_bytes(query.semiring.name),
+        factor_part.encode("ascii"),
+    )
+    _SHARING_KEY_MEMO[query] = key
     return key
 
 

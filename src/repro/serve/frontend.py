@@ -30,9 +30,10 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import os
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.query import FAQQuery
+from repro.planner.signature import query_sharing_key
 from repro.serve.api import Overloaded, PlanFailure, ReplicaCrashed, ServeRequest, ServeResult
 from repro.serve.replica import ReplicaSet
 
@@ -99,6 +100,8 @@ class Frontend:
         self._shed_tenant = 0
         self._shed_deadline = 0
         self._replica_crashes = 0
+        self._merged_groups = 0
+        self._merged_group_requests = 0
 
     # ------------------------------------------------------------------ #
     # the serving path
@@ -213,6 +216,74 @@ class Frontend:
                 self._observe_latency(loop.time() - started)
             return result
 
+    async def submit_many(self, requests: Sequence[ServeRequest]) -> List[Any]:
+        """Dispatch a sharing-key group to one replica as a merged batch.
+
+        All requests cross the pipe in a single ``exec_many`` message and the
+        replica merges their step DAGs, so structurally shared elimination
+        steps execute once.  Returns per-request outcomes in order — each a
+        :class:`ServeResult` or an exception object; admission shedding
+        raises :class:`Overloaded` for the whole group.
+        """
+        if self._closed:
+            raise RuntimeError("Frontend is shut down")
+        for request in requests:
+            if request.output_mode != "listing":
+                raise PlanFailure(
+                    "factorized output cannot cross a process boundary; "
+                    "serve factorized queries in-process via PlanServer",
+                    cause_type="QueryError",
+                )
+        self._ensure_health_task()
+        count = len(requests)
+        self._submitted += count
+        if self._pending >= self.max_pending:
+            self._shed_queue += count
+            raise Overloaded(f"queue full ({self._pending} pending)", requests[0].tenant)
+        loop = asyncio.get_running_loop()
+        self._pending += count
+        tenants: Dict[str, int] = {}
+        for request in requests:
+            tenants[request.tenant] = tenants.get(request.tenant, 0) + 1
+        for tenant, n in tenants.items():
+            self._tenant_pending[tenant] = self._tenant_pending.get(tenant, 0) + n
+        self._merged_groups += 1
+        self._merged_group_requests += count
+        try:
+            attempts = 0
+            while True:
+                replica = self._set.pick(requests[0].content_key)
+                replica.load += count
+                started = loop.time()
+                try:
+                    outcomes = await asyncio.to_thread(
+                        replica.execute_many, list(requests)
+                    )
+                except ReplicaCrashed:
+                    self._replica_crashes += 1
+                    await asyncio.to_thread(replica.restart)
+                    attempts += 1
+                    if attempts > 1:
+                        raise
+                    continue
+                finally:
+                    replica.load -= count
+                    self._observe_latency(loop.time() - started)
+                self._coalesced += sum(
+                    1
+                    for o in outcomes
+                    if isinstance(o, ServeResult) and o.coalesced
+                )
+                return outcomes
+        finally:
+            self._pending -= count
+            for tenant, n in tenants.items():
+                remaining = self._tenant_pending.get(tenant, n) - n
+                if remaining <= 0:
+                    self._tenant_pending.pop(tenant, None)
+                else:
+                    self._tenant_pending[tenant] = remaining
+
     # ------------------------------------------------------------------ #
     # load estimation
     # ------------------------------------------------------------------ #
@@ -276,6 +347,7 @@ class Frontend:
         requests: Sequence[Union[ServeRequest, FAQQuery]],
         *,
         return_exceptions: bool = False,
+        merge: bool = True,
     ) -> List[Any]:
         """Run a batch through the tier in a private event loop (blocking).
 
@@ -283,19 +355,61 @@ class Frontend:
         With ``return_exceptions=True`` shed/failed entries come back as
         their exception objects instead of raising, so open-loop callers
         (the benchmark) can count sheds without losing the batch.
+
+        With ``merge=True`` (the default) requests whose queries share a
+        :func:`~repro.planner.signature.query_sharing_key` — same semiring
+        over the same factor content — are routed to one replica as a single
+        merged batch, so their structurally shared elimination steps execute
+        once tier-wide.  Requests that opted out of coalescing, carry a
+        deadline, or are not digest-addressable take the per-request path.
         """
         wrapped = [
             r if isinstance(r, ServeRequest) else ServeRequest(query=r) for r in requests
         ]
 
+        groups: Dict[str, List[int]] = {}
+        if merge and self.coalesce:
+            for i, request in enumerate(wrapped):
+                if (
+                    not request.coalesce
+                    or request.deadline is not None
+                    or request.output_mode != "listing"
+                ):
+                    continue
+                try:
+                    key = query_sharing_key(request.query)
+                except TypeError:
+                    continue
+                groups.setdefault(key, []).append(i)
+        merged = {key: idxs for key, idxs in groups.items() if len(idxs) > 1}
+        grouped = {i for idxs in merged.values() for i in idxs}
+        singles = [i for i in range(len(wrapped)) if i not in grouped]
+
         async def _run() -> List[Any]:
             try:
-                return list(
-                    await asyncio.gather(
-                        *(self.submit(r) for r in wrapped),
-                        return_exceptions=return_exceptions,
-                    )
+                jobs: List[Tuple[List[int], Any]] = [
+                    (idxs, self.submit_many([wrapped[i] for i in idxs]))
+                    for idxs in merged.values()
+                ]
+                jobs.extend(([i], self.submit(wrapped[i])) for i in singles)
+                replies = await asyncio.gather(
+                    *(job for _, job in jobs), return_exceptions=True
                 )
+                results: List[Any] = [None] * len(wrapped)
+                for (idxs, _), reply in zip(jobs, replies):
+                    if isinstance(reply, BaseException):
+                        for i in idxs:
+                            results[i] = reply
+                    elif len(idxs) > 1:
+                        for i, outcome in zip(idxs, reply):
+                            results[i] = outcome
+                    else:
+                        results[idxs[0]] = reply
+                if not return_exceptions:
+                    for outcome in results:
+                        if isinstance(outcome, BaseException):
+                            raise outcome
+                return results
             finally:
                 await self._cancel_health_task()
 
@@ -316,6 +430,8 @@ class Frontend:
             "shed_tenant": self._shed_tenant,
             "shed_deadline": self._shed_deadline,
             "replica_crashes": self._replica_crashes,
+            "merged_groups": self._merged_groups,
+            "merged_group_requests": self._merged_group_requests,
             "latency_ewma_s": self._latency_ewma,
             "fleet": self._set.stats(),
         }

@@ -14,11 +14,19 @@ them); the first element is the message kind:
 ========================  ============================================
 frontend → replica
 ========================  ============================================
-``("exec", req_id, wire_query, payloads, output_mode, options)``
-                           execute one request; ``payloads`` maps digests
+``("exec", req_id, wire_query, payloads, output_mode, options,
+coalesce)``                execute one request; ``payloads`` maps digests
                            to factor objects the replica is missing
                            (per-query ``workers=`` is fixed at replica
-                           spawn time, not per message)
+                           spawn time, not per message); ``coalesce``
+                           carries the request's sharing opt-in so the
+                           replica's step/result caches engage only for
+                           traffic that allowed it
+``("exec_many", req_id, items, payloads)``
+                           execute a batch as one merged step DAG;
+                           ``items`` is a tuple of ``(wire_query,
+                           output_mode, options, coalesce)`` and
+                           ``payloads`` covers the whole batch
 ``("ping", nonce)``        health probe
 ``("shutdown",)``          drain and exit
 ========================  ============================================
@@ -27,6 +35,10 @@ frontend → replica
 replica → frontend
 ========================  ============================================
 ``("ok", req_id, result)``            a :class:`WireResult`
+``("ok_many", req_id, outcomes)``      per-item outcomes for ``exec_many``:
+                                       each is ``("ok", WireResult)`` or
+                                       ``("err", kind, message,
+                                       cause_type)`` in item order
 ``("err", req_id, kind, message,
 cause_type)``                          typed failure (``kind`` ∈
                                        ``{"plan", "internal"}``)
@@ -53,9 +65,11 @@ from repro.semiring.aggregates import Aggregate
 from repro.semiring.base import Semiring
 
 MSG_EXEC = "exec"
+MSG_EXEC_MANY = "exec_many"
 MSG_PING = "ping"
 MSG_SHUTDOWN = "shutdown"
 MSG_OK = "ok"
+MSG_OK_MANY = "ok_many"
 MSG_ERR = "err"
 MSG_NEED = "need"
 MSG_PONG = "pong"
@@ -86,13 +100,19 @@ class WireQuery:
 
 @dataclass(frozen=True)
 class WireResult:
-    """An execution result crossing back over the pipe (listing mode only)."""
+    """An execution result crossing back over the pipe (listing mode only).
+
+    ``coalesced`` says the replica answered from a shared execution (a
+    merged-batch duplicate or its completed-result cache) rather than
+    running the query itself.
+    """
 
     factor: Any
     ordering: Tuple[str, ...]
     strategy: str
     backend: str
     seconds: float
+    coalesced: bool = False
 
 
 # query object -> (WireQuery, {digest: factor}).  FAQQuery instances are

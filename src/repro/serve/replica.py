@@ -33,8 +33,10 @@ from repro.serve.protocol import (
     ERR_PLAN,
     MSG_ERR,
     MSG_EXEC,
+    MSG_EXEC_MANY,
     MSG_NEED,
     MSG_OK,
+    MSG_OK_MANY,
     MSG_PING,
     MSG_PONG,
     MSG_SHUTDOWN,
@@ -51,11 +53,42 @@ _REQ_IDS = itertools.count(1)
 # ---------------------------------------------------------------------- #
 # the child process
 # ---------------------------------------------------------------------- #
+def _memoised_query(wire, store: Dict[str, Any], queries: "OrderedDict[str, Any]"):
+    """Rebuild (or recall) the query for a wire skeleton, LRU-bounded."""
+    query = queries.get(wire.query_key) if wire.query_key is not None else None
+    if query is None:
+        query = decode_query(wire, store)
+        if wire.query_key is not None:
+            queries[wire.query_key] = query
+            while len(queries) > _MAX_REPLICA_QUERIES:
+                queries.popitem(last=False)
+    else:
+        queries.move_to_end(wire.query_key)
+    return query
+
+
+def _wire_ok(result) -> tuple:
+    return (
+        MSG_OK,
+        WireResult(
+            factor=result.factor,
+            ordering=result.ordering,
+            strategy=result.strategy,
+            backend=result.backend,
+            seconds=result.seconds,
+            coalesced=result.coalesced,
+        ),
+    )
+
+
 def _replica_main(conn, replica_id: int, workers: Optional[int] = None) -> None:
     """The replica loop (module-level so the spawn start method can pickle it)."""
     from repro.serve.server import PlanServer
 
-    server = PlanServer(workers=workers, pool_size=1)
+    # cache_results=True is the replica-side completed-result cache: repeat
+    # traffic that opted into sharing (coalesce=True on the wire) is answered
+    # by content digest without re-executing.
+    server = PlanServer(workers=workers, pool_size=1, cache_results=True)
     store: Dict[str, Any] = {}
     queries: "OrderedDict[str, Any]" = OrderedDict()
     served = 0
@@ -77,27 +110,85 @@ def _replica_main(conn, replica_id: int, workers: Optional[int] = None) -> None:
             stats.update(server.stats())
             conn.send((MSG_PONG, message[1], stats))
             continue
+        if kind == MSG_EXEC_MANY:
+            _, req_id, items, payloads = message
+            store.update(payloads)
+            missing: list = []
+            seen_missing: set = set()
+            for wire, _, _, _ in items:
+                for digest in missing_digests(wire, store.keys()):
+                    if digest not in seen_missing:
+                        seen_missing.add(digest)
+                        missing.append(digest)
+            if missing:
+                conn.send((MSG_NEED, req_id, tuple(missing)))
+                continue
+            requests: List[Optional[ServeRequest]] = []
+            outcomes: List[Optional[tuple]] = []
+            for wire, output_mode, options, coalesce in items:
+                try:
+                    request = ServeRequest(
+                        query=_memoised_query(wire, store, queries),
+                        output_mode=output_mode,
+                        coalesce=coalesce,
+                        options=options,
+                    )
+                except Exception as exc:  # noqa: BLE001 - fail the item, not the batch
+                    requests.append(None)
+                    outcomes.append(
+                        (MSG_ERR, ERR_INTERNAL, f"{type(exc).__name__}: {exc}", type(exc).__name__)
+                    )
+                    continue
+                requests.append(request)
+                outcomes.append(None)
+            live = [r for r in requests if r is not None]
+            results: Optional[List[Any]] = None
+            if live:
+                try:
+                    results = list(server.execute_batch(live))
+                except Exception:  # noqa: BLE001 - retry item-by-item for typed errors
+                    results = None
+            if results is None and live:
+                results = []
+                for request in live:
+                    try:
+                        results.append(server.execute_request(request))
+                    except PlanFailure as exc:
+                        results.append((MSG_ERR, ERR_PLAN, str(exc), exc.cause_type))
+                    except Exception as exc:  # noqa: BLE001
+                        results.append(
+                            (MSG_ERR, ERR_INTERNAL, f"{type(exc).__name__}: {exc}", type(exc).__name__)
+                        )
+            answers = iter(results or [])
+            wire_outcomes = []
+            for slot in outcomes:
+                if slot is not None:
+                    wire_outcomes.append(slot)
+                    continue
+                result = next(answers)
+                if isinstance(result, tuple):
+                    wire_outcomes.append(result)
+                    continue
+                if not result.coalesced:
+                    served += 1
+                wire_outcomes.append(_wire_ok(result))
+            conn.send((MSG_OK_MANY, req_id, wire_outcomes))
+            continue
         if kind != MSG_EXEC:
             conn.send((MSG_ERR, None, ERR_INTERNAL, f"unknown message {kind!r}", "ServeError"))
             continue
-        _, req_id, wire, payloads, output_mode, options = message
+        _, req_id, wire, payloads, output_mode, options, coalesce = message
         store.update(payloads)
         missing = missing_digests(wire, store.keys())
         if missing:
             conn.send((MSG_NEED, req_id, missing))
             continue
         try:
-            query = queries.get(wire.query_key) if wire.query_key is not None else None
-            if query is None:
-                query = decode_query(wire, store)
-                if wire.query_key is not None:
-                    queries[wire.query_key] = query
-                    while len(queries) > _MAX_REPLICA_QUERIES:
-                        queries.popitem(last=False)
-            elif wire.query_key is not None:
-                queries.move_to_end(wire.query_key)
             request = ServeRequest(
-                query=query, output_mode=output_mode, coalesce=False, options=options
+                query=_memoised_query(wire, store, queries),
+                output_mode=output_mode,
+                coalesce=coalesce,
+                options=options,
             )
             result = server.execute_request(request)
         except PlanFailure as exc:
@@ -106,20 +197,9 @@ def _replica_main(conn, replica_id: int, workers: Optional[int] = None) -> None:
         except Exception as exc:  # noqa: BLE001 - replica must not die on a bad request
             conn.send((MSG_ERR, req_id, ERR_INTERNAL, f"{type(exc).__name__}: {exc}", type(exc).__name__))
             continue
-        served += 1
-        conn.send(
-            (
-                MSG_OK,
-                req_id,
-                WireResult(
-                    factor=result.factor,
-                    ordering=result.ordering,
-                    strategy=result.strategy,
-                    backend=result.backend,
-                    seconds=result.seconds,
-                ),
-            )
-        )
+        if not result.coalesced:
+            served += 1
+        conn.send((MSG_OK, req_id, _wire_ok(result)[1]))
     conn.close()
 
 
@@ -184,34 +264,97 @@ class ReplicaHandle:
                 cause_type=type(exc).__name__,
             ) from exc
         req_id = next(_REQ_IDS)
+
+        def exec_msg(payloads):
+            return (
+                MSG_EXEC, req_id, wire, payloads, request.output_mode,
+                request.options, request.coalesce,
+            )
+
         with self.lock:
             payloads = {d: tables[d] for d in missing_digests(wire, self.known)}
-            reply = self._call(
-                (MSG_EXEC, req_id, wire, payloads, request.output_mode, request.options)
-            )
+            reply = self._call(exec_msg(payloads))
             self.known.update(payloads)
             if reply[0] == MSG_NEED:
                 payloads = {d: tables[d] for d in reply[2]}
-                reply = self._call(
-                    (MSG_EXEC, req_id, wire, payloads, request.output_mode, request.options)
-                )
+                reply = self._call(exec_msg(payloads))
                 self.known.update(payloads)
         if reply[0] == MSG_OK:
             result: WireResult = reply[2]
-            return ServeResult(
-                factor=result.factor,
-                ordering=result.ordering,
-                strategy=result.strategy,
-                backend=result.backend,
-                content_key=request.content_key,
-                replica=self.index,
-                seconds=result.seconds,
-            )
+            return self._serve_result(result, request)
         if reply[0] == MSG_ERR:
             _, _, err_kind, message, cause_type = reply
             raise PlanFailure(message, cause_type=cause_type)
         raise ReplicaCrashed(
             f"replica {self.index} sent unexpected reply {reply[0]!r}"
+        )
+
+    def execute_many(self, requests: List[ServeRequest]) -> List[Any]:
+        """Run a batch on this replica as one merged dispatch (blocking).
+
+        The whole batch crosses the pipe in a single ``exec_many`` message;
+        the replica's :class:`~repro.serve.server.PlanServer` merges the
+        queries' step DAGs so structurally shared elimination steps execute
+        once.  Returns per-request outcomes in order — each a
+        :class:`~repro.serve.api.ServeResult` or an exception object
+        (:class:`~repro.serve.api.PlanFailure`); a dead replica raises
+        :class:`~repro.serve.api.ReplicaCrashed` for the whole batch.
+        """
+        outcomes: List[Any] = [None] * len(requests)
+        encoded: List[Tuple[int, ServeRequest, Any, Dict[str, Any]]] = []
+        for i, request in enumerate(requests):
+            try:
+                wire, tables = encode_query(request.query)
+            except TypeError as exc:
+                outcomes[i] = PlanFailure(
+                    f"query is not digest-addressable and cannot be served by a replica: {exc}",
+                    cause_type=type(exc).__name__,
+                )
+                continue
+            encoded.append((i, request, wire, tables))
+        if not encoded:
+            return outcomes
+        req_id = next(_REQ_IDS)
+        items = tuple(
+            (wire, request.output_mode, request.options, request.coalesce)
+            for _, request, wire, _ in encoded
+        )
+        combined: Dict[str, Any] = {}
+        for _, _, _, tables in encoded:
+            combined.update(tables)
+        with self.lock:
+            payloads: Dict[str, Any] = {}
+            for _, _, wire, _ in encoded:
+                for digest in missing_digests(wire, self.known):
+                    payloads.setdefault(digest, combined[digest])
+            reply = self._call((MSG_EXEC_MANY, req_id, items, payloads))
+            self.known.update(payloads)
+            if reply[0] == MSG_NEED:
+                payloads = {d: combined[d] for d in reply[2]}
+                reply = self._call((MSG_EXEC_MANY, req_id, items, payloads))
+                self.known.update(payloads)
+        if reply[0] != MSG_OK_MANY or len(reply[2]) != len(encoded):
+            raise ReplicaCrashed(
+                f"replica {self.index} sent unexpected reply {reply[0]!r}"
+            )
+        for (i, request, _, _), outcome in zip(encoded, reply[2]):
+            if outcome[0] == MSG_OK:
+                outcomes[i] = self._serve_result(outcome[1], request)
+            else:
+                _, err_kind, message, cause_type = outcome
+                outcomes[i] = PlanFailure(message, cause_type=cause_type)
+        return outcomes
+
+    def _serve_result(self, result: WireResult, request: ServeRequest) -> ServeResult:
+        return ServeResult(
+            factor=result.factor,
+            ordering=result.ordering,
+            strategy=result.strategy,
+            backend=result.backend,
+            content_key=request.content_key,
+            coalesced=result.coalesced,
+            replica=self.index,
+            seconds=result.seconds,
         )
 
     def ping(self) -> Optional[Dict[str, Any]]:

@@ -34,10 +34,19 @@ from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.caching import LruCache
 from repro.core.query import FAQQuery, QueryError
-from repro.exec import _UNSET, resolve_workers
+from repro.exec import (
+    _UNSET,
+    DagExecutor,
+    MergedRunInfo,
+    RunSpec,
+    StepResultCache,
+    resolve_workers,
+)
 from repro.factors.index import SharedTrieCache
 from repro.planner import (
+    CostModel,
     DigestPlan,
     Plan,
     PlanCache,
@@ -45,6 +54,7 @@ from repro.planner import (
     STRATEGY_INSIDEOUT,
     plan,
     query_content_key,
+    record_plan_feedback,
 )
 from repro.serve.api import PlanFailure, ServeRequest, ServeResult
 
@@ -90,8 +100,13 @@ class PlanServer:
         CPU count).  This is what ``PlanServer(workers=N)`` meant before
         the serving API redesign.
     cache:
-        The :class:`~repro.planner.cache.PlanCache` to plan against
-        (defaults to a server-private cache).
+        The :class:`~repro.planner.cache.PlanCache` to plan against.
+        Defaults to a server-private cache *paired with a server-private
+        cost model* (``PlanCache(cost_model=CostModel())``), closing the
+        planning loop: every InsideOut execution feeds its observed step
+        sizes back through :func:`repro.planner.record_plan_feedback`, so
+        mis-estimated plans are invalidated and re-searched against the
+        calibrated model without perturbing the process-wide default model.
     coalesce:
         Server-wide default for content-hash coalescing of in-flight
         value-equal requests (individual requests opt out via
@@ -100,6 +115,24 @@ class PlanServer:
         Keep a bounded LRU of per-content-key :class:`SharedTrieCache`
         stores so repeated executions skip re-indexing their base factors
         (InsideOut strategy only).
+    share_steps:
+        Keep a digest-keyed :class:`~repro.exec.StepResultCache` of
+        completed elimination steps, so sequential repeated traffic (and
+        merged batches) replays shared elimination prefixes instead of
+        recomputing them.  Engaged only for coalescible requests under the
+        default backend policy — equal step digests certify bit-identical
+        results, so replay is invisible apart from wall-clock time.
+    merge:
+        Server-wide default for cross-query common sub-elimination in
+        :meth:`execute_batch`: InsideOut requests of one batch are lowered
+        to content-addressed step DAGs, merged into one multi-sink DAG,
+        and each distinct step digest executes exactly once.
+    cache_results:
+        Keep a bounded LRU of *completed* :class:`ServeResult` objects
+        keyed by content digest, answering value-identical repeats without
+        re-execution.  Off by default in-process (in-process repeats
+        already replay via ``share_steps``); the replica tier enables it —
+        its rendezvous-routed traffic concentrates repeats per replica.
     dag_workers:
         Deprecated alias of ``workers`` (emits ``DeprecationWarning``).
     """
@@ -112,14 +145,21 @@ class PlanServer:
         cache: Optional[PlanCache] = None,
         coalesce: bool = True,
         share_tries: bool = True,
+        share_steps: bool = True,
+        merge: bool = True,
+        cache_results: bool = False,
+        result_cache_size: int = 256,
+        step_cache_size: int = 512,
         dag_workers: Any = _UNSET,
         max_shared_queries: int = _MAX_SHARED_QUERIES,
     ) -> None:
         self.workers = resolve_workers(workers, dag_workers)
         self.pool_size = resolve_workers(pool_size) or (os.cpu_count() or 1)
-        self.cache = cache if cache is not None else PlanCache()
+        self.cache = cache if cache is not None else PlanCache(cost_model=CostModel())
         self.coalesce = coalesce
         self.share_tries = share_tries
+        self.share_steps = share_steps
+        self.merge = merge
         self._pool = ThreadPoolExecutor(
             max_workers=self.pool_size, thread_name_prefix="repro-serve"
         )
@@ -138,6 +178,19 @@ class PlanServer:
         self._max_shared = max_shared_queries
         self._evicted_trie_hits = 0
         self._evicted_trie_misses = 0
+        # content-addressed step IR caches: completed elimination steps
+        # (replayed into later runs) and completed whole results.
+        self._step_results = StepResultCache(maxsize=step_cache_size) if share_steps else None
+        self._results: Optional[LruCache] = (
+            LruCache(maxsize=result_cache_size) if cache_results else None
+        )
+        self._result_cache_hits = 0
+        self._merged_batches = 0
+        self._merged_queries = 0
+        self._merged_total_nodes = 0
+        self._merged_unique_nodes = 0
+        self._merged_executed_nodes = 0
+        self._merged_replayed_nodes = 0
         self._submitted = 0
         self._coalesced = 0
         self._closed = False
@@ -197,14 +250,21 @@ class PlanServer:
         self,
         requests: Sequence[Union[ServeRequest, FAQQuery]],
         coalesce: bool = True,
+        merge: Optional[bool] = None,
         **kwargs: Any,
     ) -> List[Union[ServeResult, PlanResult]]:
         """Execute ``requests`` concurrently; results come back in input order.
 
-        With ``coalesce=True`` value-equal in-flight requests execute once
-        and share one result (duplicates flagged ``coalesced=True``).  A
-        batch of bare queries is the deprecated PR 5 form and returns
-        ``PlanResult`` objects (coalesced on object identity, as before).
+        With ``coalesce=True`` value-equal requests execute once and share
+        one result (duplicates flagged ``coalesced=True``).  With ``merge``
+        (defaulting to the server-wide setting) the batch's InsideOut
+        requests are additionally lowered to content-addressed step DAGs
+        and merged into one multi-sink DAG — structurally identical
+        elimination steps *across distinct queries* execute exactly once
+        and replay into every run that needs them, with per-query stats
+        attributed back to each result.  A batch of bare queries is the
+        deprecated PR 5 form and returns ``PlanResult`` objects (coalesced
+        on object identity, as before).
         """
         if requests and not isinstance(requests[0], ServeRequest):
             return self._execute_batch_legacy(requests, coalesce, kwargs)
@@ -213,6 +273,10 @@ class PlanServer:
                 f"ServeRequest batches take no kwargs (got {sorted(kwargs)}); "
                 "put planner overrides in ServeRequest.options"
             )
+        if merge is None:
+            merge = self.merge
+        if merge and coalesce and self.coalesce and len(requests) > 1:
+            return self._execute_batch_merged(list(requests))
         if not coalesce:
             requests = [
                 r if not r.coalesce else ServeRequest(
@@ -227,6 +291,145 @@ class PlanServer:
             ]
         futures = [self.submit(request) for request in requests]
         return [future.result() for future in futures]
+
+    def _execute_batch_merged(self, requests: List[ServeRequest]) -> List[ServeResult]:
+        """Cross-query common sub-elimination over one batch.
+
+        Content-key duplicates first coalesce onto one representative
+        (preserving the ``coalesced`` counter semantics of the submit
+        path, deterministically).  Representative InsideOut requests are
+        then executed as one merged multi-sink step DAG
+        (:meth:`repro.exec.DagExecutor.run_many`) sharing the server's
+        step-result cache; other strategies, coalesce-opted-out requests
+        and completed-result-cache hits run on the ordinary paths.  Any
+        merged-run failure falls back to independent execution — merging
+        is an optimisation, never a correctness risk.
+        """
+        if self._closed:
+            raise RuntimeError("PlanServer is shut down")
+        with self._lock:
+            self._submitted += len(requests)
+            self._merged_batches += 1
+
+        # --- content-key dedup onto representatives -------------------- #
+        rep_of: List[int] = []
+        duplicate: List[bool] = []
+        reps: List[ServeRequest] = []
+        first_of: Dict[str, int] = {}
+        dup_count = 0
+        for request in requests:
+            key = request.content_key if (self.coalesce and request.coalesce) else None
+            if key is not None and key in first_of:
+                rep_of.append(first_of[key])
+                duplicate.append(True)
+                dup_count += 1
+                continue
+            if key is not None:
+                first_of[key] = len(reps)
+            rep_of.append(len(reps))
+            duplicate.append(False)
+            reps.append(request)
+        if dup_count:
+            with self._lock:
+                self._coalesced += dup_count
+
+        # --- plan representatives; partition mergeable vs solo ---------- #
+        rep_results: List[Optional[ServeResult]] = [None] * len(reps)
+        rep_errors: List[Optional[BaseException]] = [None] * len(reps)
+        merged: List[Tuple[int, Plan, float]] = []  # (rep index, plan, started)
+        specs: List[RunSpec] = []
+        solo: List[int] = []
+        for i, request in enumerate(reps):
+            cached = self._completed_result(request)
+            if cached is not None:
+                rep_results[i] = cached
+                continue
+            if not request.coalesce:
+                # A private execution was promised; keep it out of the
+                # shared DAG (and the step cache — _run_request gates it).
+                solo.append(i)
+                continue
+            started = time.perf_counter()
+            try:
+                query_key = query_content_key(request.query)
+            except TypeError:
+                query_key = None
+            query = self._canonical_query(query_key, request.query)
+            try:
+                chosen = self._plan_for(query, request)
+            except QueryError as exc:
+                rep_errors[i] = PlanFailure(str(exc), cause_type=type(exc).__name__)
+                continue
+            if chosen.strategy != STRATEGY_INSIDEOUT:
+                solo.append(i)
+                continue
+            shared = None
+            if self.share_tries:
+                shared = self._shared_tries_for(query_key, query, chosen.ordering)
+            specs.append(RunSpec(
+                query=query,
+                ordering=list(chosen.ordering),
+                output_mode=request.output_mode,
+                backend=chosen.backend,
+                shared_tries=shared,
+            ))
+            merged.append((i, chosen, started))
+
+        # --- the merged multi-sink run ---------------------------------- #
+        if specs:
+            info = MergedRunInfo()
+            executor = DagExecutor(workers=self.workers or 1)
+            try:
+                outcomes = executor.run_many(
+                    specs, step_cache=self._step_results, info=info
+                )
+            except QueryError as exc:
+                failure = PlanFailure(str(exc), cause_type=type(exc).__name__)
+                for i, _, _ in merged:
+                    rep_errors[i] = failure
+            except BaseException:
+                # Correctness fallback: execute the runs independently.
+                for i, _, _ in merged:
+                    try:
+                        rep_results[i] = self._run_request(reps[i])
+                    except BaseException as exc:  # noqa: BLE001 - per-request
+                        rep_errors[i] = exc
+            else:
+                with self._lock:
+                    self._merged_queries += len(specs)
+                    self._merged_total_nodes += info.total_nodes
+                    self._merged_unique_nodes += info.merged_nodes
+                    self._merged_executed_nodes += info.executed_nodes
+                    self._merged_replayed_nodes += info.replayed_nodes
+                for (i, chosen, started), outcome in zip(merged, outcomes):
+                    executed = PlanResult(
+                        plan=chosen,
+                        factor=outcome.factor,
+                        factorized=outcome.factorized,
+                        ordering=outcome.ordering,
+                        raw=outcome,
+                    )
+                    rep_results[i] = self._finish(reps[i], chosen, executed, started)
+
+        # --- solo representatives on the pool --------------------------- #
+        if solo:
+            futures = {i: self._pool.submit(self._run_request, reps[i]) for i in solo}
+            for i, future in futures.items():
+                try:
+                    rep_results[i] = future.result()
+                except BaseException as exc:  # noqa: BLE001 - per-request
+                    rep_errors[i] = exc
+
+        # --- reassemble in input order ---------------------------------- #
+        results: List[ServeResult] = []
+        for index, request in enumerate(requests):
+            rep = rep_of[index]
+            error = rep_errors[rep]
+            if error is not None:
+                raise error
+            result = rep_results[rep]
+            results.append(result.mark_coalesced() if duplicate[index] else result)
+        return results
 
     # ------------------------------------------------------------------ #
     # execution
@@ -254,6 +457,9 @@ class PlanServer:
                 del self._inflight[key]
 
     def _run_request(self, request: ServeRequest) -> ServeResult:
+        cached = self._completed_result(request)
+        if cached is not None:
+            return cached
         try:
             query_key = query_content_key(request.query)
         except TypeError:
@@ -263,16 +469,56 @@ class PlanServer:
         try:
             chosen = self._plan_for(query, request)
             shared = None
-            if self.share_tries and chosen.strategy == STRATEGY_INSIDEOUT:
-                shared = self._shared_tries_for(query_key, query, chosen.ordering)
+            step_cache = None
+            if chosen.strategy == STRATEGY_INSIDEOUT:
+                if self.share_tries:
+                    shared = self._shared_tries_for(query_key, query, chosen.ordering)
+                if request.coalesce:
+                    step_cache = self._step_results
             executed = chosen.execute(
                 output_mode=request.output_mode,
                 workers=self.workers,
                 shared_tries=shared,
+                step_cache=step_cache,
             )
         except QueryError as exc:
             raise PlanFailure(str(exc), cause_type=type(exc).__name__) from exc
-        return ServeResult(
+        return self._finish(request, chosen, executed, started)
+
+    def _completed_result(self, request: ServeRequest) -> Optional[ServeResult]:
+        """A completed-result cache hit for this request, if any.
+
+        Engaged only for coalescible requests — ``coalesce=False`` promises
+        a private execution (e.g. a timed run), which a replayed result
+        would violate just as much as a shared in-flight one.
+        """
+        if self._results is None or not request.coalesce:
+            return None
+        key = request.content_key
+        if key is None:
+            return None
+        hit = self._results.get(key)
+        if hit is None:
+            return None
+        with self._lock:
+            self._result_cache_hits += 1
+        return hit.mark_coalesced()
+
+    def _finish(
+        self,
+        request: ServeRequest,
+        chosen: Plan,
+        executed: PlanResult,
+        started: float,
+    ) -> ServeResult:
+        """Build the typed result, close the feedback loop, fill caches."""
+        if chosen.strategy == STRATEGY_INSIDEOUT and executed.stats is not None:
+            # Observed-vs-estimated step sizes calibrate the cache's paired
+            # cost model and accumulate into the cached plan's health (a
+            # plan past the error threshold is invalidated — the next
+            # occurrence re-plans against the calibrated model).
+            record_plan_feedback(chosen, executed.stats, cache=self.cache)
+        result = ServeResult(
             factor=executed.factor,
             factorized=executed.factorized,
             ordering=tuple(executed.ordering),
@@ -284,6 +530,14 @@ class PlanServer:
             seconds=time.perf_counter() - started,
             stats=executed.stats,
         )
+        if (
+            self._results is not None
+            and request.coalesce
+            and request.output_mode == "listing"
+            and result.content_key is not None
+        ):
+            self._results.put(result.content_key, result)
+        return result
 
     def _plan_for(self, query: FAQQuery, request: ServeRequest) -> Plan:
         digest = _plan_digest(request)
@@ -293,6 +547,8 @@ class PlanServer:
                 # Equal content digests certify value equality, so the
                 # stored ordering/strategy/backend transfer verbatim — no
                 # signature computation, no canonical-index translation.
+                # The digest string doubles as the feedback key: a plan
+                # whose health degrades invalidates this very entry.
                 return Plan(
                     query=query,
                     strategy=hit.strategy,
@@ -301,6 +557,8 @@ class PlanServer:
                     estimated_cost=hit.estimated_cost,
                     faq_width=hit.faq_width,
                     cache_hit=True,
+                    step_sizes=hit.step_sizes,
+                    cache_key=digest,
                 )
         chosen = plan(query, cache=self.cache, **request.plan_kwargs())
         if digest is not None:
@@ -312,6 +570,7 @@ class PlanServer:
                     ordering=tuple(chosen.ordering),
                     estimated_cost=chosen.estimated_cost,
                     faq_width=chosen.faq_width,
+                    step_sizes=chosen.step_sizes,
                 ),
             )
         return chosen
@@ -421,15 +680,35 @@ class PlanServer:
             evicted_hits = self._evicted_trie_hits
             evicted_misses = self._evicted_trie_misses
             inflight = len(self._inflight)
+            merged = {
+                "merged_batches": self._merged_batches,
+                "merged_queries": self._merged_queries,
+                "merged_total_steps": self._merged_total_nodes,
+                "merged_unique_steps": self._merged_unique_nodes,
+                "merged_executed_steps": self._merged_executed_nodes,
+                "merged_replayed_steps": self._merged_replayed_nodes,
+            }
+            result_cache_hits = self._result_cache_hits
+        step_stats = (
+            self._step_results.stats()
+            if self._step_results is not None
+            else {"entries": 0, "computed": 0, "replayed": 0}
+        )
         return {
             "submitted": submitted,
             "coalesced": coalesced,
             "inflight": inflight,
             "plan_cache_hits": self.cache.hits,
             "plan_cache_misses": self.cache.misses,
+            "plan_replans": self.cache.replans,
             "shared_trie_stores": len(shared),
             "shared_trie_hits": evicted_hits + sum(s.hits for s in shared),
             "shared_trie_misses": evicted_misses + sum(s.misses for s in shared),
+            "step_cache_entries": step_stats["entries"],
+            "step_cache_computed": step_stats["computed"],
+            "step_cache_replayed": step_stats["replayed"],
+            "result_cache_hits": result_cache_hits,
+            **merged,
         }
 
     def shutdown(self, wait: bool = True) -> None:
@@ -470,6 +749,7 @@ def execute_batch(
     cache: Optional[PlanCache] = None,
     coalesce: bool = True,
     share_tries: bool = True,
+    merge: bool = True,
     dag_workers: Any = _UNSET,
     **kwargs: Any,
 ) -> List[Union[ServeResult, PlanResult]]:
@@ -477,13 +757,15 @@ def execute_batch(
 
     Results come back in input order.  For long-lived traffic keep a
     :class:`PlanServer` (or a replicated :class:`~repro.serve.frontend.Frontend`)
-    instead — its plan cache and shared tries stay warm across batches.
+    instead — its plan cache, shared tries and step-result cache stay warm
+    across batches.
     """
     with PlanServer(
         workers=workers,
         pool_size=pool_size,
         cache=cache,
         share_tries=share_tries,
+        merge=merge,
         dag_workers=dag_workers,
     ) as server:
         return server.execute_batch(requests, coalesce=coalesce, **kwargs)

@@ -1,0 +1,457 @@
+"""The content-addressed step IR: merged batches and the feedback loop.
+
+The contracts under test:
+
+* **exactly-once** — a merged multi-query batch executes every distinct
+  step digest once (asserted on the executor's own counters), and not at
+  all when a :class:`~repro.exec.StepResultCache` already holds it;
+* **bit-identical** — merged execution returns the same factor tables
+  *and* the same :class:`~repro.core.insideout.InsideOutStats` (wall-clock
+  seconds aside) as independent runs, across semirings and worker counts;
+* **closed loop** — :func:`~repro.planner.record_plan_feedback` turns
+  observed-vs-estimated step sizes into cost-model calibration and, past
+  the error threshold, plan-cache invalidation;
+* **free-prefix search** — the branch-and-bound ordering search honours a
+  free-variable prefix constraint and still finds the constrained optimum.
+"""
+
+import itertools
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.core.insideout import inside_out
+from repro.core.query import FAQQuery, Variable
+from repro.exec import DagExecutor, MergedRunInfo, RunSpec, StepResultCache
+from repro.factors.factor import Factor
+from repro.hypergraph.covers import fractional_edge_cover_number
+from repro.hypergraph.elimination import elimination_sequence
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.orderings import best_ordering_exhaustive, best_ordering_search
+from repro.planner import (
+    CostModel,
+    PlanCache,
+    observed_step_errors,
+    plan,
+    record_plan_feedback,
+)
+from repro.planner.cache import REPLAN_ERROR_THRESHOLD
+from repro.serve import PlanServer, ServeRequest
+
+from test_planner_differential import SEMIRINGS
+
+MERGED_SEMIRINGS = ("counting", "max-product", "boolean")
+WORKER_COUNTS = (1, 4)
+_CHAIN_VARS = 6
+_ORDER = tuple(f"x{i}" for i in range(1, _CHAIN_VARS + 1))
+
+
+# ---------------------------------------------------------------------- #
+# an overlapping query family: shared chain, per-variant unary head
+# ---------------------------------------------------------------------- #
+def _chain_family(semiring_name, variants=3):
+    """Queries sharing every pair factor, differing in a unary on ``x1``.
+
+    ``x1`` is first in the ordering, so it is eliminated *last* — the whole
+    shared chain suffix collides in the step IR and only the head steps
+    differ per variant.  The returned list ends with an exact duplicate of
+    the first variant (same content, distinct object).
+    """
+    semiring, value_of, aggregate_factory, offset = SEMIRINGS[semiring_name]
+    rng = random.Random(9_117 + offset)
+    domain = (0, 1, 2)
+    pair_tables = []
+    for _ in range(_CHAIN_VARS - 1):
+        table = {
+            (a, b): value_of(rng)
+            for a in domain
+            for b in domain
+            if rng.random() < 0.8
+        }
+        pair_tables.append(table or {(0, 0): value_of(rng)})
+
+    def build(name, head_table):
+        factors = [
+            Factor((f"x{i}", f"x{i+1}"), dict(table), name=f"R{i}")
+            for i, table in zip(range(1, _CHAIN_VARS), pair_tables)
+        ]
+        factors.append(Factor(("x1",), dict(head_table), name="head"))
+        return FAQQuery(
+            variables=[Variable(v, domain) for v in _ORDER],
+            free=[],
+            aggregates={v: aggregate_factory() for v in _ORDER},
+            factors=factors,
+            semiring=semiring,
+            name=name,
+        )
+
+    heads = []
+    for _ in range(variants):
+        head = {(a,): value_of(rng) for a in domain if rng.random() < 0.8}
+        heads.append(head or {(0,): value_of(rng)})
+    queries = [build(f"q{j}", head) for j, head in enumerate(heads)]
+    queries.append(build("q0-dup", heads[0]))
+    return queries
+
+
+def _assert_identical(serial, merged, context):
+    """Output and stats must match the independent run exactly (not seconds)."""
+    assert merged.ordering == serial.ordering, context
+    assert merged.factor.scope == serial.factor.scope, context
+    assert merged.factor.table == serial.factor.table, context
+    s, m = serial.stats, merged.stats
+    assert len(m.steps) == len(s.steps), context
+    for a, b in zip(s.steps, m.steps):
+        assert (
+            a.variable, a.kind, a.induced_set, a.incident_count,
+            a.projection_count, a.result_size, a.backend,
+        ) == (
+            b.variable, b.kind, b.induced_set, b.incident_count,
+            b.projection_count, b.result_size, b.backend,
+        ), f"{context}: step record diverged for {a.variable}"
+    assert (
+        m.join_stats.search_steps,
+        m.join_stats.emitted_tuples,
+        m.join_stats.intersections,
+    ) == (
+        s.join_stats.search_steps,
+        s.join_stats.emitted_tuples,
+        s.join_stats.intersections,
+    ), context
+    assert m.max_intermediate_size == s.max_intermediate_size, context
+    assert m.output_size == s.output_size, context
+
+
+# ---------------------------------------------------------------------- #
+# merged batches: bit-identical and exactly-once
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("name", MERGED_SEMIRINGS)
+def test_merged_batch_matches_independent_runs(name, workers):
+    queries = _chain_family(name)
+    independent = [inside_out(q, ordering=list(_ORDER)) for q in queries]
+
+    cache = StepResultCache()
+    info = MergedRunInfo()
+    merged = DagExecutor(workers=workers).run_many(
+        [RunSpec(query=q, ordering=list(_ORDER)) for q in queries],
+        step_cache=cache,
+        info=info,
+    )
+    for serial, shared, query in zip(independent, merged, queries):
+        _assert_identical(serial, shared, f"{name}/workers={workers}/{query.name}")
+
+    # Exactly once: every distinct digest executed a single time, and the
+    # overlap (shared chain + the duplicate query) actually deduplicated.
+    assert info.executed_nodes == info.merged_nodes
+    assert info.replayed_nodes == 0
+    assert info.merged_nodes < info.total_nodes
+    assert cache.stats()["computed"] == info.executed_nodes
+
+
+@pytest.mark.parametrize("name", MERGED_SEMIRINGS)
+def test_warm_step_cache_replays_the_whole_batch(name):
+    queries = _chain_family(name)
+    cache = StepResultCache()
+    executor = DagExecutor(workers=1)
+    specs = [RunSpec(query=q, ordering=list(_ORDER)) for q in queries]
+
+    first = MergedRunInfo()
+    cold = executor.run_many(specs, step_cache=cache, info=first)
+    second = MergedRunInfo()
+    warm = executor.run_many(specs, step_cache=cache, info=second)
+
+    for a, b in zip(cold, warm):
+        _assert_identical(a, b, f"{name}: warm replay diverged")
+    assert second.executed_nodes == 0
+    assert second.replayed_nodes == second.merged_nodes
+    assert cache.stats()["replayed"] >= second.merged_nodes
+
+
+def test_sequential_traffic_replays_shared_prefixes():
+    """``inside_out(step_cache=...)`` shares steps across sequential calls."""
+    queries = _chain_family("counting")
+    cache = StepResultCache()
+    baseline = [inside_out(q, ordering=list(_ORDER)) for q in queries]
+    results = [
+        inside_out(q, ordering=list(_ORDER), step_cache=cache) for q in queries
+    ]
+    for want, got in zip(baseline, results):
+        _assert_identical(want, got, "sequential step-cache run diverged")
+    stats = cache.stats()
+    assert stats["replayed"] > 0
+    # The duplicate tail query replays entirely: no new computations for it.
+    before = cache.stats()["computed"]
+    again = inside_out(queries[0], ordering=list(_ORDER), step_cache=cache)
+    _assert_identical(baseline[0], again, "fully-cached rerun diverged")
+    assert cache.stats()["computed"] == before
+
+
+# ---------------------------------------------------------------------- #
+# PlanServer: cross-query common sub-elimination in serving
+# ---------------------------------------------------------------------- #
+def _serve_options():
+    return {"strategy": "insideout", "ordering": list(_ORDER)}
+
+
+def test_plan_server_merges_batch_and_replays_repeats():
+    queries = _chain_family("counting")
+    expected = [inside_out(q, ordering=list(_ORDER)) for q in queries]
+    with PlanServer() as server:
+        results = server.execute_batch(
+            [ServeRequest(query=q, options=_serve_options()) for q in queries]
+        )
+        stats = server.stats()
+        for want, got in zip(expected, results):
+            assert got.factor.table == want.factor.table
+        # The duplicate coalesces by content; the rest merge by digest.
+        assert stats["merged_queries"] == len(queries) - 1
+        assert stats["merged_executed_steps"] == stats["merged_unique_steps"]
+        assert stats["merged_unique_steps"] < stats["merged_total_steps"]
+
+        # A repeated batch is answered from the warm step cache entirely.
+        executed_before = server.stats()["merged_executed_steps"]
+        repeat = server.execute_batch(
+            [ServeRequest(query=q, options=_serve_options()) for q in _chain_family("counting")]
+        )
+        for want, got in zip(expected, repeat):
+            assert got.factor.table == want.factor.table
+        assert server.stats()["merged_executed_steps"] == executed_before
+
+
+def test_plan_server_coalesce_opt_out_skips_sharing():
+    queries = _chain_family("counting")[:2]
+    expected = [inside_out(q, ordering=list(_ORDER)) for q in queries]
+    with PlanServer() as server:
+        results = server.execute_batch(
+            [
+                ServeRequest(query=q, coalesce=False, options=_serve_options())
+                for q in queries
+            ]
+        )
+        stats = server.stats()
+    for want, got in zip(expected, results):
+        assert got.factor.table == want.factor.table
+    assert stats["merged_queries"] == 0
+    assert stats["step_cache_computed"] == 0
+
+
+def test_plan_server_result_cache_answers_repeat_traffic():
+    query = _chain_family("counting")[0]
+    want = inside_out(query, ordering=list(_ORDER))
+    with PlanServer(cache_results=True) as server:
+        first = server.execute_request(ServeRequest(query=query, options=_serve_options()))
+        again = server.execute_request(
+            ServeRequest(query=_chain_family("counting")[0], options=_serve_options())
+        )
+        stats = server.stats()
+    assert first.factor.table == want.factor.table
+    assert again.factor.table == want.factor.table
+    assert not first.coalesced and again.coalesced
+    assert stats["result_cache_hits"] == 1
+
+
+# ---------------------------------------------------------------------- #
+# the closed planner feedback loop
+# ---------------------------------------------------------------------- #
+def _insideout_only_query():
+    """Mixed aggregate tags force the insideout strategy (no VE, no joins)."""
+    rng = random.Random(4242)
+    domain = (0, 1, 2)
+    names = [f"x{i}" for i in range(4)]
+    factors = [
+        Factor(
+            (names[i], names[i + 1]),
+            {
+                (a, b): rng.randint(1, 4)
+                for a in domain
+                for b in domain
+                if rng.random() < 0.8
+            },
+        )
+        for i in range(3)
+    ]
+    from repro.semiring.aggregates import SemiringAggregate
+    from repro.semiring.standard import COUNTING
+
+    aggregates = {names[0]: SemiringAggregate.max()}
+    aggregates.update({v: SemiringAggregate.sum() for v in names[1:]})
+    return FAQQuery(
+        variables=[Variable(v, domain) for v in names],
+        free=[],
+        aggregates=aggregates,
+        factors=factors,
+        semiring=COUNTING,
+        name="feedback",
+    )
+
+
+def test_accurate_estimates_produce_zero_error_and_no_replan():
+    query = _insideout_only_query()
+    cache = PlanCache(cost_model=CostModel())
+    chosen = plan(query, cache=cache)
+    assert chosen.strategy == "insideout"
+    assert chosen.cache_key is not None
+    assert chosen.step_sizes
+    executed = chosen.execute()
+
+    sizes = [float(rec.result_size) for rec in executed.stats.steps]
+    if len(chosen.step_sizes) == len(executed.stats.steps) + 1:
+        sizes.append(float(executed.stats.output_size))
+    perfect = replace(chosen, step_sizes=tuple(sizes))
+    feedback = record_plan_feedback(perfect, executed.stats, cache=cache)
+    assert feedback.errors
+    assert feedback.worst == 0.0
+    assert not feedback.replanned
+    assert cache.replans == 0
+
+
+def test_wild_estimates_trigger_replanning():
+    query = _insideout_only_query()
+    cache = PlanCache(cost_model=CostModel())
+    chosen = plan(query, cache=cache)
+    executed = chosen.execute()
+    hits_before = cache.hits
+
+    wrong = replace(chosen, step_sizes=tuple(1e9 for _ in chosen.step_sizes))
+    feedback = record_plan_feedback(wrong, executed.stats, cache=cache)
+    assert feedback.worst > REPLAN_ERROR_THRESHOLD
+    assert feedback.replanned
+    assert cache.replans == 1
+    # The entry is gone: replanning the same query misses the cache.
+    replanned = plan(query, cache=cache)
+    assert cache.hits == hits_before
+    assert replanned.cache_key is not None
+
+
+def test_observed_errors_are_signed_logs():
+    query = _insideout_only_query()
+    chosen = plan(query, cache=PlanCache())
+    executed = chosen.execute()
+    errors = observed_step_errors(chosen.step_sizes, executed.stats)
+    assert errors
+    assert all(abs(e) < 50 for e in errors)
+    # Shape mismatches are refused rather than misattributed.
+    assert observed_step_errors(chosen.step_sizes[:-2], executed.stats) in ([],)
+
+
+def test_feedback_calibrates_the_cost_model():
+    model = CostModel()
+    assert model.calibration("insideout") == 1.0
+    multiplier = model.observe("insideout", [1.0, 1.0, 1.0])
+    assert multiplier > 1.0
+    assert model.calibration("insideout") == multiplier
+    # Consistent overestimates pull the multiplier below one.
+    shrink = CostModel()
+    shrink.observe("insideout", [-1.0, -1.0])
+    assert shrink.calibration("insideout") < 1.0
+    # Calibration is per strategy.
+    assert model.calibration("variable-elimination") == 1.0
+
+
+def test_plan_server_feeds_execution_back_into_its_cache():
+    queries = _chain_family("counting")[:2]
+    with PlanServer() as server:
+        for query in queries:
+            server.execute_request(ServeRequest(query=query, options={"strategy": "insideout"}))
+        stats = server.stats()
+    # The server's paired cost model saw at least one observation.
+    assert server.cache.cost_model is not None
+    assert server.cache.cost_model.observations >= 1
+    assert "plan_replans" in stats
+
+
+# ---------------------------------------------------------------------- #
+# free-prefix-constrained ordering search
+# ---------------------------------------------------------------------- #
+def _random_hypergraph(rng):
+    n = rng.randint(2, 5)
+    vertices = [f"v{i}" for i in range(n)]
+    edges = []
+    for _ in range(rng.randint(1, n + 2)):
+        k = rng.randint(1, min(3, n))
+        edges.append(frozenset(rng.sample(vertices, k)))
+    return Hypergraph(vertices, edges)
+
+
+def _width_of(hypergraph, order, width_fn):
+    steps = elimination_sequence(hypergraph, order)
+    return max((round(width_fn(step.union), 9) for step in steps), default=0.0)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_constrained_search_matches_brute_force(seed):
+    rng = random.Random(31_000 + seed)
+    hypergraph = _random_hypergraph(rng)
+    vertices = sorted(hypergraph.vertices, key=repr)
+
+    def width_fn(bag):
+        return fractional_edge_cover_number(hypergraph, bag, ignore_uncovered=True)
+
+    free = set(rng.sample(vertices, rng.randint(0, len(vertices))))
+    ordering, width = best_ordering_search(hypergraph, width_fn, free=free)
+    assert set(ordering) == set(vertices)
+    assert set(ordering[: len(free)]) == free
+
+    brute = min(
+        _width_of(hypergraph, perm, width_fn)
+        for perm in itertools.permutations(vertices)
+        if set(perm[: len(free)]) == free
+    )
+    assert abs(width - brute) < 1e-9
+    assert abs(_width_of(hypergraph, ordering, width_fn) - width) < 1e-9
+
+
+def test_empty_free_set_is_the_unconstrained_search():
+    rng = random.Random(77)
+    hypergraph = _random_hypergraph(rng)
+
+    def width_fn(bag):
+        return fractional_edge_cover_number(hypergraph, bag, ignore_uncovered=True)
+
+    assert best_ordering_search(hypergraph, width_fn, free=()) == best_ordering_search(
+        hypergraph, width_fn
+    )
+
+
+def test_exhaustive_candidates_respect_the_free_prefix():
+    hypergraph = Hypergraph(["a", "b", "c"], [frozenset(["a", "b"]), frozenset(["b", "c"])])
+
+    def width_fn(bag):
+        return float(len(bag))
+
+    chosen = best_ordering_exhaustive(
+        hypergraph,
+        width_fn,
+        candidates=[("a", "b", "c"), ("b", "a", "c"), ("c", "b", "a")],
+        free=("b",),
+    )
+    assert chosen[0] == "b"
+
+
+def test_planner_prefers_free_prefix_orderings_for_free_queries():
+    """A free-variable query still plans, and its ordering keeps the prefix."""
+    rng = random.Random(5)
+    domain = (0, 1)
+    names = ["x0", "x1", "x2", "x3"]
+    from repro.semiring.aggregates import SemiringAggregate
+    from repro.semiring.standard import COUNTING
+
+    factors = [
+        Factor(
+            (names[i], names[i + 1]),
+            {(a, b): rng.randint(1, 3) for a in domain for b in domain},
+        )
+        for i in range(3)
+    ]
+    query = FAQQuery(
+        variables=[Variable(v, domain) for v in names],
+        free=["x0", "x1"],
+        aggregates={v: SemiringAggregate.sum() for v in names[2:]},
+        factors=factors,
+        semiring=COUNTING,
+        name="free-prefix",
+    )
+    chosen = plan(query, cache=PlanCache())
+    assert set(chosen.ordering[:2]) == {"x0", "x1"}
