@@ -30,6 +30,7 @@ checked-in file and fails CI on large regressions of the ratio metrics.
 
 from __future__ import annotations
 
+import itertools
 import os
 import time
 
@@ -45,8 +46,10 @@ from repro.datasets.cnf import random_k_cnf
 from repro.datasets.pgm_models import grid_model
 from repro.datasets.queries import example_5_6_query
 from repro.exec import DagExecutor, lower_insideout
+from repro.factors.delta import FactorDelta
 from repro.factors.dense import DenseFactor
 from repro.factors.factor import Factor
+from repro.incremental import IncrementalView
 from repro.planner import PlanCache, plan
 from repro.semiring.aggregates import SemiringAggregate
 from repro.semiring.standard import SUM_PRODUCT
@@ -403,6 +406,62 @@ def test_shape_batch_shared_subplans():
         # the speedup follows from it on any host — no cores required.
         assert dedup >= 1.5, f"expected ≥1.5x step dedup, got {dedup:.2f}x"
         assert speedup >= 1.5, f"expected ≥1.5x merged speedup, got {speedup:.2f}x"
+        publish([record])
+
+
+@pytest.mark.shape
+def test_shape_incremental_delta_vs_full():
+    """Single-cell delta maintenance vs full recomputation (incr:delta-vs-full).
+
+    The Table-1 grid marginal under a stream of single-cell factor updates:
+    the :class:`IncrementalView` answers each update by delta propagation
+    (sum-product is ⊕-invertible) with every untouched elimination step
+    replayed from the content-addressed snapshot, while the baseline
+    re-runs the whole InsideOut elimination.  The answers are checked
+    against brute force; the speedup is the row compare_bench.py gates.
+    """
+    query = GRID.marginal_query([GRID.variables[0]])
+    view = IncrementalView(query)
+    view.result()
+    cell = sorted(view.query.factors[0].table)[0]
+    fresh_values = itertools.count(2)
+
+    def one_update():
+        delta = FactorDelta(
+            view.query.factors[0].scope, {cell: float(next(fresh_values))}
+        )
+        return view.update_factor(0, delta)
+
+    incr_s, updated = _best_of(one_update)
+    full_s, reference = _best_of(
+        lambda: inside_out(view.query, ordering=list(view.ordering), backend="sparse")
+    )
+    assert reference.factor.normalize_scope(view.query.free).equals(
+        updated, query.semiring
+    )
+    assert view.stats.delta_updates > 0  # the ⊕-invertible regime engaged
+    assert view.stats.nodes_reused > 0  # untouched steps replayed
+
+    speedup = full_s / incr_s if incr_s else float("inf")
+    record = record_result(
+        "incr:delta-vs-full",
+        incremental_update_s=incr_s,
+        full_recompute_s=full_s,
+        incremental_speedup_x=speedup,
+        nodes_reused=view.stats.nodes_reused,
+        nodes_executed=view.stats.nodes_executed,
+        regimes=dict(view.stats.regimes),
+    )
+    print(
+        f"\n[incr] delta-vs-full (Table-1 grid marginal): "
+        f"incr={incr_s * 1e3:.2f}ms full={full_s * 1e3:.2f}ms "
+        f"speedup={speedup:.2f}x "
+        f"(reused={view.stats.nodes_reused}, executed={view.stats.nodes_executed})"
+    )
+    if not quick_mode():
+        # Replay-vs-execute is an algorithmic win (no cores required): a
+        # single-cell delta must beat the full recompute by ≥3x.
+        assert speedup >= 3.0, f"expected ≥3x incremental speedup, got {speedup:.2f}x"
         publish([record])
 
 

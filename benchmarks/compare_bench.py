@@ -48,6 +48,10 @@ RATIO_FIELDS = {
     # single-threaded server, so neither needs cores to reproduce.
     "shared_step_dedup_x": False,
     "shared_batch_speedup_x": False,
+    # incr:delta-vs-full — single-cell delta maintenance vs a full
+    # recompute.  Replay-vs-execute is an algorithmic win (no cores
+    # required), so the ratio is gated on every host.
+    "incremental_speedup_x": False,
 }
 
 # metric field -> cpu_sensitive.  LOWER is better for these (overhead

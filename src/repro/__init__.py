@@ -42,8 +42,10 @@ from repro.core.faqw import (
     faq_width_of_query,
 )
 from repro.engine import Engine, EngineConfig
+from repro.factors.delta import FactorDelta
 from repro.factors.factor import Factor
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.incremental import IncrementalStats, IncrementalView
 from repro.planner import Plan, PlanCache, PlanResult
 from repro.planner import execute as execute_query
 from repro.planner import plan as plan_query
@@ -64,6 +66,9 @@ __all__ = [
     "QueryError",
     "Variable",
     "Factor",
+    "FactorDelta",
+    "IncrementalView",
+    "IncrementalStats",
     "Hypergraph",
     "Semiring",
     "Aggregate",

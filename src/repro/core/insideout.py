@@ -429,6 +429,37 @@ def output_phase(
     return _expand_isolated_free(query, output, semiring)
 
 
+def apply_output_delta(
+    base: Factor, delta: Factor, semiring: Semiring, name: str | None = None
+) -> Factor:
+    """Combine a prior output factor with a delta output under ``⊕``.
+
+    The delta-maintenance kernel of :mod:`repro.incremental`: ``delta``
+    carries, per free tuple, the ⊕-aggregate of the changed assignments'
+    contributions — the signed difference for ⊕-invertible semirings
+    (delta propagation) or the improved values for monotone appends — and
+    the refreshed answer is the cell-wise ``base ⊕ delta``.  Cells that
+    combine to the semiring zero are dropped, so the result's listing
+    matches a full recomputation's.
+    """
+    if set(base.scope) != set(delta.scope):
+        raise QueryError(
+            f"output delta scope {delta.scope} does not match output scope {base.scope}"
+        )
+    aligned = delta.normalize_scope(base.scope)
+    table: Dict[Tuple[Any, ...], Any] = dict(base.table)
+    for key, value in aligned.table.items():
+        if key in table:
+            combined = semiring.add(table[key], value)
+            if semiring.is_zero(combined):
+                del table[key]
+            else:
+                table[key] = combined
+        elif not semiring.is_zero(value):
+            table[key] = value
+    return Factor(base.scope, table, name=name or base.name)
+
+
 def inside_out(
     query: FAQQuery,
     ordering: Sequence[str] | str | None = None,

@@ -26,7 +26,9 @@ from repro.exec.dag import (
 )
 from repro.exec.executor import (
     DagExecutor,
+    IncrementalRunInfo,
     MergedRunInfo,
+    RunSnapshot,
     RunSpec,
     StepResultCache,
 )
@@ -63,6 +65,8 @@ __all__ = [
     "StepResultCache",
     "RunSpec",
     "MergedRunInfo",
+    "RunSnapshot",
+    "IncrementalRunInfo",
     "StepDag",
     "StepNode",
     "lower_insideout",

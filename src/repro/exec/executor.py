@@ -194,6 +194,42 @@ class MergedRunInfo:
         return self.total_nodes / self.executed_nodes if self.executed_nodes else 1.0
 
 
+@dataclass
+class RunSnapshot:
+    """The digest-keyed node results of one completed run.
+
+    Returned by :meth:`DagExecutor.run_incremental` and fed back into the
+    next call: a node of the new run whose ``(digest, backend)`` key
+    appears here replays the prior entry instead of recomputing.  Because a
+    node's digest folds in its *input* digests all the way down to the base
+    factors, the set of keys that stop matching after a factor update is
+    exactly the dirty subgraph downstream of the touched factors — clean
+    nodes keep their digests and replay for free.
+
+    Entries reference immutable factors (frozen on digest), so holding a
+    snapshot across updates is safe by construction.
+    """
+
+    entries: Dict[tuple, _StepEntry] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class IncrementalRunInfo:
+    """Reuse accounting of one :meth:`DagExecutor.run_incremental` call."""
+
+    total_nodes: int = 0     # nodes of the lowered DAG
+    reused_nodes: int = 0    # replayed from the prior snapshot
+    executed_nodes: int = 0  # recomputed (the dirty subgraph)
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Fraction of nodes replayed from the prior run (0.0 when cold)."""
+        return self.reused_nodes / self.total_nodes if self.total_nodes else 0.0
+
+
 class _RunState:
     """The mutable execution context of one lowered run.
 
@@ -450,12 +486,16 @@ class DagExecutor:
                 if entry is not None:
                     state.replay(index, entry)
                     return
+                # The claim must be resolved on *every* exit path between
+                # here and fulfil — capture included — or later claimants of
+                # the same digest block forever on the in-flight event.
                 try:
                     state.execute_node(index)
+                    entry = state.capture(index)
                 except BaseException:
                     step_cache.abandon(key)
                     raise
-                step_cache.fulfil(key, state.capture(index))
+                step_cache.fulfil(key, entry)
 
         if parallel:
             indegree = {node.index: len(node.depends_on) for node in dag.nodes}
@@ -464,6 +504,87 @@ class DagExecutor:
             for node in dag.nodes:
                 execute(node.index)
         return state.finish()
+
+    # ------------------------------------------------------------------ #
+    def run_incremental(
+        self,
+        query: FAQQuery,
+        ordering: Sequence[str] | str | None = None,
+        use_indicator_projections: bool = True,
+        output_mode: str = "listing",
+        backend: str = BACKEND_SPARSE,
+        backend_policy: BackendPolicy | None = None,
+        shared_tries: SharedTrieCache | None = None,
+        prior: RunSnapshot | None = None,
+        info: IncrementalRunInfo | None = None,
+    ) -> Tuple[InsideOutResult, RunSnapshot]:
+        """Execute a run, replaying every node unchanged since ``prior``.
+
+        This is the dirty-subgraph regime of incremental evaluation: the
+        query is lowered with content digests, and a node whose
+        ``(digest, backend)`` key appears in the prior run's
+        :class:`RunSnapshot` replays that entry instead of recomputing.
+        After a factor update the stale keys are exactly the nodes
+        downstream of the touched base factors — the dataflow edges of
+        :mod:`repro.exec.dag` give the dirty set for free — so only that
+        subgraph re-executes.  Works for *any* semiring (no algebraic
+        assumptions); the result is bit-identical to a fresh :meth:`run`.
+
+        Returns ``(result, snapshot)``; feed the snapshot into the next
+        call after the next update.  Pass an :class:`IncrementalRunInfo`
+        as ``info`` to receive the reuse accounting.  With a non-default
+        ``backend_policy`` digests are disabled (they do not encode bespoke
+        thresholds) and every node executes.
+        """
+        if output_mode not in ("listing", "factorized"):
+            raise QueryError(f"unknown output mode {output_mode!r}")
+        backend = validate_backend(backend)
+        policy = backend_policy if backend_policy is not None else DEFAULT_POLICY
+        order = _validated_ordering(query, ordering)
+        started = time.perf_counter()
+
+        dag = lower_insideout(
+            query, order,
+            use_indicator_projections=use_indicator_projections,
+            output_mode=output_mode,
+            content_digests=policy is DEFAULT_POLICY,
+        )
+        parallel = self.workers > 1 and dag.max_parallelism > 1
+        state = _RunState(
+            query, order, dag, output_mode, backend, policy,
+            use_indicator_projections, shared_tries,
+            thread_safe=parallel, started=started,
+        )
+
+        prior_entries = prior.entries if prior is not None else {}
+        snapshot = RunSnapshot()
+        run_info = info if info is not None else IncrementalRunInfo()
+        run_info.total_nodes += len(dag.nodes)
+        counters_lock = threading.Lock()
+
+        def execute(index: int) -> None:
+            key = state.cache_key(index)
+            entry = prior_entries.get(key) if key is not None else None
+            if entry is not None:
+                state.replay(index, entry)
+                with counters_lock:
+                    run_info.reused_nodes += 1
+            else:
+                state.execute_node(index)
+                entry = state.capture(index)
+                with counters_lock:
+                    run_info.executed_nodes += 1
+            if key is not None:
+                with counters_lock:
+                    snapshot.entries[key] = entry
+
+        if parallel:
+            indegree = {node.index: len(node.depends_on) for node in dag.nodes}
+            self._run_scheduler(indegree, dag.dependents(), execute)
+        else:
+            for node in dag.nodes:
+                execute(node.index)
+        return state.finish(), snapshot
 
     # ------------------------------------------------------------------ #
     def run_many(
@@ -558,13 +679,17 @@ class DagExecutor:
                 entry = step_cache.lookup_or_claim(node.key)
                 claimed = entry is None
             if entry is None:
+                # Capture stays inside the guarded region: a claimant dying
+                # between claim and fulfil (kernel *or* capture failure)
+                # must release the claim, or every later claimant of the
+                # same digest wedges on the in-flight event.
                 try:
                     state.execute_node(index)
+                    entry = state.capture(index)
                 except BaseException:
                     if claimed:
                         step_cache.abandon(node.key)
                     raise
-                entry = state.capture(index)
                 if claimed:
                     step_cache.fulfil(node.key, entry)
                 with counters_lock:

@@ -23,6 +23,7 @@ The package contains:
 """
 
 from repro.factors.factor import Factor, FactorError
+from repro.factors.delta import FactorDelta
 from repro.factors.dense import (
     AGGREGATE_UFUNCS,
     DENSE_SEMIRING_OPS,
@@ -55,6 +56,7 @@ from repro.factors.compact import BoxFactor, Clause, Literal
 __all__ = [
     "Factor",
     "FactorError",
+    "FactorDelta",
     "DenseFactor",
     "DenseOps",
     "DENSE_SEMIRING_OPS",

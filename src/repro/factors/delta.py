@@ -1,0 +1,112 @@
+"""Factor updates as values: the :class:`FactorDelta` type.
+
+Factors are immutable once they have been content-digested (see
+:func:`repro.planner.signature.factor_digest`) — every digest-keyed cache
+in the engine relies on a digest never going stale.  Updates therefore
+travel as explicit *delta values*: a :class:`FactorDelta` names the cells
+of one factor that change and the values they change to, and
+``Factor.apply_delta`` / ``DenseFactor.apply_delta`` produce a **new**
+factor (with a new digest) instead of mutating the old one.
+
+A delta's ``changes`` map cell tuples (aligned with the delta's scope) to
+their *new* values; setting a cell to the semiring zero deletes it from
+the listing representation.  The incremental layer
+(:mod:`repro.incremental`) consumes the same type to decide between delta
+propagation, monotone append and dirty-subgraph re-execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from repro.factors.factor import FactorError
+from repro.semiring.base import Semiring
+
+ValueTuple = Tuple[Any, ...]
+
+
+class FactorDelta:
+    """A set of cell updates against one factor.
+
+    Parameters
+    ----------
+    scope:
+        The scope the cell tuples are aligned with.  It must name the same
+        variables as the target factor's scope (any order — cells are
+        permuted on application).
+    changes:
+        Mapping from cell tuples to their new values.  A value equal to
+        the semiring zero means *delete this cell* (listing factors drop
+        it; dense factors store the explicit zero).
+    """
+
+    __slots__ = ("scope", "changes")
+
+    def __init__(
+        self,
+        scope: Sequence[str],
+        changes: Mapping[ValueTuple, Any] | Iterable[Tuple[ValueTuple, Any]],
+    ) -> None:
+        self.scope: Tuple[str, ...] = tuple(scope)
+        if len(set(self.scope)) != len(self.scope):
+            raise FactorError(f"duplicate variables in delta scope {self.scope}")
+        if isinstance(changes, Mapping):
+            items: Iterable[Tuple[ValueTuple, Any]] = changes.items()
+        else:
+            items = changes
+        arity = len(self.scope)
+        self.changes: Dict[ValueTuple, Any] = {}
+        for key, value in items:
+            key = tuple(key)
+            if len(key) != arity:
+                raise FactorError(
+                    f"delta cell {key!r} has arity {len(key)}, "
+                    f"scope {self.scope} has arity {arity}"
+                )
+            self.changes[key] = value
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def __iter__(self) -> Iterator[Tuple[ValueTuple, Any]]:
+        return iter(self.changes.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"FactorDelta(scope={self.scope}, cells={len(self.changes)})"
+
+    # ------------------------------------------------------------------ #
+    def aligned_changes(self, scope: Sequence[str]) -> Dict[ValueTuple, Any]:
+        """The changes with cell tuples permuted onto ``scope``.
+
+        Raises :class:`~repro.factors.factor.FactorError` when the two
+        scopes do not name the same variables.
+        """
+        scope = tuple(scope)
+        if set(scope) != set(self.scope):
+            raise FactorError(
+                f"delta scope {self.scope} does not match factor scope {scope}"
+            )
+        if scope == self.scope:
+            return dict(self.changes)
+        perm = [self.scope.index(v) for v in scope]
+        return {
+            tuple(key[i] for i in perm): value
+            for key, value in self.changes.items()
+        }
+
+    def effective_changes(
+        self, factor: Any, semiring: Semiring
+    ) -> Dict[ValueTuple, Any]:
+        """The changes that actually alter ``factor``, aligned to its scope.
+
+        Cells whose new value equals the factor's current value (under
+        ``semiring.values_equal``) are dropped — they would churn digests
+        and caches without changing the answer.
+        """
+        aligned = self.aligned_changes(factor.scope)
+        return {
+            cell: value
+            for cell, value in aligned.items()
+            if not semiring.values_equal(factor.value_of_tuple(cell, semiring), value)
+        }

@@ -173,6 +173,49 @@ class DenseFactor:
         )
 
     # ------------------------------------------------------------------ #
+    # immutability & updates
+    # ------------------------------------------------------------------ #
+    @property
+    def frozen(self) -> bool:
+        """``True`` once the value array has been made read-only."""
+        return not self.array.flags.writeable
+
+    def freeze(self) -> "DenseFactor":
+        """Make the value array read-only; returns ``self``.
+
+        Called by :func:`repro.planner.signature.factor_digest` when a
+        content digest is memoised — after that an in-place cell write
+        would silently invalidate digest-keyed cache entries, so NumPy now
+        raises on it.  Updates go through :meth:`apply_delta`.
+        """
+        self.array.flags.writeable = False
+        return self
+
+    def apply_delta(
+        self, delta, semiring: Semiring, name: str | None = None
+    ) -> "DenseFactor":
+        """Return a new dense factor with the delta's cell updates applied.
+
+        ``delta`` is a :class:`~repro.factors.delta.FactorDelta` over the
+        same variables; cells set to the semiring zero become explicit zero
+        cells.  Raises when a cell value lies outside a domain.  ``self``
+        is untouched.
+        """
+        index = self._index_maps()
+        array = self.array.copy()
+        for cell, value in delta.aligned_changes(self.scope).items():
+            try:
+                position = tuple(index[d][cell[d]] for d in range(len(self.scope)))
+            except KeyError as exc:
+                raise FactorError(
+                    f"delta cell {cell!r} lies outside the domains of {self.name} ({exc})"
+                ) from exc
+            array[position] = value
+        return DenseFactor(
+            self.scope, self.domains, array, name=name or self.name, zero=self.zero
+        )
+
+    # ------------------------------------------------------------------ #
     # zero handling
     # ------------------------------------------------------------------ #
     def nonzero_mask(self, semiring: Semiring | None = None) -> np.ndarray:

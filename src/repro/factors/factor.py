@@ -24,6 +24,43 @@ class FactorError(ValueError):
     """Raised on inconsistent factor construction or use."""
 
 
+def _frozen_table_write(self, *args, **kwargs):
+    raise FactorError(
+        "factor table is frozen: the factor has been content-digested and "
+        "digest-keyed caches may hold results derived from it.  Build an "
+        "updated factor with Factor.apply_delta (or construct a new Factor) "
+        "instead of mutating the table in place."
+    )
+
+
+class _FrozenTable(dict):
+    """A read-only factor table.
+
+    Reads stay plain C-speed ``dict`` operations; every mutating method
+    raises :class:`FactorError`.  Installed by :meth:`Factor.freeze` once a
+    factor has been content-digested — an in-place table change after that
+    point would silently invalidate every digest-keyed cache entry derived
+    from the factor (step results, shared tries, completed serve results).
+    """
+
+    __slots__ = ()
+
+    __setitem__ = _frozen_table_write
+    __delitem__ = _frozen_table_write
+    __ior__ = _frozen_table_write
+    pop = _frozen_table_write
+    popitem = _frozen_table_write
+    clear = _frozen_table_write
+    update = _frozen_table_write
+    setdefault = _frozen_table_write
+
+    def __reduce__(self):
+        # Pickle as a plain dict: a factor crossing a process boundary is a
+        # fresh object whose digest memo is recomputed (and re-frozen) on
+        # first use in the receiving process.
+        return (dict, (dict(self),))
+
+
 class Factor:
     """A sparse factor over a tuple of named variables.
 
@@ -92,8 +129,53 @@ class Factor:
         return self._variables
 
     def copy(self, name: str | None = None) -> "Factor":
-        """Return a shallow copy (table dict is copied, values are shared)."""
+        """Return a shallow copy (table dict is copied, values are shared).
+
+        The copy's table is a fresh mutable dict even when this factor is
+        frozen, and the copy carries no digest memo.
+        """
         return Factor(self.scope, dict(self.table), name=name or self.name)
+
+    # ------------------------------------------------------------------ #
+    # immutability & updates
+    # ------------------------------------------------------------------ #
+    @property
+    def frozen(self) -> bool:
+        """``True`` once the table has been frozen (mutation raises)."""
+        return isinstance(self.table, _FrozenTable)
+
+    def freeze(self) -> "Factor":
+        """Make the table read-only; returns ``self``.
+
+        Called by :func:`repro.planner.signature.factor_digest` the moment
+        a content digest is memoised: from then on the digest certifies the
+        table's content to every cache keyed on it, so in-place mutation
+        must fail loudly instead of serving stale answers.  Updates go
+        through :meth:`apply_delta`, which returns a *new* factor.
+        """
+        if not isinstance(self.table, _FrozenTable):
+            self.table = _FrozenTable(self.table)
+        return self
+
+    def apply_delta(
+        self, delta, semiring: Semiring, name: str | None = None
+    ) -> "Factor":
+        """Return a new factor with the delta's cell updates applied.
+
+        ``delta`` is a :class:`~repro.factors.delta.FactorDelta` over the
+        same variables (any scope order).  Cells set to the semiring zero
+        are removed from the listing; other cells are inserted or
+        overwritten.  ``self`` is untouched — the returned factor is a new
+        object with no digest memo, so every content-addressed layer sees
+        the update as new content.
+        """
+        table: Dict[ValueTuple, Any] = dict(self.table)
+        for cell, value in delta.aligned_changes(self.scope).items():
+            if semiring.is_zero(value):
+                table.pop(cell, None)
+            else:
+                table[cell] = value
+        return Factor(self.scope, table, name=name or self.name)
 
     # ------------------------------------------------------------------ #
     # lookups

@@ -1,0 +1,377 @@
+"""Incremental (delta) maintenance of FAQ query answers.
+
+Given a standing :class:`~repro.core.query.FAQQuery` and a stream of
+:class:`~repro.factors.FactorDelta` updates, an :class:`IncrementalView`
+keeps the query answer current without full recomputation.  Three regimes,
+chosen per update from the semiring and the shape of the delta:
+
+* **delta propagation** (``REGIME_DELTA``) — for ⊕-invertible semirings
+  (counting, sum-product): the FAQ expression is ⊕-linear in each factor
+  when every bound aggregate *is* the semiring ⊕, so the change to the
+  answer is the same query evaluated with the touched factor replaced by
+  the sparse *signed difference* ``new ⊖ old``.  Cost scales with the
+  delta's support, not the factor's.
+* **monotone append** (``REGIME_APPEND``) — for idempotent semirings
+  (max-product, boolean, min-plus) when every changed cell *absorbs* its
+  old value (``old ⊕ new = new``): re-running the query over just the
+  changed cells and ⊕-combining into the stale answer is exact, because
+  every stale contribution is absorbed by a fresh one.
+* **dirty-subgraph re-execution** (``REGIME_DIRTY``) — the universal
+  fallback: re-lower the updated query and replay every step-DAG node
+  whose content digest is unchanged from the previous run
+  (:meth:`repro.exec.DagExecutor.run_incremental`); only the subgraph
+  downstream of the touched base factor recomputes.
+
+All three regimes produce answers bit-identical to a full recomputation
+(the differential tests enforce this cell-for-cell across backends and
+worker counts).  Updates never mutate factors in place — factor tables
+freeze when digested, and the supported update path is
+``Factor.apply_delta`` producing a new factor with a new digest, which is
+what keeps every digest-keyed cache in the engine honest.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.insideout import InsideOutResult, apply_output_delta, _validated_ordering
+from repro.core.query import FAQQuery, QueryError
+from repro.exec.executor import DagExecutor, IncrementalRunInfo, RunSnapshot
+from repro.factors.backend import BACKEND_SPARSE, as_sparse, validate_backend
+from repro.factors.delta import FactorDelta
+from repro.factors.factor import Factor
+from repro.semiring.base import Semiring
+
+REGIME_DELTA = "delta"
+REGIME_APPEND = "append"
+REGIME_DIRTY = "dirty"
+
+#: Semiring name → the aggregate tag that *is* that semiring's ⊕.  A query
+#: whose bound aggregates all carry this tag computes a polynomial that is
+#: ⊕-linear in each factor (the flat FAQ form), which is what the delta
+#: and append regimes rely on.
+ADDITIVE_TAGS: Dict[str, str] = {
+    "counting": "sum",
+    "sum-product": "sum",
+    "complex-sum-product": "sum",
+    "max-product": "max",
+    "max-sum": "max",
+    "min-plus": "min",
+    "min-product": "min",
+    "boolean": "or",
+}
+
+#: Semiring name → a subtraction inverting its ⊕ (delta-propagation
+#: regime).  Idempotent semirings have no such inverse and fall through
+#: to monotone append or dirty re-execution.
+SUBTRACTABLE: Dict[str, Callable[[Any, Any], Any]] = {
+    "counting": operator.sub,
+    "sum-product": operator.sub,
+    "complex-sum-product": operator.sub,
+}
+
+
+def additive_tag(semiring: Semiring, override: Optional[str] = None) -> Optional[str]:
+    """The aggregate tag matching ``semiring``'s ⊕, or ``None`` if unknown.
+
+    Pass ``override`` for custom semirings whose ⊕ corresponds to a tag
+    the registry does not know about.
+    """
+    if override is not None:
+        return override
+    return ADDITIVE_TAGS.get(semiring.name)
+
+
+def is_flat_query(query: FAQQuery, add_tag: Optional[str]) -> bool:
+    """True when every bound aggregate is the semiring ⊕ (no product vars).
+
+    Flat queries are ⊕-linear in each input factor — the precondition for
+    the delta-propagation and monotone-append regimes.
+    """
+    if add_tag is None:
+        return False
+    return all(
+        not agg.is_product and agg.tag == add_tag
+        for agg in query.aggregates.values()
+    )
+
+
+@dataclass
+class IncrementalStats:
+    """Per-view accounting of how updates were answered."""
+
+    full_runs: int = 0
+    delta_updates: int = 0
+    append_updates: int = 0
+    dirty_updates: int = 0
+    nodes_reused: int = 0
+    nodes_executed: int = 0
+    regimes: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, regime: str) -> None:
+        self.regimes[regime] = self.regimes.get(regime, 0) + 1
+
+
+class IncrementalView:
+    """A standing query whose answer is maintained under factor updates.
+
+    Parameters
+    ----------
+    query:
+        The FAQ query to maintain.  Listing output only — factorized
+        outputs share sub-factors whose identity an update would break.
+    ordering:
+        Variable ordering pinned for the view's lifetime (every regime
+        must eliminate in the same order for digests and deltas to line
+        up).  ``None`` keeps the query's own order.
+    use_indicator_projections / backend / workers:
+        Execution knobs, same meaning as in
+        :func:`repro.core.insideout.inside_out`.
+    add_tag:
+        Override for :func:`additive_tag` on custom semirings.
+    """
+
+    def __init__(
+        self,
+        query: FAQQuery,
+        ordering: Sequence[str] | str | None = None,
+        use_indicator_projections: bool = True,
+        backend: str = BACKEND_SPARSE,
+        workers: Optional[int] = None,
+        add_tag: Optional[str] = None,
+    ) -> None:
+        self.query = query
+        self._order: Tuple[str, ...] = tuple(_validated_ordering(query, ordering))
+        self._uip = use_indicator_projections
+        self._backend = validate_backend(backend)
+        self._executor = DagExecutor(workers=workers or 1)
+        self._add_tag = additive_tag(query.semiring, add_tag)
+        self._snapshot: Optional[RunSnapshot] = None
+        self._output: Optional[Factor] = None
+        self.stats = IncrementalStats()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ordering(self) -> Tuple[str, ...]:
+        return self._order
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    def result(self) -> Factor:
+        """The current answer (normalized sparse factor over the free vars).
+
+        Computed from scratch on first access; afterwards maintained by
+        :meth:`update_factor`.
+        """
+        if self._output is None:
+            self._output = self._full_run()
+        return self._output
+
+    # ------------------------------------------------------------------ #
+    def update_factor(self, index: int, delta: FactorDelta) -> Factor:
+        """Apply ``delta`` to factor ``index`` and return the fresh answer.
+
+        Picks the cheapest sound regime for this update (see the module
+        docstring); the returned factor is bit-identical to a full
+        recomputation of the updated query.
+        """
+        if not 0 <= index < len(self.query.factors):
+            raise QueryError(
+                f"factor index {index} out of range (query has "
+                f"{len(self.query.factors)} factors)"
+            )
+        base = self.result()  # ensure a baseline answer + snapshot exist
+        semiring = self.query.semiring
+        old_factor = self.query.factors[index]
+        changes = delta.effective_changes(old_factor, semiring)
+        new_factor = old_factor.apply_delta(
+            FactorDelta(old_factor.scope, changes), semiring
+        )
+
+        if not changes:
+            # No-op update: nothing changed, keep the cached answer.
+            self.query = self._with_factor(index, new_factor)
+            return base
+
+        regime = self._choose_regime(old_factor, changes)
+        self.stats.record(regime)
+        if regime == REGIME_DELTA:
+            self.stats.delta_updates += 1
+            output = self._apply_delta_regime(index, old_factor, changes, base)
+        elif regime == REGIME_APPEND:
+            self.stats.append_updates += 1
+            output = self._apply_append_regime(index, old_factor, changes, base)
+        else:
+            self.stats.dirty_updates += 1
+            self.query = self._with_factor(index, new_factor)
+            output = self._dirty_run()
+            self._output = output
+            return output
+
+        self.query = self._with_factor(index, new_factor)
+        # The snapshot stays: its entries are *content-addressed*, so a
+        # stale entry can never replay wrongly — it either matches a future
+        # node's digest (and is then valid by construction) or is ignored.
+        # Steps disjoint from the updated factor keep replaying across
+        # arbitrarily many updates.
+        self._output = output
+        return output
+
+    # ------------------------------------------------------------------ #
+    # regime selection and application
+    # ------------------------------------------------------------------ #
+    def _choose_regime(
+        self, old_factor: Factor, changes: Dict[Tuple[Any, ...], Any]
+    ) -> str:
+        semiring = self.query.semiring
+        if not is_flat_query(self.query, self._add_tag):
+            return REGIME_DIRTY
+        if semiring.name in SUBTRACTABLE:
+            return REGIME_DELTA
+        # Idempotent ⊕: sound to append only when every changed cell
+        # absorbs its old value (old ⊕ new = new) — deletions and
+        # "worsening" updates fall through to dirty re-execution.
+        for cell, value in changes.items():
+            old_value = old_factor.value_of_tuple(cell, semiring)
+            if not semiring.values_equal(semiring.add(old_value, value), value):
+                return REGIME_DIRTY
+        return REGIME_APPEND
+
+    def _apply_delta_regime(
+        self,
+        index: int,
+        old_factor: Factor,
+        changes: Dict[Tuple[Any, ...], Any],
+        base: Factor,
+    ) -> Factor:
+        semiring = self.query.semiring
+        sub = SUBTRACTABLE[semiring.name]
+        diff: Dict[Tuple[Any, ...], Any] = {}
+        for cell, value in changes.items():
+            old_value = old_factor.value_of_tuple(cell, semiring)
+            signed = sub(value, old_value)
+            if not semiring.values_equal(signed, semiring.zero):
+                diff[cell] = signed
+        if not diff:
+            return base
+        delta_factor = Factor(
+            old_factor.scope, diff, name=old_factor.name + "+delta"
+        )
+        correction = self._run_with_factor(index, delta_factor)
+        return apply_output_delta(base, correction, semiring, name=base.name)
+
+    def _apply_append_regime(
+        self,
+        index: int,
+        old_factor: Factor,
+        changes: Dict[Tuple[Any, ...], Any],
+        base: Factor,
+    ) -> Factor:
+        semiring = self.query.semiring
+        appended = {
+            cell: value
+            for cell, value in changes.items()
+            if not semiring.is_zero(value)
+        }
+        if not appended:
+            return base
+        delta_factor = Factor(
+            old_factor.scope, appended, name=old_factor.name + "+append"
+        )
+        correction = self._run_with_factor(index, delta_factor)
+        return apply_output_delta(base, correction, semiring, name=base.name)
+
+    # ------------------------------------------------------------------ #
+    # execution helpers
+    # ------------------------------------------------------------------ #
+    def _with_factor(self, index: int, factor: Factor) -> FAQQuery:
+        """The current query with factor ``index`` replaced.
+
+        The delta-propagation signed differences survive FAQQuery's
+        zero-pruning because a non-zero ⊖ difference is, by construction,
+        a non-zero semiring value.
+        """
+        factors = list(self.query.factors)
+        factors[index] = factor
+        return FAQQuery(
+            variables=[self.query.variables[v] for v in self.query.order],
+            free=self.query.free,
+            aggregates=self.query.aggregates,
+            factors=factors,
+            semiring=self.query.semiring,
+            name=self.query.name,
+        )
+
+    def _run_with_factor(self, index: int, factor: Factor) -> Factor:
+        """Evaluate the view's query with factor ``index`` swapped for
+        ``factor`` (the delta/append correction run).
+
+        Runs against the view's step snapshot: every elimination step *not*
+        involving the swapped factor has the same content digest as the
+        baseline run and replays instead of recomputing, so the correction
+        run pays only for the (small) subgraph the delta actually touches —
+        the joins of a few changed cells, not the full factor tables.
+        """
+        query = self._with_factor(index, factor)
+        info = IncrementalRunInfo()
+        result, snapshot = self._executor.run_incremental(
+            query,
+            ordering=list(self._order),
+            use_indicator_projections=self._uip,
+            backend=self._backend,
+            prior=self._snapshot,
+            info=info,
+        )
+        self._merge_snapshot(snapshot)
+        self.stats.nodes_reused += info.reused_nodes
+        self.stats.nodes_executed += info.executed_nodes
+        return self._normalize(result)
+
+    def _full_run(self) -> Factor:
+        self.stats.full_runs += 1
+        result, snapshot = self._executor.run_incremental(
+            self.query,
+            ordering=list(self._order),
+            use_indicator_projections=self._uip,
+            backend=self._backend,
+        )
+        self._snapshot = snapshot
+        return self._normalize(result)
+
+    def _dirty_run(self) -> Factor:
+        info = IncrementalRunInfo()
+        result, snapshot = self._executor.run_incremental(
+            self.query,
+            ordering=list(self._order),
+            use_indicator_projections=self._uip,
+            backend=self._backend,
+            prior=self._snapshot,
+            info=info,
+        )
+        self._merge_snapshot(snapshot)
+        self.stats.nodes_reused += info.reused_nodes
+        self.stats.nodes_executed += info.executed_nodes
+        return self._normalize(result)
+
+    def _merge_snapshot(self, fresh: RunSnapshot) -> None:
+        """Fold a run's snapshot into the view's, bounding growth.
+
+        Entries are digest-keyed, so accumulating them is always sound;
+        the bound just stops an unbounded update stream from pinning every
+        intermediate ever computed.  When the accumulated map outgrows the
+        latest run by 8x, the latest run's (complete) snapshot wins.
+        """
+        if self._snapshot is None:
+            self._snapshot = fresh
+            return
+        self._snapshot.entries.update(fresh.entries)
+        if len(self._snapshot.entries) > max(512, 8 * len(fresh.entries)):
+            self._snapshot = fresh
+
+    def _normalize(self, result: InsideOutResult) -> Factor:
+        factor = as_sparse(result.factor, self.query.semiring)
+        return factor.normalize_scope(self.query.free)

@@ -276,8 +276,15 @@ def factor_digest(factor: Any) -> str:
     so two value-equal factors — distinct objects, different processes —
     digest identically, and any changed cell changes the digest.  Dense
     ndarray factors digest their domains and raw cells without a listing
-    round trip.  Memoised on the factor (factors are immutable after
-    construction), so the O(input) hash is paid once per factor object.
+    round trip.  Memoised on the factor, so the O(input) hash is paid once
+    per factor object.
+
+    Digesting **freezes** the factor: every digest-keyed cache (step
+    results, shared tries, completed serve results) relies on the digest
+    certifying the table content forever, so in-place mutation after this
+    point raises instead of silently serving stale answers.  The supported
+    update path is ``Factor.apply_delta``, which returns a new factor with
+    a new digest.
     """
     cached = getattr(factor, "_digest", None)
     if cached is not None:
@@ -287,6 +294,9 @@ def factor_digest(factor: Any) -> str:
         factor._digest = digest
     except AttributeError:  # foreign factor-like object without the slot
         pass
+    freeze = getattr(factor, "freeze", None)
+    if callable(freeze):
+        freeze()
     return digest
 
 

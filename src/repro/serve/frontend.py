@@ -132,12 +132,14 @@ class Frontend:
         # -------------------------- admission -------------------------- #
         if self._pending >= self.max_pending:
             self._shed_queue += 1
+            self._decay_latency()
             raise Overloaded(f"queue full ({self._pending} pending)", request.tenant)
         if (
             self.tenant_limit is not None
             and self._tenant_pending.get(request.tenant, 0) >= self.tenant_limit
         ):
             self._shed_tenant += 1
+            self._decay_latency()
             raise Overloaded(
                 f"tenant quota exceeded ({self.tenant_limit} in flight)", request.tenant
             )
@@ -145,6 +147,7 @@ class Frontend:
             estimated = self._estimated_wait()
             if estimated > request.deadline:
                 self._shed_deadline += 1
+                self._decay_latency()
                 raise Overloaded(
                     f"deadline {request.deadline:.3f}s unmeetable "
                     f"(estimated wait {estimated:.3f}s)",
@@ -198,6 +201,7 @@ class Frontend:
         while True:
             if deadline_at is not None and loop.time() >= deadline_at:
                 self._shed_deadline += 1
+                self._decay_latency()
                 raise Overloaded("deadline expired before dispatch", request.tenant)
             replica = self._set.pick(request.content_key)
             replica.load += 1
@@ -239,6 +243,7 @@ class Frontend:
         self._submitted += count
         if self._pending >= self.max_pending:
             self._shed_queue += count
+            self._decay_latency()
             raise Overloaded(f"queue full ({self._pending} pending)", requests[0].tenant)
         loop = asyncio.get_running_loop()
         self._pending += count
@@ -303,6 +308,20 @@ class Frontend:
             self._latency_ewma = seconds
         else:
             self._latency_ewma = _EWMA_ALPHA * seconds + (1 - _EWMA_ALPHA) * self._latency_ewma
+
+    def _decay_latency(self) -> None:
+        """Decay the latency EWMA on a shed.
+
+        A shed produces no latency sample, so after a failure or slow-query
+        burst inflated the EWMA the estimate would stay pinned high forever
+        — every deadline-carrying request gets rejected, no request runs,
+        and no observation can ever pull the estimate back down.  Decaying
+        by the EWMA step on each shed lets the tier probe its way out: a
+        few rejections shrink the estimate until a request is admitted and
+        contributes a real sample again.
+        """
+        if self._latency_ewma is not None:
+            self._latency_ewma *= 1 - _EWMA_ALPHA
 
     # ------------------------------------------------------------------ #
     # health

@@ -32,6 +32,7 @@ import time
 import warnings
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.caching import LruCache
@@ -44,7 +45,9 @@ from repro.exec import (
     StepResultCache,
     resolve_workers,
 )
+from repro.factors.delta import FactorDelta
 from repro.factors.index import SharedTrieCache
+from repro.incremental import IncrementalView
 from repro.planner import (
     CostModel,
     DigestPlan,
@@ -60,6 +63,7 @@ from repro.serve.api import PlanFailure, ServeRequest, ServeResult
 
 _MAX_SHARED_QUERIES = 64
 _MAX_CANONICAL_QUERIES = 256
+_MAX_INCREMENTAL_VIEWS = 32
 
 _LEGACY_SUBMIT_MESSAGE = (
     "submitting bare FAQQuery objects is deprecated; wrap the query in a "
@@ -185,6 +189,11 @@ class PlanServer:
             LruCache(maxsize=result_cache_size) if cache_results else None
         )
         self._result_cache_hits = 0
+        # query content key -> warm IncrementalView (LRU).  An update hit
+        # answers from the view's maintained state instead of re-executing.
+        self._incremental: "OrderedDict[str, IncrementalView]" = OrderedDict()
+        self._incremental_hits = 0
+        self._incremental_misses = 0
         self._merged_batches = 0
         self._merged_queries = 0
         self._merged_total_nodes = 0
@@ -245,6 +254,114 @@ class PlanServer:
         plan cache, digest plans, canonical pinning and trie stores.
         """
         return self._run_request(request)
+
+    def update_factor(
+        self, request: ServeRequest, factor_index: int, delta: FactorDelta
+    ) -> ServeResult:
+        """Apply a factor update and answer the request incrementally.
+
+        The request's query identifies the *current* (pre-update) state;
+        ``delta`` changes cells of ``query.factors[factor_index]``.  A warm
+        :class:`~repro.incremental.IncrementalView` for the query's content
+        key answers via delta propagation / monotone append / dirty-subgraph
+        replay (counted in ``incremental_hits``); a cold miss plans the
+        query, builds a baseline, then applies the update.
+
+        Updates never mutate the old factor — it stays frozen under its
+        digest — so every digest-keyed cache stays sound.  What *is* keyed
+        by the old query digest is invalidated here: the canonical-query
+        pin, the shared trie stores and any completed-result cache entries
+        under the stale key are evicted before the fresh answer is
+        returned.  (The step-result cache needs no eviction: the updated
+        factor has a *new* digest, so stale step keys simply stop being
+        looked up.)
+        """
+        if self._closed:
+            raise RuntimeError("PlanServer is shut down")
+        if request.output_mode != "listing":
+            raise PlanFailure(
+                "incremental updates support listing output only "
+                f"(got output_mode={request.output_mode!r})"
+            )
+        started = time.perf_counter()
+        try:
+            old_key: Optional[str] = query_content_key(request.query)
+        except TypeError:
+            old_key = None
+        view: Optional[IncrementalView] = None
+        if old_key is not None:
+            with self._lock:
+                view = self._incremental.pop(old_key, None)
+        with self._lock:
+            if view is not None:
+                self._incremental_hits += 1
+            else:
+                self._incremental_misses += 1
+        if view is None:
+            query = self._canonical_query(old_key, request.query)
+            try:
+                chosen = self._plan_for(query, request)
+                ordering = (
+                    list(chosen.ordering)
+                    if chosen.strategy == STRATEGY_INSIDEOUT
+                    else None
+                )
+                view = IncrementalView(
+                    query, ordering=ordering, workers=self.workers or 1
+                )
+                view.result()  # baseline answer + step snapshot
+            except QueryError as exc:
+                raise PlanFailure(str(exc), cause_type=type(exc).__name__) from exc
+        try:
+            factor = view.update_factor(factor_index, delta)
+        except QueryError as exc:
+            raise PlanFailure(str(exc), cause_type=type(exc).__name__) from exc
+        if old_key is not None:
+            self._evict_content(old_key)
+        try:
+            new_key: Optional[str] = query_content_key(view.query)
+        except TypeError:
+            new_key = None
+        if new_key is not None:
+            self._canonical_query(new_key, view.query)
+            with self._lock:
+                self._incremental[new_key] = view
+                self._incremental.move_to_end(new_key)
+                while len(self._incremental) > _MAX_INCREMENTAL_VIEWS:
+                    self._incremental.popitem(last=False)
+        return ServeResult(
+            factor=factor,
+            ordering=tuple(view.ordering),
+            strategy=STRATEGY_INSIDEOUT,
+            backend=view.backend,
+            content_key=replace(request, query=view.query).content_key,
+            coalesced=False,
+            replica=None,
+            seconds=time.perf_counter() - started,
+            stats=view.stats,
+        )
+
+    def _evict_content(self, query_key: str) -> None:
+        """Drop every cache entry keyed under a now-stale query digest.
+
+        Called on the update path after a factor changed: the canonical
+        pin, the shared trie stores indexing the old factors, and any
+        completed results for the old query content must not answer future
+        traffic.  In-flight coalescing needs no eviction (the old key maps
+        to a result that was correct when those requests were admitted).
+        """
+        with self._lock:
+            self._canonical.pop(query_key, None)
+            stale = [key for key in self._shared if key[0] == query_key]
+            for key in stale:
+                _, evicted = self._shared.pop(key)
+                self._evicted_trie_hits += evicted.hits
+                self._evicted_trie_misses += evicted.misses
+        if self._results is not None:
+            prefix = query_key + ":"
+            for key, _ in self._results.items():
+                if isinstance(key, str) and key.startswith(prefix):
+                    self._results.pop(key, None)
 
     def execute_batch(
         self,
@@ -689,6 +806,9 @@ class PlanServer:
                 "merged_replayed_steps": self._merged_replayed_nodes,
             }
             result_cache_hits = self._result_cache_hits
+            incremental_views = len(self._incremental)
+            incremental_hits = self._incremental_hits
+            incremental_misses = self._incremental_misses
         step_stats = (
             self._step_results.stats()
             if self._step_results is not None
@@ -708,6 +828,9 @@ class PlanServer:
             "step_cache_computed": step_stats["computed"],
             "step_cache_replayed": step_stats["replayed"],
             "result_cache_hits": result_cache_hits,
+            "incremental_views": incremental_views,
+            "incremental_hits": incremental_hits,
+            "incremental_misses": incremental_misses,
             **merged,
         }
 

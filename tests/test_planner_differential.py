@@ -195,6 +195,151 @@ def test_differential_full(name, seed):
     _run_differential(name, seed)
 
 
+# --------------------------------------------------------------------- #
+# the randomized update-stream profile: incremental maintenance vs a full
+# recompute, cell-for-cell
+# --------------------------------------------------------------------- #
+
+from repro.factors.backend import as_sparse, supports_dense  # noqa: E402
+from repro.factors.delta import FactorDelta  # noqa: E402
+from repro.incremental import IncrementalView  # noqa: E402
+
+# Integer-valued generators: products/sums of small ints are exact in
+# every backend (Python ints, float64 within 2**53), so the incremental
+# answer must match the brute-force recompute *bit for bit* — `==` on the
+# output tables, not approximate equality.
+UPDATE_SEMIRINGS = {
+    "counting": (COUNTING, lambda rng: rng.randint(1, 5), SemiringAggregate.sum, 0),
+    "max-product": (MAX_PRODUCT, lambda rng: rng.randint(1, 6), SemiringAggregate.max, 1),
+    "min-plus": (MIN_PLUS, lambda rng: rng.randint(1, 6), SemiringAggregate.min, 2),
+    "boolean": (BOOLEAN, lambda rng: True, SemiringAggregate.logical_or, 3),
+}
+
+
+def _random_update_query(name: str, seed: int) -> FAQQuery:
+    """A small random query with integer-exact values (deterministic).
+
+    Mixes flat queries (all aggregates = the semiring ⊕ — eligible for
+    the delta/append regimes) with product-aggregate queries (forced onto
+    the dirty-subgraph fallback), so one profile exercises all three
+    regimes *and* the regime-selection logic.
+    """
+    semiring, value_of, aggregate_factory, offset = UPDATE_SEMIRINGS[name]
+    rng = random.Random(900_001 * offset + seed)
+    n = rng.randint(2, 4)
+    names = [f"x{i}" for i in range(n)]
+    domains = {v: tuple(range(rng.randint(2, 3))) for v in names}
+    free = names[: rng.randint(1, max(1, n - 1))]
+    aggregates = {}
+    for variable in names[len(free):]:
+        if rng.random() < 0.25:
+            aggregates[variable] = ProductAggregate.product()
+        else:
+            aggregates[variable] = aggregate_factory()
+    factors = []
+    for index in range(rng.randint(2, 3)):
+        arity = rng.randint(1, min(2, n))
+        scope = tuple(rng.sample(names, arity))
+        table = {}
+        for values in itertools.product(*(domains[v] for v in scope)):
+            if rng.random() < 0.8:
+                table[values] = value_of(rng)
+        factors.append(Factor(scope, table, name=f"psi{index}"))
+    return FAQQuery(
+        variables=[Variable(v, domains[v]) for v in names],
+        free=free,
+        aggregates=aggregates,
+        factors=factors,
+        semiring=semiring,
+        name=f"upd-{name}-{seed}",
+    )
+
+
+def _run_update_stream(name: str, seed: int, backend: str, workers: int) -> None:
+    semiring, value_of, _, offset = UPDATE_SEMIRINGS[name]
+    if backend == "dense" and not supports_dense(semiring):
+        pytest.skip(f"{name} has no dense ops")
+    query = _random_update_query(name, seed)
+    rng = random.Random(700_001 * offset + seed)
+    view = IncrementalView(query, backend=backend, workers=workers)
+    out = view.result()
+
+    def check(step):
+        expected = as_sparse(
+            view.query.evaluate_brute_force(), semiring
+        ).normalize_scope(view.query.free)
+        assert out.scope == expected.scope
+        assert out.table == expected.table, (
+            f"incremental answer diverged from full recompute!\n"
+            f"  reproduce: _random_update_query({name!r}, {seed}) "
+            f"backend={backend} workers={workers} step={step}\n"
+            f"  regimes  : {view.stats.regimes}\n"
+            f"  expected : {sorted(expected.table.items(), key=repr)}\n"
+            f"  got      : {sorted(out.table.items(), key=repr)}"
+        )
+
+    check("baseline")
+    for step in range(4):
+        index = rng.randrange(len(view.query.factors))
+        factor = view.query.factors[index]
+        cell_domains = [view.query.domain(v) for v in factor.scope]
+        changes = {}
+        for _ in range(rng.randint(1, 3)):
+            cell = tuple(rng.choice(domain) for domain in cell_domains)
+            if rng.random() < 0.2:
+                changes[cell] = semiring.zero  # deletion
+            else:
+                changes[cell] = value_of(rng)
+        out = view.update_factor(index, FactorDelta(factor.scope, changes))
+        check(step)
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+@pytest.mark.parametrize("backend", ("sparse", "dense"))
+@pytest.mark.parametrize("name", sorted(UPDATE_SEMIRINGS))
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_update_stream_quick(name, seed, backend, workers):
+    """Tier-1 update-stream profile: random cell deltas, bit-identical."""
+    _run_update_stream(name, seed, backend, workers)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workers", (1, 4))
+@pytest.mark.parametrize("backend", ("sparse", "dense"))
+@pytest.mark.parametrize("name", sorted(UPDATE_SEMIRINGS))
+@pytest.mark.parametrize("seed", tuple(range(3, 12)))
+def test_update_stream_full(name, seed, backend, workers):
+    _run_update_stream(name, seed, backend, workers)
+
+
+def test_update_stream_reaches_all_regimes():
+    """The random update space exercises delta, append and dirty."""
+    from repro.incremental import REGIME_APPEND, REGIME_DELTA, REGIME_DIRTY
+
+    seen = set()
+    for name in sorted(UPDATE_SEMIRINGS):
+        for seed in range(6):
+            semiring, value_of, _, offset = UPDATE_SEMIRINGS[name]
+            query = _random_update_query(name, seed)
+            rng = random.Random(700_001 * offset + seed)
+            view = IncrementalView(query)
+            view.result()
+            for _ in range(4):
+                index = rng.randrange(len(view.query.factors))
+                factor = view.query.factors[index]
+                cell_domains = [view.query.domain(v) for v in factor.scope]
+                changes = {}
+                for _ in range(rng.randint(1, 3)):
+                    cell = tuple(rng.choice(domain) for domain in cell_domains)
+                    if rng.random() < 0.2:
+                        changes[cell] = semiring.zero
+                    else:
+                        changes[cell] = value_of(rng)
+                view.update_factor(index, FactorDelta(factor.scope, changes))
+            seen.update(view.stats.regimes)
+    assert {REGIME_DELTA, REGIME_APPEND, REGIME_DIRTY} <= seen
+
+
 def test_join_strategies_are_exercised():
     """The random query space actually reaches Yannakakis and generic join."""
     seen = set()

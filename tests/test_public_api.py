@@ -15,6 +15,7 @@ REPRO_EXPORTS = {
     "QueryError",
     "Variable",
     "Factor",
+    "FactorDelta",
     "Hypergraph",
     "Semiring",
     "Aggregate",
@@ -25,6 +26,9 @@ REPRO_EXPORTS = {
     "InsideOutResult",
     "InsideOutStats",
     "variable_elimination",
+    # incremental maintenance
+    "IncrementalView",
+    "IncrementalStats",
     # planner
     "plan_query",
     "execute_query",

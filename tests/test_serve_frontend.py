@@ -213,6 +213,50 @@ def test_ping_reports_replica_counters(frontend):
     assert sum(p["served"] for p in pongs) == 2
 
 
+def test_shed_decays_latency_ewma():
+    """A failure/slow burst pins the latency EWMA high; sheds produce no
+    latency sample, so without decay the estimate could never recover and
+    every deadline-carrying request would be rejected forever.  Each shed
+    now decays the EWMA by one step, so the tier probes its way back to
+    admitting real work."""
+    with Frontend(replicas=1, health_interval=None) as fe:
+        fe._latency_ewma = 100.0
+        fe._pending = 1  # a standing backlog: estimated wait == the EWMA
+
+        async def drive():
+            request = ServeRequest(
+                query=_random_query("counting", 5), deadline=1.0, coalesce=False
+            )
+            for attempt in range(60):
+                try:
+                    return attempt, await fe.submit(request)
+                except Overloaded:
+                    continue
+            raise AssertionError("EWMA never decayed enough to admit a request")
+
+        sheds, result = asyncio.run(drive())
+        assert isinstance(result, ServeResult)
+        assert sheds > 0  # the first attempts were shed...
+        assert fe.stats()["shed_deadline"] == sheds
+        # ...and the estimate ended up low enough to admit, then was
+        # refreshed by the admitted request's real latency sample.
+        assert fe._latency_ewma < 100.0
+        fe._pending = 0
+
+
+def test_decay_latency_steps_the_ewma_down():
+    fe = Frontend(replicas=1, health_interval=None)
+    try:
+        assert fe._latency_ewma is None
+        fe._decay_latency()  # no observation yet: stays unset
+        assert fe._latency_ewma is None
+        fe._latency_ewma = 10.0
+        fe._decay_latency()
+        assert fe._latency_ewma == pytest.approx(8.0)
+    finally:
+        fe.close()
+
+
 def test_closed_frontend_refuses_work():
     fe = Frontend(replicas=1, health_interval=None)
     fe.close()
