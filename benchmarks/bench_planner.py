@@ -16,7 +16,11 @@ Five questions, answered with numbers a future PR can diff:
    the parallel executor (``workers=4``) buy over its own serial fallback
    (``workers=1``), and what does the DAG machinery itself cost over the
    plain sequential loop?  (Thread speedup requires multiple cores — the
-   row records ``cpu_count`` so the number is interpretable.)
+   row records ``cpu_count`` so the number is interpretable.)  On the
+   *sparse* side (``exec:sparse-parallel``), what does the vectorized
+   flat-table kernel buy over the pure-Python trie kernel on one thread,
+   and what does the shared-memory process pool
+   (``workers_mode="process"``) add on top at ``workers=4``?
 5. **Batched serving throughput** — on repeated Table-1 traffic, what do
    request coalescing + shared base-factor tries + pooled execution
    (:mod:`repro.serve`) buy over a serial ``plan().execute()`` loop?
@@ -32,6 +36,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import random
 import time
 
 import numpy as np
@@ -46,13 +51,14 @@ from repro.datasets.cnf import random_k_cnf
 from repro.datasets.pgm_models import grid_model
 from repro.datasets.queries import example_5_6_query
 from repro.exec import DagExecutor, lower_insideout
+from repro.factors.backend import BackendPolicy
 from repro.factors.delta import FactorDelta
 from repro.factors.dense import DenseFactor
 from repro.factors.factor import Factor
 from repro.incremental import IncrementalView
 from repro.planner import PlanCache, plan
 from repro.semiring.aggregates import SemiringAggregate
-from repro.semiring.standard import SUM_PRODUCT
+from repro.semiring.standard import MAX_PRODUCT, SUM_PRODUCT
 from repro.serve import PlanServer, ServeRequest
 from repro.solvers.sat import sharp_sat_query
 
@@ -61,6 +67,9 @@ BATCH_TRAFFIC = pick(60, 9)
 DAG_BLOCKS = pick(4, 2)
 DAG_CHAIN = pick(5, 3)
 DAG_DOMAIN = pick(64, 4)
+SPARSE_BLOCKS = pick(4, 2)
+SPARSE_CHAIN = pick(4, 3)
+SPARSE_DOMAIN = pick(64, 6)
 SHARED_QUERIES = pick(8, 3)
 SHARED_CHAIN = pick(12, 5)
 SHARED_DOMAIN = pick(12, 4)
@@ -289,6 +298,112 @@ def test_shape_dag_parallel_multiblock():
             if cpus >= 4:
                 assert speedup >= 2.0, (
                     f"expected ≥2x at workers=4 on {cpus} cores, got {speedup:.2f}x"
+                )
+        publish([record])
+
+
+def _sparse_multiblock_query(
+    blocks=SPARSE_BLOCKS, chain=SPARSE_CHAIN, domain=SPARSE_DOMAIN, seed=331
+):
+    """Disjoint *sparse* max-product chains — the flat-kernel workload.
+
+    Pair factors at 50% density keep every elimination in the sparse
+    regime (dict tables, no dense arrays), where the per-row Python trie
+    walk is the bottleneck the vectorized flat kernel replaces; disjoint
+    blocks give the step DAG real parallelism for the process pool.
+    """
+    rng = random.Random(seed)
+    values = tuple(range(domain))
+    variables, aggregates, factors = [], {}, []
+    for block in range(blocks):
+        names = [f"b{block}x{i}" for i in range(chain)]
+        for name in names:
+            variables.append(Variable(name, values))
+            aggregates[name] = SemiringAggregate.max()
+        for left, right in zip(names, names[1:]):
+            table = {
+                pair: round(rng.uniform(0.1, 2.0), 6)
+                for pair in itertools.product(values, values)
+                if rng.random() < 0.5
+            }
+            factors.append(Factor((left, right), table, name=f"{left}{right}"))
+    return FAQQuery(
+        variables, [], aggregates, factors, MAX_PRODUCT, name="sparse-multiblock"
+    )
+
+
+@pytest.mark.shape
+def test_shape_sparse_parallel_flat_process():
+    """Vectorized sparse kernels + the process pool (exec:sparse-parallel).
+
+    Two stacked escapes from the interpreter on the same sparse workload:
+
+    * ``flat_vs_trie_x`` — the flat-table kernel (NumPy code columns,
+      fused multiply-then-marginalize) vs the pure-Python trie kernel,
+      both on one thread.  An algorithmic/vectorization win: no cores
+      required, so it is gated on every host.
+    * ``sparse_speedup_w4`` — ``workers_mode="process"`` at ``workers=4``
+      vs ``workers=1``, flat kernel on both sides.  Real parallelism via
+      shared-memory worker processes; needs ≥4 cores to show up, so the
+      metric is CPU-sensitive (recorded everywhere, gated on big hosts).
+
+    Bit-identity of all variants against the serial trie run is asserted
+    unconditionally — the kernels and the pool must never change answers.
+    """
+    query = _sparse_multiblock_query()
+    trie_only = BackendPolicy(flat_enabled=False)
+    flat_forced = BackendPolicy(flat_min_rows=0)
+
+    trie_s, trie_result = _best_of(
+        lambda: inside_out(query, backend="sparse", backend_policy=trie_only)
+    )
+    flat_s, flat_result = _best_of(
+        lambda: inside_out(query, backend="sparse", backend_policy=flat_forced)
+    )
+    assert flat_result.factor.table == trie_result.factor.table
+    assert any(step.backend == "flat" for step in flat_result.stats.steps)
+
+    process_executor = DagExecutor(workers=4, workers_mode="process")
+    w4_s, w4_result = _best_of(
+        lambda: process_executor.run(
+            query, backend="sparse", backend_policy=flat_forced
+        )
+    )
+    assert w4_result.factor.table == trie_result.factor.table
+    process_info = process_executor.last_process_info
+    assert process_info is not None and process_info["remote_steps"] > 0
+
+    cpus = os.cpu_count() or 1
+    flat_vs_trie = trie_s / flat_s if flat_s else float("inf")
+    sparse_speedup = flat_s / w4_s if w4_s else float("inf")
+    record = record_result(
+        "exec:sparse-parallel",
+        trie_w1_s=trie_s,
+        flat_w1_s=flat_s,
+        flat_process_w4_s=w4_s,
+        flat_vs_trie_x=flat_vs_trie,
+        sparse_speedup_w4=sparse_speedup,
+        remote_steps=process_info["remote_steps"],
+        shipped_blobs=process_info["shipped_blobs"],
+        cpu_count=cpus,
+        blocks=SPARSE_BLOCKS,
+    )
+    print(
+        f"\n[exec] sparse-parallel multiblock: trie={trie_s * 1e3:.1f}ms "
+        f"flat={flat_s * 1e3:.1f}ms ({flat_vs_trie:.2f}x) "
+        f"process-w4={w4_s * 1e3:.1f}ms (speedup {sparse_speedup:.2f}x) "
+        f"(cpus={cpus})"
+    )
+    if not quick_mode():
+        if os.environ.get("FAQ_BENCH_STRICT", "") not in ("", "0"):
+            # Vectorization wins on any host; process scaling needs cores.
+            assert flat_vs_trie >= 2.0, (
+                f"expected flat kernel ≥2x over trie, got {flat_vs_trie:.2f}x"
+            )
+            if cpus >= 4:
+                assert sparse_speedup >= 2.0, (
+                    f"expected ≥2x at process workers=4 on {cpus} cores, "
+                    f"got {sparse_speedup:.2f}x"
                 )
         publish([record])
 

@@ -52,6 +52,11 @@ RATIO_FIELDS = {
     # recompute.  Replay-vs-execute is an algorithmic win (no cores
     # required), so the ratio is gated on every host.
     "incremental_speedup_x": False,
+    # exec:sparse-parallel — the vectorized flat kernel over the
+    # pure-Python trie kernel is a single-thread vectorization win (gated
+    # everywhere); the process-pool speedup at workers=4 needs cores.
+    "flat_vs_trie_x": False,
+    "sparse_speedup_w4": True,
 }
 
 # metric field -> cpu_sensitive.  LOWER is better for these (overhead
@@ -70,6 +75,9 @@ TIMING_FIELDS = (
     "seconds",
     "workers1_s",
     "workers4_s",
+    "trie_w1_s",
+    "flat_w1_s",
+    "flat_process_w4_s",
     "serial_loop_s",
     "batch_s",
     "merged_s",

@@ -92,6 +92,39 @@ class LruCache:
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
+    def dump_entries(self, *, kind: str, version: int) -> dict:
+        """The in-memory form of :meth:`save`'s envelope.
+
+        Used by the shared-memory cache store (:mod:`repro.exec.shm`) to
+        publish a snapshot across a replica fleet without touching disk;
+        the same kind/version tags gate adoption.
+        """
+        with self._lock:
+            entries = list(self._entries.items())
+        return {"kind": kind, "version": version, "entries": entries}
+
+    def adopt_entries(self, payload, *, kind: str, version: int) -> int:
+        """Best-effort merge of a :meth:`dump_entries` envelope.
+
+        Mirrors :meth:`load`'s contract: a payload of the wrong shape,
+        kind or version adopts nothing; returns the number of entries
+        merged.
+        """
+        try:
+            if (
+                not isinstance(payload, dict)
+                or payload.get("kind") != kind
+                or payload.get("version") != version
+            ):
+                return 0
+            count = 0
+            for key, value in list(payload.get("entries", [])):
+                self.put(key, value)
+                count += 1
+            return count
+        except Exception:
+            return 0
+
     def save(self, path, *, kind: str, version: int) -> int:
         """Pickle the entries to ``path`` tagged with a kind + format version.
 

@@ -38,6 +38,7 @@ from repro.core.output import FactorizedOutput
 from repro.core.query import FAQQuery, QueryError
 from repro.factors.backend import (
     BACKEND_DENSE,
+    BACKEND_FLAT,
     BACKEND_SPARSE,
     BackendPolicy,
     DEFAULT_POLICY,
@@ -136,12 +137,29 @@ def _validated_ordering(query: FAQQuery, ordering: Sequence[str] | None) -> List
     return order
 
 
-def _validated_workers(workers: int | None) -> int | None:
-    """Validate an opt-in ``workers=`` argument (``None`` means serial)."""
+# Cap for workers="auto": realistic step DAGs rarely have the topological
+# width to keep more workers busy, and process workers each pay a startup
+# plus shared-memory attach cost.
+AUTO_WORKERS_CAP = 8
+
+
+def _validated_workers(workers: int | str | None) -> int | None:
+    """Validate an opt-in ``workers=`` argument (``None`` means serial).
+
+    ``"auto"`` resolves to the machine's CPU count capped at
+    :data:`AUTO_WORKERS_CAP`, so callers can opt into parallelism without
+    hard-coding a pool size.
+    """
     if workers is None:
         return None
+    if workers == "auto":
+        import os
+
+        return max(1, min(os.cpu_count() or 1, AUTO_WORKERS_CAP))
     if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
-        raise QueryError(f"workers must be a positive integer or None, got {workers!r}")
+        raise QueryError(
+            f'workers must be a positive integer, "auto", or None, got {workers!r}'
+        )
     return workers
 
 
@@ -226,6 +244,15 @@ def eliminate_semiring_step(
     use_dense = choose_dense(
         backend, participants, induced, query.domains(), semiring, (aggregate.tag,), policy
     )
+    step_backend = BACKEND_DENSE if use_dense else BACKEND_SPARSE
+    new_factor = None
+    if not use_dense and tries is not None and policy.flat_enabled:
+        new_factor = _try_flat_eliminate(
+            query, incident, participants, projections, dense_projections,
+            variable, output_scope, induced, aggregate.tag, policy, tries,
+        )
+        if new_factor is not None:
+            step_backend = BACKEND_FLAT
     if use_dense:
         new_factor = dense_join_reduce(
             participants,
@@ -236,6 +263,8 @@ def eliminate_semiring_step(
             aggregate.tag,
             name=f"psi_elim({variable})",
         )
+    elif new_factor is not None:
+        pass  # the flat kernel already produced the step result
     elif tries is not None:
         participant_tries = [tries.trie(f) for f in incident]
         participant_tries.extend(
@@ -279,9 +308,71 @@ def eliminate_semiring_step(
         projection_count=projection_count,
         result_size=len(new_factor),
         seconds=time.perf_counter() - start,
-        backend=BACKEND_DENSE if use_dense else BACKEND_SPARSE,
+        backend=step_backend,
     )
     return new_factor, record
+
+
+def _try_flat_eliminate(
+    query: FAQQuery,
+    incident: List[Factor],
+    participants: List[Factor],
+    projections: List[Tuple[Factor, frozenset]],
+    dense_projections: List[Factor],
+    variable: str,
+    output_scope: Tuple[str, ...],
+    induced: set,
+    tag: str,
+    policy: BackendPolicy,
+    tries: TrieCache,
+) -> Optional[Factor]:
+    """Attempt the vectorized flat-table kernel for one sparse step.
+
+    Returns the step result, or ``None`` when the step does not qualify
+    (non-ufunc-able algebra, too few rows, unsafe value dtypes, join
+    blow-up past the row cap) — the caller then runs the trie kernel,
+    which stays the universal fallback.  The participants are folded in
+    the trie kernel's exact order — indicator projections (its base
+    tries) first, then the incident factors — so the surviving rows and
+    their partial products match the trie path's row for row.
+    """
+    from repro.factors.flat import encode_flat, flat_eliminate, flat_step_eligible
+
+    semiring = query.semiring
+    if not flat_step_eligible(
+        semiring, tag, query.domains(), induced, participants, policy.flat_min_rows
+    ):
+        return None
+    ctx = tries.flat_context(query.domains())
+    if ctx is None:
+        return None
+    flats = []
+    for source, overlap in projections:
+        flat = tries.flat(tries.projection_factor(source, overlap), ctx)
+        if flat is None:
+            return None
+        flats.append(flat)
+    for projected in dense_projections:
+        # Transient objects (a new projection per step): encode directly
+        # rather than pinning them in the per-run cache.
+        flat = encode_flat(projected, ctx)
+        if flat is None:
+            return None
+        flats.append(flat)
+    for factor in incident:
+        flat = tries.flat(factor, ctx)
+        if flat is None:
+            return None
+        flats.append(flat)
+    produced = flat_eliminate(
+        flats, variable, output_scope, tag, ctx, policy.flat_row_cap,
+        name=f"psi_elim({variable})",
+    )
+    if produced is None:
+        return None
+    new_factor, encoding = produced
+    tries.store_flat(new_factor, encoding)
+    return new_factor
 
 
 def _eliminate_semiring(
@@ -467,7 +558,8 @@ def inside_out(
     output_mode: str = "listing",
     backend: str = BACKEND_SPARSE,
     backend_policy: BackendPolicy | None = None,
-    workers: int | None = None,
+    workers: int | str | None = None,
+    workers_mode: str = "thread",
     shared_tries: SharedTrieCache | None = None,
     step_cache=None,
 ) -> InsideOutResult:
@@ -510,9 +602,18 @@ def inside_out(
     workers:
         Opt-in parallelism.  ``None`` or ``1`` runs the sequential loop
         below; any larger value lowers the run to an explicit step DAG and
-        executes independent elimination steps on a thread pool
-        (:class:`repro.exec.DagExecutor`).  Results and stats totals are
-        identical to the serial run for every worker count.
+        executes independent elimination steps on a worker pool
+        (:class:`repro.exec.DagExecutor`).  ``"auto"`` resolves to the
+        machine's CPU count (capped).  Results and stats totals are
+        identical to the serial run for every worker count and mode.
+    workers_mode:
+        Pool flavour when ``workers`` enables parallelism.  ``"thread"``
+        (default) shares the interpreter — only the NumPy kernels escape
+        the GIL.  ``"process"`` drives worker *processes* over the same
+        step DAG, shipping factors through digest-keyed shared memory
+        (:mod:`repro.exec.procpool`), so the sparse Python kernels scale
+        with cores too; runs whose context cannot be pickled fall back to
+        the thread pool transparently.
     shared_tries:
         A :class:`~repro.factors.index.SharedTrieCache` holding this
         query's base-factor tries across runs (supplied by the serving
@@ -539,7 +640,7 @@ def inside_out(
     if (workers is not None and workers > 1) or step_cache is not None:
         from repro.exec import DagExecutor
 
-        return DagExecutor(workers=workers or 1).run(
+        return DagExecutor(workers=workers or 1, workers_mode=workers_mode).run(
             query,
             ordering=order,
             use_indicator_projections=use_indicator_projections,

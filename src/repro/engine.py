@@ -41,7 +41,12 @@ class EngineConfig:
     workers:
         Per-query step-DAG parallelism — the unified ``workers=`` meaning
         shared with every other entry point (``None``/1 = serial per
-        query).
+        query, ``"auto"`` = capped CPU count).
+    workers_mode:
+        ``"thread"`` (default) or ``"process"`` — whether per-query
+        parallelism runs on a thread pool or on shared-memory worker
+        processes (the sparse kernels escape the GIL; see
+        :mod:`repro.exec.procpool`).
     pool_size:
         In-process concurrency of the engine's :class:`PlanServer`
         (defaults to the CPU count).
@@ -63,7 +68,8 @@ class EngineConfig:
         :class:`~repro.serve.frontend.Frontend`.
     """
 
-    workers: Optional[int] = None
+    workers: Optional[int | str] = None
+    workers_mode: str = "thread"
     pool_size: Optional[int] = None
     replicas: Optional[int] = None
     coalesce: bool = True
@@ -89,8 +95,11 @@ class Engine:
     and lazily starts one in-process :class:`PlanServer` for
     :meth:`query`/:meth:`batch`/:meth:`submit`.  :meth:`serve` starts a
     replicated tier; the returned :class:`Frontend` is independently
-    context-managed (replica processes have their own caches by design —
-    plans are re-derived per replica from the same deterministic planner).
+    context-managed.  The fleet parent publishes its warm read-only caches
+    (the engine's plan cache and the process-wide ρ* memo) to a
+    shared-memory store every replica adopts at startup, so cold replicas
+    begin fleet-warm; entries created later are still per-replica
+    (re-derived from the same deterministic planner).
     """
 
     def __init__(self, config: Optional[EngineConfig] = None, **overrides: Any) -> None:
@@ -113,6 +122,7 @@ class Engine:
             if self._server is None:
                 self._server = PlanServer(
                     workers=self.config.workers,
+                    workers_mode=self.config.workers_mode,
                     pool_size=self.config.pool_size,
                     cache=self.cache,
                     coalesce=self.config.coalesce,
@@ -167,11 +177,15 @@ class Engine:
         """
         kwargs = {
             "workers": self.config.workers,
+            "workers_mode": self.config.workers_mode,
             "start_method": self.config.start_method,
             "max_pending": self.config.max_pending,
             "tenant_limit": self.config.tenant_limit,
             "health_interval": self.config.health_interval,
             "coalesce": self.config.coalesce,
+            # Cold replicas adopt the engine's warm plan cache (plus the
+            # process-wide rho* memo) through the shared-memory store.
+            "plan_cache": self.cache,
         }
         kwargs.update(overrides)
         return Frontend(

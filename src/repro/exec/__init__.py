@@ -8,12 +8,19 @@ pass ``workers=`` to :func:`repro.core.insideout.inside_out`,
 :meth:`repro.planner.Plan.execute`, :func:`repro.planner.execute`, any
 solver wrapper, ``db.join`` or the serving layer (:mod:`repro.serve`) —
 ``workers=`` means the *same thing everywhere*: per-query step-DAG
-parallelism (``None``/1 = serial).  :func:`resolve_workers` is the one
-shim that folds the deprecated ``dag_workers=`` alias into it.
+parallelism (``None``/1 = serial, ``"auto"`` = CPU count capped at
+:data:`AUTO_WORKERS_CAP`).  :func:`resolve_workers` is the one shim that
+folds the deprecated ``dag_workers=`` alias into it.
+
+``workers_mode="process"`` (accepted wherever ``workers=`` is) swaps the
+thread pool for worker *processes* fed through digest-keyed shared memory
+(:mod:`repro.exec.procpool` / :mod:`repro.exec.shm`), letting the sparse
+Python kernels scale past the GIL.
 """
 
 import warnings
 
+from repro.core.insideout import AUTO_WORKERS_CAP
 from repro.core.insideout import _validated_workers as validate_workers
 from repro.exec.dag import (
     KIND_OUTPUT,
@@ -32,6 +39,7 @@ from repro.exec.executor import (
     RunSpec,
     StepResultCache,
 )
+from repro.exec.shm import SharedCacheStore, ShmBlobStore, read_blob
 
 _UNSET = object()
 
@@ -76,4 +84,8 @@ __all__ = [
     "KIND_OUTPUT",
     "validate_workers",
     "resolve_workers",
+    "AUTO_WORKERS_CAP",
+    "ShmBlobStore",
+    "SharedCacheStore",
+    "read_blob",
 ]

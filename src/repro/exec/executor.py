@@ -420,17 +420,34 @@ class DagExecutor:
     workers:
         Pool size.  ``1`` runs the serial fallback (bit-identical to the
         sequential loop, executed inline); larger values run independent
-        steps concurrently on threads.  ``None`` lets the platform decide
-        (``os.cpu_count()``).
+        steps concurrently.  ``"auto"`` resolves to the CPU count (capped);
+        ``None`` lets the platform decide (``os.cpu_count()``).
+    workers_mode:
+        ``"thread"`` (default) runs steps on a thread pool; ``"process"``
+        runs them on worker processes fed through digest-keyed shared
+        memory (:mod:`repro.exec.procpool`) so the sparse Python kernels
+        escape the GIL.  Process mode applies to :meth:`run`; the
+        incremental and merged entry points always use threads.  A run
+        whose context cannot cross the process boundary (e.g. lambda
+        semirings) falls back to the thread pool; ``last_process_info``
+        reports what the previous :meth:`run` actually did.
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self, workers: Optional[int | str] = None, workers_mode: str = "thread"
+    ) -> None:
         workers = _validated_workers(workers)
         if workers is None:
             import os
 
             workers = os.cpu_count() or 1
+        if workers_mode not in ("thread", "process"):
+            raise QueryError(
+                f'workers_mode must be "thread" or "process", got {workers_mode!r}'
+            )
         self.workers = workers
+        self.workers_mode = workers_mode
+        self.last_process_info: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------ #
     def run(
@@ -474,6 +491,12 @@ class DagExecutor:
             thread_safe=parallel, started=started,
         )
 
+        if parallel and self.workers_mode == "process":
+            if self._run_process(state, dag, step_cache if use_cache else None):
+                return state.finish()
+            # The run context could not be shipped to processes; fall
+            # through to the thread scheduler (state is still untouched).
+
         if not use_cache:
             execute = state.execute_node
         else:
@@ -504,6 +527,26 @@ class DagExecutor:
             for node in dag.nodes:
                 execute(node.index)
         return state.finish()
+
+    # ------------------------------------------------------------------ #
+    def _run_process(self, state, dag, step_cache) -> Optional[Dict[str, object]]:
+        """Try the process-pool scheduler; ``None`` means fall back to threads."""
+        from repro.exec.procpool import (
+            ProcessPool,
+            ProcessPoolUnavailable,
+            build_run_spec,
+        )
+
+        try:
+            pool = ProcessPool(self.workers, build_run_spec(state))
+        except ProcessPoolUnavailable:
+            self.last_process_info = None
+            return None
+        try:
+            self.last_process_info = pool.run(state, dag, step_cache)
+        finally:
+            pool.shutdown()
+        return self.last_process_info
 
     # ------------------------------------------------------------------ #
     def run_incremental(

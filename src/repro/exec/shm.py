@@ -1,0 +1,237 @@
+"""Shared-memory stores for the multiprocess execution and serving tiers.
+
+Two stores live here, both built on :mod:`multiprocessing.shared_memory`:
+
+* :class:`ShmBlobStore` — a parent-owned, content-keyed blob store.  The
+  process-pool executor (:mod:`repro.exec.procpool`) publishes each factor
+  table (base factors and intermediate step results) exactly once, keyed by
+  its content digest; workers attach by segment name, unpickle, and cache
+  by key, so a factor crosses the process boundary **once per worker** no
+  matter how many steps read it.
+
+* :class:`SharedCacheStore` — a named, versioned, checksummed segment
+  publishing read-only cache payloads (the process-wide ρ* LP memo and the
+  planner's plan cache) fleet-wide.  The serving tier's parent process
+  publishes its warm caches; every replica adopts them at startup instead
+  of warming a private copy (ROADMAP item 2's mmap-store follow-on).
+
+Segment layout of a :class:`SharedCacheStore` (and of every
+:class:`ShmBlobStore` blob, which uses the header's length field only)::
+
+    bytes 0..7    magic  b"REPROSH1"  (store kind + layout version)
+    bytes 8..15   payload length, little-endian u64
+    bytes 16..47  SHA-256 of the payload   (SharedCacheStore only)
+    bytes 48..    pickled payload
+
+Invalidation is by construction: the magic pins the layout, the payload
+embeds the same ``kind``/``version`` tags the on-disk persistence of
+:meth:`repro.caching.LruCache.save` uses, and the checksum rejects torn or
+foreign segments.  Adoption is *best-effort everywhere* — any mismatch
+(missing segment, wrong magic, wrong version, bad checksum, unpicklable
+payload) adopts nothing rather than failing the process.
+
+``resource_tracker`` note: attaching a segment from a child process
+registers it with the child's resource tracker, which would unlink it when
+the child exits (bpo-39959).  Both stores therefore unregister the
+attach-side handle immediately — the creating parent owns cleanup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+import struct
+import sys
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, Optional
+
+_MAGIC = b"REPROSH1"
+_LEN_OFFSET = 8
+_SHA_OFFSET = 16
+_PAYLOAD_OFFSET = 48
+
+# Payload tags of the SharedCacheStore (mirrors LruCache.save's envelope).
+SHARED_CACHE_KIND = "repro-shared-caches"
+SHARED_CACHE_VERSION = 1
+
+
+def _private_tracker() -> bool:
+    """Whether this process's resource tracker is private to it.
+
+    Fork children inherit the parent's tracker: registrations are
+    idempotent set-adds and exactly one unregister (the creator's
+    ``unlink``) must happen, so attach must *not* unregister — doing so
+    makes the later unlink a double-unregister the tracker logs noisily.
+    Spawn children start their own tracker, which would unlink shared
+    segments when the child exits (bpo-39959) unless the attach-side
+    handle is unregistered.
+    """
+    try:
+        method = multiprocessing.get_start_method(allow_none=True)
+    except Exception:  # pragma: no cover - context API drift
+        return True
+    if method is None:
+        method = "fork" if sys.platform.startswith("linux") else "spawn"
+    return method != "fork"
+
+
+def ensure_tracker_running() -> None:
+    """Start the resource tracker *before* forking attach-side children.
+
+    Fork children inherit a running tracker and share it; a child that
+    attaches a segment then performs an idempotent re-registration instead
+    of spinning up a private tracker that would warn about "leaked"
+    segments (already unlinked by the parent) when the child exits.
+    """
+    try:
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - tracker API drift
+        pass
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting cleanup duty."""
+    segment = shared_memory.SharedMemory(name=name)
+    if _private_tracker():
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker API drift
+            pass
+    return segment
+
+
+class ShmBlobStore:
+    """Parent-owned content-keyed blobs in shared memory.
+
+    ``put`` pickles a value under a key once and returns the segment name;
+    repeated puts of the same key are free.  Readers (in any process) call
+    :func:`read_blob` with the name.  The creating process must call
+    :meth:`close` when the run ends — segments have kernel lifetime, not
+    process lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[Any, shared_memory.SharedMemory] = {}
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def put(self, key: Any, value: Any) -> str:
+        """Publish ``value`` under ``key`` (idempotent), returning the name."""
+        segment = self._segments.get(key)
+        if segment is None:
+            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            segment = shared_memory.SharedMemory(
+                create=True, size=_PAYLOAD_OFFSET + len(data)
+            )
+            segment.buf[:8] = _MAGIC
+            segment.buf[_LEN_OFFSET:_SHA_OFFSET] = struct.pack("<Q", len(data))
+            segment.buf[_PAYLOAD_OFFSET:_PAYLOAD_OFFSET + len(data)] = data
+            self._segments[key] = segment
+        return segment.name
+
+    def name_for(self, key: Any) -> Optional[str]:
+        segment = self._segments.get(key)
+        return segment.name if segment is not None else None
+
+    def close(self) -> None:
+        """Close and unlink every published segment."""
+        for segment in self._segments.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+        self._segments.clear()
+
+
+def read_blob(name: str) -> Any:
+    """Unpickle the blob published under segment ``name`` (any process)."""
+    segment = _attach(name)
+    try:
+        if bytes(segment.buf[:8]) != _MAGIC:
+            raise ValueError(f"segment {name!r} is not a repro blob")
+        (length,) = struct.unpack("<Q", bytes(segment.buf[_LEN_OFFSET:_SHA_OFFSET]))
+        data = bytes(segment.buf[_PAYLOAD_OFFSET:_PAYLOAD_OFFSET + length])
+        return pickle.loads(data)
+    finally:
+        segment.close()
+
+
+class SharedCacheStore:
+    """A published read-only cache snapshot shared across a replica fleet.
+
+    The payload is ``{"kind", "version", "sections"}`` where ``sections``
+    maps a section name (``"rho_star"``, ``"plans"``) to the same
+    ``{"kind", "version", "entries"}`` envelope the on-disk persistence
+    uses — adopters validate both layers, so a version bump on either the
+    store or an individual cache invalidates cleanly.
+    """
+
+    def __init__(self, segment: shared_memory.SharedMemory) -> None:
+        self._segment = segment
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    @classmethod
+    def publish(cls, sections: Dict[str, Any]) -> "SharedCacheStore":
+        """Create a checksummed segment holding ``sections`` (parent side)."""
+        payload = {
+            "kind": SHARED_CACHE_KIND,
+            "version": SHARED_CACHE_VERSION,
+            "sections": sections,
+        }
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(data).digest()
+        segment = shared_memory.SharedMemory(
+            create=True, size=_PAYLOAD_OFFSET + len(data)
+        )
+        segment.buf[:8] = _MAGIC
+        segment.buf[_LEN_OFFSET:_SHA_OFFSET] = struct.pack("<Q", len(data))
+        segment.buf[_SHA_OFFSET:_PAYLOAD_OFFSET] = digest
+        segment.buf[_PAYLOAD_OFFSET:_PAYLOAD_OFFSET + len(data)] = data
+        return cls(segment)
+
+    @staticmethod
+    def adopt(name: Optional[str]) -> Dict[str, Any]:
+        """Read and validate a published store; ``{}`` on any mismatch."""
+        if not name:
+            return {}
+        try:
+            segment = _attach(name)
+        except Exception:
+            return {}
+        try:
+            if bytes(segment.buf[:8]) != _MAGIC:
+                return {}
+            (length,) = struct.unpack(
+                "<Q", bytes(segment.buf[_LEN_OFFSET:_SHA_OFFSET])
+            )
+            expected = bytes(segment.buf[_SHA_OFFSET:_PAYLOAD_OFFSET])
+            data = bytes(segment.buf[_PAYLOAD_OFFSET:_PAYLOAD_OFFSET + length])
+            if hashlib.sha256(data).digest() != expected:
+                return {}
+            payload = pickle.loads(data)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("kind") != SHARED_CACHE_KIND
+                or payload.get("version") != SHARED_CACHE_VERSION
+            ):
+                return {}
+            sections = payload.get("sections")
+            return sections if isinstance(sections, dict) else {}
+        except Exception:
+            return {}
+        finally:
+            segment.close()
+
+    def close(self) -> None:
+        """Close and unlink the segment (publisher side)."""
+        try:
+            self._segment.close()
+            self._segment.unlink()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass

@@ -81,6 +81,12 @@ BACKEND_DENSE = "dense"
 BACKEND_AUTO = "auto"
 BACKENDS = (BACKEND_SPARSE, BACKEND_DENSE, BACKEND_AUTO)
 
+# Record-only label for elimination steps executed by the vectorized
+# flat-table kernel (:mod:`repro.factors.flat`).  Not a selectable backend
+# mode: the flat kernel engages automatically under ``"sparse"``/``"auto"``
+# whenever a step qualifies, with the trie kernel as the fallback.
+BACKEND_FLAT = "flat"
+
 
 def validate_backend(backend: str) -> str:
     """Validate a backend selector string, returning it unchanged."""
@@ -141,6 +147,16 @@ class BackendPolicy:
 
     cell_cap: int = 1 << 21
     density_ratio: float = 8.0
+    # The vectorized flat-table kernel (repro.factors.flat) replaces the
+    # trie kernel on sparse steps when the participants list at least
+    # ``flat_min_rows`` tuples (below that the NumPy fixed costs lose to
+    # the trie) and no join intermediate exceeds ``flat_row_cap`` rows
+    # (the trie's depth-first descent never materialises the join, so it
+    # stays the safe fallback for blow-up joins).  ``flat_enabled=False``
+    # pins every sparse step to the trie kernel.
+    flat_enabled: bool = True
+    flat_min_rows: int = 256
+    flat_row_cap: int = 1 << 22
 
 
 DEFAULT_POLICY = BackendPolicy()

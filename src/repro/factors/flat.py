@@ -1,0 +1,401 @@
+"""The vectorized flat-table kernel for sparse elimination steps.
+
+The trie kernel (:func:`repro.core.outsidein.eliminate_join`) is pure
+Python: every survivor tuple costs dict probes, set intersections and a
+per-candidate fold, all under the GIL.  For the semirings whose operators
+map to NumPy ufuncs *and* whose aggregates are fold-order independent
+(``max``/``min``/``or`` — never float ``sum``, whose re-association changes
+the bits), the same fused multiply-then-marginalize step can run as a
+handful of GIL-releasing array operations instead:
+
+* a factor's sparse table is *encoded* as one ``int64`` domain-code column
+  per scope variable plus a value column of the semiring dtype
+  (:class:`FlatFactor`);
+* the multiway natural join is an iterative sorted-merge on packed
+  mixed-radix key codes (``argsort`` + ``searchsorted`` + ``repeat``);
+* the eliminated variable's aggregate is a grouped ``ufunc.reduceat`` over
+  the survivor key, and zero tuples are dropped by a vectorized mask that
+  reproduces :meth:`repro.semiring.base.Semiring.values_equal` exactly.
+
+The kernel is engineered to agree with the trie path up to ``==`` on the
+resulting table (and to be deterministic in itself): participants are
+folded in the trie kernel's exact order (indicator projections first, then
+the incident factors), the partial product is zero-masked after *every*
+multiplication just as ``eliminate_join`` tests ``is_zero`` after every
+``mul``, per-source zero screening matches the corresponding trie build
+(tolerant for listing factors, exact ``!=`` for dense ndarrays), and any
+input that could make a ``max``/``min`` fold order-dependent (NaN values,
+unsafe ``int``→``float64`` conversions, custom equality predicates) makes
+the step fall back to the trie kernel instead.  :func:`try_flat_eliminate`
+returns ``None`` for every such bail-out; the caller keeps the trie path
+as the universal fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.factors.dense import AGGREGATE_UFUNCS, DenseFactor, DenseOps, dense_ops_for
+from repro.factors.factor import Factor
+from repro.semiring.base import Semiring
+
+# Aggregate tags whose folds are order-independent on IEEE values (ties are
+# ``==``-equal either way).  Float ``sum`` is deliberately absent: grouped
+# reduceat re-associates the fold, which changes the bits vs the trie path.
+FLAT_TAGS = frozenset({"max", "min", "or"})
+
+# Mixed-radix packed keys must fit int64 with headroom for the running
+# ``key * radix + code`` accumulation.
+_MAX_RADIX = 1 << 62
+
+# Integers above 2**53 do not round-trip through float64; converting them
+# would diverge from the trie path's exact Python arithmetic.
+_MAX_SAFE_INT = 1 << 53
+
+
+class FlatFactor:
+    """One factor's sparse table as aligned NumPy columns.
+
+    ``columns`` maps each scope variable to an ``int64`` array of domain
+    codes (the value's index in the query domain tuple); ``values`` is the
+    aligned value column in the semiring's dense dtype.  Rows are exactly
+    the tuples the corresponding :class:`~repro.factors.index.FactorTrie`
+    would hold.
+    """
+
+    __slots__ = ("scope", "columns", "values")
+
+    def __init__(
+        self,
+        scope: Tuple[str, ...],
+        columns: Dict[str, np.ndarray],
+        values: np.ndarray,
+    ) -> None:
+        self.scope = scope
+        self.columns = columns
+        self.values = values
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+
+class FlatContext:
+    """Per-run encoding context: domain code maps + the semiring's ufuncs."""
+
+    __slots__ = ("semiring", "ops", "index", "objects", "sizes")
+
+    def __init__(self, semiring: Semiring, ops: DenseOps, domains) -> None:
+        self.semiring = semiring
+        self.ops = ops
+        self.index: Dict[str, Dict[Any, int]] = {}
+        self.objects: Dict[str, np.ndarray] = {}
+        self.sizes: Dict[str, int] = {}
+        for variable, domain in domains.items():
+            self.index[variable] = {value: i for i, value in enumerate(domain)}
+            holder = np.empty(len(domain), dtype=object)
+            holder[:] = list(domain)
+            self.objects[variable] = holder
+            self.sizes[variable] = len(domain)
+
+
+def flat_context(semiring: Semiring, domains) -> Optional[FlatContext]:
+    """Build an encoding context, or ``None`` if the semiring has no ufuncs."""
+    ops = dense_ops_for(semiring)
+    if ops is None or ops.dtype == object:
+        return None
+    return FlatContext(semiring, ops, domains)
+
+
+def flat_step_eligible(
+    semiring: Semiring,
+    tag: str,
+    domains,
+    induced,
+    participants: Sequence[Any],
+    min_rows: int,
+) -> bool:
+    """Whether one elimination step qualifies for the flat kernel.
+
+    Deterministic in the step's content (the step cache keys results by
+    content digest, so the kernel choice must be a function of the inputs):
+    the aggregate fold must be order-independent, the semiring must map to
+    non-object ufuncs with default value equality, the induced domain box
+    must pack into ``int64`` keys, and the participants must list enough
+    tuples to amortise the NumPy fixed costs.
+    """
+    if tag not in FLAT_TAGS:
+        return False
+    if semiring.eq is not None:
+        return False
+    ops = dense_ops_for(semiring)
+    if ops is None or ops.dtype == object:
+        return False
+    radix = 1
+    for variable in induced:
+        radix *= len(domains[variable])
+        if radix > _MAX_RADIX:
+            return False
+    return sum(len(f) for f in participants) >= min_rows
+
+
+# ---------------------------------------------------------------------- #
+# zero screening
+# ---------------------------------------------------------------------- #
+def _zero_mask(values: np.ndarray, zero: Any) -> np.ndarray:
+    """Vectorized :meth:`Semiring.values_equal` against the semiring zero.
+
+    Bit-for-bit the scalar predicate: exact comparison for ``bool`` and for
+    infinite zeros (min-plus ``+inf``, max-sum ``-inf``), and the relative
+    ``1e-9 * max(1, |a|, |b|)`` tolerance with the ``|a-b| == inf`` escape
+    for finite zeros.  NaN values are never zero (as in the scalar code).
+    """
+    if values.dtype == np.bool_:
+        return values == zero
+    if np.isinf(zero):
+        return values == zero
+    with np.errstate(invalid="ignore"):
+        diff = np.abs(values - zero)
+        scale = np.maximum(np.abs(values), abs(zero))
+        tolerance = 1e-9 * np.maximum(scale, 1.0)
+        return (diff <= tolerance) & (diff != np.inf)
+
+
+def _drop_zero_rows(
+    columns: Dict[str, np.ndarray], values: np.ndarray, zero: Any
+) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+    mask = _zero_mask(values, zero)
+    if mask.any():
+        keep = ~mask
+        columns = {v: c[keep] for v, c in columns.items()}
+        values = values[keep]
+    return columns, values
+
+
+def _value_column(raw: np.ndarray, ops: DenseOps) -> Optional[np.ndarray]:
+    """Convert a raw value array to the semiring dtype, or ``None`` if lossy.
+
+    Only exact conversions are allowed: float64/bool pass through, ints
+    below ``2**53`` widen exactly.  Anything else (mixed object columns,
+    huge ints, bool tables holding non-bool truthy values) would diverge
+    from the trie path's Python arithmetic, so the step falls back.
+    """
+    if raw.dtype == ops.dtype:
+        column = raw
+    elif ops.dtype == np.float64 and raw.dtype.kind in "iu":
+        if raw.size and int(np.max(np.abs(raw.astype(np.int64)))) > _MAX_SAFE_INT:
+            return None
+        column = raw.astype(np.float64)
+    else:
+        return None
+    if column.dtype == np.float64 and bool(np.isnan(column).any()):
+        # NaN makes max/min folds depend on candidate enumeration order.
+        return None
+    return column
+
+
+# ---------------------------------------------------------------------- #
+# encoding
+# ---------------------------------------------------------------------- #
+def encode_flat(factor, ctx: FlatContext) -> Optional[FlatFactor]:
+    """Encode a factor's sparse table as flat columns, or ``None``.
+
+    Zero screening mirrors the matching trie build exactly: listing factors
+    drop tolerant-zero entries (as :class:`FactorTrie` does), dense factors
+    keep every exactly-non-zero cell (as :meth:`FactorTrie.from_dense`
+    does) — the join's per-multiplication masking handles the near-zero
+    stragglers precisely where the trie kernel's ``is_zero`` tests would.
+    """
+    if isinstance(factor, DenseFactor):
+        return _encode_dense(factor, ctx)
+    return _encode_listing(factor, ctx)
+
+
+def _encode_listing(factor: Factor, ctx: FlatContext) -> Optional[FlatFactor]:
+    scope = tuple(factor.scope)
+    arity = len(scope)
+    rows = len(factor.table)
+    indexes = []
+    for variable in scope:
+        index = ctx.index.get(variable)
+        if index is None:
+            return None
+        indexes.append(index)
+    code_lists: List[List[int]] = [[] for _ in range(arity)]
+    raw_values: List[Any] = []
+    try:
+        for key, value in factor.table.items():
+            for position in range(arity):
+                code_lists[position].append(indexes[position][key[position]])
+            raw_values.append(value)
+    except (KeyError, TypeError):
+        return None  # a table value outside the declared domain
+    columns = {
+        variable: np.asarray(code_lists[i], dtype=np.int64)
+        for i, variable in enumerate(scope)
+    }
+    if rows == 0:
+        return FlatFactor(scope, columns, np.empty(0, dtype=ctx.ops.dtype))
+    values = _value_column(np.asarray(raw_values), ctx.ops)
+    if values is None:
+        return None
+    columns, values = _drop_zero_rows(columns, values, ctx.semiring.zero)
+    return FlatFactor(scope, columns, values)
+
+
+def _encode_dense(dense: DenseFactor, ctx: FlatContext) -> Optional[FlatFactor]:
+    scope = tuple(dense.scope)
+    if dense.array.dtype == object:
+        return None
+    for variable in scope:
+        domain = ctx.objects.get(variable)
+        if domain is None or dense.domains[variable] != tuple(domain.tolist()):
+            return None  # axis indices would not be query-domain codes
+    mask = dense.nonzero_mask(ctx.semiring)
+    cells = np.nonzero(mask)
+    columns = {
+        variable: cells[axis].astype(np.int64)
+        for axis, variable in enumerate(scope)
+    }
+    values = _value_column(dense.array[mask], ctx.ops)
+    if values is None:
+        return None
+    return FlatFactor(scope, columns, values)
+
+
+# ---------------------------------------------------------------------- #
+# the fused join-and-marginalize kernel
+# ---------------------------------------------------------------------- #
+def _pack_keys(
+    columns: Dict[str, np.ndarray], variables: Sequence[str], ctx: FlatContext,
+    rows: int,
+) -> np.ndarray:
+    """Mixed-radix packed ``int64`` key codes over ``variables``."""
+    key = np.zeros(rows, dtype=np.int64)
+    for variable in variables:
+        key = key * ctx.sizes[variable] + columns[variable]
+    return key
+
+
+def flat_eliminate(
+    participants: Sequence[FlatFactor],
+    variable: str,
+    output_scope: Tuple[str, ...],
+    tag: str,
+    ctx: FlatContext,
+    row_cap: int,
+    name: str,
+) -> Optional[Tuple[Factor, FlatFactor]]:
+    """Fused multiply-then-marginalize over flat-encoded participants.
+
+    ``participants`` must be in the trie kernel's fold order (indicator
+    projections first, then the incident factors): the running product is
+    multiplied participant by participant and zero-masked after every
+    multiplication, reproducing ``eliminate_join``'s per-``mul``
+    ``is_zero`` short-circuits row for row.  Returns the result as a
+    listing :class:`Factor` *plus* its own flat encoding (so the next step
+    consuming the factor skips the re-encode), or ``None`` when an
+    intermediate would exceed ``row_cap`` rows (the caller falls back to
+    the trie kernel, whose depth-first descent never materialises the
+    join).
+    """
+    ops = ctx.ops
+
+    def empty_pair() -> Tuple[Factor, FlatFactor]:
+        factor = Factor(output_scope, {}, name=name)
+        encoding = FlatFactor(
+            output_scope,
+            {v: np.empty(0, dtype=np.int64) for v in output_scope},
+            np.empty(0, dtype=ops.dtype),
+        )
+        return factor, encoding
+
+    for flat in participants:
+        if len(flat) == 0:
+            return empty_pair()  # some participant is identically zero
+
+    columns: Dict[str, np.ndarray] = {}
+    values: Optional[np.ndarray] = None
+    for flat in participants:
+        if values is None:
+            columns = dict(flat.columns)
+            # Fold from the semiring one exactly as the trie kernel does.
+            values = ops.mul(np.asarray(ops.one, dtype=ops.dtype), flat.values)
+        else:
+            shared = [v for v in flat.scope if v in columns]
+            if shared:
+                state_key = _pack_keys(columns, shared, ctx, values.shape[0])
+                other_key = _pack_keys(flat.columns, shared, ctx, len(flat))
+                order = np.argsort(other_key, kind="stable")
+                sorted_key = other_key[order]
+                left = np.searchsorted(sorted_key, state_key, side="left")
+                right = np.searchsorted(sorted_key, state_key, side="right")
+                counts = right - left
+                keep = counts > 0
+                counts = counts[keep]
+                total = int(counts.sum())
+                if total > row_cap:
+                    return None
+                state_rows = np.repeat(np.flatnonzero(keep), counts)
+                starts = np.repeat(left[keep], counts)
+                ends = np.cumsum(counts)
+                offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                    ends - counts, counts
+                )
+                other_rows = order[starts + offsets]
+            else:
+                total = values.shape[0] * len(flat)
+                if total > row_cap:
+                    return None
+                state_rows = np.repeat(
+                    np.arange(values.shape[0], dtype=np.int64), len(flat)
+                )
+                other_rows = np.tile(
+                    np.arange(len(flat), dtype=np.int64), values.shape[0]
+                )
+            values = ops.mul(values[state_rows], flat.values[other_rows])
+            new_columns = {v: c[state_rows] for v, c in columns.items()}
+            for v in flat.scope:
+                if v not in new_columns:
+                    new_columns[v] = flat.columns[v][other_rows]
+            columns = new_columns
+        columns, values = _drop_zero_rows(columns, values, ctx.semiring.zero)
+        if values.shape[0] == 0:
+            return empty_pair()
+
+    ufunc = AGGREGATE_UFUNCS[tag]
+    if not output_scope:
+        total_value = ufunc.reduce(values)
+        total_value = (
+            bool(total_value) if values.dtype == np.bool_ else float(total_value)
+        )
+        if ctx.semiring.is_zero(total_value):
+            return empty_pair()
+        factor = Factor((), {(): total_value}, name=name)
+        encoding = FlatFactor((), {}, np.asarray([total_value], dtype=ops.dtype))
+        return factor, encoding
+
+    group_key = _pack_keys(columns, output_scope, ctx, values.shape[0])
+    order = np.argsort(group_key, kind="stable")
+    sorted_key = group_key[order]
+    sorted_values = values[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_key[1:] != sorted_key[:-1]))
+    )
+    aggregated = ufunc.reduceat(sorted_values, starts)
+    group_rows = order[starts]
+    mask = _zero_mask(aggregated, ctx.semiring.zero)
+    if mask.any():
+        keep = ~mask
+        aggregated = aggregated[keep]
+        group_rows = group_rows[keep]
+    if aggregated.shape[0] == 0:
+        return empty_pair()
+
+    result_columns = {v: columns[v][group_rows] for v in output_scope}
+    decoded = [ctx.objects[v][result_columns[v]].tolist() for v in output_scope]
+    table = dict(zip(zip(*decoded), aggregated.tolist()))
+    factor = Factor(output_scope, table, name=name)
+    encoding = FlatFactor(output_scope, result_columns, aggregated)
+    return factor, encoding

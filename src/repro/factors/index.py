@@ -291,7 +291,7 @@ class TrieCache:
     """
 
     __slots__ = ("order", "semiring", "hits", "misses", "_tries", "_projections",
-                 "_projection_keys", "_lock", "_parent")
+                 "_projection_keys", "_lock", "_parent", "_flats", "_flat_ctx")
 
     def __init__(
         self, order: Sequence[str], semiring: Semiring, thread_safe: bool = False
@@ -306,6 +306,11 @@ class TrieCache:
         self._projection_keys: Dict[int, set] = {}
         self._lock = threading.RLock() if thread_safe else nullcontext()
         self._parent: Optional[SharedTrieCache] = None
+        # id -> (factor pin, FlatFactor | False): per-run flat encodings for
+        # the vectorized kernel; False caches a failed encode so ineligible
+        # factors are probed once.  Discarded together with the tries.
+        self._flats: Dict[int, Tuple[Any, Any]] = {}
+        self._flat_ctx: Any = None
 
     def adopt_parent(self, parent: Optional[SharedTrieCache]) -> None:
         """Consult ``parent`` for base-factor tries before building locally.
@@ -382,6 +387,43 @@ class TrieCache:
                 entry[2] = FactorTrie(entry[1], self.order, self.semiring)
         return entry[1], entry[2]
 
+    def flat_context(self, domains):
+        """The run's flat-encoding context, built once (``None`` if unmapped).
+
+        A run evaluates a single query, so the ``domains`` mapping is the
+        same at every call — the first one wins.
+        """
+        from repro.factors.flat import flat_context
+
+        with self._lock:
+            if self._flat_ctx is None:
+                self._flat_ctx = flat_context(self.semiring, domains) or False
+            return self._flat_ctx or None
+
+    def flat(self, factor, ctx):
+        """The cached flat encoding of ``factor`` (``None`` if it has none)."""
+        from repro.factors.flat import encode_flat
+
+        key = id(factor)
+        with self._lock:
+            entry = self._flats.get(key)
+            if entry is not None and entry[0] is factor:
+                self.hits += 1
+                return entry[1] or None
+            self.misses += 1
+        encoded = encode_flat(factor, ctx)
+        with self._lock:
+            stored = self._flats.get(key)
+            if stored is not None and stored[0] is factor:
+                return stored[1] or None
+            self._flats[key] = (factor, encoded if encoded is not None else False)
+        return encoded
+
+    def store_flat(self, factor, flat) -> None:
+        """Register a step result's flat encoding for downstream steps."""
+        with self._lock:
+            self._flats[id(factor)] = (factor, flat)
+
     def discard(self, factor) -> None:
         """Drop the tries of a factor consumed by an elimination step.
 
@@ -390,6 +432,7 @@ class TrieCache:
         """
         with self._lock:
             self._tries.pop(id(factor), None)
+            self._flats.pop(id(factor), None)
             for key in self._projection_keys.pop(id(factor), ()):
                 self._projections.pop(key, None)
 

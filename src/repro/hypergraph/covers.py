@@ -141,6 +141,25 @@ def load_rho_star_cache(path) -> int:
     return _RHO_STAR_CACHE.load(path, kind=_RHO_STAR_KIND, version=_RHO_STAR_VERSION)
 
 
+def dump_rho_star_section() -> dict:
+    """Snapshot the ρ* memo as a shared-memory cache-store section.
+
+    The serving tier's fleet parent publishes this through
+    :class:`repro.exec.shm.SharedCacheStore` so cold replicas adopt the
+    fleet-wide warm memo instead of re-solving the LPs.
+    """
+    return _RHO_STAR_CACHE.dump_entries(
+        kind=_RHO_STAR_KIND, version=_RHO_STAR_VERSION
+    )
+
+
+def adopt_rho_star_section(payload) -> int:
+    """Merge a :func:`dump_rho_star_section` payload (best-effort)."""
+    return _RHO_STAR_CACHE.adopt_entries(
+        payload, kind=_RHO_STAR_KIND, version=_RHO_STAR_VERSION
+    )
+
+
 def fractional_edge_cover_number(
     hypergraph: Hypergraph,
     subset: Iterable | None = None,

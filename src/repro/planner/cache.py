@@ -309,12 +309,35 @@ class PlanCache:
         """
         merged = self._entries.load(path, kind=_PLAN_CACHE_KIND, version=SIGNATURE_VERSION)
         if merged:
-            with self._lock:
-                for key, _ in self._entries.items():
-                    split = _shape_key(key)
-                    if split is not None:
-                        self._shapes[split[0]] = key
+            self._reindex_shapes()
         return merged
+
+    def dump_section(self) -> dict:
+        """Snapshot the entries as a shared-memory cache-store section.
+
+        The serving tier's fleet parent publishes this through
+        :class:`repro.exec.shm.SharedCacheStore` so cold replicas start
+        with the fleet-wide warm plan cache instead of re-planning.
+        """
+        return self._entries.dump_entries(
+            kind=_PLAN_CACHE_KIND, version=SIGNATURE_VERSION
+        )
+
+    def adopt_section(self, payload) -> int:
+        """Merge a :meth:`dump_section` payload (best-effort)."""
+        merged = self._entries.adopt_entries(
+            payload, kind=_PLAN_CACHE_KIND, version=SIGNATURE_VERSION
+        )
+        if merged:
+            self._reindex_shapes()
+        return merged
+
+    def _reindex_shapes(self) -> None:
+        with self._lock:
+            for key, _ in self._entries.items():
+                split = _shape_key(key)
+                if split is not None:
+                    self._shapes[split[0]] = key
 
 
 DEFAULT_PLAN_CACHE = PlanCache()

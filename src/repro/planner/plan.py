@@ -98,14 +98,17 @@ class Plan:
     def execute(
         self,
         output_mode: str = "listing",
-        workers: int | None = None,
+        workers: int | str | None = None,
+        workers_mode: str = "thread",
         shared_tries: Any = None,
         step_cache: Any = None,
     ) -> PlanResult:
         """Run the plan and return the output over the free variables.
 
         ``workers`` opts the InsideOut strategy into the parallel step-DAG
-        executor (:mod:`repro.exec`); the other strategies always execute
+        executor (:mod:`repro.exec`); ``workers_mode="process"`` swaps its
+        thread pool for shared-memory worker processes so the sparse
+        kernels escape the GIL.  The other strategies always execute
         serially — per-query parallelism for them comes from batching whole
         queries through :mod:`repro.serve`.  ``shared_tries`` passes a
         :class:`~repro.factors.index.SharedTrieCache` of this query's
@@ -125,6 +128,7 @@ class Plan:
                 output_mode=output_mode,
                 backend=self.backend,
                 workers=workers,
+                workers_mode=workers_mode,
                 shared_tries=shared_tries,
                 step_cache=step_cache,
             )

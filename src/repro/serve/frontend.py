@@ -40,6 +40,31 @@ from repro.serve.replica import ReplicaSet
 _EWMA_ALPHA = 0.2
 
 
+def _publish_shared_caches(plan_cache):
+    """Publish the parent's warm read-only caches to shared memory.
+
+    Returns the owning :class:`~repro.exec.shm.SharedCacheStore` (the
+    frontend closes it on shutdown), or ``None`` when publication fails —
+    sharing is an optimisation, never a startup requirement.  Publishing
+    before the fleet forks also guarantees the resource tracker is
+    running, so replicas share it instead of spawning private ones.
+    """
+    from repro.exec.shm import SharedCacheStore, ensure_tracker_running
+    from repro.hypergraph.covers import dump_rho_star_section
+
+    ensure_tracker_running()
+    sections = {"rho_star": dump_rho_star_section()}
+    if plan_cache is not None:
+        try:
+            sections["plans"] = plan_cache.dump_section()
+        except Exception:  # noqa: BLE001 - plans are optional cargo
+            pass
+    try:
+        return SharedCacheStore.publish(sections)
+    except Exception:  # noqa: BLE001 - e.g. unpicklable cache entries
+        return None
+
+
 class Frontend:
     """Admit, coalesce and route requests across a replica fleet.
 
@@ -49,10 +74,26 @@ class Frontend:
         Fleet size (defaults to the CPU count).
     workers:
         Per-query step-DAG parallelism *inside* each replica — the unified
-        ``workers=`` meaning (``None``/1 = serial per query; the fleet
-        still overlaps distinct queries across processes).
+        ``workers=`` meaning (``None``/1 = serial per query, ``"auto"`` =
+        capped CPU count; the fleet still overlaps distinct queries across
+        processes).
+    workers_mode:
+        Pool flavour for per-query parallelism inside each replica:
+        ``"thread"`` (default) or ``"process"`` (shared-memory worker
+        processes; see :mod:`repro.exec.procpool`).
     start_method:
         ``multiprocessing`` start method (platform default when ``None``).
+    share_caches:
+        Publish the parent's warm read-only caches (the process-wide ρ*
+        LP memo and, when ``plan_cache`` is given, the plan cache) to a
+        shared-memory :class:`~repro.exec.shm.SharedCacheStore` that every
+        replica adopts at startup — cold replicas start with the
+        fleet-wide warm caches instead of warming private copies.  Each
+        replica reports how many entries it adopted as the
+        ``shared_cache_adopted`` health stat.
+    plan_cache:
+        A warm :class:`~repro.planner.cache.PlanCache` to include in the
+        published store (:meth:`Engine.serve` passes the engine's own).
     max_pending:
         Global bound on dispatched-but-unfinished requests; past it new
         arrivals are shed with ``Overloaded("queue full")``.
@@ -71,19 +112,33 @@ class Frontend:
         self,
         replicas: Optional[int] = None,
         *,
-        workers: Optional[int] = None,
+        workers: Optional[int | str] = None,
+        workers_mode: str = "thread",
         start_method: Optional[str] = None,
         max_pending: int = 1024,
         tenant_limit: Optional[int] = None,
         health_interval: Optional[float] = 1.0,
         coalesce: bool = True,
+        share_caches: bool = True,
+        plan_cache: Any = None,
     ) -> None:
         size = replicas if replicas is not None else (os.cpu_count() or 1)
         self.max_pending = max_pending
         self.tenant_limit = tenant_limit
         self.health_interval = health_interval
         self.coalesce = coalesce
-        self._set = ReplicaSet(size, workers=workers, start_method=start_method)
+        self._shared_caches = (
+            _publish_shared_caches(plan_cache) if share_caches else None
+        )
+        self._set = ReplicaSet(
+            size,
+            workers=workers,
+            workers_mode=workers_mode,
+            shared_cache_name=(
+                self._shared_caches.name if self._shared_caches is not None else None
+            ),
+            start_method=start_method,
+        )
         # content key -> the primary's asyncio future (per-loop objects, but
         # the map is only touched from whichever loop is currently driving
         # submissions — serve_batch runs one loop at a time).
@@ -463,6 +518,7 @@ class Frontend:
         self._closed = True
         await self._cancel_health_task()
         await asyncio.to_thread(self._set.close)
+        self._close_shared_caches()
 
     def close(self) -> None:
         """Synchronous shutdown (for non-async callers)."""
@@ -470,6 +526,12 @@ class Frontend:
         self._health_task = None
         self._health_loop_obj = None
         self._set.close()
+        self._close_shared_caches()
+
+    def _close_shared_caches(self) -> None:
+        if self._shared_caches is not None:
+            self._shared_caches.close()
+            self._shared_caches = None
 
     def __enter__(self) -> "Frontend":
         return self

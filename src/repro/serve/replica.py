@@ -81,14 +81,34 @@ def _wire_ok(result) -> tuple:
     )
 
 
-def _replica_main(conn, replica_id: int, workers: Optional[int] = None) -> None:
+def _replica_main(
+    conn,
+    replica_id: int,
+    workers: Optional[int] = None,
+    workers_mode: str = "thread",
+    shared_cache_name: Optional[str] = None,
+) -> None:
     """The replica loop (module-level so the spawn start method can pickle it)."""
     from repro.serve.server import PlanServer
 
     # cache_results=True is the replica-side completed-result cache: repeat
     # traffic that opted into sharing (coalesce=True on the wire) is answered
     # by content digest without re-executing.
-    server = PlanServer(workers=workers, pool_size=1, cache_results=True)
+    server = PlanServer(
+        workers=workers, workers_mode=workers_mode, pool_size=1, cache_results=True
+    )
+    # Adopt the fleet-wide warm caches the parent published to shared
+    # memory (best-effort: a missing/stale segment adopts nothing) so a
+    # cold replica starts with the warm ρ* memo and plan cache instead of
+    # warming private copies.
+    shared_cache_adopted = 0
+    if shared_cache_name:
+        from repro.exec.shm import SharedCacheStore
+        from repro.hypergraph.covers import adopt_rho_star_section
+
+        sections = SharedCacheStore.adopt(shared_cache_name)
+        shared_cache_adopted += adopt_rho_star_section(sections.get("rho_star"))
+        shared_cache_adopted += server.cache.adopt_section(sections.get("plans"))
     store: Dict[str, Any] = {}
     queries: "OrderedDict[str, Any]" = OrderedDict()
     served = 0
@@ -106,6 +126,7 @@ def _replica_main(conn, replica_id: int, workers: Optional[int] = None) -> None:
                 "served": served,
                 "factor_store": len(store),
                 "query_memo": len(queries),
+                "shared_cache_adopted": shared_cache_adopted,
             }
             stats.update(server.stats())
             conn.send((MSG_PONG, message[1], stats))
@@ -217,9 +238,19 @@ class ReplicaHandle:
     re-ship lazily.
     """
 
-    def __init__(self, index: int, *, workers: Optional[int] = None, context=None) -> None:
+    def __init__(
+        self,
+        index: int,
+        *,
+        workers: Optional[int | str] = None,
+        workers_mode: str = "thread",
+        shared_cache_name: Optional[str] = None,
+        context=None,
+    ) -> None:
         self.index = index
         self.workers = workers
+        self.workers_mode = workers_mode
+        self.shared_cache_name = shared_cache_name
         self._ctx = context if context is not None else multiprocessing.get_context()
         self.lock = threading.Lock()
         self.load = 0
@@ -230,7 +261,10 @@ class ReplicaHandle:
         parent, child = self._ctx.Pipe()
         self.process = self._ctx.Process(
             target=_replica_main,
-            args=(child, self.index, self.workers),
+            args=(
+                child, self.index, self.workers, self.workers_mode,
+                self.shared_cache_name,
+            ),
             name=f"repro-replica-{self.index}",
             daemon=True,
         )
@@ -423,14 +457,20 @@ class ReplicaSet:
         self,
         size: int,
         *,
-        workers: Optional[int] = None,
+        workers: Optional[int | str] = None,
+        workers_mode: str = "thread",
+        shared_cache_name: Optional[str] = None,
         start_method: Optional[str] = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"a ReplicaSet needs at least one replica, got {size}")
         context = multiprocessing.get_context(start_method)
         self.replicas: List[ReplicaHandle] = [
-            ReplicaHandle(i, workers=workers, context=context) for i in range(size)
+            ReplicaHandle(
+                i, workers=workers, workers_mode=workers_mode,
+                shared_cache_name=shared_cache_name, context=context,
+            )
+            for i in range(size)
         ]
 
     def __len__(self) -> int:

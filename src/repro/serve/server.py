@@ -98,7 +98,14 @@ class PlanServer:
         Per-query step-DAG parallelism forwarded to
         :meth:`~repro.planner.plan.Plan.execute` — the *unified* ``workers=``
         meaning shared with every other entry point (``None``/1 = serial
-        per query; the pool still overlaps distinct queries).
+        per query, ``"auto"`` = capped CPU count; the pool still overlaps
+        distinct queries).
+    workers_mode:
+        Pool flavour for per-query parallelism: ``"thread"`` (default) or
+        ``"process"`` (shared-memory worker processes — the sparse kernels
+        escape the GIL; see :mod:`repro.exec.procpool`).  Applies to plain
+        executions; merged batches and incremental views always use
+        threads.
     pool_size:
         Thread-pool size for concurrent query execution (defaults to the
         CPU count).  This is what ``PlanServer(workers=N)`` meant before
@@ -143,8 +150,9 @@ class PlanServer:
 
     def __init__(
         self,
-        workers: Optional[int] = None,
+        workers: Optional[int | str] = None,
         *,
+        workers_mode: str = "thread",
         pool_size: Optional[int] = None,
         cache: Optional[PlanCache] = None,
         coalesce: bool = True,
@@ -158,6 +166,11 @@ class PlanServer:
         max_shared_queries: int = _MAX_SHARED_QUERIES,
     ) -> None:
         self.workers = resolve_workers(workers, dag_workers)
+        if workers_mode not in ("thread", "process"):
+            raise QueryError(
+                f'workers_mode must be "thread" or "process", got {workers_mode!r}'
+            )
+        self.workers_mode = workers_mode
         self.pool_size = resolve_workers(pool_size) or (os.cpu_count() or 1)
         self.cache = cache if cache is not None else PlanCache(cost_model=CostModel())
         self.coalesce = coalesce
@@ -595,6 +608,7 @@ class PlanServer:
             executed = chosen.execute(
                 output_mode=request.output_mode,
                 workers=self.workers,
+                workers_mode=self.workers_mode,
                 shared_tries=shared,
                 step_cache=step_cache,
             )
@@ -752,7 +766,8 @@ class PlanServer:
                 query_key, self._canonical_query(query_key, query), chosen.ordering
             )
         return chosen.execute(
-            output_mode=output_mode, workers=self.workers, shared_tries=shared
+            output_mode=output_mode, workers=self.workers,
+            workers_mode=self.workers_mode, shared_tries=shared,
         )
 
     def _execute_batch_legacy(
@@ -867,7 +882,8 @@ def _chain_coalesced(primary: "Future[ServeResult]") -> "Future[ServeResult]":
 def execute_batch(
     requests: Sequence[Union[ServeRequest, FAQQuery]],
     *,
-    workers: Optional[int] = None,
+    workers: Optional[int | str] = None,
+    workers_mode: str = "thread",
     pool_size: Optional[int] = None,
     cache: Optional[PlanCache] = None,
     coalesce: bool = True,
@@ -885,6 +901,7 @@ def execute_batch(
     """
     with PlanServer(
         workers=workers,
+        workers_mode=workers_mode,
         pool_size=pool_size,
         cache=cache,
         share_tries=share_tries,

@@ -1,0 +1,256 @@
+"""Differential tests for the vectorized flat-table elimination kernel.
+
+The contract of :mod:`repro.factors.flat` is that a sparse elimination step
+executed by the flat kernel produces a table ``==``-equal to the trie
+kernel's (:func:`repro.core.outsidein.eliminate_join`), with every unsafe
+input — non-ufunc algebras, NaN values, lossy dtype conversions, custom
+equality — falling back to the trie path instead of risking divergence.
+The tests force the kernel on (``flat_min_rows=0``) and off
+(``flat_enabled=False``) and diff entire InsideOut runs, plus brute force
+as the independent ground truth on the small random family.
+"""
+
+import dataclasses
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.core.insideout import inside_out
+from repro.core.query import FAQQuery, Variable
+from repro.factors.backend import BACKEND_FLAT, BackendPolicy
+from repro.factors.factor import Factor
+from repro.factors.flat import flat_step_eligible
+from repro.semiring.aggregates import SemiringAggregate
+from repro.semiring.standard import BOOLEAN, MAX_PRODUCT, MAX_SUM, MIN_PLUS
+
+from test_planner_differential import _random_query
+
+FORCE_FLAT = BackendPolicy(flat_min_rows=0)
+NO_FLAT = BackendPolicy(flat_enabled=False)
+
+# name -> (semiring, value generator, aggregate factory)
+ELIGIBLE = {
+    "max-product": (
+        MAX_PRODUCT, lambda rng: round(rng.uniform(0.1, 2.0), 3), SemiringAggregate.max
+    ),
+    "min-plus": (
+        MIN_PLUS, lambda rng: round(rng.uniform(-1.0, 3.0), 3), SemiringAggregate.min
+    ),
+    "max-sum": (
+        MAX_SUM, lambda rng: round(rng.uniform(-2.0, 2.0), 3), SemiringAggregate.max
+    ),
+    "boolean": (BOOLEAN, lambda rng: True, SemiringAggregate.logical_or),
+}
+
+
+def _sparse_query(name, seed, n=6, domain=6, num_factors=5, density=0.45):
+    """A moderately sized sparse chain-ish query over an eligible semiring."""
+    semiring, value_of, aggregate_factory = ELIGIBLE[name]
+    rng = random.Random(7_919 * seed + sum(ord(c) for c in name))
+    names = [f"v{i}" for i in range(n)]
+    domains = {v: tuple(range(domain)) for v in names}
+    free = names[: rng.randint(0, 2)]
+    aggregates = {v: aggregate_factory() for v in names[len(free):]}
+    factors = []
+    for index in range(num_factors):
+        arity = rng.randint(1, 3)
+        scope = tuple(rng.sample(names, arity))
+        table = {}
+        for values in itertools.product(*(domains[v] for v in scope)):
+            if rng.random() < density:
+                table[values] = value_of(rng)
+        factors.append(Factor(scope, table, name=f"psi{index}"))
+    return FAQQuery(
+        variables=[Variable(v, domains[v]) for v in names],
+        free=free,
+        aggregates=aggregates,
+        factors=factors,
+        semiring=semiring,
+    )
+
+
+def _diff_runs(query, context, expect_flat=None):
+    """Run flat-forced vs trie-only and require ``==``-equal outputs."""
+    flat = inside_out(query, backend="sparse", backend_policy=FORCE_FLAT)
+    trie = inside_out(query, backend="sparse", backend_policy=NO_FLAT)
+    assert flat.factor.scope == trie.factor.scope, context
+    assert flat.factor.table == trie.factor.table, (
+        f"{context}: flat kernel diverged from the trie kernel\n"
+        f"  trie: {sorted(trie.factor.table.items(), key=repr)}\n"
+        f"  flat: {sorted(flat.factor.table.items(), key=repr)}"
+    )
+    assert flat.stats.output_size == trie.stats.output_size, context
+    # Step structure (everything except the kernel label and timings) match.
+    for a, b in zip(flat.stats.steps, trie.stats.steps):
+        assert (
+            a.variable, a.kind, a.induced_set, a.incident_count,
+            a.projection_count, a.result_size,
+        ) == (
+            b.variable, b.kind, b.induced_set, b.incident_count,
+            b.projection_count, b.result_size,
+        ), f"{context}: step diverged at {a.variable}"
+    flat_steps = [s for s in flat.stats.steps if s.backend == BACKEND_FLAT]
+    if expect_flat is True:
+        assert flat_steps, f"{context}: expected at least one flat-kernel step"
+    elif expect_flat is False:
+        assert not flat_steps, f"{context}: expected full fallback to the trie kernel"
+    return flat
+
+
+@pytest.mark.parametrize("name", sorted(ELIGIBLE))
+@pytest.mark.parametrize("seed", range(6))
+def test_flat_matches_trie_on_sparse_queries(name, seed):
+    query = _sparse_query(name, seed)
+    run = _diff_runs(query, f"{name}/seed={seed}")
+    if any(not a.is_product for a in query.aggregates.values()):
+        assert any(s.backend == BACKEND_FLAT for s in run.stats.steps), (
+            f"{name}/seed={seed}: flat kernel never engaged under flat_min_rows=0"
+        )
+
+
+@pytest.mark.parametrize("name", ["max-product", "min-plus", "boolean"])
+@pytest.mark.parametrize("seed", range(8))
+def test_flat_matches_trie_on_random_family(name, seed):
+    # The planner differential harness's own query family (includes product
+    # aggregates, isolated variables, empty tables, all-free queries).
+    query = _random_query(name, seed)
+    _diff_runs(query, f"random/{name}/seed={seed}")
+
+
+@pytest.mark.parametrize("name", sorted(ELIGIBLE))
+def test_flat_matches_brute_force(name):
+    query = _sparse_query(name, 3, n=4, domain=3, num_factors=4, density=0.6)
+    result = inside_out(query, backend="sparse", backend_policy=FORCE_FLAT)
+    expected = query.evaluate_brute_force()
+    assert result.factor.equals(expected, query.semiring), name
+
+
+def test_flat_engages_under_default_auto_policy():
+    """Large sparse steps pick the flat kernel without any policy override."""
+    query = _sparse_query("max-product", 1, n=6, domain=12, num_factors=5, density=0.5)
+    run = inside_out(query, backend="sparse")
+    assert any(s.backend == BACKEND_FLAT for s in run.stats.steps)
+    trie = inside_out(query, backend="sparse", backend_policy=NO_FLAT)
+    assert run.factor.table == trie.factor.table
+
+
+def test_boolean_nonbool_values_fall_back():
+    # `True and 2` is 2 on the trie path but would collapse to True in a
+    # bool value column; the encoder must refuse the conversion.
+    v = Variable("x", (0, 1, 2))
+    w = Variable("y", (0, 1))
+    query = FAQQuery(
+        variables=[w, v],
+        free=["y"],
+        aggregates={"x": SemiringAggregate.logical_or()},
+        factors=[
+            Factor(("x", "y"), {(a, b): 2 for a in range(3) for b in range(2)}),
+        ],
+        semiring=BOOLEAN,
+    )
+    _diff_runs(query, "boolean-nonbool", expect_flat=False)
+
+
+def test_nan_values_fall_back():
+    # NaN makes max/min folds depend on candidate enumeration order.
+    table = {(a, b): 1.5 for a in range(4) for b in range(4)}
+    table[(0, 0)] = math.nan
+    query = FAQQuery(
+        variables=[Variable("y", tuple(range(4))), Variable("x", tuple(range(4)))],
+        free=["y"],
+        aggregates={"x": SemiringAggregate.max()},
+        factors=[Factor(("x", "y"), table)],
+        semiring=MAX_PRODUCT,
+    )
+    _diff_runs(query, "nan", expect_flat=False)
+
+
+def test_unsafe_int_values_fall_back():
+    # Integers beyond 2**53 do not round-trip through float64.
+    big = (1 << 53) + 1
+    table = {(a, b): big for a in range(3) for b in range(3)}
+    query = FAQQuery(
+        variables=[Variable("y", tuple(range(3))), Variable("x", tuple(range(3)))],
+        free=["y"],
+        aggregates={"x": SemiringAggregate.max()},
+        factors=[Factor(("x", "y"), table)],
+        semiring=MAX_PRODUCT,
+    )
+    _diff_runs(query, "big-int", expect_flat=False)
+
+
+def test_safe_int_values_use_flat():
+    table = {(a, b): a + b + 1 for a in range(4) for b in range(4)}
+    query = FAQQuery(
+        variables=[Variable("y", tuple(range(4))), Variable("x", tuple(range(4)))],
+        free=["y"],
+        aggregates={"x": SemiringAggregate.max()},
+        factors=[Factor(("x", "y"), table)],
+        semiring=MAX_PRODUCT,
+    )
+    _diff_runs(query, "small-int", expect_flat=True)
+
+
+def test_custom_equality_is_never_flat():
+    custom = dataclasses.replace(MAX_PRODUCT, eq=lambda a, b: abs(a - b) < 0.5)
+    factor = Factor(("x",), {(0,): 1.0, (1,): 2.0})
+    assert not flat_step_eligible(
+        custom, "max", {"x": (0, 1)}, {"x"}, [factor], 0
+    )
+    assert flat_step_eligible(
+        MAX_PRODUCT, "max", {"x": (0, 1)}, {"x"}, [factor], 0
+    )
+
+
+def test_sum_aggregates_are_never_flat():
+    # Grouped reduceat re-associates float sums; the tag is ineligible.
+    factor = Factor(("x",), {(0,): 1.0, (1,): 2.0})
+    assert not flat_step_eligible(
+        MAX_PRODUCT, "sum", {"x": (0, 1)}, {"x"}, [factor], 0
+    )
+
+
+def test_scalar_and_empty_outputs():
+    # Scalar query (no free variables) and an annihilated (empty) output.
+    semiring, value_of, aggregate_factory = ELIGIBLE["min-plus"]
+    rng = random.Random(11)
+    table = {
+        (a, b): value_of(rng) for a in range(5) for b in range(5) if (a + b) % 2
+    }
+    scalar = FAQQuery(
+        variables=[Variable("x", tuple(range(5))), Variable("y", tuple(range(5)))],
+        free=[],
+        aggregates={"x": aggregate_factory(), "y": aggregate_factory()},
+        factors=[Factor(("x", "y"), table)],
+        semiring=semiring,
+    )
+    _diff_runs(scalar, "scalar", expect_flat=True)
+
+    disjoint = FAQQuery(
+        variables=[Variable("y", (0, 1)), Variable("x", (0, 1))],
+        free=["y"],
+        aggregates={"x": SemiringAggregate.max()},
+        factors=[
+            Factor(("x", "y"), {(0, 0): 1.0}),
+            Factor(("x",), {(1,): 1.0}),  # joint support is empty
+        ],
+        semiring=MAX_PRODUCT,
+    )
+    _diff_runs(disjoint, "empty-join")
+
+
+@pytest.mark.parametrize("name", sorted(ELIGIBLE))
+def test_flat_runs_are_worker_invariant(name):
+    """DAG runs with the flat kernel match the serial run at any workers."""
+    query = _sparse_query(name, 2)
+    serial = inside_out(query, backend="sparse", backend_policy=FORCE_FLAT)
+    for workers in (2, 4):
+        parallel = inside_out(
+            query, backend="sparse", backend_policy=FORCE_FLAT, workers=workers
+        )
+        assert parallel.factor.table == serial.factor.table, (name, workers)
+        assert [s.backend for s in parallel.stats.steps] == [
+            s.backend for s in serial.stats.steps
+        ], (name, workers)
