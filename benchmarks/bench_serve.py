@@ -230,6 +230,113 @@ def test_shape_serve_tier_openloop_zipf():
         publish([record])
 
 
+RESTART_CHAIN = pick(6, 3)
+RESTART_DOMAIN = pick(12, 3)
+
+
+def _restart_query() -> FAQQuery:
+    """A chain query big enough that a cold baseline run dominates a
+    restored-view delta propagation (fresh objects per call, like a
+    restarted process rebuilding its request)."""
+    rng = random.Random(4242)
+    names = [f"rv{i}" for i in range(RESTART_CHAIN)]
+    domain = tuple(range(RESTART_DOMAIN))
+    variables = [Variable(name, domain) for name in names]
+    factors = []
+    for i in range(RESTART_CHAIN - 1):
+        table = {
+            (a, b): round(rng.uniform(0.1, 1.0), 6)
+            for a in range(RESTART_DOMAIN)
+            for b in range(RESTART_DOMAIN)
+        }
+        factors.append(Factor((names[i], names[i + 1]), table))
+    return FAQQuery(
+        variables=variables,
+        free=[names[0]],
+        aggregates={n: SemiringAggregate.sum() for n in names[1:]},
+        factors=factors,
+        semiring=SUM_PRODUCT,
+        name="warm-restart",
+    )
+
+
+@pytest.mark.shape
+def test_shape_warm_restart_beats_cold(tmp_path):
+    """ROADMAP item 4: a server restarted over its snapshot spill answers
+    its first incremental request warm — measured as time-to-first-answer
+    against a cold restart of the identical server.
+
+    ``cold_restart_s`` = construct a fresh :class:`PlanServer` (no spill)
+    and apply one factor delta: plan + full baseline run + propagation.
+    ``warm_restart_s`` = construct a server over the previous incarnation's
+    :class:`SnapshotStore` and apply the same delta: restore + propagation
+    only (``incremental_full_runs == 0`` certifies no hidden recompute).
+    The ratio is the acceptance gate: warm must be >=2x faster.
+    """
+    from repro.factors import FactorDelta
+    from repro.serve import PlanServer, SnapshotStore
+
+    spill_dir = tmp_path / "spill"
+    query = _restart_query()
+    scope = query.factors[0].scope
+    delta1 = FactorDelta(scope, {(0, 0): 0.5})
+    delta2 = FactorDelta(scope, {(1, 1): 0.25})
+    updated = query.factors[0].apply_delta(delta1, query.semiring)
+    after1 = FAQQuery(
+        variables=[query.variables[v] for v in query.order],
+        free=query.free,
+        aggregates=query.aggregates,
+        factors=[updated] + list(query.factors[1:]),
+        semiring=query.semiring,
+        name=query.name,
+    )
+
+    # The previous incarnation: serve + update once, spilling the warm view.
+    seed_server = PlanServer(snapshot_store=SnapshotStore(spill_dir))
+    seed_server.update_factor(ServeRequest(query=query), 0, delta1)
+    assert seed_server.stats()["snapshot_saves"] >= 1
+    seed_server.shutdown()
+
+    # Cold restart: no spill — plan, full baseline, then the delta.
+    started = time.perf_counter()
+    cold_server = PlanServer()
+    cold = cold_server.update_factor(ServeRequest(query=after1), 0, delta2)
+    cold_restart_s = time.perf_counter() - started
+    cold_server.shutdown()
+
+    # Warm restart: restore the spilled view, then the delta.
+    started = time.perf_counter()
+    warm_server = PlanServer(snapshot_store=SnapshotStore(spill_dir))
+    warm = warm_server.update_factor(ServeRequest(query=after1), 0, delta2)
+    warm_restart_s = time.perf_counter() - started
+
+    stats = warm_server.stats()
+    warm_server.shutdown()
+    assert warm.factor.table == cold.factor.table, "warm answer must be bit-identical"
+    assert stats["snapshot_restores"] >= 1, "the warm server never restored"
+    assert stats["incremental_full_runs"] == 0, "warm restart paid a full recompute"
+
+    speedup = cold_restart_s / warm_restart_s if warm_restart_s else float("inf")
+    record = record_result(
+        "serve:warm-restart",
+        chain=RESTART_CHAIN,
+        domain=RESTART_DOMAIN,
+        cold_restart_s=cold_restart_s,
+        warm_restart_s=warm_restart_s,
+        warm_restart_speedup_x=speedup,
+    )
+    print(
+        f"\n[serve] warm restart (chain={RESTART_CHAIN}, domain={RESTART_DOMAIN}): "
+        f"cold={cold_restart_s * 1e3:.1f}ms warm={warm_restart_s * 1e3:.1f}ms "
+        f"({speedup:.2f}x faster to first incremental answer)"
+    )
+    if not quick_mode():
+        assert speedup >= 2.0, (
+            f"warm restart must be >=2x faster to first answer, got {speedup:.2f}x"
+        )
+        publish([record])
+
+
 @pytest.mark.shape
 def test_shape_admission_sheds_only_over_capacity():
     """A tiny pending bound sheds the overflow and serves the rest.

@@ -57,6 +57,11 @@ RATIO_FIELDS = {
     # everywhere); the process-pool speedup at workers=4 needs cores.
     "flat_vs_trie_x": False,
     "sparse_speedup_w4": True,
+    # serve:warm-restart — time-to-first-incremental-answer of a server
+    # restarted over its snapshot spill vs a cold restart.  Replaying the
+    # restored view vs a full baseline run is an algorithmic win (no cores
+    # required), so the ratio is gated on every host.
+    "warm_restart_speedup_x": False,
 }
 
 # metric field -> cpu_sensitive.  LOWER is better for these (overhead
@@ -85,6 +90,8 @@ TIMING_FIELDS = (
     "single_wall_s",
     "fleet_nocoalesce_wall_s",
     "fleet_wall_s",
+    "cold_restart_s",
+    "warm_restart_s",
     "p50_s",
     "p95_s",
     "p99_s",

@@ -11,7 +11,10 @@ dependency-free so that both layers can import it without cycles.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import pickle
+import tempfile
 import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Iterator, List, Tuple
@@ -130,13 +133,35 @@ class LruCache:
 
         Returns the number of entries written.  The tag is checked by
         :meth:`load`, so bumping ``version`` invalidates every persisted
-        file of that kind at once.
+        file of that kind at once.  The write is **atomic** (temp file +
+        ``os.replace``, so a crash mid-save leaves the previous file
+        intact) and **checksummed**: the entries travel as one pickled
+        blob whose SHA-256 is stored alongside, so :meth:`load` rejects a
+        torn or bit-rotted file instead of adopting garbage.
         """
         with self._lock:
             entries = list(self._entries.items())
-        payload = {"kind": kind, "version": version, "entries": entries}
-        with open(path, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = pickle.dumps(entries, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = {
+            "kind": kind,
+            "version": version,
+            "entries_blob": blob,
+            "sha256": hashlib.sha256(blob).hexdigest(),
+        }
+        path = os.fspath(path)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path) or ".", prefix=os.path.basename(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
         return len(entries)
 
     def load(self, path, *, kind: str, version: int) -> int:
@@ -158,7 +183,15 @@ class LruCache:
                 return 0
             if payload.get("kind") != kind or payload.get("version") != version:
                 return 0
-            entries = list(payload.get("entries", []))
+            blob = payload.get("entries_blob")
+            if blob is not None:
+                # Checksummed format: verify before unpickling the entries.
+                if hashlib.sha256(blob).hexdigest() != payload.get("sha256"):
+                    return 0
+                entries = list(pickle.loads(blob))
+            else:
+                # Legacy format (pre-checksum files): entries inline.
+                entries = list(payload.get("entries", []))
             count = 0
             for key, value in entries:
                 self.put(key, value)

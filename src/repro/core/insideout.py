@@ -50,6 +50,7 @@ from repro.factors.backend import (
 from repro.factors.dense import DenseFactor
 from repro.factors.factor import Factor
 from repro.factors.index import SharedTrieCache, TrieCache, build_trie
+from repro.faults import SITE_STEP_KERNEL, maybe_raise
 from repro.semiring.base import Semiring
 
 
@@ -190,6 +191,7 @@ def eliminate_semiring_step(
     repeated indicator projections keep their index across steps instead of
     being re-hashed tuple-by-tuple at every elimination.
     """
+    maybe_raise(SITE_STEP_KERNEL)
     semiring = query.semiring
     aggregate = query.aggregates[variable]
     start = time.perf_counter()

@@ -31,6 +31,7 @@ from repro.factors.backend import (
     validate_backend,
 )
 from repro.factors.factor import Factor
+from repro.faults import SITE_STEP_KERNEL, maybe_raise
 
 
 @dataclass
@@ -114,6 +115,7 @@ def variable_elimination(
         factors = [Factor((), {(): semiring.one}, name="unit")]
 
     for position in range(len(order) - 1, query.num_free - 1, -1):
+        maybe_raise(SITE_STEP_KERNEL)
         variable = order[position]
         aggregate = query.aggregates[variable]
         incident = [f for f in factors if variable in f.scope]

@@ -77,6 +77,7 @@ from repro.factors.backend import (
 )
 from repro.factors.factor import Factor
 from repro.factors.index import SharedTrieCache, TrieCache
+from repro.faults import SITE_STEP_KERNEL, maybe_raise
 
 
 @dataclass(frozen=True)
@@ -289,6 +290,7 @@ class _RunState:
         return (digest, self.backend)
 
     def execute_node(self, index: int) -> None:
+        maybe_raise(SITE_STEP_KERNEL)
         node = self.dag.nodes[index]
         slots = self.slots
         join_stats = self.node_join_stats[index]

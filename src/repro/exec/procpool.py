@@ -46,13 +46,15 @@ from repro.core.insideout import (
 )
 from repro.core.outsidein import OutsideInStats
 from repro.core.query import FAQQuery, Variable
-from repro.exec.dag import KIND_OUTPUT, KIND_PRODUCT, KIND_SEMIRING
+from repro.exec.dag import KIND_PRODUCT, KIND_SEMIRING
 from repro.exec.shm import ShmBlobStore, ensure_tracker_running, read_blob
 from repro.factors.index import TrieCache
+from repro.faults import SITE_WORKER_KILL, fire
 
-# Test hook: node indices whose dispatch first poisons the target worker
-# (it exits immediately), deterministically exercising the death-recovery
-# path.  Consumed indices are removed.
+# Legacy test hook: node indices whose dispatch first poisons the target
+# worker (it exits immediately), deterministically exercising the
+# death-recovery path.  Consumed indices are removed.  New code uses the
+# ``worker.kill`` fault site of :mod:`repro.faults` instead.
 _TEST_CRASH_NODES: Set[int] = set()
 
 
@@ -400,8 +402,12 @@ class ProcessPool:
             node.kind, node.variable, tuple(node.incident), tuple(node.reads),
             tuple(node.outputs), refs,
         )
-        if node.index in _TEST_CRASH_NODES:
+        crash = node.index in _TEST_CRASH_NODES
+        if crash:
             _TEST_CRASH_NODES.discard(node.index)
+        elif fire(SITE_WORKER_KILL) is not None:
+            crash = True
+        if crash:
             try:
                 worker.conn.send(("crash",))
             except OSError:

@@ -38,13 +38,17 @@ attach-side handle immediately — the creating parent owns cleanup.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import multiprocessing
 import pickle
 import struct
 import sys
+import weakref
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any, Dict, Optional
+
+from repro.faults import SITE_SHM_ATTACH, maybe_raise
 
 _MAGIC = b"REPROSH1"
 _LEN_OFFSET = 8
@@ -90,8 +94,25 @@ def ensure_tracker_running() -> None:
         pass
 
 
+# Live segment-owning stores, reaped at interpreter exit so a caller that
+# forgets close() (or dies in a test) cannot leak kernel-lifetime shared
+# memory.  A WeakSet: an explicitly closed + collected store simply drops
+# out; close() is idempotent so double-reaping the rest is safe.
+_LIVE_STORES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+@atexit.register
+def _reap_segments() -> None:
+    for store in list(_LIVE_STORES):
+        try:
+            store.close()
+        except Exception:  # pragma: no cover - interpreter is going down
+            pass
+
+
 def _attach(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without adopting cleanup duty."""
+    maybe_raise(SITE_SHM_ATTACH, OSError)
     segment = shared_memory.SharedMemory(name=name)
     if _private_tracker():
         try:
@@ -113,6 +134,7 @@ class ShmBlobStore:
 
     def __init__(self) -> None:
         self._segments: Dict[Any, shared_memory.SharedMemory] = {}
+        _LIVE_STORES.add(self)
 
     def __len__(self) -> int:
         return len(self._segments)
@@ -170,11 +192,13 @@ class SharedCacheStore:
     """
 
     def __init__(self, segment: shared_memory.SharedMemory) -> None:
-        self._segment = segment
+        self._segment: Optional[shared_memory.SharedMemory] = segment
+        self._name = segment.name
+        _LIVE_STORES.add(self)
 
     @property
     def name(self) -> str:
-        return self._segment.name
+        return self._name
 
     @classmethod
     def publish(cls, sections: Dict[str, Any]) -> "SharedCacheStore":
@@ -229,9 +253,12 @@ class SharedCacheStore:
             segment.close()
 
     def close(self) -> None:
-        """Close and unlink the segment (publisher side)."""
+        """Close and unlink the segment (publisher side; idempotent)."""
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
         try:
-            self._segment.close()
-            self._segment.unlink()
+            segment.close()
+            segment.unlink()
         except Exception:  # pragma: no cover - best-effort cleanup
             pass

@@ -153,6 +153,50 @@ class IncrementalView:
         self.stats = IncrementalStats()
 
     # ------------------------------------------------------------------ #
+    # durable state (snapshot spill / warm restart)
+    # ------------------------------------------------------------------ #
+    def dump_state(self) -> Dict[str, Any]:
+        """The view's picklable state for snapshot spill.
+
+        Everything a restarted server needs to resume *warm*: the current
+        query (frozen factors), the pinned ordering/backend knobs, the
+        digest-keyed step snapshot and the current answer.  Runtime-only
+        machinery (the executor) and the accounting stats are excluded —
+        a restored view starts with fresh stats, which is what lets tests
+        assert "no full recompute after restore" as ``full_runs == 0``.
+        """
+        return {
+            "query": self.query,
+            "order": self._order,
+            "uip": self._uip,
+            "backend": self._backend,
+            "add_tag": self._add_tag,
+            "snapshot": self._snapshot,
+            "output": self._output,
+        }
+
+    @classmethod
+    def restore(cls, state: Dict[str, Any], workers: Optional[int] = None) -> "IncrementalView":
+        """Rebuild a view from :meth:`dump_state` output.
+
+        The restored view answers :meth:`result` from the saved output
+        without any execution, and its first :meth:`update_factor` runs
+        against the saved step snapshot — only the dirty subgraph of that
+        update executes, exactly as if the process had never restarted.
+        """
+        view = cls.__new__(cls)
+        view.query = state["query"]
+        view._order = tuple(state["order"])
+        view._uip = state["uip"]
+        view._backend = state["backend"]
+        view._add_tag = state["add_tag"]
+        view._executor = DagExecutor(workers=workers or 1)
+        view._snapshot = state["snapshot"]
+        view._output = state["output"]
+        view.stats = IncrementalStats()
+        return view
+
+    # ------------------------------------------------------------------ #
     @property
     def ordering(self) -> Tuple[str, ...]:
         return self._order

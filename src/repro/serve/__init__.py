@@ -5,9 +5,13 @@ fused kernels) and PR 5 served batches from one warm process; this package
 is the horizontal tier on top, behind one stable contract:
 
 * :mod:`repro.serve.api` — the public value types
-  (:class:`ServeRequest` / :class:`ServeResult`) and the typed error
+  (:class:`ServeRequest` / :class:`ServeResult`), the typed error
   hierarchy (:class:`ServeError`, retryable :class:`Overloaded`,
-  non-retryable :class:`PlanFailure`, :class:`ReplicaCrashed`);
+  non-retryable :class:`PlanFailure`, :class:`ReplicaCrashed` and its
+  :class:`ReplicaTimeout` subclass) and the tier's :class:`RetryPolicy`;
+* :mod:`repro.serve.snapshot` — :class:`SnapshotStore`, checksummed
+  atomic on-disk spill of warm serving state, so a restarted server (or
+  replica) resumes incremental service without a cold full run;
 * :mod:`repro.serve.server` — :class:`PlanServer`, the in-process serving
   loop (thread pool + plan cache + shared tries) with **content-hash
   coalescing**: value-equal in-flight requests execute once, keyed by the
@@ -35,6 +39,8 @@ from repro.serve.api import (
     Overloaded,
     PlanFailure,
     ReplicaCrashed,
+    ReplicaTimeout,
+    RetryPolicy,
     ServeError,
     ServeRequest,
     ServeResult,
@@ -42,6 +48,7 @@ from repro.serve.api import (
 from repro.serve.frontend import Frontend
 from repro.serve.replica import ReplicaHandle, ReplicaSet
 from repro.serve.server import PlanServer, execute_batch
+from repro.serve.snapshot import SnapshotStore
 
 __all__ = [
     "ServeRequest",
@@ -50,6 +57,9 @@ __all__ = [
     "Overloaded",
     "PlanFailure",
     "ReplicaCrashed",
+    "ReplicaTimeout",
+    "RetryPolicy",
+    "SnapshotStore",
     "PlanServer",
     "execute_batch",
     "Frontend",

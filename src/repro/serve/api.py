@@ -66,6 +66,63 @@ class ReplicaCrashed(ServeError):
     """A replica died mid-request and the retry budget is exhausted."""
 
 
+class ReplicaTimeout(ReplicaCrashed):
+    """A replica failed to answer an RPC within its deadline.
+
+    A timeout is *treated as* a crash — the replica may be wedged rather
+    than dead, but the recovery path is identical (terminate, restart,
+    retry elsewhere), so the subclass relationship lets every existing
+    crash handler cover the wedge case for free.  Kept distinct so the
+    ``timeouts`` counter can tell the two apart in stats.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the tier retries replica-side failures.
+
+    Applied by :class:`~repro.serve.frontend.Frontend` on the dispatch
+    path when a replica crashes or times out mid-request (never for
+    :class:`PlanFailure` — the query itself is broken, a retry cannot
+    help).  ``rpc_timeout`` is the per-RPC deadline every wire round-trip
+    is armed with: a replica that neither answers nor dies surfaces as a
+    typed :class:`ReplicaTimeout` instead of hanging the caller forever.
+
+    Parameters
+    ----------
+    attempts:
+        Total execution attempts per request (the first try included).
+    base_delay / max_delay / jitter:
+        Exponential backoff between attempts: attempt ``n`` sleeps
+        ``min(max_delay, base_delay * 2**(n-1))`` scaled by a random
+        factor in ``[1, 1 + jitter]`` so synchronized retries fan out.
+    rpc_timeout:
+        Per-RPC deadline in seconds (``None`` disables the deadline —
+        discouraged; a wedged replica then blocks its caller thread).
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.02
+    max_delay: float = 1.0
+    jitter: float = 0.5
+    rpc_timeout: Optional[float] = 30.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise QueryError(f"RetryPolicy needs attempts >= 1, got {self.attempts}")
+        if self.rpc_timeout is not None and self.rpc_timeout <= 0:
+            raise QueryError(
+                f"rpc_timeout must be positive seconds or None, got {self.rpc_timeout!r}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        import random
+
+        delay = min(self.max_delay, self.base_delay * (2 ** max(0, attempt - 1)))
+        return delay * (1.0 + self.jitter * random.random())
+
+
 _VALID_OUTPUT_MODES = ("listing", "factorized")
 
 # plan() keyword overrides a request may carry.  Anything else is rejected

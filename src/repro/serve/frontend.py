@@ -16,11 +16,25 @@
    :class:`~repro.serve.replica.ReplicaSet`).
 4. **dispatch** — the blocking pipe round-trip runs in a worker thread
    (``asyncio.to_thread``), so the event loop keeps admitting while
-   replicas compute.  A crashed replica is restarted and the request
-   retried once before :class:`~repro.serve.api.ReplicaCrashed` surfaces.
+   replicas compute.  Failure handling follows the tier's
+   :class:`~repro.serve.api.RetryPolicy`: a crashed (or RPC-deadline
+   missing) replica is restarted and the request retried with jittered
+   exponential backoff until the attempt budget runs out, after which the
+   typed :class:`~repro.serve.api.ReplicaCrashed` /
+   :class:`~repro.serve.api.ReplicaTimeout` surfaces.
+
+**Fleet-wide factor updates** go through :meth:`Frontend.update_factors`:
+the delta batch fans out to *every* replica as one atomic unit, gated by
+an epoch barrier — reads drain, the batch applies everywhere, the update
+epoch advances, reads resume.  No request can observe a half-applied
+batch; a replica that fails its update is restarted cold, which
+content-addressed serving makes safe (it re-ships state lazily — a
+replica that missed an update is merely cold, never wrong).
 
 A background health loop sweeps for dead replicas every
-``health_interval`` seconds.  Synchronous callers (tests, benchmarks) use
+``health_interval`` seconds and deep-pings the fleet — a replica that
+accepts the ping but misses its RPC deadline is wedged and gets
+restarted.  Synchronous callers (tests, benchmarks) use
 :meth:`Frontend.serve_batch`, which runs the submissions in a private
 event loop.
 """
@@ -33,8 +47,17 @@ import os
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.query import FAQQuery
+from repro.faults import FaultPlan, current_plan
 from repro.planner.signature import query_sharing_key
-from repro.serve.api import Overloaded, PlanFailure, ReplicaCrashed, ServeRequest, ServeResult
+from repro.serve.api import (
+    Overloaded,
+    PlanFailure,
+    ReplicaCrashed,
+    ReplicaTimeout,
+    RetryPolicy,
+    ServeRequest,
+    ServeResult,
+)
 from repro.serve.replica import ReplicaSet
 
 _EWMA_ALPHA = 0.2
@@ -106,6 +129,19 @@ class Frontend:
     coalesce:
         Tier-wide default for content-hash coalescing (requests opt out
         individually with ``ServeRequest(coalesce=False)``).
+    retry:
+        The tier's :class:`~repro.serve.api.RetryPolicy` — attempt budget,
+        backoff shape and per-RPC deadline for every replica round trip.
+        Defaults to ``RetryPolicy()`` (3 attempts, 30 s deadline).
+    snapshot_dir:
+        Directory for per-replica durable snapshot spill.  Each replica
+        persists its warm incremental views + completed-result cache there
+        and a restarted replica resumes from them warm.  ``None`` (the
+        default) disables durability.
+    fault_plan:
+        A seeded :class:`~repro.faults.FaultPlan` for chaos testing; each
+        replica installs a deterministically derived child plan.  ``None``
+        injects nothing.
     """
 
     def __init__(
@@ -121,12 +157,16 @@ class Frontend:
         coalesce: bool = True,
         share_caches: bool = True,
         plan_cache: Any = None,
+        retry: Optional[RetryPolicy] = None,
+        snapshot_dir: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         size = replicas if replicas is not None else (os.cpu_count() or 1)
         self.max_pending = max_pending
         self.tenant_limit = tenant_limit
         self.health_interval = health_interval
         self.coalesce = coalesce
+        self.retry = retry if retry is not None else RetryPolicy()
         self._shared_caches = (
             _publish_shared_caches(plan_cache) if share_caches else None
         )
@@ -138,6 +178,9 @@ class Frontend:
                 self._shared_caches.name if self._shared_caches is not None else None
             ),
             start_method=start_method,
+            rpc_timeout=self.retry.rpc_timeout,
+            snapshot_dir=snapshot_dir,
+            fault_plan=fault_plan,
         )
         # content key -> the primary's asyncio future (per-loop objects, but
         # the map is only touched from whichever loop is currently driving
@@ -157,6 +200,19 @@ class Frontend:
         self._replica_crashes = 0
         self._merged_groups = 0
         self._merged_group_requests = 0
+        self._retries = 0
+        self._timeouts = 0
+        # The update-epoch gate: reads pass while the write gate is open;
+        # an update batch closes it, drains readers, applies fleet-wide,
+        # advances the epoch and reopens.  asyncio primitives are
+        # loop-bound, so the gate is lazily (re)built per driving loop —
+        # serve_batch runs one private loop at a time.
+        self._update_epoch = 0
+        self._gate_loop: Optional[asyncio.AbstractEventLoop] = None
+        self._write_gate: Optional[asyncio.Event] = None
+        self._no_readers: Optional[asyncio.Event] = None
+        self._readers = 0
+        self._last_pongs: List[Optional[Dict[str, Any]]] = []
 
     # ------------------------------------------------------------------ #
     # the serving path
@@ -165,8 +221,9 @@ class Frontend:
         """Admit one request and return its typed result.
 
         Raises :class:`Overloaded` when shed, :class:`PlanFailure` when the
-        query cannot be planned/executed, :class:`ReplicaCrashed` when the
-        fleet lost the request twice.
+        query cannot be planned/executed, :class:`ReplicaCrashed` (or its
+        :class:`ReplicaTimeout` subclass) when the fleet lost the request
+        ``retry.attempts`` times.
         """
         if self._closed:
             raise RuntimeError("Frontend is shut down")
@@ -226,7 +283,11 @@ class Frontend:
         self._pending += 1
         self._tenant_pending[request.tenant] = self._tenant_pending.get(request.tenant, 0) + 1
         try:
-            result = await self._dispatch(request, loop)
+            await self._reader_enter(loop)
+            try:
+                result = await self._dispatch(request, loop)
+            finally:
+                self._reader_exit()
         except BaseException as exc:
             if future is not None and not future.done():
                 future.set_exception(exc)
@@ -263,12 +324,16 @@ class Frontend:
             started = loop.time()
             try:
                 result = await asyncio.to_thread(replica.execute, request)
-            except ReplicaCrashed:
+            except ReplicaCrashed as exc:
                 self._replica_crashes += 1
+                if isinstance(exc, ReplicaTimeout):
+                    self._timeouts += 1
                 await asyncio.to_thread(replica.restart)
                 attempts += 1
-                if attempts > 1:
+                if attempts >= self.retry.attempts:
                     raise
+                self._retries += 1
+                await asyncio.sleep(self.retry.backoff(attempts))
                 continue
             finally:
                 replica.load -= 1
@@ -310,31 +375,39 @@ class Frontend:
         self._merged_groups += 1
         self._merged_group_requests += count
         try:
-            attempts = 0
-            while True:
-                replica = self._set.pick(requests[0].content_key)
-                replica.load += count
-                started = loop.time()
-                try:
-                    outcomes = await asyncio.to_thread(
-                        replica.execute_many, list(requests)
+            await self._reader_enter(loop)
+            try:
+                attempts = 0
+                while True:
+                    replica = self._set.pick(requests[0].content_key)
+                    replica.load += count
+                    started = loop.time()
+                    try:
+                        outcomes = await asyncio.to_thread(
+                            replica.execute_many, list(requests)
+                        )
+                    except ReplicaCrashed as exc:
+                        self._replica_crashes += 1
+                        if isinstance(exc, ReplicaTimeout):
+                            self._timeouts += 1
+                        await asyncio.to_thread(replica.restart)
+                        attempts += 1
+                        if attempts >= self.retry.attempts:
+                            raise
+                        self._retries += 1
+                        await asyncio.sleep(self.retry.backoff(attempts))
+                        continue
+                    finally:
+                        replica.load -= count
+                        self._observe_latency(loop.time() - started)
+                    self._coalesced += sum(
+                        1
+                        for o in outcomes
+                        if isinstance(o, ServeResult) and o.coalesced
                     )
-                except ReplicaCrashed:
-                    self._replica_crashes += 1
-                    await asyncio.to_thread(replica.restart)
-                    attempts += 1
-                    if attempts > 1:
-                        raise
-                    continue
-                finally:
-                    replica.load -= count
-                    self._observe_latency(loop.time() - started)
-                self._coalesced += sum(
-                    1
-                    for o in outcomes
-                    if isinstance(o, ServeResult) and o.coalesced
-                )
-                return outcomes
+                    return outcomes
+            finally:
+                self._reader_exit()
         finally:
             self._pending -= count
             for tenant, n in tenants.items():
@@ -343,6 +416,129 @@ class Frontend:
                     self._tenant_pending.pop(tenant, None)
                 else:
                     self._tenant_pending[tenant] = remaining
+
+    # ------------------------------------------------------------------ #
+    # fleet-wide factor updates (epoch-gated)
+    # ------------------------------------------------------------------ #
+    def _ensure_gate(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._gate_loop is not loop:
+            self._gate_loop = loop
+            self._write_gate = asyncio.Event()
+            self._write_gate.set()
+            self._no_readers = asyncio.Event()
+            self._no_readers.set()
+            self._readers = 0
+
+    async def _reader_enter(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._ensure_gate(loop)
+        await self._write_gate.wait()
+        self._readers += 1
+        self._no_readers.clear()
+
+    def _reader_exit(self) -> None:
+        self._readers -= 1
+        if self._readers <= 0:
+            self._readers = 0
+            if self._no_readers is not None:
+                self._no_readers.set()
+
+    async def update_factors(
+        self, request: ServeRequest, deltas: Sequence[Tuple[int, Any]]
+    ) -> ServeResult:
+        """Apply an atomic factor-update batch to the whole fleet.
+
+        Closes the write gate (new reads wait), drains in-flight reads,
+        fans the ``(factor_index, delta)`` batch out to every replica,
+        advances the update epoch and reopens the gate — so no request
+        ever observes a half-applied batch, tier-wide.  Returns the fresh
+        post-batch answer for ``request``.
+
+        A replica whose update fails after the retry budget is restarted
+        cold rather than failing the update: content-addressed serving
+        re-ships it the post-update state lazily, so a missed update makes
+        a replica cold, never wrong.  The call fails (typed) only when
+        *no* replica could apply the batch.
+        """
+        if self._closed:
+            raise RuntimeError("Frontend is shut down")
+        if request.output_mode != "listing":
+            raise PlanFailure(
+                "incremental updates support listing output only "
+                f"(got output_mode={request.output_mode!r})"
+            )
+        self._ensure_health_task()
+        loop = asyncio.get_running_loop()
+        self._ensure_gate(loop)
+        await self._write_gate.wait()  # one update batch at a time
+        self._write_gate.clear()
+        try:
+            await self._no_readers.wait()
+            deltas = list(deltas)
+            outcomes = await asyncio.gather(
+                *(
+                    self._update_one(replica, request, deltas)
+                    for replica in self._set.replicas
+                )
+            )
+            results = [o for o in outcomes if isinstance(o, ServeResult)]
+            if not results:
+                failure = next(
+                    (o for o in outcomes if isinstance(o, PlanFailure)), None
+                )
+                if failure is not None:
+                    raise failure
+                crash = next(
+                    (o for o in outcomes if isinstance(o, BaseException)), None
+                )
+                raise crash if crash is not None else ReplicaCrashed(
+                    "no replica answered the update batch"
+                )
+            self._update_epoch += 1
+            return results[0]
+        finally:
+            self._write_gate.set()
+
+    async def update_factor(
+        self, request: ServeRequest, factor_index: int, delta: Any
+    ) -> ServeResult:
+        """Single-delta convenience for :meth:`update_factors`."""
+        return await self.update_factors(request, [(factor_index, delta)])
+
+    async def _update_one(
+        self, replica, request: ServeRequest, deltas: List[Tuple[int, Any]]
+    ) -> Any:
+        """One replica's update with the tier retry policy; returns the
+        result or, after the attempt budget, the final exception object
+        (the replica is left restarted — cold, not wrong)."""
+        attempts = 0
+        while True:
+            try:
+                return await asyncio.to_thread(replica.update, request, deltas)
+            except PlanFailure as exc:
+                return exc
+            except ReplicaCrashed as exc:
+                self._replica_crashes += 1
+                if isinstance(exc, ReplicaTimeout):
+                    self._timeouts += 1
+                await asyncio.to_thread(replica.restart)
+                attempts += 1
+                if attempts >= self.retry.attempts:
+                    return exc
+                self._retries += 1
+                await asyncio.sleep(self.retry.backoff(attempts))
+
+    def update_batch(
+        self, request: ServeRequest, deltas: Sequence[Tuple[int, Any]]
+    ) -> ServeResult:
+        """Blocking :meth:`update_factors` for non-async callers."""
+
+        async def _run() -> ServeResult:
+            try:
+                return await self.update_factors(request, deltas)
+            finally:
+                await self._cancel_health_task()
+
+        return asyncio.run(_run())
 
     # ------------------------------------------------------------------ #
     # load estimation
@@ -399,6 +595,30 @@ class Frontend:
             await asyncio.sleep(self.health_interval)
             restarted = await asyncio.to_thread(self._set.restart_dead)
             self._replica_crashes += len(restarted)
+            self._replica_crashes += await asyncio.to_thread(self._ping_sweep)
+
+    def _ping_sweep(self) -> int:
+        """Deep-ping the fleet; restart wedged replicas.  Returns restarts.
+
+        A busy replica answers with its cached pong (alive-but-busy); only
+        a replica that accepted the ping and missed its RPC deadline — or
+        died — comes back ``None`` and is restarted.
+        """
+        restarted = 0
+        pongs: List[Optional[Dict[str, Any]]] = []
+        for replica in self._set.replicas:
+            if self._closed:
+                break
+            pong = replica.ping()
+            if pong is None:
+                try:
+                    replica.restart()
+                    restarted += 1
+                except Exception:  # noqa: BLE001 - next sweep retries
+                    pass
+            pongs.append(pong)
+        self._last_pongs = pongs
+        return restarted
 
     async def _cancel_health_task(self) -> None:
         task = self._health_task
@@ -491,10 +711,19 @@ class Frontend:
 
     def ping(self) -> List[Optional[Dict[str, Any]]]:
         """Deep health probe: each replica's serving counters (``None`` = dead)."""
-        return [replica.ping() for replica in self._set.replicas]
+        pongs = [replica.ping() for replica in self._set.replicas]
+        self._last_pongs = pongs
+        return pongs
 
     def stats(self) -> Dict[str, Any]:
-        """Tier counters: admission, coalescing, shedding, crashes, fleet state."""
+        """Tier counters: admission, coalescing, shedding, crashes, fleet state.
+
+        ``faults_injected`` is the parent process's count; each replica
+        reports its own in its health pong.  ``snapshot_restores`` sums
+        the fleet's counters as of the last deep ping (health sweep or
+        explicit :meth:`ping`).
+        """
+        plan = current_plan()
         return {
             "replicas": len(self._set),
             "submitted": self._submitted,
@@ -504,6 +733,15 @@ class Frontend:
             "shed_tenant": self._shed_tenant,
             "shed_deadline": self._shed_deadline,
             "replica_crashes": self._replica_crashes,
+            "retries": self._retries,
+            "timeouts": self._timeouts,
+            "update_epoch": self._update_epoch,
+            "faults_injected": plan.total_injected if plan is not None else 0,
+            "snapshot_restores": sum(
+                pong.get("snapshot_restores", 0)
+                for pong in self._last_pongs
+                if pong is not None
+            ),
             "merged_groups": self._merged_groups,
             "merged_group_requests": self._merged_group_requests,
             "latency_ewma_s": self._latency_ewma,
@@ -514,14 +752,18 @@ class Frontend:
     # lifecycle
     # ------------------------------------------------------------------ #
     async def aclose(self) -> None:
-        """Stop the health loop and shut the fleet down."""
+        """Stop the health loop and shut the fleet down (idempotent)."""
+        if self._closed:
+            return
         self._closed = True
         await self._cancel_health_task()
         await asyncio.to_thread(self._set.close)
         self._close_shared_caches()
 
     def close(self) -> None:
-        """Synchronous shutdown (for non-async callers)."""
+        """Synchronous shutdown (for non-async callers; idempotent)."""
+        if self._closed:
+            return
         self._closed = True
         self._health_task = None
         self._health_loop_obj = None

@@ -27,6 +27,12 @@ coalesce)``                execute one request; ``payloads`` maps digests
                            ``items`` is a tuple of ``(wire_query,
                            output_mode, options, coalesce)`` and
                            ``payloads`` covers the whole batch
+``("update", req_id, wire_query, payloads, deltas, output_mode,
+options)``                 apply a factor-update batch to the query's
+                           standing incremental view and answer with the
+                           fresh result; ``deltas`` is a tuple of
+                           ``(factor_index, FactorDelta)`` applied in
+                           order as one atomic batch
 ``("ping", nonce)``        health probe
 ``("shutdown",)``          drain and exit
 ========================  ============================================
@@ -66,6 +72,7 @@ from repro.semiring.base import Semiring
 
 MSG_EXEC = "exec"
 MSG_EXEC_MANY = "exec_many"
+MSG_UPDATE = "update"
 MSG_PING = "ping"
 MSG_SHUTDOWN = "shutdown"
 MSG_OK = "ok"

@@ -15,19 +15,52 @@ The parent side is :class:`ReplicaHandle` (spawn, locked request/response
 call, known-digest tracking, restart) and :class:`ReplicaSet` (a fixed
 fleet with rendezvous-hash routing and dead-replica sweeps).  Handles are
 thread-safe; the asyncio front-end calls them via ``asyncio.to_thread``.
+
+Every wire RPC carries a deadline (``rpc_timeout``): a replica that
+accepts a request but never answers surfaces as a typed
+:class:`~repro.serve.api.ReplicaTimeout` (a :class:`ReplicaCrashed`
+subclass — the caller's restart-and-retry path covers both) instead of
+wedging the caller forever.  Replies are validated against the request id
+they answer; a mismatched or malformed reply means the conversation
+desynced (e.g. a corrupted message) and is treated as a crash.  Fault
+sites from :mod:`repro.faults` are threaded through both pipe directions
+and the child loop, so the chaos tests can exercise every one of these
+paths deterministically.
 """
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import itertools
 import multiprocessing
+import os
 import pickle
 import threading
+import weakref
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.serve.api import PlanFailure, ReplicaCrashed, ServeError, ServeRequest, ServeResult
+from repro.faults import (
+    ACTION_CORRUPT,
+    ACTION_DELAY,
+    ACTION_DROP,
+    SITE_REPLICA_KILL,
+    SITE_WIRE_RECV,
+    SITE_WIRE_SEND,
+    FaultPlan,
+    current_plan,
+    fire,
+    install_plan,
+)
+from repro.serve.api import (
+    PlanFailure,
+    ReplicaCrashed,
+    ReplicaTimeout,
+    ServeError,
+    ServeRequest,
+    ServeResult,
+)
 from repro.serve.protocol import (
     ERR_INTERNAL,
     ERR_PLAN,
@@ -40,6 +73,7 @@ from repro.serve.protocol import (
     MSG_PING,
     MSG_PONG,
     MSG_SHUTDOWN,
+    MSG_UPDATE,
     WireResult,
     decode_query,
     encode_query,
@@ -48,6 +82,32 @@ from repro.serve.protocol import (
 
 _MAX_REPLICA_QUERIES = 256
 _REQ_IDS = itertools.count(1)
+
+# Default per-RPC deadline (seconds).  Generous — it exists to convert a
+# genuinely wedged replica into a typed ReplicaTimeout, not to police slow
+# queries; latency-sensitive deployments pass a tighter RetryPolicy.
+DEFAULT_RPC_TIMEOUT = 30.0
+
+# Live replica fleets, reaped at interpreter exit so a caller that forgets
+# close() cannot leak daemon processes + their pipes.  close() is
+# idempotent, so double-reaping is safe.
+_LIVE_SETS: "weakref.WeakSet" = weakref.WeakSet()
+
+# Serialises the pipe-create → fork → close-child-end window of _start().
+# With the fork start method, a process forked by a *concurrent* _start
+# would inherit this pipe's child end and hold it open forever — then a
+# replica dying mid-reply never EOFs the parent's recv (an unbounded hang
+# instead of a clean ReplicaCrashed).
+_START_LOCK = threading.Lock()
+
+
+@atexit.register
+def _reap_replicas() -> None:
+    for replica_set in list(_LIVE_SETS):
+        try:
+            replica_set.close()
+        except Exception:  # pragma: no cover - interpreter is going down
+            pass
 
 
 # ---------------------------------------------------------------------- #
@@ -87,15 +147,25 @@ def _replica_main(
     workers: Optional[int] = None,
     workers_mode: str = "thread",
     shared_cache_name: Optional[str] = None,
+    snapshot_dir: Optional[str] = None,
+    fault_config: Optional[Dict[str, Any]] = None,
 ) -> None:
     """The replica loop (module-level so the spawn start method can pickle it)."""
     from repro.serve.server import PlanServer
+    from repro.serve.snapshot import SnapshotStore
 
+    # A replica carries its own deterministic fault plan (derived from the
+    # parent's seed) so chaos runs inject inside the child too: worker
+    # kills, step-kernel faults, shm-attach failures, snapshot I/O errors
+    # and hard replica deaths all originate here.
+    install_plan(FaultPlan.from_config(fault_config))
+    snapshots = SnapshotStore(snapshot_dir) if snapshot_dir else None
     # cache_results=True is the replica-side completed-result cache: repeat
     # traffic that opted into sharing (coalesce=True on the wire) is answered
     # by content digest without re-executing.
     server = PlanServer(
-        workers=workers, workers_mode=workers_mode, pool_size=1, cache_results=True
+        workers=workers, workers_mode=workers_mode, pool_size=1, cache_results=True,
+        snapshot_store=snapshots,
     )
     # Adopt the fleet-wide warm caches the parent published to shared
     # memory (best-effort: a missing/stale segment adopts nothing) so a
@@ -121,16 +191,22 @@ def _replica_main(
         if kind == MSG_SHUTDOWN:
             break
         if kind == MSG_PING:
+            plan = current_plan()
             stats = {
                 "replica": replica_id,
                 "served": served,
                 "factor_store": len(store),
                 "query_memo": len(queries),
                 "shared_cache_adopted": shared_cache_adopted,
+                "faults_injected": plan.total_injected if plan is not None else 0,
             }
             stats.update(server.stats())
             conn.send((MSG_PONG, message[1], stats))
             continue
+        # A hard replica death (child side): exit without answering — the
+        # parent sees a pipe error or an RPC timeout and restarts us.
+        if fire(SITE_REPLICA_KILL) is not None:
+            os._exit(1)
         if kind == MSG_EXEC_MANY:
             _, req_id, items, payloads = message
             store.update(payloads)
@@ -195,6 +271,33 @@ def _replica_main(
                 wire_outcomes.append(_wire_ok(result))
             conn.send((MSG_OK_MANY, req_id, wire_outcomes))
             continue
+        if kind == MSG_UPDATE:
+            _, req_id, wire, payloads, deltas, output_mode, options = message
+            store.update(payloads)
+            missing = missing_digests(wire, store.keys())
+            if missing:
+                conn.send((MSG_NEED, req_id, missing))
+                continue
+            try:
+                request = ServeRequest(
+                    query=_memoised_query(wire, store, queries),
+                    output_mode=output_mode,
+                    options=options,
+                )
+                result = server.update_factors(request, list(deltas))
+            except PlanFailure as exc:
+                conn.send((MSG_ERR, req_id, ERR_PLAN, str(exc), exc.cause_type))
+                continue
+            except Exception as exc:  # noqa: BLE001 - replica must not die on a bad update
+                conn.send((MSG_ERR, req_id, ERR_INTERNAL, f"{type(exc).__name__}: {exc}", type(exc).__name__))
+                continue
+            served += 1
+            # The pre-update query object answers nothing after this; drop
+            # the memo entry so the stale instance cannot be recalled.
+            if wire.query_key is not None:
+                queries.pop(wire.query_key, None)
+            conn.send((MSG_OK, req_id, _wire_ok(result)[1]))
+            continue
         if kind != MSG_EXEC:
             conn.send((MSG_ERR, None, ERR_INTERNAL, f"unknown message {kind!r}", "ServeError"))
             continue
@@ -233,9 +336,13 @@ class ReplicaHandle:
     ``load`` is the front-end's in-flight count for routing decisions (the
     handle itself serialises calls under ``self.lock`` — one pipe, one
     outstanding request).  A pipe failure raises
-    :class:`~repro.serve.api.ReplicaCrashed`; :meth:`restart` replaces the
-    process and resets the known-digest set, after which factor tables
-    re-ship lazily.
+    :class:`~repro.serve.api.ReplicaCrashed`; a reply missing its deadline
+    raises :class:`~repro.serve.api.ReplicaTimeout`; :meth:`restart`
+    replaces the process and resets the known-digest set, after which
+    factor tables re-ship lazily.  With a ``snapshot_dir`` the replacement
+    process restores its warm incremental views and completed-result cache
+    from the dead one's spill, so it answers its first incremental request
+    without a cold full run.
     """
 
     def __init__(
@@ -245,42 +352,60 @@ class ReplicaHandle:
         workers: Optional[int | str] = None,
         workers_mode: str = "thread",
         shared_cache_name: Optional[str] = None,
+        rpc_timeout: Optional[float] = DEFAULT_RPC_TIMEOUT,
+        snapshot_dir: Optional[str] = None,
+        fault_config: Optional[Dict[str, Any]] = None,
         context=None,
     ) -> None:
         self.index = index
         self.workers = workers
         self.workers_mode = workers_mode
         self.shared_cache_name = shared_cache_name
+        self.rpc_timeout = rpc_timeout
+        self.snapshot_dir = snapshot_dir
+        self.fault_config = fault_config
         self._ctx = context if context is not None else multiprocessing.get_context()
         self.lock = threading.Lock()
         self.load = 0
         self.restarts = 0
+        self.timeouts = 0
+        self.last_pong: Optional[Dict[str, Any]] = None
+        self._closed = False
         self._start()
 
     def _start(self) -> None:
-        parent, child = self._ctx.Pipe()
-        self.process = self._ctx.Process(
-            target=_replica_main,
-            args=(
-                child, self.index, self.workers, self.workers_mode,
-                self.shared_cache_name,
-            ),
-            name=f"repro-replica-{self.index}",
-            daemon=True,
-        )
-        self.process.start()
-        child.close()
+        with _START_LOCK:
+            parent, child = self._ctx.Pipe()
+            self.process = self._ctx.Process(
+                target=_replica_main,
+                args=(
+                    child, self.index, self.workers, self.workers_mode,
+                    self.shared_cache_name, self.snapshot_dir, self.fault_config,
+                ),
+                name=f"repro-replica-{self.index}",
+                daemon=True,
+            )
+            self.process.start()
+            child.close()
         self.conn = parent
         self.known: set = set()
+        self._closed = False  # a restarted handle is open again
 
     def alive(self) -> bool:
         return self.process.is_alive()
 
     def restart(self) -> None:
-        """Replace a dead (or wedged) replica process with a fresh one."""
-        self._terminate()
-        self.restarts += 1
-        self._start()
+        """Replace a dead (or wedged) replica process with a fresh one.
+
+        Taken under the handle lock: an RPC in flight on another thread
+        finishes (or hits its deadline) before the pipe is torn down —
+        closing a connection out from under a blocked reader would strand
+        it on a dead (and soon recycled) file descriptor.
+        """
+        with self.lock:
+            self._terminate()
+            self.restarts += 1
+            self._start()
 
     # ------------------------------------------------------------------ #
     def execute(self, request: ServeRequest) -> ServeResult:
@@ -307,11 +432,54 @@ class ReplicaHandle:
 
         with self.lock:
             payloads = {d: tables[d] for d in missing_digests(wire, self.known)}
-            reply = self._call(exec_msg(payloads))
+            reply = self._validated(self._call(exec_msg(payloads)), req_id)
             self.known.update(payloads)
             if reply[0] == MSG_NEED:
                 payloads = {d: tables[d] for d in reply[2]}
-                reply = self._call(exec_msg(payloads))
+                reply = self._validated(self._call(exec_msg(payloads)), req_id)
+                self.known.update(payloads)
+        if reply[0] == MSG_OK:
+            result: WireResult = reply[2]
+            return self._serve_result(result, request)
+        if reply[0] == MSG_ERR:
+            _, _, err_kind, message, cause_type = reply
+            raise PlanFailure(message, cause_type=cause_type)
+        raise ReplicaCrashed(
+            f"replica {self.index} sent unexpected reply {reply[0]!r}"
+        )
+
+    def update(
+        self, request: ServeRequest, deltas: Sequence[Tuple[int, Any]]
+    ) -> ServeResult:
+        """Apply an atomic factor-update batch on this replica (blocking).
+
+        The replica's warm :class:`~repro.serve.server.PlanServer` view
+        advances through the whole batch before the reply; the handle's
+        known-digest set keeps only digests that still name live factors
+        (the pre-update factors' digests simply stop being referenced).
+        """
+        try:
+            wire, tables = encode_query(request.query)
+        except TypeError as exc:
+            raise PlanFailure(
+                f"query is not digest-addressable and cannot be served by a replica: {exc}",
+                cause_type=type(exc).__name__,
+            ) from exc
+        req_id = next(_REQ_IDS)
+
+        def update_msg(payloads):
+            return (
+                MSG_UPDATE, req_id, wire, payloads, tuple(deltas),
+                request.output_mode, request.options,
+            )
+
+        with self.lock:
+            payloads = {d: tables[d] for d in missing_digests(wire, self.known)}
+            reply = self._validated(self._call(update_msg(payloads)), req_id)
+            self.known.update(payloads)
+            if reply[0] == MSG_NEED:
+                payloads = {d: tables[d] for d in reply[2]}
+                reply = self._validated(self._call(update_msg(payloads)), req_id)
                 self.known.update(payloads)
         if reply[0] == MSG_OK:
             result: WireResult = reply[2]
@@ -361,11 +529,15 @@ class ReplicaHandle:
             for _, _, wire, _ in encoded:
                 for digest in missing_digests(wire, self.known):
                     payloads.setdefault(digest, combined[digest])
-            reply = self._call((MSG_EXEC_MANY, req_id, items, payloads))
+            reply = self._validated(
+                self._call((MSG_EXEC_MANY, req_id, items, payloads)), req_id
+            )
             self.known.update(payloads)
             if reply[0] == MSG_NEED:
                 payloads = {d: combined[d] for d in reply[2]}
-                reply = self._call((MSG_EXEC_MANY, req_id, items, payloads))
+                reply = self._validated(
+                    self._call((MSG_EXEC_MANY, req_id, items, payloads)), req_id
+                )
                 self.known.update(payloads)
         if reply[0] != MSG_OK_MANY or len(reply[2]) != len(encoded):
             raise ReplicaCrashed(
@@ -391,22 +563,64 @@ class ReplicaHandle:
             seconds=result.seconds,
         )
 
-    def ping(self) -> Optional[Dict[str, Any]]:
-        """Health probe; the replica's serving counters, or ``None`` if dead."""
+    def ping(
+        self, timeout: Optional[float] = None, lock_wait: float = 0.1
+    ) -> Optional[Dict[str, Any]]:
+        """Health probe; the replica's serving counters, or ``None`` if dead.
+
+        A replica busy executing a long request holds the handle lock; that
+        is *alive-but-busy*, not wedged, so the probe answers with the last
+        pong it got instead of blocking behind the request (or worse,
+        timing out and triggering a spurious restart).  ``None`` therefore
+        means the replica accepted the probe and failed to answer it — a
+        real crash or wedge the caller should restart.
+        """
         nonce = next(_REQ_IDS)
+        if not self.lock.acquire(timeout=lock_wait):
+            return self.last_pong
         try:
-            with self.lock:
-                reply = self._call((MSG_PING, nonce))
+            reply = self._call((MSG_PING, nonce), timeout=timeout)
         except ServeError:
+            return None
+        finally:
+            self.lock.release()
+        if not isinstance(reply, tuple) or len(reply) != 3:
             return None
         if reply[0] != MSG_PONG or reply[1] != nonce:
             return None
+        self.last_pong = reply[2]
         return reply[2]
 
-    def _call(self, message: tuple) -> tuple:
-        """One locked request/response round trip (caller holds ``self.lock``)."""
+    def _call(self, message: tuple, timeout: Optional[float] = None) -> tuple:
+        """One locked request/response round trip (caller holds ``self.lock``).
+
+        ``timeout`` defaults to the handle's ``rpc_timeout``; a reply that
+        misses the deadline raises :class:`ReplicaTimeout` — the caller
+        must treat the conversation as lost (the late reply, if it ever
+        comes, would desync the pipe) and restart the replica.  The
+        ``replica.kill`` / ``wire.send`` / ``wire.recv`` fault sites hook
+        in here, which is what makes every failure path this method can
+        take reachable from a seeded :class:`~repro.faults.FaultPlan`.
+        """
+        if timeout is None:
+            timeout = self.rpc_timeout
+        if fire(SITE_REPLICA_KILL) is not None:
+            # Parent-side kill: the process dies before (or while) we talk
+            # to it — the send or the recv below surfaces the crash.
+            self.process.terminate()
+            self.process.join(1.0)
+        action = fire(SITE_WIRE_SEND)
         try:
-            self.conn.send(message)
+            if action == ACTION_DROP:
+                pass  # the request never reaches the replica
+            elif action == ACTION_CORRUPT:
+                self.conn.send(("corrupt", None))
+            else:
+                if action == ACTION_DELAY:
+                    plan = current_plan()
+                    if plan is not None:
+                        plan.sleep()
+                self.conn.send(message)
         except (pickle.PicklingError, AttributeError, TypeError) as exc:
             # Pickling happens before any bytes hit the pipe, so the
             # connection is still clean — fail the request, not the replica.
@@ -417,13 +631,58 @@ class ReplicaHandle:
         except (BrokenPipeError, EOFError, OSError) as exc:
             raise ReplicaCrashed(f"replica {self.index} died mid-send: {exc!r}") from exc
         try:
-            return self.conn.recv()
+            if timeout is not None and not self.conn.poll(timeout):
+                self.timeouts += 1
+                raise ReplicaTimeout(
+                    f"replica {self.index} did not answer within {timeout}s"
+                )
+            reply = self.conn.recv()
         except (EOFError, OSError) as exc:
             raise ReplicaCrashed(f"replica {self.index} died mid-request: {exc!r}") from exc
+        action = fire(SITE_WIRE_RECV)
+        if action == ACTION_DROP:
+            self.timeouts += 1
+            raise ReplicaTimeout(
+                f"replica {self.index} reply lost in transit (injected)"
+            )
+        if action == ACTION_CORRUPT:
+            return ("corrupt", None)
+        if action == ACTION_DELAY:
+            plan = current_plan()
+            if plan is not None:
+                plan.sleep()
+        return reply
+
+    def _validated(self, reply: Any, req_id: int) -> tuple:
+        """Reject replies that do not answer ``req_id`` — protocol desync.
+
+        A corrupted request makes the replica answer with ``req_id=None``;
+        a timed-out request's late reply answers an *earlier* id.  Either
+        way the conversation is unrecoverable on this pipe, so the caller
+        gets :class:`ReplicaCrashed` and the restart path re-syncs.
+        """
+        if (
+            not isinstance(reply, tuple)
+            or len(reply) < 2
+            or reply[0] not in (MSG_OK, MSG_OK_MANY, MSG_ERR, MSG_NEED)
+            or reply[1] != req_id
+        ):
+            raise ReplicaCrashed(
+                f"replica {self.index} protocol desync: "
+                f"expected a reply to request {req_id}, got {reply!r}"
+            )
+        return reply
 
     # ------------------------------------------------------------------ #
     def close(self, timeout: float = 2.0) -> None:
-        """Ask the replica to drain and exit; escalate to terminate."""
+        """Ask the replica to drain and exit; escalate to terminate.
+
+        Idempotent — a second close (e.g. the atexit reaper after an
+        explicit shutdown) is a no-op.
+        """
+        if self._closed:
+            return
+        self._closed = True
         try:
             with self.lock:
                 self.conn.send((MSG_SHUTDOWN,))
@@ -461,17 +720,35 @@ class ReplicaSet:
         workers_mode: str = "thread",
         shared_cache_name: Optional[str] = None,
         start_method: Optional[str] = None,
+        rpc_timeout: Optional[float] = DEFAULT_RPC_TIMEOUT,
+        snapshot_dir: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"a ReplicaSet needs at least one replica, got {size}")
         context = multiprocessing.get_context(start_method)
+        self._closed = False
         self.replicas: List[ReplicaHandle] = [
             ReplicaHandle(
                 i, workers=workers, workers_mode=workers_mode,
                 shared_cache_name=shared_cache_name, context=context,
+                rpc_timeout=rpc_timeout,
+                # Per-replica spill directories: a restarted replica i
+                # resumes from replica i's own snapshot, warm.
+                snapshot_dir=(
+                    os.path.join(snapshot_dir, f"replica-{i}")
+                    if snapshot_dir else None
+                ),
+                # Per-replica derived seeds keep chaos runs deterministic
+                # yet uncorrelated across the fleet; a restarted replica
+                # reinstalls the same derived plan.
+                fault_config=(
+                    fault_plan.child_config(i) if fault_plan is not None else None
+                ),
             )
             for i in range(size)
         ]
+        _LIVE_SETS.add(self)
 
     def __len__(self) -> int:
         return len(self.replicas)
@@ -504,12 +781,17 @@ class ReplicaSet:
                 "alive": r.alive(),
                 "load": r.load,
                 "restarts": r.restarts,
+                "timeouts": r.timeouts,
                 "known_factors": len(r.known),
             }
             for r in self.replicas
         ]
 
     def close(self) -> None:
+        """Shut the whole fleet down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
         for replica in self.replicas:
             replica.close()
 

@@ -60,10 +60,15 @@ from repro.planner import (
     record_plan_feedback,
 )
 from repro.serve.api import PlanFailure, ServeRequest, ServeResult
+from repro.serve.snapshot import SnapshotStore
 
 _MAX_SHARED_QUERIES = 64
 _MAX_CANONICAL_QUERIES = 256
 _MAX_INCREMENTAL_VIEWS = 32
+
+# kind/version tags of the completed-result section inside a snapshot.
+_RESULT_SNAPSHOT_KIND = "repro-serve-results"
+_RESULT_SNAPSHOT_VERSION = 1
 
 _LEGACY_SUBMIT_MESSAGE = (
     "submitting bare FAQQuery objects is deprecated; wrap the query in a "
@@ -162,6 +167,7 @@ class PlanServer:
         cache_results: bool = False,
         result_cache_size: int = 256,
         step_cache_size: int = 512,
+        snapshot_store: Optional[SnapshotStore] = None,
         dag_workers: Any = _UNSET,
         max_shared_queries: int = _MAX_SHARED_QUERIES,
     ) -> None:
@@ -207,6 +213,12 @@ class PlanServer:
         self._incremental: "OrderedDict[str, IncrementalView]" = OrderedDict()
         self._incremental_hits = 0
         self._incremental_misses = 0
+        # Durable snapshot spill: restore warm views + completed results
+        # from a prior incarnation over the same directory, and spill
+        # after every update batch (best-effort on both sides).
+        self._snapshots = snapshot_store
+        self._snapshot_restores = 0
+        self._restore_snapshots()
         self._merged_batches = 0
         self._merged_queries = 0
         self._merged_total_nodes = 0
@@ -271,23 +283,40 @@ class PlanServer:
     def update_factor(
         self, request: ServeRequest, factor_index: int, delta: FactorDelta
     ) -> ServeResult:
-        """Apply a factor update and answer the request incrementally.
+        """Apply one factor update and answer the request incrementally.
+
+        Shorthand for :meth:`update_factors` with a single-delta batch —
+        see there for the semantics.
+        """
+        return self.update_factors(request, [(factor_index, delta)])
+
+    def update_factors(
+        self, request: ServeRequest, deltas: Sequence[Tuple[int, FactorDelta]]
+    ) -> ServeResult:
+        """Apply a batch of factor updates atomically and answer incrementally.
 
         The request's query identifies the *current* (pre-update) state;
-        ``delta`` changes cells of ``query.factors[factor_index]``.  A warm
-        :class:`~repro.incremental.IncrementalView` for the query's content
-        key answers via delta propagation / monotone append / dirty-subgraph
-        replay (counted in ``incremental_hits``); a cold miss plans the
-        query, builds a baseline, then applies the update.
+        each ``(factor_index, delta)`` changes cells of
+        ``query.factors[factor_index]``, applied in order as **one atomic
+        batch**: every cache keyed by the pre-update content stays live
+        (and keeps answering with the consistent pre-batch state) until the
+        whole batch has been applied, and only then is the view re-pinned
+        under the post-batch key — no request can observe a half-applied
+        batch.  A warm :class:`~repro.incremental.IncrementalView` for the
+        query's content key answers via delta propagation / monotone append
+        / dirty-subgraph replay (counted in ``incremental_hits``); a cold
+        miss plans the query, builds a baseline, then applies the batch.
 
-        Updates never mutate the old factor — it stays frozen under its
-        digest — so every digest-keyed cache stays sound.  What *is* keyed
+        Updates never mutate old factors — they stay frozen under their
+        digests — so every digest-keyed cache stays sound.  What *is* keyed
         by the old query digest is invalidated here: the canonical-query
         pin, the shared trie stores and any completed-result cache entries
         under the stale key are evicted before the fresh answer is
-        returned.  (The step-result cache needs no eviction: the updated
-        factor has a *new* digest, so stale step keys simply stop being
-        looked up.)
+        returned.  (The step-result cache needs no eviction: updated
+        factors have *new* digests, so stale step keys simply stop being
+        looked up.)  When the server owns a
+        :class:`~repro.serve.snapshot.SnapshotStore`, the advanced view is
+        spilled to disk afterwards so a restarted server resumes warm.
         """
         if self._closed:
             raise RuntimeError("PlanServer is shut down")
@@ -296,6 +325,9 @@ class PlanServer:
                 "incremental updates support listing output only "
                 f"(got output_mode={request.output_mode!r})"
             )
+        deltas = list(deltas)
+        if not deltas:
+            raise PlanFailure("update_factors needs at least one (index, delta) pair")
         started = time.perf_counter()
         try:
             old_key: Optional[str] = query_content_key(request.query)
@@ -325,10 +357,24 @@ class PlanServer:
                 view.result()  # baseline answer + step snapshot
             except QueryError as exc:
                 raise PlanFailure(str(exc), cause_type=type(exc).__name__) from exc
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # noqa: BLE001 - e.g. an injected kernel fault
+                raise PlanFailure(
+                    f"{type(exc).__name__}: {exc}", cause_type=type(exc).__name__
+                ) from exc
+        factor: Any = None
         try:
-            factor = view.update_factor(factor_index, delta)
+            for factor_index, delta in deltas:
+                factor = view.update_factor(factor_index, delta)
         except QueryError as exc:
             raise PlanFailure(str(exc), cause_type=type(exc).__name__) from exc
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:  # noqa: BLE001 - e.g. an injected kernel fault
+            raise PlanFailure(
+                f"{type(exc).__name__}: {exc}", cause_type=type(exc).__name__
+            ) from exc
         if old_key is not None:
             self._evict_content(old_key)
         try:
@@ -342,6 +388,7 @@ class PlanServer:
                 self._incremental.move_to_end(new_key)
                 while len(self._incremental) > _MAX_INCREMENTAL_VIEWS:
                     self._incremental.popitem(last=False)
+        self._spill_snapshots()
         return ServeResult(
             factor=factor,
             ordering=tuple(view.ordering),
@@ -353,6 +400,66 @@ class PlanServer:
             seconds=time.perf_counter() - started,
             stats=view.stats,
         )
+
+    # ------------------------------------------------------------------ #
+    # durable snapshot spill / restore
+    # ------------------------------------------------------------------ #
+    def _restore_snapshots(self) -> None:
+        """Adopt views + completed results from a prior incarnation's spill.
+
+        Best-effort: a missing, torn, corrupt or stale-version file adopts
+        nothing (the store validates magic + checksum + version).  Each
+        restored view starts with fresh stats, so ``full_runs == 0`` on a
+        restored view certifies its answers never paid a cold full run.
+        """
+        if self._snapshots is None:
+            return
+        sections = self._snapshots.load("server")
+        if not isinstance(sections, dict):
+            return
+        restored = 0
+        for key, state in sections.get("views") or []:
+            try:
+                view = IncrementalView.restore(state, workers=self.workers or 1)
+            except Exception:  # noqa: BLE001 - a stale entry, not a failure
+                continue
+            with self._lock:
+                self._incremental[key] = view
+                self._incremental.move_to_end(key)
+                while len(self._incremental) > _MAX_INCREMENTAL_VIEWS:
+                    self._incremental.popitem(last=False)
+            self._canonical_query(key, view.query)
+            restored += 1
+        if self._results is not None:
+            restored += self._results.adopt_entries(
+                sections.get("results"),
+                kind=_RESULT_SNAPSHOT_KIND,
+                version=_RESULT_SNAPSHOT_VERSION,
+            )
+        with self._lock:
+            self._snapshot_restores += restored
+
+    def _spill_snapshots(self) -> bool:
+        """Persist the warm views + result cache (best-effort; False on failure)."""
+        if self._snapshots is None:
+            return False
+        with self._lock:
+            views = list(self._incremental.items())
+        sections: Dict[str, Any] = {
+            "views": [(key, view.dump_state()) for key, view in views],
+        }
+        if self._results is not None:
+            sections["results"] = self._results.dump_entries(
+                kind=_RESULT_SNAPSHOT_KIND, version=_RESULT_SNAPSHOT_VERSION
+            )
+        try:
+            return self._snapshots.save("server", sections)
+        except Exception:  # noqa: BLE001 - spill must never fail the request
+            return False
+
+    def snapshot_now(self) -> bool:
+        """Spill the current warm state immediately (e.g. before shutdown)."""
+        return self._spill_snapshots()
 
     def _evict_content(self, query_key: str) -> None:
         """Drop every cache entry keyed under a now-stale query digest.
@@ -614,6 +721,12 @@ class PlanServer:
             )
         except QueryError as exc:
             raise PlanFailure(str(exc), cause_type=type(exc).__name__) from exc
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:  # noqa: BLE001 - e.g. an injected kernel fault
+            raise PlanFailure(
+                f"{type(exc).__name__}: {exc}", cause_type=type(exc).__name__
+            ) from exc
         return self._finish(request, chosen, executed, started)
 
     def _completed_result(self, request: ServeRequest) -> Optional[ServeResult]:
@@ -824,6 +937,20 @@ class PlanServer:
             incremental_views = len(self._incremental)
             incremental_hits = self._incremental_hits
             incremental_misses = self._incremental_misses
+            incremental_full_runs = sum(
+                view.stats.full_runs for view in self._incremental.values()
+            )
+            snapshot_restores = self._snapshot_restores
+        snapshot_stats = (
+            self._snapshots.stats()
+            if self._snapshots is not None
+            else {
+                "snapshot_saves": 0,
+                "snapshot_save_errors": 0,
+                "snapshot_loads": 0,
+                "snapshot_load_errors": 0,
+            }
+        )
         step_stats = (
             self._step_results.stats()
             if self._step_results is not None
@@ -846,6 +973,9 @@ class PlanServer:
             "incremental_views": incremental_views,
             "incremental_hits": incremental_hits,
             "incremental_misses": incremental_misses,
+            "incremental_full_runs": incremental_full_runs,
+            "snapshot_restores": snapshot_restores,
+            **snapshot_stats,
             **merged,
         }
 

@@ -61,6 +61,9 @@ SERVE_EXPORTS = {
     "Overloaded",
     "PlanFailure",
     "ReplicaCrashed",
+    "ReplicaTimeout",
+    "RetryPolicy",
+    "SnapshotStore",
     "PlanServer",
     "execute_batch",
     "Frontend",
